@@ -1,0 +1,529 @@
+// Benchmarks regenerating the paper's evaluation (Section 7).
+//
+// Table 1 (throughput of the data-storage component; 10 km × 10 km service
+// area, 25 000 tracked objects):
+//
+//	BenchmarkTable1IndexCreation      — "creating index"
+//	BenchmarkTable1PositionUpdate     — "position updates"
+//	BenchmarkTable1PositionQuery      — "position query"
+//	BenchmarkTable1RangeQuery/10m     — "range query (10 m × 10 m)"
+//	BenchmarkTable1RangeQuery/100m    — "range query (100 m × 100 m)"
+//	BenchmarkTable1RangeQuery/1km     — "range query (1 km × 1 km)"
+//
+// Table 2 (response time and throughput on the distributed configuration;
+// 1.5 km × 1.5 km, one root plus four leaf servers, 10 000 objects):
+//
+//	BenchmarkTable2Update             — "position updates (with ACK)"
+//	BenchmarkTable2PosQueryLocal      — "local position query"
+//	BenchmarkTable2PosQueryRemote     — "remote position query"
+//	BenchmarkTable2RangeQueryLocal    — "local range query"
+//	BenchmarkTable2RangeQueryRemote/1 — "remote range query (1 server)"
+//	BenchmarkTable2RangeQueryRemote/2 — "remote range query (2 servers)"
+//	BenchmarkTable2RangeQueryRemote/4 — "remote range query (4 servers)"
+//
+// Ablations (DESIGN.md experiments index): BenchmarkIndexAblation (A1) and
+// BenchmarkCacheAblation (A2). Absolute numbers differ from the paper's
+// 2001 hardware; the shape — updates cheaper than range queries, position
+// queries cheapest, local ≪ remote, larger areas slower — is what the
+// reproduction checks (see EXPERIMENTS.md).
+package locsvc_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+	"locsvc/internal/spatial"
+	"locsvc/internal/store"
+	"locsvc/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1: data-storage component on a single node.
+
+const (
+	table1Objects  = 25_000
+	table1AreaSide = 10_000.0 // 10 km
+)
+
+// newTable1DB loads a sighting database with the paper's Table 1 population.
+func newTable1DB(kind spatial.Kind) (*store.SightingDB, []core.Sighting) {
+	db := store.NewSightingDB(store.WithIndex(kind))
+	rng := rand.New(rand.NewSource(1))
+	sightings := make([]core.Sighting, table1Objects)
+	now := time.Now()
+	for i := range sightings {
+		sightings[i] = core.Sighting{
+			OID:     core.OID(fmt.Sprintf("obj-%d", i)),
+			T:       now,
+			Pos:     geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide),
+			SensAcc: 10,
+		}
+		db.Put(sightings[i])
+	}
+	return db, sightings
+}
+
+func BenchmarkTable1IndexCreation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sightings := make([]core.Sighting, table1Objects)
+	now := time.Now()
+	for i := range sightings {
+		sightings[i] = core.Sighting{
+			OID: core.OID(fmt.Sprintf("obj-%d", i)), T: now,
+			Pos:     geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide),
+			SensAcc: 10,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := store.NewSightingDB()
+		for _, s := range sightings {
+			db.Put(s)
+		}
+	}
+	insertsPerSec := float64(b.N) * table1Objects / b.Elapsed().Seconds()
+	b.ReportMetric(insertsPerSec, "inserts/s")
+}
+
+func BenchmarkTable1PositionUpdate(b *testing.B) {
+	db, sightings := newTable1DB(spatial.KindQuadtree)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sightings[rng.Intn(len(sightings))]
+		s.Pos = geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide)
+		db.Put(s)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+func BenchmarkTable1PositionQuery(b *testing.B) {
+	db, sightings := newTable1DB(spatial.KindQuadtree)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Get(sightings[rng.Intn(len(sightings))].OID); !ok {
+			b.Fatal("object vanished")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// storageRangeQuery runs the leaf-storage part of a range query: spatial
+// index search over the enlarged bounds plus the exact overlap filter —
+// the work the paper's Table 1 measures.
+func storageRangeQuery(db *store.SightingDB, area core.Area, reqAcc, reqOverlap float64) int {
+	enlarged := area.Bounds().Enlarge(reqAcc)
+	n := 0
+	db.SearchArea(enlarged, func(s core.Sighting) bool {
+		ld := core.LocationDescriptor{Pos: s.Pos, Acc: s.SensAcc}
+		if area.RangeQualifies(ld, reqAcc, reqOverlap) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func BenchmarkTable1RangeQuery(b *testing.B) {
+	db, _ := newTable1DB(spatial.KindQuadtree)
+	for _, bc := range []struct {
+		name string
+		side float64
+	}{
+		{"10m", 10},
+		{"100m", 100},
+		{"1km", 1000},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			b.ResetTimer()
+			found := 0
+			for i := 0; i < b.N; i++ {
+				x := rng.Float64() * (table1AreaSide - bc.side)
+				y := rng.Float64() * (table1AreaSide - bc.side)
+				area := core.AreaFromRect(geo.R(x, y, x+bc.side, y+bc.side))
+				found += storageRangeQuery(db, area, 25, 0.5)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(float64(found)/float64(b.N), "objs/query")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: the distributed configuration. The five SUN workstations on
+// 100 Mbit Ethernet become goroutine servers with a synthetic per-hop
+// latency, preserving hop counts and the local/remote shape.
+
+const table2HopLatency = 200 * time.Microsecond
+
+type table2World struct {
+	svc     *locsvc.Service
+	objects []*locsvc.TrackedObject
+	objPos  []locsvc.Point
+	// clients[i] is pinned to leaf i (r.0 … r.3).
+	clients []*locsvc.Client
+}
+
+var (
+	table2Once sync.Once
+	table2     *table2World
+	table2Err  error
+)
+
+// getTable2World builds the 10 000-object deployment once per benchmark
+// process.
+func getTable2World(b *testing.B) *table2World {
+	b.Helper()
+	table2Once.Do(func() {
+		svc, err := locsvc.NewLocal(locsvc.LocalConfig{
+			Area:       locsvc.R(0, 0, 1500, 1500),
+			Levels:     []locsvc.Level{{Rows: 2, Cols: 2}},
+			HopLatency: table2HopLatency,
+		})
+		if err != nil {
+			table2Err = err
+			return
+		}
+		w := &table2World{svc: svc}
+		ctx := context.Background()
+		// One registering client per quadrant keeps registration local.
+		regClients := map[locsvc.NodeID]*locsvc.Client{}
+		for i, corner := range []locsvc.Point{
+			locsvc.Pt(10, 10), locsvc.Pt(1490, 10), locsvc.Pt(10, 1490), locsvc.Pt(1490, 1490),
+		} {
+			c, cerr := svc.NewClientAt(fmt.Sprintf("bench-client-%d", i), corner)
+			if cerr != nil {
+				table2Err = cerr
+				return
+			}
+			entry, _ := svc.EntryFor(corner)
+			regClients[entry] = c
+			w.clients = append(w.clients, c)
+		}
+		rng := rand.New(rand.NewSource(5))
+		now := time.Now()
+		for i := 0; i < 10_000; i++ {
+			p := locsvc.Pt(rng.Float64()*1499, rng.Float64()*1499)
+			entry, _ := svc.EntryFor(p)
+			obj, rerr := regClients[entry].Register(ctx, locsvc.Sighting{
+				OID: locsvc.OID(fmt.Sprintf("t2-%d", i)), T: now, Pos: p, SensAcc: 5,
+			}, 25, 100, 3)
+			if rerr != nil {
+				table2Err = rerr
+				return
+			}
+			w.objects = append(w.objects, obj)
+			w.objPos = append(w.objPos, p)
+		}
+		// Let createPath propagation quiesce.
+		time.Sleep(500 * time.Millisecond)
+		table2 = w
+	})
+	if table2Err != nil {
+		b.Fatalf("building table 2 world: %v", table2Err)
+	}
+	return table2
+}
+
+// leafOf returns the quadrant index (0-3) of a position.
+func leafOf(p locsvc.Point) int {
+	q := 0
+	if p.X >= 750 {
+		q++
+	}
+	if p.Y >= 750 {
+		q += 2
+	}
+	return q
+}
+
+func BenchmarkTable2Update(b *testing.B) {
+	w := getTable2World(b)
+	rng := rand.New(rand.NewSource(6))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := rng.Intn(len(w.objects))
+		obj := w.objects[idx]
+		base := w.objPos[idx]
+		p := locsvc.Pt(clampF(base.X+rng.Float64()*10-5, 0, 1499), clampF(base.Y+rng.Float64()*10-5, 0, 1499))
+		// Keep the object in its quadrant so updates stay local, as in
+		// the paper's Table 2 setup.
+		if leafOf(p) != leafOf(base) {
+			p = base
+		}
+		s := locsvc.Sighting{OID: obj.OID(), T: time.Now(), Pos: p, SensAcc: 5}
+		if err := obj.Update(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/op")
+}
+
+func BenchmarkTable2PosQueryLocal(b *testing.B) {
+	w := getTable2World(b)
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	// Objects in quadrant 0, queried via the client pinned to r.0.
+	var local []int
+	for i, p := range w.objPos {
+		if leafOf(p) == 0 {
+			local = append(local, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := local[rng.Intn(len(local))]
+		if _, err := w.clients[0].PosQuery(ctx, w.objects[idx].OID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2PosQueryRemote(b *testing.B) {
+	w := getTable2World(b)
+	rng := rand.New(rand.NewSource(8))
+	ctx := context.Background()
+	// Objects in quadrant 3, queried via the client pinned to r.0.
+	var remote []int
+	for i, p := range w.objPos {
+		if leafOf(p) == 3 {
+			remote = append(remote, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := remote[rng.Intn(len(remote))]
+		if _, err := w.clients[0].PosQuery(ctx, w.objects[idx].OID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2RangeQueryLocal(b *testing.B) {
+	w := getTable2World(b)
+	rng := rand.New(rand.NewSource(9))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 50 m × 50 m inside quadrant 0 (the paper's medium size).
+		x := rng.Float64() * 650
+		y := rng.Float64() * 650
+		if _, err := w.clients[0].RangeQueryRect(ctx, locsvc.R(x, y, x+50, y+50), 100, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2RangeQueryRemote(b *testing.B) {
+	w := getTable2World(b)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		area locsvc.Rect
+	}{
+		// Entirely inside r.3 (one remote server).
+		{"1server", locsvc.R(1000, 1000, 1050, 1050)},
+		// Straddling r.1 and r.3 (two remote servers).
+		{"2servers", locsvc.R(1000, 725, 1050, 775)},
+		// Centered on the root midpoint (all four servers).
+		{"4servers", locsvc.R(725, 725, 775, 775)},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.clients[0].RangeQueryRect(ctx, bc.area, 100, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A1: spatial index choice for the sightingDB.
+
+func BenchmarkIndexAblation(b *testing.B) {
+	for _, kind := range []spatial.Kind{spatial.KindQuadtree, spatial.KindRTree, spatial.KindLinear} {
+		b.Run(kind.String()+"/update", func(b *testing.B) {
+			db, sightings := newTable1DB(kind)
+			rng := rand.New(rand.NewSource(10))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := sightings[rng.Intn(len(sightings))]
+				s.Pos = geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide)
+				db.Put(s)
+			}
+		})
+		b.Run(kind.String()+"/range100m", func(b *testing.B) {
+			db, _ := newTable1DB(kind)
+			rng := rand.New(rand.NewSource(11))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := rng.Float64() * (table1AreaSide - 100)
+				y := rng.Float64() * (table1AreaSide - 100)
+				storageRangeQuery(db, core.AreaFromRect(geo.R(x, y, x+100, y+100)), 25, 0.5)
+			}
+		})
+		b.Run(kind.String()+"/nearest", func(b *testing.B) {
+			db, _ := newTable1DB(kind)
+			rng := rand.New(rand.NewSource(12))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide)
+				n := 0
+				db.NearestFunc(p, func(core.Sighting, float64) bool {
+					n++
+					return n < 5
+				})
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A2: Section 6.5 caching for remote position queries.
+
+func BenchmarkCacheAblation(b *testing.B) {
+	for _, withCache := range []bool{false, true} {
+		name := "nocache"
+		if withCache {
+			name = "cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			svc, err := locsvc.NewLocal(locsvc.LocalConfig{
+				Area:         locsvc.R(0, 0, 1500, 1500),
+				Levels:       []locsvc.Level{{Rows: 2, Cols: 2}},
+				HopLatency:   table2HopLatency,
+				EnableCaches: withCache,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			ctx := context.Background()
+			owner, err := svc.NewClientAt("owner", locsvc.Pt(10, 10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer owner.Close()
+			const n = 64
+			for i := 0; i < n; i++ {
+				if _, err := owner.Register(ctx, locsvc.Sighting{
+					OID: locsvc.OID(fmt.Sprintf("a-%d", i)), T: time.Now(),
+					Pos: locsvc.Pt(10+float64(i), 10), SensAcc: 5,
+				}, 25, 100, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+			time.Sleep(100 * time.Millisecond) // createPath quiesce
+			remote, err := svc.NewClientAt("remote", locsvc.Pt(1490, 1490))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer remote.Close()
+			rng := rand.New(rand.NewSource(13))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				oid := locsvc.OID(fmt.Sprintf("a-%d", rng.Intn(n)))
+				if _, err := remote.PosQuery(ctx, oid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Supporting micro-benchmarks: wire codec and nearest-neighbor query.
+
+func BenchmarkWireCodec(b *testing.B) {
+	env := msg.Envelope{From: "r.0", CorrID: 42, Msg: msg.RangeQuerySubRes{
+		OpID: 7,
+		Objs: []core.Entry{
+			{OID: "a", LD: core.LocationDescriptor{Pos: geo.Pt(1, 2), Acc: 10}},
+			{OID: "b", LD: core.LocationDescriptor{Pos: geo.Pt(3, 4), Acc: 10}},
+			{OID: "c", LD: core.LocationDescriptor{Pos: geo.Pt(5, 6), Acc: 10}},
+		},
+		CoveredSize: 2500,
+	}}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	data, err := wire.Encode(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(len(data)), "bytes/msg")
+}
+
+func BenchmarkNeighborQuery(b *testing.B) {
+	w := getTable2World(b)
+	rng := rand.New(rand.NewSource(14))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := locsvc.Pt(rng.Float64()*1400, rng.Float64()*1400)
+		if _, err := w.clients[0].NeighborQuery(ctx, p, 100, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexBulkLoad compares the balanced bulk construction used for
+// crash recovery against one-by-one insertion (the Table 1 "creating
+// index" path).
+func BenchmarkIndexBulkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	items := make([]spatial.Item, table1Objects)
+	for i := range items {
+		items[i] = spatial.Item{
+			ID:  core.OID(fmt.Sprintf("o%d", i)),
+			Pos: geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide),
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qt := spatial.NewQuadtree()
+			for _, it := range items {
+				qt.Insert(it.ID, it.Pos)
+			}
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spatial.BulkLoad(items)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Command lsd runs one location server of a distributed deployment over
+// UDP — the production topology of the paper's prototype (Fig. 8: one
+// machine per server).
+//
+// A deployment is described by a topology file shared by all servers:
+//
+//	lsd -gen -topology ls.json -area 1500 -fanout 2 -port 7000
+//
+// generates a topology (root + 2×2 leaves, service area 1500 m × 1500 m,
+// ports 7000…). Then each server is started with:
+//
+//	lsd -topology ls.json -id r
+//	lsd -topology ls.json -id r.0 -wal /var/lib/lsd/r0.wal
+//	...
+//
+// Flags -acc, -ttl and -caches tune the leaf behaviour.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/hierarchy"
+	"locsvc/internal/msg"
+	"locsvc/internal/server"
+	"locsvc/internal/store"
+	"locsvc/internal/transport"
+)
+
+// Topology is the shared deployment description.
+type Topology struct {
+	RootArea [4]float64        `json:"rootArea"` // x0, y0, x1, y1 (meters)
+	Levels   []hierarchy.Level `json:"levels"`
+	// Nodes maps server ids to UDP addresses.
+	Nodes map[string]string `json:"nodes"`
+}
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "ls.json", "topology file shared by all servers")
+		id       = flag.String("id", "", "server id to run (e.g. r, r.0)")
+		gen      = flag.Bool("gen", false, "generate a topology file and exit")
+		area     = flag.Float64("area", 1500, "side of the square root service area in meters (with -gen)")
+		fanout   = flag.Int("fanout", 2, "grid fan-out per level: each area splits fanout x fanout (with -gen)")
+		depth    = flag.Int("depth", 1, "number of hierarchy levels below the root (with -gen)")
+		host     = flag.String("host", "127.0.0.1", "host for generated addresses (with -gen)")
+		port     = flag.Int("port", 7000, "first port for generated addresses (with -gen)")
+		walPath  = flag.String("wal", "", "visitorDB WAL path (persistent forwarding paths)")
+		acc      = flag.Float64("acc", 10, "achievable accuracy of this leaf in meters")
+		ttl      = flag.Duration("ttl", 5*time.Minute, "soft-state TTL for sighting records (0 disables)")
+		caches   = flag.Bool("caches", true, "enable the Section 6.5 leaf caches")
+		restore  = flag.Bool("restore", false, "request updates from persisted visitors at startup")
+	)
+	flag.Parse()
+
+	if *gen {
+		if err := generate(*topoPath, *area, *fanout, *depth, *host, *port); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *topoPath)
+		return
+	}
+	if *id == "" {
+		fatal(fmt.Errorf("-id is required (or use -gen)"))
+	}
+
+	topo, err := loadTopology(*topoPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec := hierarchy.Spec{
+		RootArea: geo.R(topo.RootArea[0], topo.RootArea[1], topo.RootArea[2], topo.RootArea[3]),
+		Levels:   topo.Levels,
+	}
+	configs, err := hierarchy.Build(spec)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg store.ConfigRecord
+	found := false
+	for _, c := range configs {
+		if c.ID == *id {
+			cfg, found = c, true
+			break
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("server %q not in topology (have %d servers)", *id, len(configs)))
+	}
+	bind, ok := topo.Nodes[*id]
+	if !ok {
+		fatal(fmt.Errorf("no address for %q in topology", *id))
+	}
+
+	network := transport.NewUDP()
+	for nid, addr := range topo.Nodes {
+		if nid == *id {
+			continue
+		}
+		if err := network.AddRoute(msg.NodeID(nid), addr); err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := server.Options{
+		AchievableAcc:    *acc,
+		SightingTTL:      *ttl,
+		EnableAreaCache:  *caches,
+		EnableAgentCache: *caches,
+		EnablePosCache:   *caches,
+	}
+	if *walPath != "" {
+		wal, werr := store.OpenFileWAL(*walPath)
+		if werr != nil {
+			fatal(werr)
+		}
+		opts.WAL = wal
+	}
+
+	// Attach on the configured address: server.New attaches via
+	// Network.Attach, which binds an ephemeral port, so pre-bind the
+	// route by wrapping Attach through AttachAddr.
+	srv, err := server.New(cfg, core.AreaFromRect(spec.RootArea), boundNetwork{network, bind}, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	if *restore && cfg.IsLeaf() {
+		n := srv.RestoreVisitors()
+		fmt.Printf("requested updates from %d persisted visitors\n", n)
+	}
+
+	role := "leaf"
+	if !cfg.IsLeaf() {
+		role = "inner"
+	}
+	if cfg.IsRoot() {
+		role = "root"
+	}
+	fmt.Printf("lsd: server %s (%s) serving %v on %s\n", cfg.ID, role, cfg.SA.Bounds(), bind)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("lsd: shutting down")
+}
+
+// boundNetwork makes server.New bind its node on a fixed address.
+type boundNetwork struct {
+	udp  *transport.UDP
+	bind string
+}
+
+// Attach implements transport.Network.
+func (b boundNetwork) Attach(id msg.NodeID, h transport.Handler) (transport.Node, error) {
+	return b.udp.AttachAddr(id, b.bind, h)
+}
+
+// Close implements transport.Network.
+func (b boundNetwork) Close() error { return b.udp.Close() }
+
+func generate(path string, area float64, fanout, depth int, host string, firstPort int) error {
+	if fanout < 1 || depth < 0 {
+		return fmt.Errorf("invalid fanout/depth")
+	}
+	var levels []hierarchy.Level
+	for i := 0; i < depth; i++ {
+		levels = append(levels, hierarchy.Level{Rows: fanout, Cols: fanout})
+	}
+	spec := hierarchy.Spec{RootArea: geo.R(0, 0, area, area), Levels: levels}
+	configs, err := hierarchy.Build(spec)
+	if err != nil {
+		return err
+	}
+	topo := Topology{
+		RootArea: [4]float64{0, 0, area, area},
+		Levels:   levels,
+		Nodes:    make(map[string]string, len(configs)),
+	}
+	for i, cfg := range configs {
+		topo.Nodes[cfg.ID] = fmt.Sprintf("%s:%d", host, firstPort+i)
+	}
+	data, err := json.MarshalIndent(topo, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func loadTopology(path string) (Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("reading topology: %w", err)
+	}
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Topology{}, fmt.Errorf("parsing topology: %w", err)
+	}
+	return t, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package locsvc_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"locsvc"
+)
+
+// Example shows the complete lifecycle: deploy a hierarchy, register a
+// tracked object, update its position across a service-area boundary
+// (a transparent handover) and run the three query types.
+func Example() {
+	svc, err := locsvc.NewLocal(locsvc.LocalConfig{
+		Area:   locsvc.R(0, 0, 1500, 1500),
+		Levels: []locsvc.Level{{Rows: 2, Cols: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	c, err := svc.NewClientAt("phone", locsvc.Pt(100, 100))
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	obj, err := c.Register(ctx, locsvc.Sighting{
+		OID: "taxi-7", T: time.Now(), Pos: locsvc.Pt(100, 100), SensAcc: 5,
+	}, 10, 50, 14)
+	if err != nil {
+		panic(err)
+	}
+	_ = obj.Update(ctx, locsvc.Sighting{
+		OID: "taxi-7", T: time.Now(), Pos: locsvc.Pt(900, 100), SensAcc: 5,
+	})
+
+	ld, _ := c.PosQuery(ctx, "taxi-7")
+	fmt.Printf("taxi-7 at %v (agent %s)\n", ld.Pos, obj.Agent())
+
+	objs, _ := c.RangeQuery(ctx, locsvc.AreaFromRect(locsvc.R(800, 0, 1000, 200)), 50, 0.5)
+	fmt.Printf("%d object(s) in the block\n", len(objs))
+
+	res, _ := c.NeighborQuery(ctx, locsvc.Pt(750, 750), 50, 0)
+	fmt.Printf("nearest to center: %s\n", res.Nearest.OID)
+
+	// Output:
+	// taxi-7 at (900.00, 100.00) (agent r.1)
+	// 1 object(s) in the block
+	// nearest to center: taxi-7
+}

@@ -1,0 +1,127 @@
+// Cityguide reproduces the motivating scenario of the paper's introduction:
+// a public-transport information service wants to announce a bus delay to
+// all users waiting at the next station (a range query with an event
+// subscription), and a user then looks for the nearest available taxi
+// (a nearest-neighbor query).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"locsvc"
+	"locsvc/internal/msg"
+)
+
+const (
+	station  = "central-station"
+	stationX = 760.0
+	stationY = 740.0
+)
+
+func main() {
+	svc, err := locsvc.NewLocal(locsvc.LocalConfig{
+		Area:   locsvc.R(0, 0, 1500, 1500),
+		Levels: []locsvc.Level{{Rows: 2, Cols: 2}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	// The transport operator's client, stationed near the station.
+	operator, err := svc.NewClientAt("transport-operator", locsvc.Pt(stationX, stationY))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer operator.Close()
+
+	// The station forecourt straddles the intersection of all four leaf
+	// service areas — a worst case for distributed range queries.
+	forecourt := locsvc.AreaFromRect(locsvc.R(stationX-60, stationY-60, stationX+60, stationY+60))
+
+	// The operator watches for a crowd forming at the station.
+	crowd := make(chan msg.EventNotify, 4)
+	if err := operator.SubscribeCountAbove("crowd-at-"+station, forecourt, 50, 3,
+		func(n msg.EventNotify) { crowd <- n }); err != nil {
+		log.Fatal(err)
+	}
+
+	// Users and taxis appear around the city.
+	users := map[string]locsvc.Point{
+		"user-anna": {X: stationX - 20, Y: stationY + 10}, // waiting at the station
+		"user-ben":  {X: stationX + 30, Y: stationY - 15}, // waiting at the station
+		"user-cruz": {X: stationX + 5, Y: stationY + 40},  // waiting at the station
+		"user-dee":  {X: 200, Y: 1200},                    // elsewhere in town
+	}
+	taxis := map[string]locsvc.Point{
+		"taxi-1": {X: 500, Y: 500},
+		"taxi-2": {X: 850, Y: 700}, // closest to the station
+		"taxi-3": {X: 1400, Y: 200},
+	}
+	registerAll := func(objs map[string]locsvc.Point, speed float64) {
+		for id, p := range objs {
+			c, cerr := svc.NewClientAt("node-"+id, p)
+			if cerr != nil {
+				log.Fatal(cerr)
+			}
+			defer c.Close()
+			if _, rerr := c.Register(ctx, locsvc.Sighting{
+				OID: locsvc.OID(id), T: time.Now(), Pos: p, SensAcc: 10,
+			}, 15, 100, speed); rerr != nil {
+				log.Fatal(rerr)
+			}
+		}
+	}
+	registerAll(users, 2)  // pedestrians
+	registerAll(taxis, 14) // vehicles
+
+	// The crowd predicate fires asynchronously once three users are on
+	// the forecourt.
+	select {
+	case n := <-crowd:
+		fmt.Printf("event: %d people waiting at %s\n", n.Total, station)
+	case <-time.After(5 * time.Second):
+		log.Fatal("crowd event never fired")
+	}
+
+	// The bus is delayed: find everyone at the station to notify them
+	// (the paper's range-query use case).
+	waiting, err := operator.RangeQuery(ctx, forecourt, 100, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bus 42 delayed — announcing to %d user(s):\n", len(waiting))
+	for _, e := range waiting {
+		fmt.Printf("  -> %s (at %v ± %.0f m)\n", e.OID, e.LD.Pos, e.LD.Acc)
+	}
+
+	// Anna gives up on the bus and calls the nearest taxi (the paper's
+	// nearest-neighbor use case). nearQual=2×reqAcc also returns every
+	// taxi that could actually be closer.
+	annaPhone, err := svc.NewClientAt("anna-phone", locsvc.Pt(stationX, stationY))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer annaPhone.Close()
+	res, err := annaPhone.NeighborQuery(ctx, locsvc.Pt(stationX, stationY), 100, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nearest object to the station: %s at %v\n", res.Nearest.OID, res.Nearest.LD.Pos)
+	fmt.Printf("  (guaranteed no object closer than %.0f m)\n", res.GuaranteedMinDist)
+
+	// The LS tracks objects of every kind; the application filters for
+	// taxis among the nearest and its qualified alternatives.
+	candidates := append([]locsvc.Entry{res.Nearest}, res.Near...)
+	for _, e := range candidates {
+		if len(e.OID) >= 5 && e.OID[:5] == "taxi-" {
+			fmt.Printf("anna's taxi: %s at %v\n", e.OID, e.LD.Pos)
+			return
+		}
+	}
+	fmt.Println("no taxi nearby — anna waits for the bus after all")
+}

@@ -1,0 +1,86 @@
+// Quickstart: deploy a small location-server hierarchy in-process, register
+// a tracked object, move it, and run all three query types of the service
+// model (position, range, nearest neighbor).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"locsvc"
+)
+
+func main() {
+	// A 1.5 km × 1.5 km service area split into four leaf quarters — the
+	// shape of the paper's testbed (Fig. 8).
+	svc, err := locsvc.NewLocal(locsvc.LocalConfig{
+		Area:   locsvc.R(0, 0, 1500, 1500),
+		Levels: []locsvc.Level{{Rows: 2, Cols: 2}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	fmt.Printf("deployed %d leaf servers\n", len(svc.Leaves()))
+
+	ctx := context.Background()
+
+	// A client near the south-west corner; its entry server is the leaf
+	// responsible for that position.
+	c, err := svc.NewClientAt("phone-1", locsvc.Pt(100, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Register a tracked object: desired accuracy 10 m, acceptable up to
+	// 50 m, max speed 14 m/s (~50 km/h).
+	obj, err := c.Register(ctx, locsvc.Sighting{
+		OID: "taxi-7", T: time.Now(), Pos: locsvc.Pt(120, 80), SensAcc: 5,
+	}, 10, 50, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered taxi-7: agent=%s, offered accuracy %.0f m\n",
+		obj.Agent(), obj.OfferedAcc())
+
+	// Drive east; crossing x=750 hands the object over to the next leaf.
+	for x := 200.0; x <= 900; x += 100 {
+		if err := obj.Update(ctx, locsvc.Sighting{
+			OID: "taxi-7", T: time.Now(), Pos: locsvc.Pt(x, 80), SensAcc: 5,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after driving east: agent=%s (handover was transparent)\n", obj.Agent())
+
+	// Position query from a different part of the city (a remote query —
+	// it traverses the hierarchy).
+	far, err := svc.NewClientAt("phone-2", locsvc.Pt(1400, 1400))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer far.Close()
+	ld, err := far.PosQuery(ctx, "taxi-7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("position query: taxi-7 at %v ± %.0f m\n", ld.Pos, ld.Acc)
+
+	// Range query: everything within a 200 m square around the taxi.
+	objs, err := c.RangeQuery(ctx, locsvc.AreaFromRect(locsvc.R(800, 0, 1000, 200)), 50, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range query: %d object(s) in the block\n", len(objs))
+
+	// Nearest-neighbor query from the city center.
+	res, err := c.NeighborQuery(ctx, locsvc.Pt(750, 750), 50, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nearest object to the center: %s at %v (guaranteed ≥ %.0f m away)\n",
+		res.Nearest.OID, res.Nearest.LD.Pos, res.GuaranteedMinDist)
+}

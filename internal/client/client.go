@@ -1,0 +1,379 @@
+// Package client implements the client side of the location service: the
+// operations of the service interface (Section 3.1 and 3.2) against an
+// entry server, and the tracked-object role with its agent tracking across
+// handovers.
+//
+// A mobile device may — and often will — hold both roles (paper, Fig. 1):
+// one Client can register itself (or other objects) for tracking and issue
+// queries at the same time.
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+	"locsvc/internal/transport"
+)
+
+// Options configure a Client.
+type Options struct {
+	// Timeout bounds every operation; default 5 s.
+	Timeout time.Duration
+	// OnAccChange is invoked when the service notifies that the offered
+	// accuracy for a registered object changed (notifyAvailAcc,
+	// Section 3.1).
+	OnAccChange func(oid core.OID, offeredAcc float64)
+	// OnRequestUpdate is invoked when a (recovering) leaf server asks
+	// for a fresh position update for an object this client registered.
+	OnRequestUpdate func(oid core.OID)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is one node using the location service through an entry server.
+type Client struct {
+	node  transport.Node
+	entry msg.NodeID
+	opts  Options
+
+	mu      sync.Mutex
+	waiters map[uint64]chan msg.Message
+	nextOp  uint64
+
+	events eventSubs
+	cache  clientCache
+}
+
+// New attaches a client node to the network. entry is the client's entry
+// server: the nearby leaf server it directs all requests to (found through
+// a lookup service in the paper; hierarchy.Deployment.LeafFor here).
+func New(network transport.Network, id msg.NodeID, entry msg.NodeID, opts Options) (*Client, error) {
+	c := &Client{
+		entry:   entry,
+		opts:    opts.withDefaults(),
+		waiters: make(map[uint64]chan msg.Message),
+	}
+	node, err := network.Attach(id, c.handle)
+	if err != nil {
+		return nil, fmt.Errorf("client: attaching %s: %w", id, err)
+	}
+	c.node = node
+	return c, nil
+}
+
+// ID returns the client's node id.
+func (c *Client) ID() msg.NodeID { return c.node.ID() }
+
+// Entry returns the entry server the client uses.
+func (c *Client) Entry() msg.NodeID { return c.entry }
+
+// SetEntry switches the client to a different entry server (e.g. after
+// moving; remote-query experiments use it to force non-local entries).
+func (c *Client) SetEntry(entry msg.NodeID) { c.entry = entry }
+
+// Close detaches the client from the network.
+func (c *Client) Close() error { return c.node.Close() }
+
+// handle processes asynchronous messages addressed to this client.
+func (c *Client) handle(_ context.Context, _ msg.NodeID, m msg.Message) (msg.Message, error) {
+	switch req := m.(type) {
+	case msg.RegisterRes:
+		c.deliver(req.OpID, m)
+	case msg.RegisterFailed:
+		c.deliver(req.OpID, m)
+	case msg.NotifyAvailAcc:
+		if c.opts.OnAccChange != nil {
+			c.opts.OnAccChange(req.OID, req.OfferedAcc)
+		}
+	case msg.RequestUpdate:
+		if c.opts.OnRequestUpdate != nil {
+			c.opts.OnRequestUpdate(req.OID)
+		}
+	case msg.EventNotify:
+		c.dispatchEvent(req)
+	}
+	return nil, nil
+}
+
+// openOp allocates a waiter for a direct (non-call) response.
+func (c *Client) openOp() (uint64, chan msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextOp++
+	id := c.nextOp
+	ch := make(chan msg.Message, 1)
+	c.waiters[id] = ch
+	return id, ch
+}
+
+// closeOp discards a waiter.
+func (c *Client) closeOp(id uint64) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	c.mu.Unlock()
+}
+
+// deliver hands a response to its waiter.
+func (c *Client) deliver(id uint64, m msg.Message) {
+	c.mu.Lock()
+	ch, ok := c.waiters[id]
+	if ok {
+		delete(c.waiters, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- m
+	}
+}
+
+// TrackedObject is the client-side handle for one registered object: it
+// knows the object's current agent (updated transparently on handover) and
+// the currently offered accuracy.
+type TrackedObject struct {
+	c *Client
+
+	oid core.OID
+
+	mu         sync.Mutex
+	agent      msg.NodeID
+	offeredAcc float64
+	lastSent   core.Sighting
+}
+
+// Register registers a new tracked object with the LS (Section 3.1):
+// the initial sighting s plus the requested accuracy range [desAcc,
+// minAcc]. On success the returned handle is bound to the object's agent.
+func (c *Client) Register(ctx context.Context, s core.Sighting, desAcc, minAcc, maxSpeed float64) (*TrackedObject, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+	}
+	ri := core.RegInfo{
+		Registrant: string(c.ID()),
+		DesAcc:     desAcc,
+		MinAcc:     minAcc,
+		MaxSpeed:   maxSpeed,
+	}
+	if err := ri.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+	}
+	opID, ch := c.openOp()
+	defer c.closeOp(opID)
+	err := c.node.Send(c.entry, msg.RegisterReq{
+		S:       s,
+		RegInfo: ri,
+		Origin:  msg.Origin{Node: c.ID(), OpID: opID},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: sending registration: %w", err)
+	}
+	select {
+	case m := <-ch:
+		switch res := m.(type) {
+		case msg.RegisterRes:
+			return &TrackedObject{
+				c:          c,
+				oid:        s.OID,
+				agent:      res.Agent,
+				offeredAcc: res.OfferedAcc,
+				lastSent:   s,
+			}, nil
+		case msg.RegisterFailed:
+			return nil, fmt.Errorf("%w: best achievable %.1f m at %s",
+				core.ErrAccuracy, res.Achievable, res.Server)
+		default:
+			if err := msg.AsError(m); err != nil {
+				return nil, err
+			}
+			return nil, core.ErrBadRequest
+		}
+	case <-time.After(c.opts.Timeout):
+		return nil, fmt.Errorf("client: registration timed out: %w", context.DeadlineExceeded)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// OID returns the tracked object's identifier.
+func (t *TrackedObject) OID() core.OID { return t.oid }
+
+// Agent returns the current agent server.
+func (t *TrackedObject) Agent() msg.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.agent
+}
+
+// OfferedAcc returns the currently offered accuracy.
+func (t *TrackedObject) OfferedAcc() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.offeredAcc
+}
+
+// LastSent returns the sighting most recently accepted by the service.
+func (t *TrackedObject) LastSent() core.Sighting {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastSent
+}
+
+// Update sends a position update to the object's agent (Section 3.1). On a
+// handover the handle rebinds to the new agent transparently, as the paper's
+// old agent "informs the tracked object of its new agent".
+func (t *TrackedObject) Update(ctx context.Context, s core.Sighting) error {
+	if s.OID != t.oid {
+		return fmt.Errorf("%w: sighting for %s on handle of %s", core.ErrBadRequest, s.OID, t.oid)
+	}
+	cctx, cancel := context.WithTimeout(ctx, t.c.opts.Timeout)
+	defer cancel()
+	resp, err := t.c.node.Call(cctx, t.Agent(), msg.UpdateReq{S: s})
+	if err != nil {
+		return err
+	}
+	res, ok := resp.(msg.UpdateRes)
+	if !ok {
+		return core.ErrBadRequest
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastSent = s
+	t.offeredAcc = res.OfferedAcc
+	if res.Moved {
+		t.agent = res.NewAgent
+	}
+	return nil
+}
+
+// MaybeUpdate implements the paper's distance-based update protocol
+// (Section 6.2): the update is only transmitted if the new position
+// deviates from the last reported one by more than the offered accuracy.
+// It reports whether an update was sent.
+func (t *TrackedObject) MaybeUpdate(ctx context.Context, s core.Sighting) (bool, error) {
+	t.mu.Lock()
+	moved := s.Pos.Dist(t.lastSent.Pos) > t.offeredAcc
+	t.mu.Unlock()
+	if !moved {
+		return false, nil
+	}
+	return true, t.Update(ctx, s)
+}
+
+// ChangeAcc renegotiates the accuracy range (Section 3.1). On success the
+// newly offered accuracy is returned.
+func (t *TrackedObject) ChangeAcc(ctx context.Context, desAcc, minAcc float64) (float64, error) {
+	cctx, cancel := context.WithTimeout(ctx, t.c.opts.Timeout)
+	defer cancel()
+	resp, err := t.c.node.Call(cctx, t.Agent(), msg.ChangeAccReq{OID: t.oid, DesAcc: desAcc, MinAcc: minAcc})
+	if err != nil {
+		return 0, err
+	}
+	res, ok := resp.(msg.ChangeAccRes)
+	if !ok {
+		return 0, core.ErrBadRequest
+	}
+	if !res.OK {
+		return res.OfferedAcc, core.ErrAccuracy
+	}
+	t.mu.Lock()
+	t.offeredAcc = res.OfferedAcc
+	t.mu.Unlock()
+	return res.OfferedAcc, nil
+}
+
+// Deregister removes the object from the service (Section 3.1).
+func (t *TrackedObject) Deregister(ctx context.Context) error {
+	cctx, cancel := context.WithTimeout(ctx, t.c.opts.Timeout)
+	defer cancel()
+	_, err := t.c.node.Call(cctx, t.Agent(), msg.DeregisterReq{OID: t.oid})
+	return err
+}
+
+// PosQuery retrieves the location descriptor of a tracked object
+// (Section 3.2, posQuery).
+func (c *Client) PosQuery(ctx context.Context, oid core.OID) (core.LocationDescriptor, error) {
+	return c.PosQueryBounded(ctx, oid, 0)
+}
+
+// PosQueryBounded is PosQuery with an accuracy bound that permits the entry
+// server to answer from its position cache when the cached descriptor, aged
+// to now, is still at least accBound accurate (Section 6.5).
+func (c *Client) PosQueryBounded(ctx context.Context, oid core.OID, accBound float64) (core.LocationDescriptor, error) {
+	// Client-side caches first (Section 6.5; enable with EnableCache).
+	if ld, ok := c.posQueryViaCache(ctx, oid, accBound); ok {
+		return ld, nil
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	resp, err := c.node.Call(cctx, c.entry, msg.PosQueryReq{OID: oid, AccBound: accBound})
+	if err != nil {
+		return core.LocationDescriptor{}, err
+	}
+	res, ok := resp.(msg.PosQueryRes)
+	if !ok || !res.Found {
+		return core.LocationDescriptor{}, core.ErrNotFound
+	}
+	c.cache.remember(oid, res)
+	return res.LD, nil
+}
+
+// RangeQuery returns all tracked objects inside the area whose location
+// areas overlap it by at least reqOverlap and whose accuracy is at least
+// reqAcc (Section 3.2, rangeQuery).
+func (c *Client) RangeQuery(ctx context.Context, area core.Area, reqAcc, reqOverlap float64) ([]core.Entry, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	resp, err := c.node.Call(cctx, c.entry, msg.RangeQueryReq{Area: area, ReqAcc: reqAcc, ReqOverlap: reqOverlap})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := resp.(msg.RangeQueryRes)
+	if !ok {
+		return nil, core.ErrBadRequest
+	}
+	return res.Objs, nil
+}
+
+// RangeQueryRect is RangeQuery for a rectangular area.
+func (c *Client) RangeQueryRect(ctx context.Context, r geo.Rect, reqAcc, reqOverlap float64) ([]core.Entry, error) {
+	return c.RangeQuery(ctx, core.AreaFromRect(r), reqAcc, reqOverlap)
+}
+
+// NeighborResult is the client-side result of a nearest-neighbor query.
+type NeighborResult struct {
+	Nearest           core.Entry
+	Near              []core.Entry
+	GuaranteedMinDist float64
+}
+
+// NeighborQuery returns the tracked object nearest to p together with the
+// nearObjSet within nearQual of its distance (Section 3.2, neighborQuery).
+func (c *Client) NeighborQuery(ctx context.Context, p geo.Point, reqAcc, nearQual float64) (NeighborResult, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	resp, err := c.node.Call(cctx, c.entry, msg.NeighborQueryReq{P: p, ReqAcc: reqAcc, NearQual: nearQual})
+	if err != nil {
+		return NeighborResult{}, err
+	}
+	res, ok := resp.(msg.NeighborQueryRes)
+	if !ok {
+		return NeighborResult{}, core.ErrBadRequest
+	}
+	if !res.Found {
+		return NeighborResult{}, core.ErrNotFound
+	}
+	return NeighborResult{
+		Nearest:           res.Nearest,
+		Near:              res.Near,
+		GuaranteedMinDist: res.GuaranteedMinDist,
+	}, nil
+}

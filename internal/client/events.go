@@ -1,0 +1,84 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"locsvc/internal/core"
+	"locsvc/internal/msg"
+)
+
+// EventHandler receives asynchronous predicate notifications.
+type EventHandler func(n msg.EventNotify)
+
+// eventSubs tracks this client's active subscriptions.
+type eventSubs struct {
+	mu       sync.Mutex
+	handlers map[string]EventHandler
+}
+
+// SubscribeCountAbove registers the predicate "at least threshold objects
+// are inside area" (paper Section 1). Notifications fire on transitions in
+// both directions (Fired reports the new state).
+func (c *Client) SubscribeCountAbove(subID string, area core.Area, reqAcc float64, threshold int, h EventHandler) error {
+	if threshold <= 0 || area.Empty() {
+		return fmt.Errorf("%w: invalid count subscription", core.ErrBadRequest)
+	}
+	c.registerHandler(subID, h)
+	return c.node.Send(c.entry, msg.EventSubscribe{
+		SubID:       subID,
+		Kind:        msg.EventCountAbove,
+		Area:        area,
+		ReqAcc:      reqAcc,
+		Threshold:   threshold,
+		Coordinator: c.entry,
+		Subscriber:  c.ID(),
+	})
+}
+
+// SubscribeMeeting registers the predicate "two tracked objects inside area
+// come within distance of each other" (paper Section 1, "two users of the
+// system meet"). Each new meeting pair triggers one notification naming the
+// objects.
+func (c *Client) SubscribeMeeting(subID string, area core.Area, distance float64, h EventHandler) error {
+	if distance <= 0 || area.Empty() {
+		return fmt.Errorf("%w: invalid meeting subscription", core.ErrBadRequest)
+	}
+	c.registerHandler(subID, h)
+	return c.node.Send(c.entry, msg.EventSubscribe{
+		SubID:       subID,
+		Kind:        msg.EventMeeting,
+		Area:        area,
+		Distance:    distance,
+		Coordinator: c.entry,
+		Subscriber:  c.ID(),
+	})
+}
+
+// Unsubscribe removes a subscription everywhere it was installed. The area
+// must match the one used at subscription time (it drives the routing).
+func (c *Client) Unsubscribe(subID string, area core.Area) error {
+	c.events.mu.Lock()
+	delete(c.events.handlers, subID)
+	c.events.mu.Unlock()
+	return c.node.Send(c.entry, msg.EventUnsubscribe{SubID: subID, Area: area})
+}
+
+func (c *Client) registerHandler(subID string, h EventHandler) {
+	c.events.mu.Lock()
+	defer c.events.mu.Unlock()
+	if c.events.handlers == nil {
+		c.events.handlers = make(map[string]EventHandler)
+	}
+	c.events.handlers[subID] = h
+}
+
+// dispatchEvent routes an EventNotify to its handler.
+func (c *Client) dispatchEvent(n msg.EventNotify) {
+	c.events.mu.Lock()
+	h := c.events.handlers[n.SubID]
+	c.events.mu.Unlock()
+	if h != nil {
+		h(n)
+	}
+}

@@ -1,0 +1,162 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCircleBasics(t *testing.T) {
+	c := Circle{C: Pt(5, 5), R: 3}
+	if got, want := c.Area(), math.Pi*9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+	if !c.Contains(Pt(5, 5)) || !c.Contains(Pt(8, 5)) {
+		t.Error("Contains failed for interior/boundary")
+	}
+	if c.Contains(Pt(8.01, 5)) {
+		t.Error("Contains accepted exterior point")
+	}
+	if got := c.Bounds(); got != R(2, 2, 8, 8) {
+		t.Errorf("Bounds = %v", got)
+	}
+}
+
+func TestCircleIntersectsRect(t *testing.T) {
+	c := Circle{C: Pt(0, 0), R: 5}
+	tests := []struct {
+		r    Rect
+		want bool
+	}{
+		{R(-1, -1, 1, 1), true},     // circle covers rect
+		{R(-10, -10, 10, 10), true}, // rect covers circle
+		{R(4, 4, 6, 6), false},      // corner distance sqrt(32) > 5
+		{R(3, 0, 10, 1), true},      // side overlap
+		{R(6, 6, 8, 8), false},      // disjoint
+		{R(5, -1, 9, 1), true},      // touching
+	}
+	for _, tt := range tests {
+		if got := c.IntersectsRect(tt.r); got != tt.want {
+			t.Errorf("IntersectsRect(%v) = %v, want %v", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestIntersectRectAreaExactCases(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Circle
+		r    Rect
+		want float64
+	}{
+		{"disjoint", Circle{Pt(0, 0), 1}, R(5, 5, 6, 6), 0},
+		{"circle inside rect", Circle{Pt(5, 5), 1}, R(0, 0, 10, 10), math.Pi},
+		{"rect inside circle", Circle{Pt(0, 0), 10}, R(-1, -1, 1, 1), 4},
+		{"half plane", Circle{Pt(0, 0), 2}, R(0, -10, 10, 10), 2 * math.Pi},
+		{"quarter", Circle{Pt(0, 0), 2}, R(0, 0, 10, 10), math.Pi},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.c.IntersectRectArea(tt.r)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("area = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// monteCarloIntersectArea estimates area(c ∩ r) by sampling.
+func monteCarloIntersectArea(c Circle, r Rect, n int, rng *rand.Rand) float64 {
+	box := c.Bounds().Intersect(r)
+	if box.Empty() {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		p := Pt(box.Min.X+rng.Float64()*box.Width(), box.Min.Y+rng.Float64()*box.Height())
+		if c.Contains(p) && r.ContainsClosed(p) {
+			hits++
+		}
+	}
+	return box.Area() * float64(hits) / float64(n)
+}
+
+func TestIntersectRectAreaAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 60; i++ {
+		c := Circle{C: Pt(rng.Float64()*20-10, rng.Float64()*20-10), R: rng.Float64()*8 + 0.5}
+		r := R(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*20-10)
+		if r.Empty() {
+			continue
+		}
+		exact := c.IntersectRectArea(r)
+		approx := monteCarloIntersectArea(c, r, 60_000, rng)
+		tol := 0.03*math.Max(exact, approx) + 0.05
+		if math.Abs(exact-approx) > tol {
+			t.Errorf("iter %d: exact %v vs monte carlo %v (c=%+v r=%v)", i, exact, approx, c, r)
+		}
+	}
+}
+
+func TestIntersectPolyAreaTriangle(t *testing.T) {
+	// Circle centered at origin with r=1; triangle far away has zero overlap.
+	c := Circle{C: Pt(0, 0), R: 1}
+	far := Polygon{{10, 10}, {12, 10}, {10, 12}}
+	if got := c.IntersectPolyArea(far); got > 1e-9 {
+		t.Errorf("far triangle overlap = %v", got)
+	}
+	// Triangle containing the whole circle.
+	big := Polygon{{-10, -10}, {10, -10}, {0, 15}}
+	if got := c.IntersectPolyArea(big); math.Abs(got-math.Pi) > 1e-6 {
+		t.Errorf("containing triangle overlap = %v, want pi", got)
+	}
+}
+
+func TestIntersectPolyAreaOrientationInvariant(t *testing.T) {
+	c := Circle{C: Pt(2, 2), R: 3}
+	ccw := Polygon{{0, 0}, {5, 0}, {5, 5}, {0, 5}}
+	cw := Polygon{{0, 0}, {0, 5}, {5, 5}, {5, 0}}
+	a1 := c.IntersectPolyArea(ccw)
+	a2 := c.IntersectPolyArea(cw)
+	if math.Abs(a1-a2) > 1e-9 {
+		t.Errorf("orientation changed area: %v vs %v", a1, a2)
+	}
+}
+
+func TestIntersectPolyAreaConcave(t *testing.T) {
+	// L-shape with the circle sitting in the notch: the signed-edge
+	// algorithm must handle concave simple polygons.
+	l := Polygon{{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10}}
+	c := Circle{C: Pt(7, 7), R: 1}
+	if got := c.IntersectPolyArea(l); got > 1e-9 {
+		t.Errorf("circle in notch overlap = %v, want 0", got)
+	}
+	c2 := Circle{C: Pt(2, 2), R: 1}
+	if got := c2.IntersectPolyArea(l); math.Abs(got-math.Pi) > 1e-6 {
+		t.Errorf("interior circle overlap = %v, want pi", got)
+	}
+}
+
+func TestIntersectAreaMonotoneInRadius(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	prev := 0.0
+	for rad := 0.5; rad < 20; rad += 0.5 {
+		c := Circle{C: Pt(3, 4), R: rad}
+		a := c.IntersectRectArea(r)
+		if a+1e-9 < prev {
+			t.Fatalf("area decreased with radius: r=%v a=%v prev=%v", rad, a, prev)
+		}
+		prev = a
+	}
+	// Eventually the whole rect is covered.
+	if math.Abs(prev-100) > 1e-6 {
+		t.Errorf("large-radius area = %v, want 100", prev)
+	}
+}
+
+func TestZeroRadiusCircle(t *testing.T) {
+	c := Circle{C: Pt(5, 5), R: 0}
+	if got := c.IntersectPolyArea(R(0, 0, 10, 10).Poly()); got != 0 {
+		t.Errorf("zero radius overlap = %v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of the given points in counter-
+// clockwise order (Andrew's monotone chain). Collinear boundary points are
+// dropped. The service uses it to turn arbitrary client-supplied corner
+// sets into the convex query areas the exact overlap arithmetic supports.
+func ConvexHull(points []Point) Polygon {
+	if len(points) < 3 {
+		out := make(Polygon, len(points))
+		copy(out, points)
+		return out
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		out := make(Polygon, len(ps))
+		copy(out, ps)
+		return out
+	}
+
+	cross := func(o, a, b Point) float64 { return a.Sub(o).Cross(b.Sub(o)) }
+	var lower, upper []Point
+	for _, p := range ps {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(ps) - 1; i >= 0; i-- {
+		p := ps[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return Polygon(hull)
+}
+
+// IsConvex reports whether the polygon is convex (in either orientation).
+// Degenerate polygons with fewer than 3 vertices are not convex.
+func (pg Polygon) IsConvex() bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	sign := 0.0
+	for i := 0; i < n; i++ {
+		a, b, c := pg[i], pg[(i+1)%n], pg[(i+2)%n]
+		cr := b.Sub(a).Cross(c.Sub(b))
+		if math.Abs(cr) < 1e-12 {
+			continue // collinear run
+		}
+		if sign == 0 {
+			sign = cr
+		} else if (cr > 0) != (sign > 0) {
+			return false
+		}
+	}
+	return sign != 0
+}

@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, 5}, {2, 7}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull = %v", hull)
+	}
+	if math.Abs(hull.Area()-100) > 1e-9 {
+		t.Errorf("hull area = %v", hull.Area())
+	}
+	if hull.SignedArea() <= 0 {
+		t.Error("hull not counter-clockwise")
+	}
+	if !hull.IsConvex() {
+		t.Error("hull not convex")
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Point{{0, 0}, {5, 0}, {10, 0}, {10, 10}, {0, 10}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Errorf("collinear point kept: %v", hull)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("nil hull = %v", got)
+	}
+	if got := ConvexHull([]Point{{1, 1}}); len(got) != 1 {
+		t.Errorf("single-point hull = %v", got)
+	}
+	// All points identical.
+	if got := ConvexHull([]Point{{1, 1}, {1, 1}, {1, 1}}); len(got) != 1 {
+		t.Errorf("identical-point hull = %v", got)
+	}
+}
+
+func TestConvexHullProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			t.Fatalf("trial %d: degenerate hull from %d points", trial, n)
+		}
+		if !hull.IsConvex() {
+			t.Fatalf("trial %d: hull not convex: %v", trial, hull)
+		}
+		if hull.SignedArea() <= 0 {
+			t.Fatalf("trial %d: hull not ccw", trial)
+		}
+		// Every input point lies inside or on the hull.
+		for _, p := range pts {
+			if !hull.Contains(p) {
+				t.Fatalf("trial %d: point %v outside hull", trial, p)
+			}
+		}
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	tests := []struct {
+		name string
+		pg   Polygon
+		want bool
+	}{
+		{"square", Polygon{{0, 0}, {1, 0}, {1, 1}, {0, 1}}, true},
+		{"square cw", Polygon{{0, 0}, {0, 1}, {1, 1}, {1, 0}}, true},
+		{"triangle", Polygon{{0, 0}, {4, 0}, {0, 3}}, true},
+		{"L-shape", Polygon{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}}, false},
+		{"degenerate", Polygon{{0, 0}, {1, 1}}, false},
+		{"with collinear edge", Polygon{{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pg.IsConvex(); got != tt.want {
+				t.Errorf("IsConvex = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestConvexHullIdempotentProperty(t *testing.T) {
+	f := func(seeds []int16) bool {
+		if len(seeds) < 6 {
+			return true
+		}
+		pts := make([]Point, 0, len(seeds)/2)
+		for i := 0; i+1 < len(seeds); i += 2 {
+			pts = append(pts, Pt(float64(seeds[i]%100), float64(seeds[i+1]%100)))
+		}
+		h1 := ConvexHull(pts)
+		h2 := ConvexHull(h1)
+		return math.Abs(h1.Area()-h2.Area()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

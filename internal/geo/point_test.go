@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(3, 4), Pt(1, -2)
+	if got := p.Add(q); got != Pt(4, 2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -6-4 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 1), Pt(1, 1), 0},
+		{"axis aligned", Pt(0, 0), Pt(3, 0), 3},
+		{"pythagoras", Pt(0, 0), Pt(3, 4), 5},
+		{"negative", Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); math.Abs(got-tt.want*tt.want) > 1e-9 {
+				t.Errorf("Dist2 = %v, want %v", got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := Projection{Origin: LatLon{Lat: 48.7758, Lon: 9.1829}} // Stuttgart
+	tests := []LatLon{
+		{48.7758, 9.1829},
+		{48.78, 9.19},
+		{48.70, 9.10},
+		{48.90, 9.30},
+	}
+	for _, ll := range tests {
+		p := pr.Project(ll)
+		back := pr.Unproject(p)
+		if math.Abs(back.Lat-ll.Lat) > 1e-9 || math.Abs(back.Lon-ll.Lon) > 1e-9 {
+			t.Errorf("round trip %v -> %v -> %v", ll, p, back)
+		}
+	}
+}
+
+func TestProjectionScale(t *testing.T) {
+	// One degree of latitude is ~111 km everywhere.
+	pr := Projection{Origin: LatLon{Lat: 48, Lon: 9}}
+	p := pr.Project(LatLon{Lat: 49, Lon: 9})
+	if p.Y < 110_000 || p.Y > 112_500 {
+		t.Errorf("1 degree latitude projected to %.0f m, want ~111 km", p.Y)
+	}
+	if math.Abs(p.X) > 1e-6 {
+		t.Errorf("longitude displacement = %v, want 0", p.X)
+	}
+	// One degree of longitude at 48N is ~74.6 km.
+	q := pr.Project(LatLon{Lat: 48, Lon: 10})
+	if q.X < 73_000 || q.X > 76_000 {
+		t.Errorf("1 degree longitude projected to %.0f m, want ~74.6 km", q.X)
+	}
+}

@@ -1,0 +1,255 @@
+// Package hierarchy constructs location-server trees: it partitions a root
+// service area into a regular grid per level (the paper's prototype divides
+// a square area into quarters), produces the configuration records of every
+// server, and deploys the resulting tree onto a transport network.
+//
+// Server ids are path labels: the root is "r", its children "r.0", "r.1",
+// …, grandchildren "r.0.0" and so on, which keeps parent/child relations
+// readable in logs and tests.
+package hierarchy
+
+import (
+	"fmt"
+	"strconv"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+	"locsvc/internal/server"
+	"locsvc/internal/store"
+	"locsvc/internal/transport"
+)
+
+// Level describes the fan-out of one hierarchy level as a rows × cols grid
+// split of each service area on the level above.
+type Level struct {
+	Rows int
+	Cols int
+}
+
+// Fanout returns the number of children each server on this level's parent
+// gets.
+func (l Level) Fanout() int { return l.Rows * l.Cols }
+
+// Spec describes a hierarchy: the root service area and the grid split
+// applied at every level. An empty Levels slice yields a single-server
+// deployment (root == leaf).
+type Spec struct {
+	RootArea geo.Rect
+	Levels   []Level
+	// RootPartitions > 1 replaces the single root server with that many
+	// partition servers sharing the root service area; visitor records
+	// are partitioned by object-id hash across them (Section 4's
+	// HLR-style partitioning for the root level). Zero or one keeps a
+	// single root.
+	RootPartitions int
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.RootArea.Empty() {
+		return fmt.Errorf("hierarchy: empty root area")
+	}
+	for i, l := range s.Levels {
+		if l.Rows <= 0 || l.Cols <= 0 {
+			return fmt.Errorf("hierarchy: level %d has grid %dx%d", i, l.Rows, l.Cols)
+		}
+	}
+	if s.RootPartitions < 0 {
+		return fmt.Errorf("hierarchy: negative root partitions")
+	}
+	if s.RootPartitions > 1 && len(s.Levels) == 0 {
+		return fmt.Errorf("hierarchy: root partitioning needs at least one level of children")
+	}
+	return nil
+}
+
+// NumServers returns the total number of servers the spec produces.
+func (s Spec) NumServers() int {
+	total, levelCount := 1, 1
+	if s.RootPartitions > 1 {
+		total = s.RootPartitions
+	}
+	for _, l := range s.Levels {
+		levelCount *= l.Fanout()
+		total += levelCount
+	}
+	return total
+}
+
+// Build produces the configuration records for every server in the tree,
+// parents before children.
+func Build(spec Spec) ([]store.ConfigRecord, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var out []store.ConfigRecord
+	build("r", "", spec.RootArea, spec.Levels, &out)
+	if spec.RootPartitions > 1 {
+		out = partitionRoot(out, spec.RootPartitions)
+	}
+	// Validate every record: children must tile their parent.
+	for _, c := range out {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("hierarchy: built invalid config: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// partitionRoot replaces the root record with n identical partition servers
+// ("r#0" … "r#n-1") and points the root's children at the whole group.
+func partitionRoot(configs []store.ConfigRecord, n int) []store.ConfigRecord {
+	root := configs[0]
+	group := make([]string, n)
+	for i := range group {
+		group[i] = fmt.Sprintf("r#%d", i)
+	}
+	out := make([]store.ConfigRecord, 0, len(configs)+n-1)
+	for i := 0; i < n; i++ {
+		part := root
+		part.ID = group[i]
+		out = append(out, part)
+	}
+	for _, cfg := range configs[1:] {
+		if cfg.Parent == root.ID {
+			cfg.Parent = group[0]
+			cfg.ParentGroup = group
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// build appends the record for one server and recurses into its children.
+func build(id, parent string, area geo.Rect, levels []Level, out *[]store.ConfigRecord) {
+	rec := store.ConfigRecord{
+		ID:     id,
+		SA:     core.AreaFromRect(area),
+		Parent: parent,
+	}
+	if len(levels) > 0 {
+		cells := area.SplitGrid(levels[0].Rows, levels[0].Cols)
+		rec.Children = make([]store.ChildRecord, len(cells))
+		for i, cell := range cells {
+			childID := id + "." + strconv.Itoa(i)
+			rec.Children[i] = store.ChildRecord{ID: childID, SA: core.AreaFromRect(cell)}
+		}
+	}
+	*out = append(*out, rec)
+	if len(levels) > 0 {
+		cells := area.SplitGrid(levels[0].Rows, levels[0].Cols)
+		for i, cell := range cells {
+			build(id+"."+strconv.Itoa(i), id, cell, levels[1:], out)
+		}
+	}
+}
+
+// Deployment is a running location-server tree on one network.
+type Deployment struct {
+	Spec    Spec
+	Configs []store.ConfigRecord
+	Servers map[msg.NodeID]*server.Server
+
+	leaves []store.ConfigRecord
+}
+
+// Deploy builds the tree for spec and starts one Server per config on the
+// network. opts apply to every server; per-server WALs are not supported
+// here (use server.New directly for recovery scenarios).
+func Deploy(network transport.Network, spec Spec, opts server.Options) (*Deployment, error) {
+	configs, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	rootArea := core.AreaFromRect(spec.RootArea)
+	d := &Deployment{
+		Spec:    spec,
+		Configs: configs,
+		Servers: make(map[msg.NodeID]*server.Server, len(configs)),
+	}
+	for _, cfg := range configs {
+		srv, err := server.New(cfg, rootArea, network, opts)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("hierarchy: deploying %s: %w", cfg.ID, err)
+		}
+		d.Servers[srv.ID()] = srv
+		if cfg.IsLeaf() {
+			d.leaves = append(d.leaves, cfg)
+		}
+	}
+	return d, nil
+}
+
+// Root returns the first root server's id ("r", or "r#0" when the root is
+// partitioned).
+func (d *Deployment) Root() msg.NodeID { return d.Roots()[0] }
+
+// Roots returns all root server ids: a single entry unless the root level
+// is partitioned by object id.
+func (d *Deployment) Roots() []msg.NodeID {
+	var out []msg.NodeID
+	for _, cfg := range d.Configs {
+		if cfg.IsRoot() {
+			out = append(out, msg.NodeID(cfg.ID))
+		}
+	}
+	return out
+}
+
+// RootVisitorCount sums the visitor records across all root partitions —
+// the number of objects with complete forwarding paths.
+func (d *Deployment) RootVisitorCount() int {
+	total := 0
+	for _, r := range d.Roots() {
+		if srv, ok := d.Servers[r]; ok {
+			total += srv.VisitorCount()
+		}
+	}
+	return total
+}
+
+// Leaves returns the ids of all leaf servers in build order.
+func (d *Deployment) Leaves() []msg.NodeID {
+	out := make([]msg.NodeID, len(d.leaves))
+	for i, cfg := range d.leaves {
+		out[i] = msg.NodeID(cfg.ID)
+	}
+	return out
+}
+
+// LeafFor returns the leaf server responsible for position p — the entry
+// server a client at p would use (the paper assumes a lookup service such
+// as Jini provides this mapping; the deployment directory plays that role).
+func (d *Deployment) LeafFor(p geo.Point) (msg.NodeID, bool) {
+	for _, cfg := range d.leaves {
+		if cfg.SA.Bounds().Contains(p) && cfg.SA.Contains(p) {
+			return msg.NodeID(cfg.ID), true
+		}
+	}
+	// Fall back to closed containment for boundary points.
+	for _, cfg := range d.leaves {
+		if cfg.SA.Contains(p) {
+			return msg.NodeID(cfg.ID), true
+		}
+	}
+	return "", false
+}
+
+// Server returns the server instance with the given id.
+func (d *Deployment) Server(id msg.NodeID) (*server.Server, bool) {
+	s, ok := d.Servers[id]
+	return s, ok
+}
+
+// Close shuts every server down.
+func (d *Deployment) Close() error {
+	var first error
+	for _, srv := range d.Servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

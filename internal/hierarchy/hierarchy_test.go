@@ -1,0 +1,190 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"locsvc/internal/geo"
+	"locsvc/internal/server"
+	"locsvc/internal/transport"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{RootArea: geo.R(0, 0, 100, 100), Levels: []Level{{2, 2}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{}).Validate(); err == nil {
+		t.Error("empty root area accepted")
+	}
+	bad := Spec{RootArea: geo.R(0, 0, 1, 1), Levels: []Level{{0, 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-row level accepted")
+	}
+}
+
+func TestNumServers(t *testing.T) {
+	tests := []struct {
+		levels []Level
+		want   int
+	}{
+		{nil, 1},
+		{[]Level{{2, 2}}, 5},          // the paper's testbed: root + 4
+		{[]Level{{2, 2}, {2, 2}}, 21}, // + 16 leaves
+		{[]Level{{1, 3}}, 4},
+		{[]Level{{3, 3}, {2, 1}}, 1 + 9 + 18},
+	}
+	for _, tt := range tests {
+		spec := Spec{RootArea: geo.R(0, 0, 100, 100), Levels: tt.levels}
+		if got := spec.NumServers(); got != tt.want {
+			t.Errorf("NumServers(%v) = %d, want %d", tt.levels, got, tt.want)
+		}
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	spec := Spec{RootArea: geo.R(0, 0, 1500, 1500), Levels: []Level{{2, 2}}}
+	configs, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 5 {
+		t.Fatalf("built %d configs", len(configs))
+	}
+	root := configs[0]
+	if root.ID != "r" || !root.IsRoot() || root.IsLeaf() {
+		t.Errorf("root = %+v", root)
+	}
+	if len(root.Children) != 4 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	for _, cfg := range configs[1:] {
+		if cfg.Parent != "r" || !cfg.IsLeaf() {
+			t.Errorf("leaf %+v", cfg)
+		}
+		if !strings.HasPrefix(cfg.ID, "r.") {
+			t.Errorf("leaf id %q", cfg.ID)
+		}
+		if cfg.SA.Size() != 1500*1500/4 {
+			t.Errorf("leaf %s area %v", cfg.ID, cfg.SA.Size())
+		}
+	}
+}
+
+func TestBuildDeepIDs(t *testing.T) {
+	spec := Spec{RootArea: geo.R(0, 0, 800, 800), Levels: []Level{{2, 2}, {2, 2}}}
+	configs, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]bool{}
+	for _, c := range configs {
+		byID[c.ID] = true
+	}
+	for _, want := range []string{"r", "r.0", "r.3", "r.0.0", "r.3.3", "r.2.1"} {
+		if !byID[want] {
+			t.Errorf("missing server %s", want)
+		}
+	}
+	// Every leaf's parent must exist and list it as a child.
+	parents := map[string]map[string]bool{}
+	for _, c := range configs {
+		kids := map[string]bool{}
+		for _, ch := range c.Children {
+			kids[ch.ID] = true
+		}
+		parents[c.ID] = kids
+	}
+	for _, c := range configs[1:] {
+		if !parents[c.Parent][c.ID] {
+			t.Errorf("%s not listed as child of %s", c.ID, c.Parent)
+		}
+	}
+}
+
+func TestDeployAndLeafFor(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	spec := Spec{RootArea: geo.R(0, 0, 1000, 1000), Levels: []Level{{2, 2}}}
+	dep, err := Deploy(net, spec, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if got := len(dep.Servers); got != 5 {
+		t.Fatalf("deployed %d servers", got)
+	}
+	if got := dep.Leaves(); len(got) != 4 {
+		t.Fatalf("leaves = %v", got)
+	}
+	if dep.Root() != "r" {
+		t.Errorf("root = %s", dep.Root())
+	}
+
+	tests := []struct {
+		p    geo.Point
+		want string
+	}{
+		{geo.Pt(100, 100), "r.0"},
+		{geo.Pt(900, 100), "r.1"},
+		{geo.Pt(100, 900), "r.2"},
+		{geo.Pt(900, 900), "r.3"},
+		{geo.Pt(1000, 1000), "r.3"}, // outer corner
+	}
+	for _, tt := range tests {
+		got, ok := dep.LeafFor(tt.p)
+		if !ok || string(got) != tt.want {
+			t.Errorf("LeafFor(%v) = %v/%v, want %v", tt.p, got, ok, tt.want)
+		}
+	}
+	if _, ok := dep.LeafFor(geo.Pt(-5, 0)); ok {
+		t.Error("LeafFor outside root area succeeded")
+	}
+
+	// Every interior point maps to exactly one leaf.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		if _, ok := dep.LeafFor(p); !ok {
+			t.Fatalf("no leaf for %v", p)
+		}
+	}
+
+	srv, ok := dep.Server("r.2")
+	if !ok || !srv.IsLeaf() {
+		t.Errorf("Server(r.2) = %v, %v", srv, ok)
+	}
+}
+
+func TestDeploySingleServer(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	dep, err := Deploy(net, Spec{RootArea: geo.R(0, 0, 100, 100)}, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if len(dep.Servers) != 1 {
+		t.Fatalf("servers = %d", len(dep.Servers))
+	}
+	leaf, ok := dep.LeafFor(geo.Pt(50, 50))
+	if !ok || leaf != "r" {
+		t.Errorf("LeafFor = %v (root must be its own leaf)", leaf)
+	}
+}
+
+func TestDeployInvalidSpec(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	if _, err := Deploy(net, Spec{}, server.Options{}); err == nil {
+		t.Error("invalid spec deployed")
+	}
+}
+
+func TestLevelFanout(t *testing.T) {
+	if got := (Level{Rows: 3, Cols: 2}).Fanout(); got != 6 {
+		t.Errorf("Fanout = %d", got)
+	}
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16_000 {
+		t.Errorf("Value = %d, want 16000", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := h.Percentile(0.5); math.Abs(got-50.5) > 1 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Percentile(1); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := h.Percentile(0.99); got < 95 || got > 100 {
+		t.Errorf("p99 = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Error("empty histogram returned nonzero stats")
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100_000; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	if got := h.Count(); got != 100_000 {
+		t.Errorf("Count = %d", got)
+	}
+	if len(h.samples) > reservoirSize {
+		t.Errorf("reservoir grew to %d", len(h.samples))
+	}
+	// p50 of a uniform 0..999 stream should be near 500.
+	if got := h.Percentile(0.5); got < 400 || got > 600 {
+		t.Errorf("p50 = %v, want ~500", got)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Mean(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("updates").Add(3)
+	if got := r.Counter("updates").Value(); got != 3 {
+		t.Errorf("counter reuse broken: %d", got)
+	}
+	r.Histogram("latency").Observe(0.001)
+	snap := r.Snapshot()
+	if !strings.Contains(snap, "updates = 3") {
+		t.Errorf("snapshot missing counter: %q", snap)
+	}
+	if !strings.Contains(snap, "latency: n=1") {
+		t.Errorf("snapshot missing histogram: %q", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 1600 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := r.Histogram("h").Count(); got != 1600 {
+		t.Errorf("histogram count = %d", got)
+	}
+}

@@ -1,0 +1,283 @@
+// Package mobility provides the synthetic movement models that drive
+// tracked objects in simulations and benchmarks. The paper's evaluation
+// registers objects at random positions and its future-work section names
+// density, moving patterns and locality as the parameters of interest;
+// these models cover that space:
+//
+//   - RandomWaypoint — the classic mobility benchmark: pick a destination
+//     uniformly in the area, travel at a sampled speed, pause, repeat.
+//   - ManhattanGrid — movement constrained to a street grid, producing the
+//     boundary-crossing patterns of vehicles in a city.
+//   - Hotspot — objects orbit attraction points (Gaussian excursions) and
+//     occasionally migrate between them, producing skewed densities.
+//   - Stationary — objects that never move (reference points, beacons).
+//
+// Models are deterministic given their seed and are not safe for concurrent
+// use; each simulated object owns one model instance.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"locsvc/internal/geo"
+)
+
+// Model advances one object's position over simulated time.
+type Model interface {
+	// Pos returns the current position.
+	Pos() geo.Point
+	// Step advances the object by dt seconds and returns the new
+	// position, which always stays within the model's area.
+	Step(dt float64) geo.Point
+}
+
+// clampToRect keeps positions inside the movement area.
+func clampToRect(p geo.Point, r geo.Rect) geo.Point {
+	return r.ClampPoint(p)
+}
+
+// ---------------------------------------------------------------------------
+
+// RandomWaypoint implements the random-waypoint model.
+type RandomWaypoint struct {
+	area     geo.Rect
+	minSpeed float64
+	maxSpeed float64
+	pause    float64
+
+	rng      *rand.Rand
+	pos      geo.Point
+	dest     geo.Point
+	speed    float64
+	pauseRem float64
+}
+
+var _ Model = (*RandomWaypoint)(nil)
+
+// NewRandomWaypoint creates a random-waypoint walker starting at a random
+// position in area. Speeds are in m/s; pause is the dwell time at each
+// waypoint in seconds.
+func NewRandomWaypoint(area geo.Rect, minSpeed, maxSpeed, pause float64, seed int64) *RandomWaypoint {
+	rng := rand.New(rand.NewSource(seed))
+	m := &RandomWaypoint{
+		area:     area,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    pause,
+		rng:      rng,
+		pos:      randPoint(area, rng),
+	}
+	m.pickDest()
+	return m
+}
+
+func randPoint(r geo.Rect, rng *rand.Rand) geo.Point {
+	return geo.Pt(r.Min.X+rng.Float64()*r.Width(), r.Min.Y+rng.Float64()*r.Height())
+}
+
+func (m *RandomWaypoint) pickDest() {
+	m.dest = randPoint(m.area, m.rng)
+	m.speed = m.minSpeed + m.rng.Float64()*(m.maxSpeed-m.minSpeed)
+}
+
+// Pos implements Model.
+func (m *RandomWaypoint) Pos() geo.Point { return m.pos }
+
+// Step implements Model.
+func (m *RandomWaypoint) Step(dt float64) geo.Point {
+	for dt > 0 {
+		if m.pauseRem > 0 {
+			wait := math.Min(m.pauseRem, dt)
+			m.pauseRem -= wait
+			dt -= wait
+			continue
+		}
+		dist := m.pos.Dist(m.dest)
+		travel := m.speed * dt
+		if travel < dist {
+			m.pos = m.pos.Lerp(m.dest, travel/dist)
+			break
+		}
+		// Arrive, pause, pick a new destination.
+		if m.speed > 0 {
+			dt -= dist / m.speed
+		} else {
+			dt = 0
+		}
+		m.pos = m.dest
+		m.pauseRem = m.pause
+		m.pickDest()
+	}
+	return m.pos
+}
+
+// ---------------------------------------------------------------------------
+
+// ManhattanGrid moves an object along the lines of a street grid with the
+// given block size, turning at intersections with fixed probabilities.
+type ManhattanGrid struct {
+	area  geo.Rect
+	block float64
+	speed float64
+
+	rng *rand.Rand
+	pos geo.Point
+	dir geo.Point // unit vector along one axis
+}
+
+var _ Model = (*ManhattanGrid)(nil)
+
+// NewManhattanGrid creates a grid walker. The starting position snaps to
+// the nearest street line.
+func NewManhattanGrid(area geo.Rect, block, speed float64, seed int64) *ManhattanGrid {
+	rng := rand.New(rand.NewSource(seed))
+	p := randPoint(area, rng)
+	m := &ManhattanGrid{area: area, block: block, speed: speed, rng: rng}
+	// Snap to a street and move along it: a horizontal street (snapped
+	// Y) means east/west movement, a vertical one north/south.
+	if rng.Intn(2) == 0 {
+		p.Y = snap(p.Y, block)
+		m.dir = geo.Pt(float64(1-2*rng.Intn(2)), 0)
+	} else {
+		p.X = snap(p.X, block)
+		m.dir = geo.Pt(0, float64(1-2*rng.Intn(2)))
+	}
+	m.pos = clampToRect(p, area)
+	return m
+}
+
+func snap(v, block float64) float64 { return math.Round(v/block) * block }
+
+// Pos implements Model.
+func (m *ManhattanGrid) Pos() geo.Point { return m.pos }
+
+// Step implements Model.
+func (m *ManhattanGrid) Step(dt float64) geo.Point {
+	remaining := m.speed * dt
+	for remaining > 0 {
+		// Distance to the next intersection along the current axis.
+		var toNext float64
+		if m.dir.X != 0 {
+			next := snap(m.pos.X+m.dir.X*m.block/2, m.block)
+			toNext = math.Abs(next - m.pos.X)
+		} else {
+			next := snap(m.pos.Y+m.dir.Y*m.block/2, m.block)
+			toNext = math.Abs(next - m.pos.Y)
+		}
+		if toNext <= 0 {
+			toNext = m.block
+		}
+		step := math.Min(toNext, remaining)
+		m.pos = m.pos.Add(m.dir.Scale(step))
+		remaining -= step
+
+		// Bounce off the area border.
+		if !m.area.ContainsClosed(m.pos) {
+			m.pos = clampToRect(m.pos, m.area)
+			m.dir = m.dir.Scale(-1)
+			continue
+		}
+		if step == toNext {
+			// At an intersection: 50% straight, 25% each turn.
+			switch m.rng.Intn(4) {
+			case 0:
+				m.dir = m.turn(true)
+			case 1:
+				m.dir = m.turn(false)
+			}
+		}
+	}
+	return m.pos
+}
+
+func (m *ManhattanGrid) turn(left bool) geo.Point {
+	if left {
+		return geo.Pt(-m.dir.Y, m.dir.X)
+	}
+	return geo.Pt(m.dir.Y, -m.dir.X)
+}
+
+// ---------------------------------------------------------------------------
+
+// Hotspot keeps an object near one of several attraction points with
+// Gaussian excursions, migrating to another hotspot with a small
+// probability per step. It produces the skewed object densities ("where hot
+// spots are located", Section 4) used in the density experiments.
+type Hotspot struct {
+	area    geo.Rect
+	centers []geo.Point
+	sigma   float64
+	speed   float64
+	migrate float64
+
+	rng     *rand.Rand
+	current int
+	pos     geo.Point
+	target  geo.Point
+}
+
+var _ Model = (*Hotspot)(nil)
+
+// NewHotspot creates a hotspot walker over the given attraction centers.
+// sigma is the excursion spread in meters; migrate is the per-target
+// probability of switching hotspots.
+func NewHotspot(area geo.Rect, centers []geo.Point, sigma, speed, migrate float64, seed int64) *Hotspot {
+	if len(centers) == 0 {
+		centers = []geo.Point{area.Center()}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Hotspot{
+		area: area, centers: centers, sigma: sigma, speed: speed,
+		migrate: migrate, rng: rng, current: rng.Intn(len(centers)),
+	}
+	m.pos = m.sample()
+	m.target = m.sample()
+	return m
+}
+
+func (m *Hotspot) sample() geo.Point {
+	c := m.centers[m.current]
+	p := geo.Pt(c.X+m.rng.NormFloat64()*m.sigma, c.Y+m.rng.NormFloat64()*m.sigma)
+	return clampToRect(p, m.area)
+}
+
+// Pos implements Model.
+func (m *Hotspot) Pos() geo.Point { return m.pos }
+
+// Step implements Model.
+func (m *Hotspot) Step(dt float64) geo.Point {
+	remaining := m.speed * dt
+	for remaining > 0 {
+		dist := m.pos.Dist(m.target)
+		if dist > remaining {
+			m.pos = m.pos.Lerp(m.target, remaining/dist)
+			break
+		}
+		m.pos = m.target
+		remaining -= dist
+		if m.rng.Float64() < m.migrate {
+			m.current = m.rng.Intn(len(m.centers))
+		}
+		m.target = m.sample()
+	}
+	return m.pos
+}
+
+// ---------------------------------------------------------------------------
+
+// Stationary never moves.
+type Stationary struct {
+	pos geo.Point
+}
+
+var _ Model = (*Stationary)(nil)
+
+// NewStationary returns a fixed-position model.
+func NewStationary(p geo.Point) *Stationary { return &Stationary{pos: p} }
+
+// Pos implements Model.
+func (m *Stationary) Pos() geo.Point { return m.pos }
+
+// Step implements Model.
+func (m *Stationary) Step(float64) geo.Point { return m.pos }

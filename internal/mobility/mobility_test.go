@@ -1,0 +1,169 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"locsvc/internal/geo"
+)
+
+var testArea = geo.R(0, 0, 1000, 1000)
+
+func TestModelsStayInArea(t *testing.T) {
+	models := map[string]Model{
+		"random waypoint": NewRandomWaypoint(testArea, 1, 10, 0, 1),
+		"manhattan":       NewManhattanGrid(testArea, 100, 10, 2),
+		"hotspot": NewHotspot(testArea, []geo.Point{{X: 200, Y: 200}, {X: 800, Y: 800}},
+			50, 10, 0.1, 3),
+		"stationary": NewStationary(geo.Pt(500, 500)),
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 2000; i++ {
+				p := m.Step(1)
+				if !testArea.ContainsClosed(p) {
+					t.Fatalf("step %d escaped area: %v", i, p)
+				}
+				if p != m.Pos() {
+					t.Fatalf("Step and Pos disagree: %v vs %v", p, m.Pos())
+				}
+			}
+		})
+	}
+}
+
+func TestSpeedBound(t *testing.T) {
+	// No model may move faster than its configured speed.
+	models := map[string]struct {
+		m        Model
+		maxSpeed float64
+	}{
+		"random waypoint": {NewRandomWaypoint(testArea, 1, 10, 0, 4), 10},
+		"manhattan":       {NewManhattanGrid(testArea, 100, 7, 5), 7},
+	}
+	for name, tt := range models {
+		t.Run(name, func(t *testing.T) {
+			prev := tt.m.Pos()
+			for i := 0; i < 1000; i++ {
+				p := tt.m.Step(1)
+				// Manhattan distance can exceed Euclid displacement at
+				// turns, so compare against path length bound.
+				if d := p.Dist(prev); d > tt.maxSpeed*1.0001 {
+					t.Fatalf("step %d moved %v m in 1 s (max %v)", i, d, tt.maxSpeed)
+				}
+				prev = p
+			}
+		})
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	a := NewRandomWaypoint(testArea, 1, 10, 1, 42)
+	b := NewRandomWaypoint(testArea, 1, 10, 1, 42)
+	for i := 0; i < 500; i++ {
+		if a.Step(1) != b.Step(1) {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRandomWaypoint(testArea, 1, 10, 1, 43)
+	diverged := false
+	for i := 0; i < 50; i++ {
+		if a.Step(1) != c.Step(1) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical paths")
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	m := NewRandomWaypoint(testArea, 5, 5, 10, 7)
+	moved := 0.0
+	prev := m.Pos()
+	for i := 0; i < 3000; i++ {
+		p := m.Step(1)
+		moved += p.Dist(prev)
+		prev = p
+	}
+	// With 10 s pauses the average speed must be clearly below 5 m/s.
+	avg := moved / 3000
+	if avg >= 5 {
+		t.Errorf("average speed %v with pauses, want < 5", avg)
+	}
+	if avg == 0 {
+		t.Error("object never moved")
+	}
+}
+
+func TestRandomWaypointCoversArea(t *testing.T) {
+	m := NewRandomWaypoint(testArea, 20, 20, 0, 11)
+	quadrants := map[int]bool{}
+	for i := 0; i < 20000; i++ {
+		p := m.Step(1)
+		q := 0
+		if p.X > 500 {
+			q++
+		}
+		if p.Y > 500 {
+			q += 2
+		}
+		quadrants[q] = true
+	}
+	if len(quadrants) != 4 {
+		t.Errorf("visited %d quadrants, want 4", len(quadrants))
+	}
+}
+
+func TestManhattanStaysOnGrid(t *testing.T) {
+	m := NewManhattanGrid(testArea, 100, 10, 6)
+	for i := 0; i < 2000; i++ {
+		p := m.Step(0.5)
+		onX := math.Abs(p.X-snap(p.X, 100)) < 1e-6
+		onY := math.Abs(p.Y-snap(p.Y, 100)) < 1e-6
+		// At the clamped border the walker may sit off-grid briefly;
+		// accept border positions as well.
+		onBorder := p.X == 0 || p.Y == 0 || p.X == 1000 || p.Y == 1000
+		if !onX && !onY && !onBorder {
+			t.Fatalf("step %d left the street grid: %v", i, p)
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	centers := []geo.Point{{X: 250, Y: 250}, {X: 750, Y: 750}}
+	m := NewHotspot(testArea, centers, 50, 20, 0.05, 8)
+	near := 0
+	const steps = 5000
+	for i := 0; i < steps; i++ {
+		p := m.Step(1)
+		for _, c := range centers {
+			if p.Dist(c) < 200 {
+				near++
+				break
+			}
+		}
+	}
+	// The vast majority of samples should be near a hotspot.
+	if frac := float64(near) / steps; frac < 0.8 {
+		t.Errorf("only %.1f%% of samples near hotspots", frac*100)
+	}
+}
+
+func TestHotspotDefaultsToAreaCenter(t *testing.T) {
+	m := NewHotspot(testArea, nil, 10, 5, 0, 9)
+	for i := 0; i < 500; i++ {
+		p := m.Step(1)
+		if p.Dist(testArea.Center()) > 100 {
+			t.Fatalf("no-center hotspot wandered to %v", p)
+		}
+	}
+}
+
+func TestStationary(t *testing.T) {
+	m := NewStationary(geo.Pt(10, 20))
+	if m.Step(100) != geo.Pt(10, 20) || m.Pos() != geo.Pt(10, 20) {
+		t.Error("stationary object moved")
+	}
+}

@@ -1,0 +1,62 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+
+	"locsvc/internal/core"
+)
+
+// Error codes carried in ErrorRes payloads.
+const (
+	CodeNotFound   = "not_found"
+	CodeAccuracy   = "accuracy"
+	CodeOutOfArea  = "out_of_area"
+	CodeBadRequest = "bad_request"
+	CodeInternal   = "internal"
+)
+
+// ErrorResFrom converts an error into a transportable ErrorRes, mapping the
+// core sentinel errors onto stable codes.
+func ErrorResFrom(err error) ErrorRes {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		code = CodeNotFound
+	case errors.Is(err, core.ErrAccuracy):
+		code = CodeAccuracy
+	case errors.Is(err, core.ErrOutOfArea):
+		code = CodeOutOfArea
+	case errors.Is(err, core.ErrBadRequest):
+		code = CodeBadRequest
+	}
+	return ErrorRes{Code: code, Text: err.Error()}
+}
+
+// Err converts a received ErrorRes back into an error, restoring the core
+// sentinels so callers can use errors.Is across the wire.
+func (e ErrorRes) Err() error {
+	var base error
+	switch e.Code {
+	case CodeNotFound:
+		base = core.ErrNotFound
+	case CodeAccuracy:
+		base = core.ErrAccuracy
+	case CodeOutOfArea:
+		base = core.ErrOutOfArea
+	case CodeBadRequest:
+		base = core.ErrBadRequest
+	default:
+		return fmt.Errorf("msg: remote error: %s", e.Text)
+	}
+	return fmt.Errorf("%w (%s)", base, e.Text)
+}
+
+// AsError returns the error carried by m if it is an ErrorRes, nil
+// otherwise. It is the standard post-Call check.
+func AsError(m Message) error {
+	if e, ok := m.(ErrorRes); ok {
+		return e.Err()
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+// Package msg defines the wire protocol of the location service: one typed
+// message per protocol step of the paper's Algorithms 6-1 … 6-5, plus the
+// client-facing request/response pairs of the service interface (Section 3)
+// and the small amount of piggybacked information the leaf caches of
+// Section 6.5 feed on.
+//
+// Messages travel in Envelopes over a transport.Network. Two interaction
+// styles are used, mirroring the paper:
+//
+//   - hop-by-hop calls with replies travelling back along the request path
+//     (updates, handovers, client requests to the entry server), and
+//   - one-way forwards through the hierarchy whose final responses are sent
+//     directly to the originating entry server, matched by OpID (position
+//     and range query forwarding, registration).
+package msg
+
+import (
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// NodeID identifies a node on the network: a location server, a client or
+// a tracked object. Server ids are hierarchical path labels ("r", "r.2",
+// "r.2.0"); client and object ids are free-form.
+type NodeID string
+
+// Envelope wraps a message for transmission.
+type Envelope struct {
+	// From is the sending node.
+	From NodeID
+	// CorrID correlates a hop-by-hop reply with its request; zero for
+	// one-way messages.
+	CorrID uint64
+	// Reply marks the envelope as the reply to the call identified by
+	// CorrID.
+	Reply bool
+	// Msg is the payload.
+	Msg Message
+}
+
+// Message is implemented by every protocol payload.
+type Message interface {
+	isMessage()
+}
+
+// Origin describes where the final response of a tree-routed operation must
+// be delivered: the entry server (or client) and the operation id its
+// waiter is registered under.
+type Origin struct {
+	Node NodeID
+	OpID uint64
+}
+
+// LeafInfo is piggybacked on messages originated by leaf servers so
+// receivers can populate their (leaf server → service area) cache
+// (Section 6.5). A zero LeafInfo carries no information.
+type LeafInfo struct {
+	ID   NodeID
+	Area core.Area
+}
+
+// Valid reports whether the LeafInfo carries a mapping.
+func (li LeafInfo) Valid() bool { return li.ID != "" && !li.Area.Empty() }
+
+// ---------------------------------------------------------------------------
+// Registration (Algorithm 6-1).
+
+// RegisterReq asks the service to start tracking an object. It is sent by
+// the registering instance to its entry server and forwarded through the
+// hierarchy to the leaf responsible for S.Pos.
+type RegisterReq struct {
+	S       core.Sighting
+	RegInfo core.RegInfo
+	// Origin is where RegisterRes/RegisterFailed is sent.
+	Origin Origin
+	// Hops counts forwarding steps for metrics.
+	Hops int
+}
+
+// RegisterRes reports successful registration: the object's agent and the
+// accuracy the agent offers.
+type RegisterRes struct {
+	OpID       uint64
+	Agent      NodeID
+	AgentInfo  LeafInfo
+	OfferedAcc float64
+	Hops       int
+}
+
+// RegisterFailed reports that the leaf cannot provide an accuracy within
+// the requested range; Achievable is the best it could do.
+type RegisterFailed struct {
+	OpID       uint64
+	Server     NodeID
+	Achievable float64
+}
+
+// CreatePath is sent leaf-to-root after a successful registration; each
+// receiving server records a forwarding reference to the child it received
+// the message from (the envelope's From).
+type CreatePath struct {
+	OID  core.OID
+	Leaf LeafInfo
+	// SightingT is the timestamp of the sighting that caused this path
+	// (registration or handover). Servers stamp their records with it
+	// and ignore older path messages, making prune/repair races between
+	// consecutive handovers harmless. Every CreatePath — registration or
+	// post-direct-handover repair — climbs to the root: stopping at the
+	// first existing record (the apparent lowest common ancestor) is
+	// unsound when stale leftovers from reordered messages exist.
+	SightingT time.Time
+}
+
+// RemovePath deletes an object's forwarding references bottom-up; it is the
+// inverse of CreatePath, used by deregistration, soft-state expiry and
+// old-branch pruning after a cache-shortcut direct handover.
+type RemovePath struct {
+	OID core.OID
+	// SightingT is the timestamp of the last sighting the sender holds
+	// for the object; records stamped with a newer sighting time refuse
+	// the removal (a fresher path was installed meanwhile).
+	SightingT time.Time
+	// HasNewPos marks a handover prune: the object still exists and
+	// NewPos is its current position. Servers whose service area
+	// contains NewPos are ancestors of the NEW agent as well — at and
+	// above the lowest common ancestor the old and new forwarding paths
+	// coincide — so they must keep their records; only the stale branch
+	// strictly below the LCA is removed.
+	HasNewPos bool
+	NewPos    geo.Point
+}
+
+// ---------------------------------------------------------------------------
+// Updates and handover (Algorithms 6-2 and 6-3).
+
+// UpdateReq delivers a new sighting from a tracked object to its agent.
+// The reply is UpdateRes — the paper's acknowledged update.
+type UpdateReq struct {
+	S core.Sighting
+}
+
+// UpdateRes acknowledges an update. If the update triggered a handover,
+// Moved is true and NewAgent names the object's new agent server, which the
+// object must contact from now on.
+type UpdateRes struct {
+	Moved      bool
+	NewAgent   NodeID
+	AgentInfo  LeafInfo
+	OfferedAcc float64
+}
+
+// HandoverReq transfers tracking responsibility after an object left its
+// agent's service area. It is a hop-by-hop call: up from the old agent
+// until the sighting is inside the receiver's area, then down to the new
+// leaf; replies travel back along the same path, fixing forwarding
+// references (Algorithm 6-3).
+type HandoverReq struct {
+	S       core.Sighting
+	RegInfo core.RegInfo
+	// OldAgent lets servers on the upward path distinguish the direction
+	// the request came from.
+	OldAgent NodeID
+	// Direct marks a cache-shortcut handover sent leaf-to-leaf without
+	// traversing the hierarchy (Section 6.5). The receiving leaf then
+	// repairs the forwarding path with CreatePath while the old agent
+	// prunes its stale branch with RemovePath.
+	Direct bool
+	Hops   int
+}
+
+// PosQueryDirect is a cache-shortcut position query sent by an entry server
+// straight to an object's cached agent (Section 6.5, (object → agent)
+// cache). The reply is PosQueryRes, or an ErrorRes with CodeNotFound when
+// the cache entry was stale.
+type PosQueryDirect struct {
+	OID core.OID
+}
+
+// HandoverRes carries the new agent back along the handover path.
+type HandoverRes struct {
+	NewAgent   NodeID
+	AgentInfo  LeafInfo
+	OfferedAcc float64
+	Hops       int
+}
+
+// DeregisterReq removes an object from the service (sent to its agent).
+type DeregisterReq struct {
+	OID core.OID
+}
+
+// DeregisterRes acknowledges deregistration.
+type DeregisterRes struct{}
+
+// ChangeAccReq renegotiates the accuracy range for a tracked object
+// (Section 3.1, changeAcc); sent to the object's agent.
+type ChangeAccReq struct {
+	OID    core.OID
+	DesAcc float64
+	MinAcc float64
+}
+
+// ChangeAccRes returns the newly offered accuracy; OK is false if the
+// requested range cannot be met (the old registration stays in force).
+type ChangeAccRes struct {
+	OK         bool
+	OfferedAcc float64
+}
+
+// NotifyAvailAcc informs a registering instance that the accuracy offered
+// for its object changed (Section 3.1, notifyAvailAcc) — typically after a
+// handover to a leaf with different sensor infrastructure.
+type NotifyAvailAcc struct {
+	OID        core.OID
+	OfferedAcc float64
+}
+
+// RequestUpdate asks a tracked object for an immediate position update; a
+// recovering leaf server uses it to restore sightings for visitors found in
+// its persistent visitorDB (Section 5).
+type RequestUpdate struct {
+	OID core.OID
+}
+
+// ---------------------------------------------------------------------------
+// Position query (Algorithm 6-4).
+
+// PosQueryReq is a client's position query, a call to its entry server.
+type PosQueryReq struct {
+	OID core.OID
+	// MaxAge, if positive, allows the entry server to answer from its
+	// position-descriptor cache as long as the aged accuracy stays below
+	// AccBound (Section 6.5, position-descriptor caching).
+	AccBound float64
+}
+
+// PosQueryRes answers a position query.
+type PosQueryRes struct {
+	OpID  uint64
+	Found bool
+	LD    core.LocationDescriptor
+	// Agent names the object's agent so the entry server can fill its
+	// (object → agent) cache.
+	Agent     NodeID
+	AgentInfo LeafInfo
+	// MaxSpeed is the object's declared maximum speed, letting caches
+	// age the descriptor (acc + vmax·Δt, Section 6.5).
+	MaxSpeed float64
+	Hops     int
+}
+
+// PosQueryFwd routes a position query through the hierarchy: up until a
+// forwarding reference is found, then down the forwarding path to the
+// agent, which sends PosQueryRes directly to the entry server.
+type PosQueryFwd struct {
+	OID    core.OID
+	Origin Origin
+	Hops   int
+}
+
+// ---------------------------------------------------------------------------
+// Range query (Algorithm 6-5).
+
+// RangeQueryReq is a client's range query, a call to its entry server.
+type RangeQueryReq struct {
+	Area       core.Area
+	ReqAcc     float64
+	ReqOverlap float64
+}
+
+// RangeQueryFwd routes a range query: up until the receiver's service area
+// covers the (enlarged) query area, then down to every leaf overlapping it.
+// Prev identifies the hierarchy neighbor the message arrived from so it is
+// not immediately forwarded back (Algorithm 6-5's lsf checks).
+type RangeQueryFwd struct {
+	Area       core.Area
+	ReqAcc     float64
+	ReqOverlap float64
+	Origin     Origin
+	Hops       int
+}
+
+// RangeQuerySubRes is a leaf's partial result, sent directly to the entry
+// server: the qualifying objects plus the measure of the query-area part
+// this leaf covers, which the entry server tallies for completion.
+type RangeQuerySubRes struct {
+	OpID uint64
+	Objs []core.Entry
+	// CoveredSize is SIZE(area ∩ leaf.sa).
+	CoveredSize float64
+	Leaf        LeafInfo
+	Hops        int
+}
+
+// RangeQueryRes is the entry server's assembled answer to the client.
+type RangeQueryRes struct {
+	Objs []core.Entry
+	// Servers is the number of leaf servers that contributed.
+	Servers int
+	Hops    int
+}
+
+// ---------------------------------------------------------------------------
+// Nearest-neighbor query (semantics in Section 3.2).
+
+// NeighborQueryReq is a client's nearest-neighbor query, a call to its
+// entry server, which resolves it with an expanding-ring search over the
+// range-query machinery.
+type NeighborQueryReq struct {
+	P        geo.Point
+	ReqAcc   float64
+	NearQual float64
+}
+
+// NeighborQueryRes answers a nearest-neighbor query.
+type NeighborQueryRes struct {
+	Found             bool
+	Nearest           core.Entry
+	Near              []core.Entry
+	GuaranteedMinDist float64
+}
+
+// ---------------------------------------------------------------------------
+// Event mechanism (paper Section 1 / future work in Section 8).
+
+// EventKind selects a predicate type.
+type EventKind int
+
+// Supported predicates.
+const (
+	// EventCountAbove fires when at least Threshold objects are inside
+	// Area ("more than five objects are in a certain area").
+	EventCountAbove EventKind = iota + 1
+	// EventMeeting fires when two tracked objects come within Distance
+	// of each other on the same leaf ("two users of the system meet").
+	EventMeeting
+)
+
+// EventSubscribe installs a predicate subscription. It is routed through
+// the hierarchy like a range query: every leaf whose service area overlaps
+// Area installs it, counts its local qualifying objects and reports count
+// changes to the coordinator (the subscriber's entry server).
+type EventSubscribe struct {
+	SubID       string
+	Kind        EventKind
+	Area        core.Area
+	ReqAcc      float64
+	Threshold   int
+	Distance    float64
+	Coordinator NodeID
+	Subscriber  NodeID
+}
+
+// EventUnsubscribe removes a subscription on every involved leaf, routed
+// like the subscription itself.
+type EventUnsubscribe struct {
+	SubID string
+	Area  core.Area
+}
+
+// EventCount reports one leaf's current count of qualifying objects for a
+// subscription to the coordinator.
+type EventCount struct {
+	SubID string
+	Leaf  NodeID
+	Count int
+}
+
+// EventNotify is the asynchronous notification delivered to the subscriber
+// when a predicate becomes true (and when it becomes false again).
+type EventNotify struct {
+	SubID string
+	Fired bool
+	// Total is the aggregate count for EventCountAbove predicates.
+	Total int
+	// Objs names the objects involved for EventMeeting predicates.
+	Objs []core.OID
+}
+
+// ---------------------------------------------------------------------------
+// Generic responses.
+
+// Ack is an empty success reply for one-way-style calls.
+type Ack struct{}
+
+// ErrorRes reports a failed call; Code is one of the core error names.
+type ErrorRes struct {
+	Code string
+	Text string
+}
+
+func (RegisterReq) isMessage()      {}
+func (RegisterRes) isMessage()      {}
+func (RegisterFailed) isMessage()   {}
+func (CreatePath) isMessage()       {}
+func (RemovePath) isMessage()       {}
+func (UpdateReq) isMessage()        {}
+func (UpdateRes) isMessage()        {}
+func (HandoverReq) isMessage()      {}
+func (HandoverRes) isMessage()      {}
+func (DeregisterReq) isMessage()    {}
+func (DeregisterRes) isMessage()    {}
+func (ChangeAccReq) isMessage()     {}
+func (ChangeAccRes) isMessage()     {}
+func (NotifyAvailAcc) isMessage()   {}
+func (RequestUpdate) isMessage()    {}
+func (PosQueryReq) isMessage()      {}
+func (PosQueryDirect) isMessage()   {}
+func (PosQueryRes) isMessage()      {}
+func (PosQueryFwd) isMessage()      {}
+func (RangeQueryReq) isMessage()    {}
+func (RangeQueryFwd) isMessage()    {}
+func (RangeQuerySubRes) isMessage() {}
+func (RangeQueryRes) isMessage()    {}
+func (NeighborQueryReq) isMessage() {}
+func (NeighborQueryRes) isMessage() {}
+func (EventSubscribe) isMessage()   {}
+func (EventUnsubscribe) isMessage() {}
+func (EventCount) isMessage()       {}
+func (EventNotify) isMessage()      {}
+func (Ack) isMessage()              {}
+func (ErrorRes) isMessage()         {}

@@ -1,0 +1,80 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+func TestLeafInfoValid(t *testing.T) {
+	if (LeafInfo{}).Valid() {
+		t.Error("zero LeafInfo reported valid")
+	}
+	li := LeafInfo{ID: "r.0", Area: core.AreaFromRect(geo.R(0, 0, 1, 1))}
+	if !li.Valid() {
+		t.Error("populated LeafInfo reported invalid")
+	}
+	if (LeafInfo{ID: "r.0"}).Valid() {
+		t.Error("LeafInfo without area reported valid")
+	}
+	if (LeafInfo{Area: core.AreaFromRect(geo.R(0, 0, 1, 1))}).Valid() {
+		t.Error("LeafInfo without id reported valid")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		code string
+	}{
+		{"not found", fmt.Errorf("lookup: %w", core.ErrNotFound), CodeNotFound},
+		{"accuracy", core.ErrAccuracy, CodeAccuracy},
+		{"out of area", core.ErrOutOfArea, CodeOutOfArea},
+		{"bad request", core.ErrBadRequest, CodeBadRequest},
+		{"other", errors.New("disk on fire"), CodeInternal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := ErrorResFrom(tt.err)
+			if res.Code != tt.code {
+				t.Fatalf("code = %q, want %q", res.Code, tt.code)
+			}
+			back := res.Err()
+			switch tt.code {
+			case CodeNotFound:
+				if !errors.Is(back, core.ErrNotFound) {
+					t.Error("sentinel lost across wire")
+				}
+			case CodeAccuracy:
+				if !errors.Is(back, core.ErrAccuracy) {
+					t.Error("sentinel lost across wire")
+				}
+			case CodeOutOfArea:
+				if !errors.Is(back, core.ErrOutOfArea) {
+					t.Error("sentinel lost across wire")
+				}
+			case CodeBadRequest:
+				if !errors.Is(back, core.ErrBadRequest) {
+					t.Error("sentinel lost across wire")
+				}
+			case CodeInternal:
+				if back == nil {
+					t.Error("internal error became nil")
+				}
+			}
+		})
+	}
+}
+
+func TestAsError(t *testing.T) {
+	if err := AsError(Ack{}); err != nil {
+		t.Errorf("Ack produced error %v", err)
+	}
+	if err := AsError(ErrorResFrom(core.ErrNotFound)); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("AsError = %v", err)
+	}
+}

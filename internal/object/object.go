@@ -1,0 +1,266 @@
+// Package object simulates tracked objects: a mobility model drives the
+// true position, a location sensor adds bounded noise, and an update
+// protocol decides when a new sighting is transmitted to the object's
+// agent. The three protocols — time-based, distance-based (the paper's
+// choice, Section 6.2) and dead reckoning — are the ones compared in the
+// paper's reference [15]; ablation A4 regenerates that comparison.
+package object
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"locsvc/internal/client"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/mobility"
+)
+
+// Policy decides whether a new sighting must be transmitted.
+type Policy interface {
+	// ShouldSend is consulted once per simulation tick with the current
+	// true position, the simulated time and the offered accuracy.
+	ShouldSend(pos geo.Point, now time.Time, offeredAcc float64) bool
+	// Sent informs the policy that an update with the given position was
+	// transmitted at now.
+	Sent(pos geo.Point, now time.Time)
+	// EstimatedPos returns the position the location service believes the
+	// object to be at, assuming the server applies the same estimation
+	// rule as the object (last reported position for distance- and
+	// time-based protocols, velocity extrapolation for dead reckoning,
+	// as in the DOMINO policies the paper cites).
+	EstimatedPos(now time.Time) geo.Point
+	// Name identifies the policy in benchmark tables.
+	Name() string
+}
+
+// DistanceBased transmits when the position deviates from the last
+// transmitted one by more than a threshold — the paper's update protocol:
+// the threshold is the offered accuracy (Section 6.2). A Threshold of zero
+// uses the offered accuracy.
+type DistanceBased struct {
+	Threshold float64
+	last      geo.Point
+	sentOnce  bool
+}
+
+var _ Policy = (*DistanceBased)(nil)
+
+// ShouldSend implements Policy.
+func (p *DistanceBased) ShouldSend(pos geo.Point, _ time.Time, offeredAcc float64) bool {
+	if !p.sentOnce {
+		return true
+	}
+	th := p.Threshold
+	if th <= 0 {
+		th = offeredAcc
+	}
+	return pos.Dist(p.last) > th
+}
+
+// Sent implements Policy.
+func (p *DistanceBased) Sent(pos geo.Point, _ time.Time) {
+	p.last = pos
+	p.sentOnce = true
+}
+
+// EstimatedPos implements Policy.
+func (p *DistanceBased) EstimatedPos(time.Time) geo.Point { return p.last }
+
+// Name implements Policy.
+func (p *DistanceBased) Name() string { return "distance" }
+
+// TimeBased transmits every Interval regardless of movement.
+type TimeBased struct {
+	Interval time.Duration
+	next     time.Time
+	started  bool
+	last     geo.Point
+}
+
+var _ Policy = (*TimeBased)(nil)
+
+// ShouldSend implements Policy.
+func (p *TimeBased) ShouldSend(_ geo.Point, now time.Time, _ float64) bool {
+	return !p.started || !now.Before(p.next)
+}
+
+// Sent implements Policy.
+func (p *TimeBased) Sent(pos geo.Point, now time.Time) {
+	p.started = true
+	p.last = pos
+	p.next = now.Add(p.Interval)
+}
+
+// EstimatedPos implements Policy.
+func (p *TimeBased) EstimatedPos(time.Time) geo.Point { return p.last }
+
+// Name implements Policy.
+func (p *TimeBased) Name() string { return "time" }
+
+// DeadReckoning predicts the position by extrapolating the velocity at the
+// last update and transmits only when the true position deviates from the
+// prediction by more than the threshold. The server side would extrapolate
+// identically; for the protocol comparison only the message count and the
+// deviation bound matter.
+type DeadReckoning struct {
+	Threshold float64
+
+	last     geo.Point
+	lastT    time.Time
+	velocity geo.Point
+	prev     geo.Point
+	prevT    time.Time
+	sentOnce bool
+}
+
+var _ Policy = (*DeadReckoning)(nil)
+
+// ShouldSend implements Policy.
+func (p *DeadReckoning) ShouldSend(pos geo.Point, now time.Time, offeredAcc float64) bool {
+	if !p.sentOnce {
+		return true
+	}
+	th := p.Threshold
+	if th <= 0 {
+		th = offeredAcc
+	}
+	dt := now.Sub(p.lastT).Seconds()
+	predicted := p.last.Add(p.velocity.Scale(dt))
+	return pos.Dist(predicted) > th
+}
+
+// Sent implements Policy.
+func (p *DeadReckoning) Sent(pos geo.Point, now time.Time) {
+	if p.sentOnce {
+		dt := now.Sub(p.prevT).Seconds()
+		if dt > 0 {
+			p.velocity = pos.Sub(p.prev).Scale(1 / dt)
+		}
+	}
+	p.prev, p.prevT = pos, now
+	p.last, p.lastT = pos, now
+	p.sentOnce = true
+}
+
+// EstimatedPos implements Policy.
+func (p *DeadReckoning) EstimatedPos(now time.Time) geo.Point {
+	dt := now.Sub(p.lastT).Seconds()
+	return p.last.Add(p.velocity.Scale(dt))
+}
+
+// Name implements Policy.
+func (p *DeadReckoning) Name() string { return "dead-reckoning" }
+
+// ---------------------------------------------------------------------------
+
+// Sim drives one tracked object: mobility model → sensor noise → update
+// policy → location service.
+type Sim struct {
+	oid     core.OID
+	model   mobility.Model
+	policy  Policy
+	tracked *client.TrackedObject
+	sensAcc float64
+	rng     *rand.Rand
+
+	now time.Time
+
+	// Stats.
+	ticks   int
+	updates int
+	maxDev  float64
+	sumDev  float64
+}
+
+// NewSim registers the object with the service and returns the simulator.
+// The registration uses the model's current position.
+func NewSim(ctx context.Context, c *client.Client, oid core.OID, model mobility.Model,
+	policy Policy, sensAcc, desAcc, minAcc, maxSpeed float64, seed int64, start time.Time) (*Sim, error) {
+	s := core.Sighting{OID: oid, T: start, Pos: model.Pos(), SensAcc: sensAcc}
+	tracked, err := c.Register(ctx, s, desAcc, minAcc, maxSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("object: registering %s: %w", oid, err)
+	}
+	sim := &Sim{
+		oid:     oid,
+		model:   model,
+		policy:  policy,
+		tracked: tracked,
+		sensAcc: sensAcc,
+		rng:     rand.New(rand.NewSource(seed)),
+		now:     start,
+	}
+	sim.policy.Sent(model.Pos(), start)
+	return sim, nil
+}
+
+// Tracked returns the underlying tracked-object handle.
+func (s *Sim) Tracked() *client.TrackedObject { return s.tracked }
+
+// TruePos returns the object's actual position.
+func (s *Sim) TruePos() geo.Point { return s.model.Pos() }
+
+// Now returns the simulated clock.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Tick advances simulated time by dt, moves the object and transmits an
+// update if the policy demands one. It reports whether an update was sent.
+func (s *Sim) Tick(ctx context.Context, dt time.Duration) (bool, error) {
+	s.now = s.now.Add(dt)
+	truePos := s.model.Step(dt.Seconds())
+	s.ticks++
+
+	// Track the deviation between the service's estimate of the position
+	// and the truth — the achieved accuracy of the protocol.
+	dev := truePos.Dist(s.policy.EstimatedPos(s.now))
+	s.sumDev += dev
+	if dev > s.maxDev {
+		s.maxDev = dev
+	}
+
+	if !s.policy.ShouldSend(truePos, s.now, s.tracked.OfferedAcc()) {
+		return false, nil
+	}
+	sensed := s.sense(truePos)
+	sight := core.Sighting{OID: s.oid, T: s.now, Pos: sensed, SensAcc: s.sensAcc}
+	if err := s.tracked.Update(ctx, sight); err != nil {
+		return false, fmt.Errorf("object: updating %s: %w", s.oid, err)
+	}
+	s.policy.Sent(sensed, s.now)
+	s.updates++
+	return true, nil
+}
+
+// sense adds bounded sensor noise to the true position.
+func (s *Sim) sense(p geo.Point) geo.Point {
+	if s.sensAcc <= 0 {
+		return p
+	}
+	r := s.rng.Float64() * s.sensAcc
+	a := s.rng.Float64() * 2 * math.Pi
+	return geo.Pt(p.X+r*math.Cos(a), p.Y+r*math.Sin(a))
+}
+
+// Stats summarizes the protocol's behaviour so far.
+type Stats struct {
+	Ticks   int
+	Updates int
+	// MeanDev and MaxDev measure the deviation between the service's
+	// stored position and the object's true position.
+	MeanDev float64
+	MaxDev  float64
+	Policy  string
+}
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() Stats {
+	st := Stats{Ticks: s.ticks, Updates: s.updates, MaxDev: s.maxDev, Policy: s.policy.Name()}
+	if s.ticks > 0 {
+		st.MeanDev = s.sumDev / float64(s.ticks)
+	}
+	return st
+}

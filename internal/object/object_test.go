@@ -1,0 +1,177 @@
+package object_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"locsvc/internal/client"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/hierarchy"
+	"locsvc/internal/mobility"
+	"locsvc/internal/msg"
+	"locsvc/internal/object"
+	"locsvc/internal/server"
+	"locsvc/internal/transport"
+)
+
+func deployLS(t *testing.T) (*transport.Inproc, *hierarchy.Deployment) {
+	t.Helper()
+	net := transport.NewInproc(transport.InprocOptions{})
+	dep, err := hierarchy.Deploy(net, hierarchy.Spec{
+		RootArea: geo.R(0, 0, 1000, 1000),
+		Levels:   []hierarchy.Level{{Rows: 2, Cols: 2}},
+	}, server.Options{AchievableAcc: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dep.Close(); net.Close() })
+	return net, dep
+}
+
+func newSim(t *testing.T, net *transport.Inproc, dep *hierarchy.Deployment, id string,
+	model mobility.Model, pol object.Policy) *object.Sim {
+	t.Helper()
+	entry, ok := dep.LeafFor(model.Pos())
+	if !ok {
+		t.Fatalf("no leaf for %v", model.Pos())
+	}
+	c, err := client.New(net, msg.NodeID("node-"+transportNodeID(id)), entry, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	start := time.Date(2026, 6, 12, 8, 0, 0, 0, time.UTC)
+	sim, err := object.NewSim(context.Background(), c, coreOID(id), model, pol, 5, 25, 100, 20, 1, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestDistanceBasedPolicySendsOnlyOnMovement(t *testing.T) {
+	net, dep := deployLS(t)
+	sim := newSim(t, net, dep, "still", mobility.NewStationary(geo.Pt(100, 100)), &object.DistanceBased{})
+	for i := 0; i < 50; i++ {
+		sent, err := sim.Tick(context.Background(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sent {
+			t.Fatal("stationary object transmitted an update")
+		}
+	}
+	st := sim.Stats()
+	if st.Updates != 0 || st.Ticks != 50 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDistanceBasedPolicySendsWhenExceedingAccuracy(t *testing.T) {
+	net, dep := deployLS(t)
+	// Fast walker: 30 m/s against 25 m offered accuracy → roughly one
+	// update per tick.
+	model := mobility.NewRandomWaypoint(geo.R(50, 50, 950, 950), 30, 30, 0, 2)
+	sim := newSim(t, net, dep, "fast", model, &object.DistanceBased{})
+	for i := 0; i < 60; i++ {
+		if _, err := sim.Tick(context.Background(), time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sim.Stats()
+	if st.Updates < 30 {
+		t.Errorf("fast object sent only %d updates in 60 ticks", st.Updates)
+	}
+	// Deviation bound: between ticks the object can exceed the offered
+	// accuracy by at most one tick of movement plus sensor noise.
+	if st.MaxDev > 25+30+5 {
+		t.Errorf("max deviation %v exceeds protocol bound", st.MaxDev)
+	}
+}
+
+func TestTimeBasedPolicy(t *testing.T) {
+	net, dep := deployLS(t)
+	model := mobility.NewStationary(geo.Pt(100, 100))
+	sim := newSim(t, net, dep, "timed", model, &object.TimeBased{Interval: 5 * time.Second})
+	sent := 0
+	for i := 0; i < 50; i++ {
+		ok, err := sim.Tick(context.Background(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			sent++
+		}
+	}
+	// 50 s / 5 s = 10 updates (±1 for phase).
+	if sent < 9 || sent > 11 {
+		t.Errorf("time-based policy sent %d updates in 50 s", sent)
+	}
+}
+
+func TestDeadReckoningSuppressesLinearMotion(t *testing.T) {
+	net, dep := deployLS(t)
+	// Straight-line motion at constant speed: after two updates the
+	// velocity estimate is exact and dead reckoning goes quiet, while
+	// distance-based keeps sending.
+	lin := &linearModel{pos: geo.Pt(100, 500), v: geo.Pt(20, 0)}
+	simDR := newSim(t, net, dep, "dr", lin, &object.DeadReckoning{})
+
+	lin2 := &linearModel{pos: geo.Pt(100, 400), v: geo.Pt(20, 0)}
+	simDB := newSim(t, net, dep, "db", lin2, &object.DistanceBased{})
+
+	for i := 0; i < 40; i++ {
+		if _, err := simDR.Tick(context.Background(), time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := simDB.Tick(context.Background(), time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dr, db := simDR.Stats(), simDB.Stats()
+	if dr.Updates >= db.Updates {
+		t.Errorf("dead reckoning (%d updates) not better than distance-based (%d) on linear motion",
+			dr.Updates, db.Updates)
+	}
+	if dr.Policy != "dead-reckoning" || db.Policy != "distance" {
+		t.Errorf("policy names: %q, %q", dr.Policy, db.Policy)
+	}
+}
+
+func TestSimHandoverTransparent(t *testing.T) {
+	net, dep := deployLS(t)
+	// March straight east across the leaf boundary at x=500.
+	lin := &linearModel{pos: geo.Pt(450, 250), v: geo.Pt(25, 0)}
+	sim := newSim(t, net, dep, "mover", lin, &object.DistanceBased{})
+	for i := 0; i < 10; i++ {
+		if _, err := sim.Tick(context.Background(), time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sim.Tracked().Agent(); got != "r.1" {
+		t.Errorf("agent after crossing = %s, want r.1", got)
+	}
+	if sim.TruePos().X <= 500 {
+		t.Fatalf("object did not cross: %v", sim.TruePos())
+	}
+}
+
+// linearModel moves at constant velocity (not in the mobility package: the
+// tests need perfectly predictable motion).
+type linearModel struct {
+	pos geo.Point
+	v   geo.Point
+}
+
+func (m *linearModel) Pos() geo.Point { return m.pos }
+func (m *linearModel) Step(dt float64) geo.Point {
+	m.pos = m.pos.Add(m.v.Scale(dt))
+	return m.pos
+}
+
+// transportNodeID keeps node-id construction in one place.
+func transportNodeID(id string) string { return id }
+
+// coreOID converts a plain string to an object id.
+func coreOID(id string) core.OID { return core.OID(id) }

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+)
+
+// leafCaches bundles the three caching mechanisms of Section 6.5, all kept
+// on leaf servers:
+//
+//  1. (leaf server → service area): learned from LeafInfo piggybacked on
+//     protocol messages; lets handovers and range queries skip the tree.
+//  2. (tracked object → current agent): learned from position query
+//     responses; lets position queries go straight to the agent.
+//  3. (tracked object → position descriptor): caches query results; aged
+//     with the object's maximum speed before reuse.
+type leafCaches struct {
+	enableArea  bool
+	enableAgent bool
+	enablePos   bool
+
+	mu     sync.RWMutex
+	areas  map[msg.NodeID]core.Area
+	agents map[core.OID]msg.NodeID
+	pos    map[core.OID]posCacheEntry
+}
+
+type posCacheEntry struct {
+	ld       core.LocationDescriptor
+	storedAt time.Time
+	maxSpeed float64
+}
+
+func newLeafCaches(opts Options) *leafCaches {
+	return &leafCaches{
+		enableArea:  opts.EnableAreaCache,
+		enableAgent: opts.EnableAgentCache,
+		enablePos:   opts.EnablePosCache,
+		areas:       make(map[msg.NodeID]core.Area),
+		agents:      make(map[core.OID]msg.NodeID),
+		pos:         make(map[core.OID]posCacheEntry),
+	}
+}
+
+// observeLeaf records a (leaf → area) mapping seen on a protocol message.
+func (c *leafCaches) observeLeaf(li msg.LeafInfo) {
+	if !c.enableArea || !li.Valid() {
+		return
+	}
+	c.mu.Lock()
+	c.areas[li.ID] = li.Area
+	c.mu.Unlock()
+}
+
+// leafFor returns the cached leaf whose service area contains p.
+func (c *leafCaches) leafFor(p geo.Point) (msg.NodeID, bool) {
+	if !c.enableArea {
+		return "", false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for id, a := range c.areas {
+		if a.Contains(p) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// leavesCovering returns cached leaves overlapping the rectangle r and
+// whether their cached areas jointly cover at least expected of the query
+// measure inside r. Only a full cover lets the entry server skip the tree
+// (Section 6.5: "determine the leaf server(s) for this area from its
+// cache").
+func (c *leafCaches) leavesCovering(area core.Area, enlarged geo.Rect, expected float64, self msg.NodeID) ([]msg.NodeID, bool) {
+	if !c.enableArea {
+		return nil, false
+	}
+	if expected <= 0 {
+		return nil, true
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var ids []msg.NodeID
+	covered := 0.0
+	for id, a := range c.areas {
+		if id == self || !a.Bounds().Intersects(enlarged) {
+			continue
+		}
+		ids = append(ids, id)
+		covered += area.Vertices.IntersectRectArea(a.Bounds())
+	}
+	if covered+1e-6*expected < expected {
+		return nil, false
+	}
+	return ids, true
+}
+
+// invalidateLeaf drops a stale (leaf → area) entry.
+func (c *leafCaches) invalidateLeaf(id msg.NodeID) {
+	if !c.enableArea {
+		return
+	}
+	c.mu.Lock()
+	delete(c.areas, id)
+	c.mu.Unlock()
+}
+
+// observeAgent records an (object → agent) mapping.
+func (c *leafCaches) observeAgent(oid core.OID, agent msg.NodeID) {
+	if !c.enableAgent || agent == "" {
+		return
+	}
+	c.mu.Lock()
+	c.agents[oid] = agent
+	c.mu.Unlock()
+}
+
+// agentFor returns the cached agent for oid.
+func (c *leafCaches) agentFor(oid core.OID) (msg.NodeID, bool) {
+	if !c.enableAgent {
+		return "", false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.agents[oid]
+	return id, ok
+}
+
+// invalidateAgent drops a stale (object → agent) entry.
+func (c *leafCaches) invalidateAgent(oid core.OID) {
+	if !c.enableAgent {
+		return
+	}
+	c.mu.Lock()
+	delete(c.agents, oid)
+	c.mu.Unlock()
+}
+
+// observePos caches a returned position descriptor.
+func (c *leafCaches) observePos(oid core.OID, ld core.LocationDescriptor, maxSpeed float64, now time.Time) {
+	if !c.enablePos {
+		return
+	}
+	c.mu.Lock()
+	c.pos[oid] = posCacheEntry{ld: ld, storedAt: now, maxSpeed: maxSpeed}
+	c.mu.Unlock()
+}
+
+// posFor returns the cached descriptor for oid aged to now, if its aged
+// accuracy still meets accBound (Section 6.5: reuse "provided the
+// information is still accurate enough"). maxSpeed zero in the entry means
+// the descriptor cannot be aged and is only served fresh.
+func (c *leafCaches) posFor(oid core.OID, accBound float64, now time.Time) (core.LocationDescriptor, bool) {
+	if !c.enablePos || accBound <= 0 {
+		return core.LocationDescriptor{}, false
+	}
+	c.mu.RLock()
+	e, ok := c.pos[oid]
+	c.mu.RUnlock()
+	if !ok {
+		return core.LocationDescriptor{}, false
+	}
+	if e.maxSpeed <= 0 && now.After(e.storedAt) {
+		return core.LocationDescriptor{}, false
+	}
+	aged := e.ld.Aged(e.storedAt, now, e.maxSpeed)
+	if aged.Acc > accBound {
+		return core.LocationDescriptor{}, false
+	}
+	return aged, true
+}
+
+// observeLeafInfo lets the server feed its caches from any message carrying
+// leaf info.
+func (s *Server) observeLeafInfo(li msg.LeafInfo) {
+	s.caches.observeLeaf(li)
+}

@@ -1,0 +1,20 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"locsvc/internal/core"
+)
+
+// appended diagnostic: dump visitor records for lost objects
+func dumpObject(t *testing.T, ls *testLS, oid core.OID) {
+	t.Helper()
+	out := ""
+	for id, srv := range ls.dep.Servers {
+		if rec, ok := srv.VisitorForTest(oid); ok {
+			out += fmt.Sprintf("  %s: ref=%q pathT=%s\n", id, rec.ForwardRef, rec.PathT.Format("15:04:05.000000"))
+		}
+	}
+	t.Logf("records for %s:\n%s", oid, out)
+}

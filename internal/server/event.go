@@ -1,0 +1,266 @@
+package server
+
+import (
+	"sync"
+
+	"locsvc/internal/core"
+	"locsvc/internal/msg"
+)
+
+// The event mechanism implements the predicate subscriptions sketched in
+// the paper's introduction ("more than five objects are in a certain
+// area", "two users of the system meet") and named as future work in
+// Section 8. Subscriptions are routed through the hierarchy exactly like
+// range queries: every leaf whose service area overlaps the subscription
+// area installs it. Each involved leaf recounts its local qualifying
+// objects after every local mutation and reports changes to the
+// coordinator (the subscriber's entry server), which maintains the global
+// aggregate and sends EventNotify on predicate transitions.
+//
+// Meeting predicates are evaluated leaf-locally: two objects whose
+// positions come within the subscribed distance on the same leaf trigger a
+// notification. Meetings exactly straddling a leaf boundary are missed —
+// an accepted approximation, documented in DESIGN.md.
+
+// leafSub is one installed subscription on a leaf server.
+type leafSub struct {
+	sub       msg.EventSubscribe
+	lastCount int
+	// fired tracks the local meeting-pair state to avoid repeated
+	// notifications for the same pair.
+	firedPairs map[pairKey]bool
+}
+
+type pairKey struct{ a, b core.OID }
+
+func orderedPair(a, b core.OID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a: a, b: b}
+}
+
+// coordSub is the coordinator-side state of one subscription.
+type coordSub struct {
+	sub     msg.EventSubscribe
+	perLeaf map[msg.NodeID]int
+	fired   bool
+}
+
+// events bundles the per-server event state.
+type events struct {
+	mu    sync.Mutex
+	local map[string]*leafSub
+	coord map[string]*coordSub
+}
+
+func newEvents() *events {
+	return &events{
+		local: make(map[string]*leafSub),
+		coord: make(map[string]*coordSub),
+	}
+}
+
+// handleEventSubscribe routes and installs a subscription. Routing follows
+// the range-query pattern: climb while part of the area is outside the
+// receiver's service area, fan out to overlapping children.
+func (s *Server) handleEventSubscribe(from msg.NodeID, sub msg.EventSubscribe) {
+	bounds := sub.Area.Bounds().Enlarge(sub.ReqAcc)
+
+	if s.cfg.IsLeaf() {
+		if bounds.Intersects(s.cfg.SA.Bounds()) {
+			s.installSubscription(sub)
+		}
+		// The subscriber's entry leaf is also the coordinator; if the
+		// area extends beyond this leaf, keep routing from here.
+		if sub.Coordinator == s.ID() && from == sub.Subscriber {
+			if !s.cfg.SA.Bounds().ContainsRect(bounds) {
+				if s.parent() != "" {
+					s.sendOrCount(s.parentForKey(hashString(sub.SubID)), sub)
+				}
+			}
+		}
+		return
+	}
+	for _, child := range s.cfg.Children {
+		if msg.NodeID(child.ID) == from {
+			continue
+		}
+		if bounds.Intersects(child.SA.Bounds()) {
+			s.sendOrCount(msg.NodeID(child.ID), sub)
+		}
+	}
+	if !s.cfg.SA.Bounds().ContainsRect(bounds) && !s.isParent(from) {
+		if s.parent() != "" {
+			s.sendOrCount(s.parentForKey(hashString(sub.SubID)), sub)
+		}
+	}
+}
+
+// installSubscription registers the subscription locally and reports the
+// initial count.
+func (s *Server) installSubscription(sub msg.EventSubscribe) {
+	s.events.mu.Lock()
+	ls, exists := s.events.local[sub.SubID]
+	if !exists {
+		ls = &leafSub{sub: sub, lastCount: -1, firedPairs: make(map[pairKey]bool)}
+		s.events.local[sub.SubID] = ls
+	}
+	s.events.mu.Unlock()
+	if sub.Coordinator == s.ID() {
+		s.events.mu.Lock()
+		if _, ok := s.events.coord[sub.SubID]; !ok {
+			s.events.coord[sub.SubID] = &coordSub{sub: sub, perLeaf: make(map[msg.NodeID]int)}
+		}
+		s.events.mu.Unlock()
+	}
+	s.met.Counter("event_subscriptions").Inc()
+	s.reevaluateSub(ls)
+}
+
+// handleEventUnsubscribe removes the subscription, routed like subscribe.
+func (s *Server) handleEventUnsubscribe(from msg.NodeID, req msg.EventUnsubscribe) {
+	bounds := req.Area.Bounds()
+	if s.cfg.IsLeaf() {
+		s.events.mu.Lock()
+		delete(s.events.local, req.SubID)
+		delete(s.events.coord, req.SubID)
+		s.events.mu.Unlock()
+		if !s.isParent(from) && !s.cfg.SA.Bounds().ContainsRect(bounds) {
+			if s.parent() != "" {
+				s.sendOrCount(s.parentForKey(hashString(req.SubID)), req)
+			}
+		}
+		return
+	}
+	for _, child := range s.cfg.Children {
+		if msg.NodeID(child.ID) == from {
+			continue
+		}
+		if bounds.Intersects(child.SA.Bounds()) {
+			s.sendOrCount(msg.NodeID(child.ID), req)
+		}
+	}
+	if !s.cfg.SA.Bounds().ContainsRect(bounds) && !s.isParent(from) {
+		if s.parent() != "" {
+			s.sendOrCount(s.parentForKey(hashString(req.SubID)), req)
+		}
+	}
+}
+
+// handleEventCount aggregates one leaf's count at the coordinator and
+// notifies the subscriber on predicate transitions.
+func (s *Server) handleEventCount(req msg.EventCount) {
+	s.events.mu.Lock()
+	cs, ok := s.events.coord[req.SubID]
+	if !ok {
+		s.events.mu.Unlock()
+		return
+	}
+	cs.perLeaf[req.Leaf] = req.Count
+	total := 0
+	for _, c := range cs.perLeaf {
+		total += c
+	}
+	nowFired := total >= cs.sub.Threshold
+	transition := nowFired != cs.fired
+	cs.fired = nowFired
+	subscriber := cs.sub.Subscriber
+	subID := cs.sub.SubID
+	s.events.mu.Unlock()
+
+	if transition {
+		s.met.Counter("event_notifications").Inc()
+		s.sendOrCount(subscriber, msg.EventNotify{SubID: subID, Fired: nowFired, Total: total})
+	}
+}
+
+// notifySightingsChanged is called after every local sighting mutation on a
+// leaf; it re-evaluates all installed subscriptions.
+func (s *Server) notifySightingsChanged() {
+	if s.events == nil {
+		return
+	}
+	s.events.mu.Lock()
+	subs := make([]*leafSub, 0, len(s.events.local))
+	for _, ls := range s.events.local {
+		subs = append(subs, ls)
+	}
+	s.events.mu.Unlock()
+	for _, ls := range subs {
+		s.reevaluateSub(ls)
+	}
+}
+
+// reevaluateSub recomputes one subscription's local state.
+func (s *Server) reevaluateSub(ls *leafSub) {
+	switch ls.sub.Kind {
+	case msg.EventCountAbove:
+		s.reevaluateCount(ls)
+	case msg.EventMeeting:
+		s.reevaluateMeeting(ls)
+	}
+}
+
+// reevaluateCount counts local qualifying objects and reports changes to
+// the coordinator.
+func (s *Server) reevaluateCount(ls *leafSub) {
+	sub := ls.sub
+	enlarged := sub.Area.Bounds().Enlarge(sub.ReqAcc)
+	count := 0
+	s.sightings.SearchArea(enlarged, func(sight core.Sighting) bool {
+		rec, ok := s.visitors.Get(sight.OID)
+		if !ok {
+			return true
+		}
+		ld := core.LocationDescriptor{Pos: sight.Pos, Acc: rec.OfferedAcc}
+		// Membership for events uses majority overlap, a pragmatic
+		// middle ground for "object is in the area".
+		if sub.Area.RangeQualifies(ld, sub.ReqAcc, 0.5) {
+			count++
+		}
+		return true
+	})
+
+	s.events.mu.Lock()
+	changed := count != ls.lastCount
+	ls.lastCount = count
+	s.events.mu.Unlock()
+	if changed {
+		s.sendOrCount(sub.Coordinator, msg.EventCount{SubID: sub.SubID, Leaf: s.ID(), Count: count})
+	}
+}
+
+// reevaluateMeeting checks all local object pairs inside the subscription
+// area for proximity below the subscribed distance.
+func (s *Server) reevaluateMeeting(ls *leafSub) {
+	sub := ls.sub
+	enlarged := sub.Area.Bounds().Enlarge(sub.Distance)
+	var inArea []core.Sighting
+	s.sightings.SearchArea(enlarged, func(sight core.Sighting) bool {
+		inArea = append(inArea, sight)
+		return true
+	})
+	for i := 0; i < len(inArea); i++ {
+		for j := i + 1; j < len(inArea); j++ {
+			key := orderedPair(inArea[i].OID, inArea[j].OID)
+			meeting := inArea[i].Pos.Dist(inArea[j].Pos) <= sub.Distance
+			s.events.mu.Lock()
+			was := ls.firedPairs[key]
+			if meeting && !was {
+				ls.firedPairs[key] = true
+			} else if !meeting && was {
+				delete(ls.firedPairs, key)
+			}
+			s.events.mu.Unlock()
+			if meeting && !was {
+				s.met.Counter("event_notifications").Inc()
+				s.sendOrCount(sub.Subscriber, msg.EventNotify{
+					SubID: sub.SubID,
+					Fired: true,
+					Objs:  []core.OID{key.a, key.b},
+				})
+			}
+		}
+	}
+}

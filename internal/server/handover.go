@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+
+	"locsvc/internal/core"
+	"locsvc/internal/msg"
+	"locsvc/internal/store"
+)
+
+// handleUpdate implements Algorithm 6-2 (processing of position updates) at
+// the object's agent. If the sighting stays inside the service area the
+// sightingDB is updated in place; otherwise a handover transfers the
+// tracking responsibility and the reply tells the object its new agent.
+func (s *Server) handleUpdate(ctx context.Context, from msg.NodeID, req msg.UpdateReq) (msg.Message, error) {
+	if !s.cfg.IsLeaf() {
+		return nil, core.ErrBadRequest
+	}
+	if err := req.S.Validate(); err != nil {
+		return nil, core.ErrBadRequest
+	}
+	rec, registered := s.visitors.Get(req.S.OID)
+	if !registered {
+		return nil, core.ErrNotFound
+	}
+
+	if s.inArea(req.S.Pos) {
+		// Line 8: plain in-area update.
+		s.sightings.Put(req.S)
+		s.notifySightingsChanged()
+		s.met.Counter("updates_local").Inc()
+		return msg.UpdateRes{Moved: false, OfferedAcc: rec.OfferedAcc}, nil
+	}
+
+	// Lines 1-6: the object left the service area — hand over.
+	s.met.Counter("handover_initiated").Inc()
+	res, err := s.forwardHandover(ctx, msg.HandoverReq{
+		S:        req.S,
+		RegInfo:  rec.RegInfo,
+		OldAgent: s.ID(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Remove the visitor and sighting records (lines 5-6).
+	s.sightings.Remove(req.S.OID)
+	s.notifySightingsChanged()
+	if _, derr := s.visitors.Remove(req.S.OID); derr != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+	}
+	// Inform the tracked object of its new agent (line 4).
+	return msg.UpdateRes{
+		Moved:      true,
+		NewAgent:   res.NewAgent,
+		AgentInfo:  res.AgentInfo,
+		OfferedAcc: res.OfferedAcc,
+	}, nil
+}
+
+// forwardHandover starts handover processing: with a warm (leaf → area)
+// cache the old agent contacts the new leaf directly and repairs the tree
+// afterwards (Section 6.5); otherwise the request climbs the hierarchy as
+// in Algorithm 6-3.
+func (s *Server) forwardHandover(ctx context.Context, req msg.HandoverReq) (msg.HandoverRes, error) {
+	cctx, cancel := s.callCtx(ctx)
+	defer cancel()
+
+	if leaf, ok := s.caches.leafFor(req.S.Pos); ok && leaf != s.ID() {
+		direct := req
+		direct.Direct = true
+		resp, err := s.node.Call(cctx, leaf, direct)
+		if err == nil {
+			if hr, ok := resp.(msg.HandoverRes); ok {
+				s.met.Counter("handover_direct").Inc()
+				// Prune the old branch bottom-up; the repair
+				// CreatePath from the new agent re-points the
+				// LCA (see handleRemovePath for the guards).
+				if s.parent() != "" {
+					s.sendOrCount(s.parentForOID(req.S.OID), msg.RemovePath{
+						OID:       req.S.OID,
+						SightingT: req.S.T,
+						HasNewPos: true,
+						NewPos:    req.S.Pos,
+					})
+				}
+				return hr, nil
+			}
+		}
+		// Stale cache entry or unreachable leaf: invalidate and fall
+		// back to the hierarchy.
+		s.caches.invalidateLeaf(leaf)
+		s.met.Counter("handover_direct_miss").Inc()
+	}
+
+	parent := s.parentForOID(req.S.OID)
+	if parent == "" {
+		return msg.HandoverRes{}, core.ErrOutOfArea
+	}
+	resp, err := s.node.Call(cctx, parent, req)
+	if err != nil {
+		return msg.HandoverRes{}, err
+	}
+	hr, ok := resp.(msg.HandoverRes)
+	if !ok {
+		return msg.HandoverRes{}, core.ErrBadRequest
+	}
+	s.observeLeafInfo(hr.AgentInfo)
+	return hr, nil
+}
+
+// handleHandover implements Algorithm 6-3 (handover processing). The
+// request climbs until the sighting lies inside the receiver's service
+// area, descends to the responsible leaf, and the response travels back
+// along the same path while each hop fixes its forwarding references.
+func (s *Server) handleHandover(ctx context.Context, from msg.NodeID, req msg.HandoverReq) (msg.Message, error) {
+	req.Hops++
+	s.met.Counter("handover_seen").Inc()
+
+	if req.Direct {
+		// Cache-shortcut delivery straight to this leaf (Section 6.5).
+		if !s.cfg.IsLeaf() || !s.inArea(req.S.Pos) {
+			return nil, core.ErrOutOfArea
+		}
+		res, err := s.becomeAgent(req)
+		if err != nil {
+			return nil, err
+		}
+		// Repair the forwarding path: a full-height CreatePath, so
+		// the root always learns the newest branch even when stale
+		// leftover records exist on the way up.
+		if s.parent() != "" {
+			s.sendOrCount(s.parentForOID(req.S.OID), msg.CreatePath{
+				OID: req.S.OID, Leaf: s.leafInfo(), SightingT: req.S.T,
+			})
+		}
+		return res, nil
+	}
+
+	if !s.inArea(req.S.Pos) {
+		// Lines 16-20: forward upwards and drop our forwarding
+		// reference once the response arrives.
+		parent := s.parentForOID(req.S.OID)
+		if parent == "" {
+			return nil, core.ErrOutOfArea
+		}
+		cctx, cancel := s.callCtx(ctx)
+		defer cancel()
+		resp, err := s.node.Call(cctx, parent, req)
+		if err != nil {
+			return nil, err
+		}
+		hr, ok := resp.(msg.HandoverRes)
+		if !ok {
+			return nil, core.ErrBadRequest
+		}
+		if _, derr := s.visitors.Remove(req.S.OID); derr != nil {
+			s.met.Counter("visitor_db_errors").Inc()
+		}
+		hr.Hops++
+		return hr, nil
+	}
+
+	if s.cfg.IsLeaf() {
+		// Lines 2-7: this leaf becomes the new agent.
+		return s.becomeAgent(req)
+	}
+
+	// Lines 8-15: forward downwards and create/reset the forwarding
+	// reference to the child on the new path.
+	child, ok := s.cfg.ChildFor(req.S.Pos)
+	if !ok {
+		return nil, core.ErrOutOfArea
+	}
+	cctx, cancel := s.callCtx(ctx)
+	defer cancel()
+	resp, err := s.node.Call(cctx, msg.NodeID(child.ID), req)
+	if err != nil {
+		return nil, err
+	}
+	hr, ok := resp.(msg.HandoverRes)
+	if !ok {
+		return nil, core.ErrBadRequest
+	}
+	if err := s.visitors.Put(store.VisitorRecord{OID: req.S.OID, ForwardRef: child.ID, PathT: req.S.T}); err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+	}
+	hr.Hops++
+	return hr, nil
+}
+
+// becomeAgent installs the visitor and sighting records on the new agent
+// (Algorithm 6-3 lines 3-7) and returns the handover response. The offered
+// accuracy is recomputed from this leaf's achievable accuracy, as different
+// leaves may sit on different sensor infrastructure.
+func (s *Server) becomeAgent(req msg.HandoverReq) (msg.HandoverRes, error) {
+	offered, _ := req.RegInfo.OfferedAcc(s.opts.AchievableAcc)
+	rec := store.VisitorRecord{
+		OID:        req.S.OID,
+		OfferedAcc: offered,
+		RegInfo:    req.RegInfo,
+		PathT:      req.S.T,
+	}
+	if err := s.visitors.Put(rec); err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+		return msg.HandoverRes{}, err
+	}
+	s.sightings.Put(req.S)
+	s.notifySightingsChanged()
+	s.met.Counter("handover_accepted").Inc()
+
+	// If the accuracy this leaf can offer differs from the registered
+	// desire, notify the registering instance (Section 3.1,
+	// notifyAvailAcc).
+	if offered > req.RegInfo.MinAcc || offered != req.RegInfo.DesAcc {
+		if reg := req.RegInfo.Registrant; reg != "" && offered != req.RegInfo.DesAcc {
+			s.sendOrCount(msg.NodeID(reg), msg.NotifyAvailAcc{OID: req.S.OID, OfferedAcc: offered})
+		}
+	}
+	return msg.HandoverRes{
+		NewAgent:   s.ID(),
+		AgentInfo:  s.leafInfo(),
+		OfferedAcc: offered,
+		Hops:       req.Hops,
+	}, nil
+}

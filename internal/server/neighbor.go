@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"math"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+)
+
+// handleNeighborQuery resolves a nearest-neighbor query (semantics of
+// Section 3.2) at the entry server with an expanding-ring search built on
+// the distributed range-query machinery:
+//
+//  1. Query a square window around p, doubling its radius until a candidate
+//     whose recorded position lies within the window radius is found. Any
+//     object outside the window is farther than the radius, so the nearest
+//     candidate found this way is the global nearest.
+//  2. Issue one final collection query of radius dist(nearest) + nearQual
+//     to gather the nearObjSet, then apply core.SelectNearest for the exact
+//     selection rule (accuracy filter, deterministic tie-break, guaranteed
+//     minimum distance).
+//
+// The paper defines the query's semantics but not its distributed
+// resolution; this concretisation is documented in DESIGN.md.
+func (s *Server) handleNeighborQuery(ctx context.Context, req msg.NeighborQueryReq) (msg.Message, error) {
+	if !s.cfg.IsLeaf() {
+		return nil, core.ErrBadRequest
+	}
+	if req.ReqAcc < 0 || req.NearQual < 0 {
+		return nil, core.ErrBadRequest
+	}
+	s.met.Counter("neighbor_query_seen").Inc()
+
+	rootBounds := s.rootArea.Bounds()
+	maxRadius := rootBounds.Width() + rootBounds.Height() // covers everything from any p
+
+	radius := s.opts.NNInitialRadius
+	if radius <= 0 {
+		sa := s.cfg.SA.Bounds()
+		radius = (sa.Width() + sa.Height()) / 8
+		if radius <= 0 {
+			radius = maxRadius / 64
+		}
+	}
+
+	// The overlap threshold only needs to be positive: any object whose
+	// position lies inside the window has a positive overlap degree.
+	const anyOverlap = 1e-9
+
+	var nearestDist float64
+	found := false
+	for {
+		window := core.AreaFromRect(geo.RectAround(req.P, radius))
+		cands, _, _, err := s.collectRange(ctx, window, req.ReqAcc, anyOverlap)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range cands {
+			d := e.LD.Pos.Dist(req.P)
+			if d <= radius && (!found || d < nearestDist) {
+				nearestDist = d
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if radius >= maxRadius {
+			// The whole service area has been searched.
+			return msg.NeighborQueryRes{Found: false}, nil
+		}
+		radius = math.Min(radius*2, maxRadius)
+		s.met.Counter("neighbor_query_expand").Inc()
+	}
+
+	// Collection ring: every object that can appear in nearObjSet has a
+	// recorded position within nearestDist + nearQual of p.
+	collectR := nearestDist + req.NearQual
+	window := core.AreaFromRect(geo.RectAround(req.P, collectR))
+	cands, _, _, err := s.collectRange(ctx, window, req.ReqAcc, anyOverlap)
+	if err != nil {
+		return nil, err
+	}
+	res := core.SelectNearest(cands, req.P, req.ReqAcc, req.NearQual)
+	if !res.Found {
+		return msg.NeighborQueryRes{Found: false}, nil
+	}
+	return msg.NeighborQueryRes{
+		Found:             true,
+		Nearest:           res.Nearest,
+		Near:              res.Near,
+		GuaranteedMinDist: res.GuaranteedMinDist,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"hash/fnv"
+
+	"locsvc/internal/core"
+	"locsvc/internal/msg"
+)
+
+// Parent selection under root partitioning (Section 4). When the parent
+// service area is served by a group of partition servers, object-keyed
+// messages — forwarding-path maintenance, handover, position queries — must
+// reach the partition holding the object's visitor record, selected by a
+// hash of the object id (the paper's "portion of the object id", as in the
+// GSM Home Location Register). Geometric messages (range-query and event
+// routing) carry no object key; they go to a partition chosen by operation
+// id so the fan-out happens exactly once while load spreads evenly.
+
+// parentForOID returns the parent partition responsible for oid.
+func (s *Server) parentForOID(oid core.OID) msg.NodeID {
+	group := s.cfg.ParentGroup
+	if len(group) == 0 {
+		return msg.NodeID(s.cfg.Parent)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(oid))
+	return msg.NodeID(group[h.Sum64()%uint64(len(group))])
+}
+
+// parentForKey returns a parent partition chosen by an arbitrary key.
+func (s *Server) parentForKey(key uint64) msg.NodeID {
+	group := s.cfg.ParentGroup
+	if len(group) == 0 {
+		return msg.NodeID(s.cfg.Parent)
+	}
+	return msg.NodeID(group[key%uint64(len(group))])
+}
+
+// hashString hashes an arbitrary string key for partition selection.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// isParent reports whether the node id belongs to the parent (group).
+func (s *Server) isParent(id msg.NodeID) bool {
+	if msg.NodeID(s.cfg.Parent) == id {
+		return true
+	}
+	for _, p := range s.cfg.ParentGroup {
+		if msg.NodeID(p) == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"locsvc/internal/client"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/hierarchy"
+	"locsvc/internal/server"
+)
+
+// partitionedSpec is the paper's testbed with the root split into three
+// HLR-style partitions (Section 4).
+func partitionedSpec() hierarchy.Spec {
+	return hierarchy.Spec{
+		RootArea:       geo.R(0, 0, 1500, 1500),
+		Levels:         []hierarchy.Level{{Rows: 2, Cols: 2}},
+		RootPartitions: 3,
+	}
+}
+
+func TestPartitionedRootDistributesVisitors(t *testing.T) {
+	ls := newTestLS(t, partitionedSpec(), server.Options{})
+	if got := len(ls.dep.Roots()); got != 3 {
+		t.Fatalf("roots = %d", got)
+	}
+	owner := ls.newClientAt(t, "owner", geo.Pt(100, 100), client.Options{})
+	const n = 60
+	for i := 0; i < n; i++ {
+		if _, err := owner.Register(ctx(t), sightingAt(fmt.Sprintf("o%d", i), geo.Pt(100, 100)), 10, 50, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return ls.dep.RootVisitorCount() == n }, "paths at root level")
+
+	// The hash must spread records over all partitions; with 60 objects
+	// every partition should hold a nontrivial share.
+	for _, r := range ls.dep.Roots() {
+		srv, _ := ls.dep.Server(r)
+		if c := srv.VisitorCount(); c < 5 || c > 40 {
+			t.Errorf("partition %s holds %d of %d records", r, c, n)
+		}
+	}
+}
+
+func TestPartitionedRootRemoteQueriesAndHandover(t *testing.T) {
+	ls := newTestLS(t, partitionedSpec(), server.Options{})
+	owner := ls.newClientAt(t, "owner", geo.Pt(100, 100), client.Options{})
+	obj, err := owner.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ls.dep.RootVisitorCount() == 1 }, "path at root level")
+
+	// A remote query must find the object through its hash partition.
+	remote := ls.newClientAt(t, "remote", geo.Pt(1400, 1400), client.Options{})
+	ld, err := remote.PosQuery(ctx(t), "o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Pos != geo.Pt(100, 100) {
+		t.Errorf("ld = %+v", ld)
+	}
+
+	// Handover across leaves under a partitioned root.
+	if err := obj.Update(ctx(t), sightingAt("o1", geo.Pt(800, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.1" {
+		t.Fatalf("agent = %s", obj.Agent())
+	}
+	ld, err = remote.PosQuery(ctx(t), "o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Pos != geo.Pt(800, 100) {
+		t.Errorf("post-handover ld = %+v", ld)
+	}
+
+	// Range query spanning leaves under a partitioned root.
+	objs, err := remote.RangeQueryRect(ctx(t), geo.R(700, 50, 900, 150), 25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].OID != "o1" {
+		t.Errorf("range = %+v", objs)
+	}
+
+	// Deregistration tears the path down across partitions.
+	if err := obj.Deregister(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ls.dep.RootVisitorCount() == 0 }, "paths removed")
+	if _, err := remote.PosQuery(ctx(t), "o1"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("query after deregister err = %v", err)
+	}
+}
+
+func TestPartitionedRootValidation(t *testing.T) {
+	bad := hierarchy.Spec{RootArea: geo.R(0, 0, 1, 1), RootPartitions: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("partitioned leafless root accepted")
+	}
+	spec := partitionedSpec()
+	if got := spec.NumServers(); got != 7 {
+		t.Errorf("NumServers = %d, want 7 (3 partitions + 4 leaves)", got)
+	}
+}

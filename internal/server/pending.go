@@ -1,0 +1,62 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"locsvc/internal/msg"
+)
+
+// pendingBuffer sizes the per-operation result channel. Range queries can
+// receive one partial result per overlapping leaf; the collector drains
+// continuously, so this only needs to absorb bursts.
+const pendingBuffer = 256
+
+// pending tracks distributed operations an entry server is waiting on:
+// responses arrive as one-way messages matched by operation id (the paper's
+// "entry server collects the partial results" pattern in Algorithms 6-4 and
+// 6-5).
+type pending struct {
+	mu   sync.Mutex
+	ops  map[uint64]chan msg.Message
+	next atomic.Uint64
+}
+
+func newPending() *pending {
+	return &pending{ops: make(map[uint64]chan msg.Message)}
+}
+
+// open allocates an operation id and its result channel.
+func (p *pending) open() (uint64, chan msg.Message) {
+	id := p.next.Add(1)
+	ch := make(chan msg.Message, pendingBuffer)
+	p.mu.Lock()
+	p.ops[id] = ch
+	p.mu.Unlock()
+	return id, ch
+}
+
+// close discards the operation; late responses are dropped.
+func (p *pending) close(id uint64) {
+	p.mu.Lock()
+	delete(p.ops, id)
+	p.mu.Unlock()
+}
+
+// deliver routes a response to its operation. Responses for unknown (timed
+// out) operations and overflow beyond the buffer are dropped, matching UDP
+// best-effort semantics.
+func (p *pending) deliver(id uint64, m msg.Message) bool {
+	p.mu.Lock()
+	ch, ok := p.ops[id]
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case ch <- m:
+		return true
+	default:
+		return false
+	}
+}

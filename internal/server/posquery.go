@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/msg"
+)
+
+// handlePosQuery implements the entry-server half of Algorithm 6-4: a
+// client's position query is answered locally if this leaf is the object's
+// agent; otherwise the query is forwarded up the hierarchy and the entry
+// server waits for the agent's direct response.
+//
+// With warm caches (Section 6.5) two shortcuts apply before the tree is
+// traversed: a cached position descriptor that is still accurate enough
+// answers immediately, and a cached (object → agent) mapping turns the
+// query into a single direct call.
+func (s *Server) handlePosQuery(ctx context.Context, req msg.PosQueryReq) (msg.Message, error) {
+	if !s.cfg.IsLeaf() {
+		return nil, core.ErrBadRequest
+	}
+	s.met.Counter("pos_query_seen").Inc()
+
+	// Local case (Algorithm 6-4, lines 1-4): this server stores the
+	// visitor record.
+	if res, ok := s.localDescriptor(req.OID); ok {
+		s.met.Counter("pos_query_local").Inc()
+		return res, nil
+	}
+
+	// Cache shortcut 1: position-descriptor cache.
+	if ld, ok := s.caches.posFor(req.OID, req.AccBound, s.opts.Clock()); ok {
+		s.met.Counter("pos_query_cache_pos").Inc()
+		return msg.PosQueryRes{Found: true, LD: ld}, nil
+	}
+
+	// Cache shortcut 2: (object → agent) cache.
+	if agent, ok := s.caches.agentFor(req.OID); ok {
+		cctx, cancel := s.callCtx(ctx)
+		resp, err := s.node.Call(cctx, agent, msg.PosQueryDirect{OID: req.OID})
+		cancel()
+		if err == nil {
+			if res, ok := resp.(msg.PosQueryRes); ok && res.Found {
+				s.met.Counter("pos_query_cache_agent").Inc()
+				s.rememberResponse(req.OID, res)
+				res.Hops = 1
+				return res, nil
+			}
+		}
+		s.caches.invalidateAgent(req.OID)
+		s.met.Counter("pos_query_cache_agent_miss").Inc()
+	}
+
+	// Remote case (lines 5-8): forward upwards, wait for the direct
+	// response from the agent.
+	parent := s.parentForOID(req.OID)
+	if parent == "" {
+		// Single-server deployment and the object is unknown.
+		return nil, core.ErrNotFound
+	}
+	opID, ch := s.pend.open()
+	defer s.pend.close(opID)
+	s.sendOrCount(parent, msg.PosQueryFwd{
+		OID:    req.OID,
+		Origin: msg.Origin{Node: s.ID(), OpID: opID},
+		Hops:   1,
+	})
+	select {
+	case m := <-ch:
+		res, ok := m.(msg.PosQueryRes)
+		if !ok {
+			return nil, core.ErrBadRequest
+		}
+		if !res.Found {
+			return nil, core.ErrNotFound
+		}
+		s.met.Counter("pos_query_remote").Inc()
+		s.rememberResponse(req.OID, res)
+		return res, nil
+	case <-time.After(s.opts.QueryTimeout):
+		s.met.Counter("pos_query_timeout").Inc()
+		return nil, core.ErrNotFound
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// rememberResponse feeds the agent, area and position caches from a query
+// response.
+func (s *Server) rememberResponse(oid core.OID, res msg.PosQueryRes) {
+	s.caches.observeAgent(oid, res.Agent)
+	s.observeLeafInfo(res.AgentInfo)
+	s.caches.observePos(oid, res.LD, res.MaxSpeed, s.opts.Clock())
+}
+
+// handlePosQueryDirect answers a cache-shortcut query at the agent.
+func (s *Server) handlePosQueryDirect(req msg.PosQueryDirect) (msg.Message, error) {
+	if !s.cfg.IsLeaf() {
+		return nil, core.ErrBadRequest
+	}
+	if res, ok := s.localDescriptor(req.OID); ok {
+		return res, nil
+	}
+	return nil, core.ErrNotFound
+}
+
+// localDescriptor builds a PosQueryRes from this leaf's own records.
+func (s *Server) localDescriptor(oid core.OID) (msg.PosQueryRes, bool) {
+	rec, ok := s.visitors.Get(oid)
+	if !ok || !s.cfg.IsLeaf() {
+		return msg.PosQueryRes{}, false
+	}
+	sight, ok := s.sightings.Get(oid)
+	if !ok {
+		// Visitor known but sighting lost (e.g. after restart, before
+		// the object re-reported). Treated as not found here; the
+		// caller may retry after RestoreVisitors took effect.
+		return msg.PosQueryRes{}, false
+	}
+	return msg.PosQueryRes{
+		Found: true,
+		LD:    core.LocationDescriptor{Pos: sight.Pos, Acc: rec.OfferedAcc},
+		Agent: s.ID(),
+		AgentInfo: msg.LeafInfo{
+			ID:   s.ID(),
+			Area: s.cfg.SA,
+		},
+		MaxSpeed: rec.RegInfo.MaxSpeed,
+	}, true
+}
+
+// maxFwdHops bounds position-query forwarding: far above any legitimate
+// path length (2 × tree height + 1), it only triggers when a query bounces
+// on a stale forwarding reference.
+const maxFwdHops = 32
+
+// handlePosQueryFwd implements the forwarding half of Algorithm 6-4:
+// upwards until a forwarding reference is found, then down the forwarding
+// path; the agent responds directly to the entry server.
+func (s *Server) handlePosQueryFwd(from msg.NodeID, req msg.PosQueryFwd) {
+	s.met.Counter("pos_fwd_seen").Inc()
+	req.Hops++
+	rec, ok := s.visitors.Get(req.OID)
+	switch {
+	case ok && s.cfg.IsLeaf():
+		// Lines 1-5: this server is the agent; answer the entry
+		// server directly.
+		res, found := s.localDescriptor(req.OID)
+		if !found {
+			s.respondToOrigin(req.Origin, msg.PosQueryRes{OpID: req.Origin.OpID, Found: false, Hops: req.Hops})
+			return
+		}
+		res.OpID = req.Origin.OpID
+		res.Hops = req.Hops
+		s.respondToOrigin(req.Origin, res)
+	case ok:
+		if msg.NodeID(rec.ForwardRef) == from {
+			// The child this record points to just forwarded the
+			// query up, i.e. it found no record. Either our record
+			// is a stale leftover (a path message that arrived after
+			// a later handover moved the object elsewhere) or the
+			// child's record is being installed at this very moment
+			// by an in-flight handover — the two cases cannot be
+			// told apart here, so the record is kept and the query
+			// continues climbing; the hop TTL below bounds the
+			// bouncing a genuinely stale record can cause.
+			s.met.Counter("pos_fwd_bounced").Inc()
+			parent := s.parentForOID(req.OID)
+			if parent == "" {
+				s.respondToOrigin(req.Origin, msg.PosQueryRes{OpID: req.Origin.OpID, Found: false, Hops: req.Hops})
+				return
+			}
+			s.sendOrCount(parent, req)
+			return
+		}
+		if req.Hops > maxFwdHops {
+			// A stale forwarding loop: give up quickly instead of
+			// letting the entry server wait for its timeout.
+			s.met.Counter("pos_fwd_ttl_exceeded").Inc()
+			s.respondToOrigin(req.Origin, msg.PosQueryRes{OpID: req.Origin.OpID, Found: false, Hops: req.Hops})
+			return
+		}
+		// Lines 6-7: follow the forwarding reference downwards.
+		s.sendOrCount(msg.NodeID(rec.ForwardRef), req)
+	default:
+		// Lines 8-9: no record; forward upwards.
+		parent := s.parentForOID(req.OID)
+		if parent == "" {
+			// Root without a record: the object is not tracked.
+			s.respondToOrigin(req.Origin, msg.PosQueryRes{OpID: req.Origin.OpID, Found: false, Hops: req.Hops})
+			return
+		}
+		s.sendOrCount(parent, req)
+	}
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+)
+
+// coverEpsilon is the relative tolerance when comparing collected coverage
+// against the expected query-area measure.
+const coverEpsilon = 1e-6
+
+// handleRangeQuery implements the entry-server half of Algorithm 6-5. The
+// entry server contributes its own partial result, forwards the query
+// upwards if the area extends beyond its service area, and collects the
+// partial results of all involved leaf servers until the query area is
+// fully covered (tallied by area measure — sibling service areas never
+// overlap, so partial covers add up exactly).
+func (s *Server) handleRangeQuery(ctx context.Context, req msg.RangeQueryReq) (msg.Message, error) {
+	if !s.cfg.IsLeaf() {
+		return nil, core.ErrBadRequest
+	}
+	if req.Area.Empty() || req.ReqOverlap <= 0 || req.ReqOverlap > 1 || req.ReqAcc < 0 {
+		return nil, core.ErrBadRequest
+	}
+	s.met.Counter("range_query_seen").Inc()
+
+	objs, servers, hops, err := s.collectRange(ctx, req.Area, req.ReqAcc, req.ReqOverlap)
+	if err != nil {
+		return nil, err
+	}
+	return msg.RangeQueryRes{Objs: objs, Servers: servers, Hops: hops}, nil
+}
+
+// collectRange runs the distributed range query and returns the qualifying
+// objects, the number of contributing leaf servers and the maximum hop
+// count observed. It is shared by range and nearest-neighbor processing.
+func (s *Server) collectRange(ctx context.Context, area core.Area, reqAcc, reqOverlap float64) ([]core.Entry, int, int, error) {
+	enlarged := area.Bounds().Enlarge(reqAcc)
+
+	// The expected coverage is the part of the query area inside the
+	// root service area; parts outside the LS's responsibility can never
+	// be covered by any leaf.
+	expected := area.Vertices.IntersectRectArea(s.rootArea.Bounds())
+
+	var objs []core.Entry
+	covered := 0.0
+	servers := 0
+	maxHops := 0
+
+	// Local contribution (Algorithm 6-5, lines 3-7).
+	if enlarged.Intersects(s.cfg.SA.Bounds()) {
+		objs = append(objs, s.localRangeResult(area, reqAcc, reqOverlap, enlarged)...)
+		covered += area.Vertices.IntersectRectArea(s.cfg.SA.Bounds())
+		servers++
+	}
+	if covered+coverEpsilon*expected >= expected || expected == 0 {
+		s.met.Counter("range_query_local").Inc()
+		return objs, servers, maxHops, nil
+	}
+
+	// Part of the area lies outside this server's responsibility: the
+	// query must be forwarded (lines 8-13).
+	opID, ch := s.pend.open()
+	defer s.pend.close(opID)
+	origin := msg.Origin{Node: s.ID(), OpID: opID}
+
+	// The entry server itself already covers `covered` of the query; the
+	// cache only needs to account for the remainder.
+	if leaves, ok := s.caches.leavesCovering(area, enlarged, expected-covered, s.ID()); ok {
+		// Cache shortcut (Section 6.5): contact the leaf servers for
+		// the area directly, without traversing the hierarchy.
+		s.met.Counter("range_query_cache_direct").Inc()
+		sent := 0
+		for _, leaf := range leaves {
+			if leaf == s.ID() {
+				continue
+			}
+			s.sendOrCount(leaf, msg.RangeQueryFwd{
+				Area: area, ReqAcc: reqAcc, ReqOverlap: reqOverlap,
+				Origin: origin, Hops: 1,
+			})
+			sent++
+		}
+		if sent == 0 {
+			return objs, servers, maxHops, nil
+		}
+	} else {
+		parent := s.parentForKey(opID)
+		if parent == "" {
+			// Single-server deployment: our own contribution is all
+			// there is.
+			return objs, servers, maxHops, nil
+		}
+		s.sendOrCount(parent, msg.RangeQueryFwd{
+			Area: area, ReqAcc: reqAcc, ReqOverlap: reqOverlap,
+			Origin: origin, Hops: 1,
+		})
+	}
+
+	// Collection loop (lines 10-13): receive partial results until the
+	// area is entirely covered.
+	timeout := time.NewTimer(s.opts.QueryTimeout)
+	defer timeout.Stop()
+	for covered+coverEpsilon*expected < expected {
+		select {
+		case m := <-ch:
+			sub, ok := m.(msg.RangeQuerySubRes)
+			if !ok {
+				continue
+			}
+			objs = append(objs, sub.Objs...)
+			covered += sub.CoveredSize
+			servers++
+			if sub.Hops > maxHops {
+				maxHops = sub.Hops
+			}
+		case <-timeout.C:
+			s.met.Counter("range_query_timeout").Inc()
+			// Return what we have: partial answers beat none under
+			// UDP loss; the shortfall is visible in metrics.
+			return objs, servers, maxHops, nil
+		case <-ctx.Done():
+			return nil, 0, 0, ctx.Err()
+		}
+	}
+	s.met.Counter("range_query_remote").Inc()
+	return objs, servers, maxHops, nil
+}
+
+// localRangeResult evaluates the range predicate against this leaf's
+// sightingDB using the spatial index (Algorithm 6-5 lines 4-5). Candidate
+// positions are found within the reqAcc-enlarged bounds — an object whose
+// position lies outside the area can still qualify if its location area
+// overlaps enough (Section 3.2) — then filtered exactly.
+func (s *Server) localRangeResult(area core.Area, reqAcc, reqOverlap float64, enlarged geo.Rect) []core.Entry {
+	var out []core.Entry
+	s.sightings.SearchArea(enlarged, func(sight core.Sighting) bool {
+		rec, ok := s.visitors.Get(sight.OID)
+		if !ok {
+			return true
+		}
+		ld := core.LocationDescriptor{Pos: sight.Pos, Acc: rec.OfferedAcc}
+		if area.RangeQualifies(ld, reqAcc, reqOverlap) {
+			out = append(out, core.Entry{OID: sight.OID, LD: ld})
+		}
+		return true
+	})
+	return out
+}
+
+// handleRangeQueryFwd implements the forwarding half of Algorithm 6-5:
+// climb until the receiver's service area covers the (enlarged) query area
+// entirely, fan out to every overlapping child, and have each involved leaf
+// send its partial result directly to the entry server.
+func (s *Server) handleRangeQueryFwd(from msg.NodeID, req msg.RangeQueryFwd) {
+	req.Hops++
+	enlarged := req.Area.Bounds().Enlarge(req.ReqAcc)
+
+	if s.cfg.IsLeaf() {
+		// Lines 2-6: produce this leaf's partial result.
+		if !enlarged.Intersects(s.cfg.SA.Bounds()) {
+			// Possible under a slightly stale area cache: answer
+			// with an empty cover so the entry server is not left
+			// waiting for a contribution that cannot come.
+			s.respondToOrigin(req.Origin, msg.RangeQuerySubRes{
+				OpID: req.Origin.OpID, Leaf: s.leafInfo(), Hops: req.Hops,
+			})
+			return
+		}
+		objs := s.localRangeResult(req.Area, req.ReqAcc, req.ReqOverlap, enlarged)
+		s.respondToOrigin(req.Origin, msg.RangeQuerySubRes{
+			OpID:        req.Origin.OpID,
+			Objs:        objs,
+			CoveredSize: req.Area.Vertices.IntersectRectArea(s.cfg.SA.Bounds()),
+			Leaf:        s.leafInfo(),
+			Hops:        req.Hops,
+		})
+		return
+	}
+
+	// Non-leaf (lines 7-15): forward downwards to overlapping children
+	// (except the one the query came from) …
+	for _, child := range s.cfg.Children {
+		if msg.NodeID(child.ID) == from {
+			continue
+		}
+		if enlarged.Intersects(child.SA.Bounds()) {
+			s.sendOrCount(msg.NodeID(child.ID), req)
+		}
+	}
+	// … and upwards if part of the area lies outside our service area
+	// (and the query did not come from above).
+	outside := !s.cfg.SA.Bounds().ContainsRect(enlarged)
+	if outside && !s.isParent(from) {
+		if s.parent() != "" {
+			s.sendOrCount(s.parentForKey(req.Origin.OpID), req)
+		}
+	}
+}

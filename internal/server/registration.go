@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+
+	"locsvc/internal/core"
+	"locsvc/internal/msg"
+	"locsvc/internal/store"
+)
+
+// handleRegister implements Algorithm 6-1 (registration processing). The
+// request is routed through the hierarchy to the leaf responsible for the
+// initial sighting's position; that leaf decides on the offered accuracy,
+// creates its records, triggers createPath and answers the registering
+// instance directly.
+func (s *Server) handleRegister(ctx context.Context, req msg.RegisterReq) {
+	s.met.Counter("register_seen").Inc()
+	req.Hops++
+
+	if !s.inArea(req.S.Pos) {
+		// Forward registration upwards (lines 20-21).
+		parent := s.parentForOID(req.S.OID)
+		if parent == "" {
+			// Root: the position lies outside the entire service
+			// area; the registration fails definitively.
+			s.respondToOrigin(req.Origin, msg.RegisterFailed{
+				OpID:   req.Origin.OpID,
+				Server: s.ID(),
+			})
+			return
+		}
+		s.sendOrCount(parent, req)
+		return
+	}
+
+	if !s.cfg.IsLeaf() {
+		// Forward registration downwards (lines 16-18).
+		child, ok := s.cfg.ChildFor(req.S.Pos)
+		if !ok {
+			s.respondToOrigin(req.Origin, msg.RegisterFailed{OpID: req.Origin.OpID, Server: s.ID()})
+			return
+		}
+		s.sendOrCount(msg.NodeID(child.ID), req)
+		return
+	}
+
+	// Leaf server responsible for the object's position (lines 2-15).
+	offered, ok := req.RegInfo.OfferedAcc(s.opts.AchievableAcc)
+	if !ok {
+		// Registration not successful (lines 13-14).
+		s.met.Counter("register_failed").Inc()
+		s.respondToOrigin(req.Origin, msg.RegisterFailed{
+			OpID:       req.Origin.OpID,
+			Server:     s.ID(),
+			Achievable: s.opts.AchievableAcc,
+		})
+		return
+	}
+
+	// Line 5: create the forwarding path up to the root.
+	if s.parent() != "" {
+		s.sendOrCount(s.parentForOID(req.S.OID), msg.CreatePath{
+			OID: req.S.OID, Leaf: s.leafInfo(), SightingT: req.S.T,
+		})
+	}
+	// Lines 6-11: create the visitor and sighting records.
+	rec := store.VisitorRecord{
+		OID:        req.S.OID,
+		OfferedAcc: offered,
+		RegInfo:    req.RegInfo,
+		PathT:      req.S.T,
+	}
+	if err := s.visitors.Put(rec); err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+		s.respondToOrigin(req.Origin, msg.ErrorResFrom(err))
+		return
+	}
+	s.sightings.Put(req.S)
+	s.notifySightingsChanged()
+	s.met.Counter("register_ok").Inc()
+
+	// Line 12: answer the registering instance.
+	s.respondToOrigin(req.Origin, msg.RegisterRes{
+		OpID:       req.Origin.OpID,
+		Agent:      s.ID(),
+		AgentInfo:  s.leafInfo(),
+		OfferedAcc: offered,
+		Hops:       req.Hops,
+	})
+}
+
+// handleCreatePath implements the createPath half of Algorithm 6-1: every
+// server on the leaf-to-root path records a forwarding reference to the
+// child it received the message from.
+func (s *Server) handleCreatePath(from msg.NodeID, req msg.CreatePath) {
+	s.observeLeafInfo(req.Leaf)
+	if s.cfg.IsLeaf() {
+		// A direct-handover repair can deliver CreatePath to a leaf
+		// only by misconfiguration; ignore.
+		return
+	}
+	if _, err := s.visitors.PutIfNewer(store.VisitorRecord{
+		OID: req.OID, ForwardRef: string(from), PathT: req.SightingT,
+	}); err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+		return
+	}
+	// Forward upwards even when the local record was newer and refused
+	// the update: the newer record may come from an intra-subtree
+	// handover that never reached the ancestors, in which case this very
+	// message carries the only information that re-points them onto this
+	// subtree. Each ancestor applies or refuses independently by PathT.
+	if s.parent() != "" {
+		s.sendOrCount(s.parentForOID(req.OID), req)
+	}
+}
+
+// handleRemovePath tears a forwarding path down bottom-up: used by
+// deregistration, soft-state expiry, and old-branch pruning after a direct
+// handover. Two guards stop the removal where the path is still live:
+// a handover prune carries the object's new position and never removes
+// records at servers whose area contains it (the LCA and its ancestors,
+// where old and new paths coincide); and a server only removes its record
+// if the forwarding reference still points to the child the removal came
+// from (the branch was not re-pointed meanwhile).
+func (s *Server) handleRemovePath(from msg.NodeID, req msg.RemovePath) {
+	if req.HasNewPos && s.inArea(req.NewPos) {
+		return // ancestor of the new agent: record still needed
+	}
+	removed, err := s.visitors.RemoveIf(req.OID, func(rec store.VisitorRecord) bool {
+		// A fresher sighting re-installed this record, or the path
+		// was re-pointed away from the pruned branch: keep it.
+		return !rec.PathT.After(req.SightingT) && rec.ForwardRef == string(from)
+	})
+	if err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+		return
+	}
+	if !removed {
+		return
+	}
+	if s.parent() != "" {
+		s.sendOrCount(s.parentForOID(req.OID), req)
+	}
+}
+
+// respondToOrigin sends an operation response directly to the node the
+// operation originated at.
+func (s *Server) respondToOrigin(origin msg.Origin, m msg.Message) {
+	if origin.Node == "" {
+		return
+	}
+	s.sendOrCount(origin.Node, m)
+}
+
+// sendOrCount sends one-way, counting failures instead of propagating them
+// — message loss is part of the UDP service model.
+func (s *Server) sendOrCount(to msg.NodeID, m msg.Message) {
+	if err := s.node.Send(to, m); err != nil {
+		s.met.Counter("send_errors").Inc()
+	}
+}
+
+// handleDeregister processes a deregistration at the object's agent: the
+// local records are removed and the forwarding path is torn down.
+func (s *Server) handleDeregister(_ context.Context, req msg.DeregisterReq) (msg.Message, error) {
+	if !s.cfg.IsLeaf() {
+		return nil, core.ErrBadRequest
+	}
+	if _, ok := s.visitors.Get(req.OID); !ok {
+		return nil, core.ErrNotFound
+	}
+	lastT := s.opts.Clock()
+	if sight, ok := s.sightings.Get(req.OID); ok && sight.T.After(lastT) {
+		lastT = sight.T
+	}
+	s.sightings.Remove(req.OID)
+	s.notifySightingsChanged()
+	if _, err := s.visitors.Remove(req.OID); err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+	}
+	if s.parent() != "" {
+		s.sendOrCount(s.parentForOID(req.OID), msg.RemovePath{OID: req.OID, SightingT: lastT})
+	}
+	s.met.Counter("deregister_ok").Inc()
+	return msg.DeregisterRes{}, nil
+}
+
+// handleChangeAcc renegotiates the accuracy range at the agent
+// (Section 3.1). On success the visitor record is updated and the new
+// offered accuracy returned; on failure the old registration stays valid.
+func (s *Server) handleChangeAcc(req msg.ChangeAccReq) (msg.Message, error) {
+	if !s.cfg.IsLeaf() {
+		return nil, core.ErrBadRequest
+	}
+	rec, ok := s.visitors.Get(req.OID)
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	ri := rec.RegInfo
+	ri.DesAcc, ri.MinAcc = req.DesAcc, req.MinAcc
+	if err := ri.Validate(); err != nil {
+		return nil, core.ErrBadRequest
+	}
+	offered, ok := ri.OfferedAcc(s.opts.AchievableAcc)
+	if !ok {
+		return msg.ChangeAccRes{OK: false, OfferedAcc: s.opts.AchievableAcc}, nil
+	}
+	rec.RegInfo = ri
+	rec.OfferedAcc = offered
+	if err := s.visitors.Put(rec); err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+		return nil, err
+	}
+	return msg.ChangeAccRes{OK: true, OfferedAcc: offered}, nil
+}

@@ -1,0 +1,352 @@
+// Package server implements the hierarchical location server of the paper:
+// the registration, update, handover and query-processing algorithms of
+// Section 6 (Algorithms 6-1 … 6-5), the data-storage layout of Section 5,
+// the distributed nearest-neighbor resolution whose semantics Section 3.2
+// defines, and the three leaf-server caches of Section 6.5.
+//
+// One Server instance corresponds to one location server in the hierarchy.
+// Leaf servers own sighting records and act as agents for the objects in
+// their service area; non-leaf servers hold forwarding references only.
+// Servers communicate exclusively through their transport.Node, so the same
+// implementation runs on the in-process simulation network and over UDP.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/metrics"
+	"locsvc/internal/msg"
+	"locsvc/internal/spatial"
+	"locsvc/internal/store"
+	"locsvc/internal/transport"
+)
+
+// Options configure a Server.
+type Options struct {
+	// AchievableAcc is the best (smallest) accuracy this leaf's sensor
+	// infrastructure and update regime can sustain, in meters. It is the
+	// value computed in Algorithm 6-1 line 3. Default 10 m (GPS-grade).
+	AchievableAcc float64
+	// SightingTTL is the soft-state lifetime of sighting records
+	// (Section 5); zero disables expiry.
+	SightingTTL time.Duration
+	// JanitorInterval is how often expired visitors are collected;
+	// defaults to SightingTTL/4.
+	JanitorInterval time.Duration
+	// Index selects the sightingDB's spatial index (default quadtree).
+	Index spatial.Kind
+	// WAL persists the visitorDB; nil keeps it in memory only.
+	WAL store.WAL
+	// CallTimeout bounds hop-by-hop calls (handover forwarding).
+	CallTimeout time.Duration
+	// QueryTimeout bounds the entry server's wait for distributed query
+	// results.
+	QueryTimeout time.Duration
+	// EnableAreaCache turns on the (leaf server → service area) cache.
+	EnableAreaCache bool
+	// EnableAgentCache turns on the (object → agent) cache.
+	EnableAgentCache bool
+	// EnablePosCache turns on the (object → position descriptor) cache.
+	EnablePosCache bool
+	// Metrics receives the server's counters; a private registry is
+	// created when nil.
+	Metrics *metrics.Registry
+	// Clock injects a time source for tests.
+	Clock func() time.Time
+	// NNInitialRadius seeds the nearest-neighbor expanding search;
+	// defaults to a quarter of the leaf service-area diagonal.
+	NNInitialRadius float64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.AchievableAcc <= 0 {
+		o.AchievableAcc = 10
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	if o.QueryTimeout <= 0 {
+		o.QueryTimeout = 5 * time.Second
+	}
+	if o.JanitorInterval <= 0 && o.SightingTTL > 0 {
+		o.JanitorInterval = o.SightingTTL / 4
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
+	}
+	return o
+}
+
+// Server is one location server of the hierarchy.
+type Server struct {
+	cfg      store.ConfigRecord
+	rootArea core.Area
+	opts     Options
+	node     transport.Node
+
+	// sightings is the main-memory sighting database; only leaf servers
+	// populate it (Section 5).
+	sightings *store.SightingDB
+	// visitors is the (persistent) visitor database every server keeps.
+	visitors *store.VisitorDB
+
+	caches *leafCaches
+	pend   *pending
+	events *events
+	met    *metrics.Registry
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New creates the server described by cfg, attaches it to the network and
+// starts its janitor. rootArea is the service area of the entire LS, which
+// every server knows from deployment configuration; the entry server uses
+// it to decide when a distributed range query is fully covered.
+func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, opts Options) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("server: invalid config: %w", err)
+	}
+	opts = opts.withDefaults()
+	visitors, err := store.NewVisitorDB(opts.WAL)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: opening visitorDB: %w", cfg.ID, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		rootArea: rootArea,
+		opts:     opts,
+		visitors: visitors,
+		caches:   newLeafCaches(opts),
+		pend:     newPending(),
+		events:   newEvents(),
+		met:      opts.Metrics,
+		stop:     make(chan struct{}),
+	}
+	if cfg.IsLeaf() {
+		s.sightings = store.NewSightingDB(
+			store.WithIndex(opts.Index),
+			store.WithTTL(opts.SightingTTL),
+			store.WithClock(opts.Clock),
+		)
+	}
+	node, err := network.Attach(msg.NodeID(cfg.ID), s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: attaching to network: %w", cfg.ID, err)
+	}
+	s.node = node
+	if cfg.IsLeaf() && opts.JanitorInterval > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// ID returns the server's node id.
+func (s *Server) ID() msg.NodeID { return msg.NodeID(s.cfg.ID) }
+
+// Config returns the server's configuration record.
+func (s *Server) Config() store.ConfigRecord { return s.cfg }
+
+// IsLeaf reports whether this server is a leaf.
+func (s *Server) IsLeaf() bool { return s.cfg.IsLeaf() }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.met }
+
+// VisitorCount returns the number of visitor records, mainly for tests and
+// diagnostics.
+func (s *Server) VisitorCount() int { return s.visitors.Len() }
+
+// SightingCount returns the number of sighting records on a leaf (zero on
+// non-leaf servers).
+func (s *Server) SightingCount() int {
+	if s.sightings == nil {
+		return 0
+	}
+	return s.sightings.Len()
+}
+
+// leafInfo returns this server's LeafInfo for cache piggybacking, valid
+// only on leaves.
+func (s *Server) leafInfo() msg.LeafInfo {
+	if !s.cfg.IsLeaf() {
+		return msg.LeafInfo{}
+	}
+	return msg.LeafInfo{ID: s.ID(), Area: s.cfg.SA}
+}
+
+// Close detaches the server from the network and stops its janitor. The
+// visitorDB (and thus the WAL) is closed as well.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		if nerr := s.node.Close(); nerr != nil {
+			err = nerr
+		}
+		if verr := s.visitors.Close(); verr != nil && err == nil {
+			err = verr
+		}
+	})
+	return err
+}
+
+// handle is the transport handler: it dispatches every incoming message to
+// the algorithm implementations. It runs on a per-message goroutine, so
+// handlers may block on nested calls (handover, distributed queries).
+func (s *Server) handle(ctx context.Context, from msg.NodeID, m msg.Message) (msg.Message, error) {
+	switch req := m.(type) {
+	// Registration (Algorithm 6-1).
+	case msg.RegisterReq:
+		s.handleRegister(ctx, req)
+		return nil, nil
+	case msg.CreatePath:
+		s.handleCreatePath(from, req)
+		return nil, nil
+	case msg.RemovePath:
+		s.handleRemovePath(from, req)
+		return nil, nil
+
+	// Updates and handover (Algorithms 6-2, 6-3).
+	case msg.UpdateReq:
+		return s.handleUpdate(ctx, from, req)
+	case msg.HandoverReq:
+		return s.handleHandover(ctx, from, req)
+	case msg.DeregisterReq:
+		return s.handleDeregister(ctx, req)
+	case msg.ChangeAccReq:
+		return s.handleChangeAcc(req)
+
+	// Position queries (Algorithm 6-4).
+	case msg.PosQueryReq:
+		return s.handlePosQuery(ctx, req)
+	case msg.PosQueryDirect:
+		return s.handlePosQueryDirect(req)
+	case msg.PosQueryFwd:
+		s.handlePosQueryFwd(from, req)
+		return nil, nil
+	case msg.PosQueryRes:
+		s.pend.deliver(req.OpID, req)
+		return nil, nil
+
+	// Range queries (Algorithm 6-5).
+	case msg.RangeQueryReq:
+		return s.handleRangeQuery(ctx, req)
+	case msg.RangeQueryFwd:
+		s.handleRangeQueryFwd(from, req)
+		return nil, nil
+	case msg.RangeQuerySubRes:
+		s.observeLeafInfo(req.Leaf)
+		s.pend.deliver(req.OpID, req)
+		return nil, nil
+
+	// Nearest neighbor (Section 3.2 semantics).
+	case msg.NeighborQueryReq:
+		return s.handleNeighborQuery(ctx, req)
+
+	// Event mechanism (Section 1 / future work).
+	case msg.EventSubscribe:
+		s.handleEventSubscribe(from, req)
+		return nil, nil
+	case msg.EventUnsubscribe:
+		s.handleEventUnsubscribe(from, req)
+		return nil, nil
+	case msg.EventCount:
+		s.handleEventCount(req)
+		return nil, nil
+
+	// Recovery aid.
+	case msg.RegisterFailed:
+		s.pend.deliver(req.OpID, req)
+		return nil, nil
+	case msg.RegisterRes:
+		s.pend.deliver(req.OpID, req)
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("%w: server %s cannot handle %T", core.ErrBadRequest, s.cfg.ID, m)
+	}
+}
+
+// callCtx returns a context bounded by the hop-by-hop call timeout.
+func (s *Server) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, s.opts.CallTimeout)
+}
+
+// inArea reports whether p lies in this server's service area.
+func (s *Server) inArea(p geo.Point) bool {
+	return s.cfg.SA.Contains(p)
+}
+
+// parent returns the parent node id; empty on the root.
+func (s *Server) parent() msg.NodeID { return msg.NodeID(s.cfg.Parent) }
+
+// janitor periodically deregisters visitors whose soft state expired
+// (Section 5): their records are removed locally and the forwarding path is
+// torn down bottom-up.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.JanitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			for _, id := range s.sightings.Expired() {
+				s.expireVisitor(id)
+			}
+		}
+	}
+}
+
+// expireVisitor removes one expired visitor like a deregistration.
+func (s *Server) expireVisitor(id core.OID) {
+	s.met.Counter("soft_state_expired").Inc()
+	lastT := s.opts.Clock()
+	if sight, ok := s.sightings.Get(id); ok && sight.T.After(lastT) {
+		lastT = sight.T
+	}
+	s.sightings.Remove(id)
+	s.notifySightingsChanged()
+	if _, err := s.visitors.Remove(id); err != nil {
+		s.met.Counter("visitor_db_errors").Inc()
+	}
+	if s.parent() != "" {
+		s.sendOrCount(s.parentForOID(id), msg.RemovePath{OID: id, SightingT: lastT})
+	}
+}
+
+// RestoreVisitors asks every visitor recorded in the (persistent) visitorDB
+// for a fresh position update. A recovering leaf server calls this after a
+// restart: the visitorDB survived on stable storage while the sightingDB
+// and its indexes were lost and are rebuilt as the update requests are
+// answered (Section 5).
+func (s *Server) RestoreVisitors() int {
+	if !s.cfg.IsLeaf() {
+		return 0
+	}
+	n := 0
+	s.visitors.ForEach(func(rec store.VisitorRecord) bool {
+		if rec.RegInfo.Registrant != "" {
+			if err := s.node.Send(msg.NodeID(rec.RegInfo.Registrant), msg.RequestUpdate{OID: rec.OID}); err == nil {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}

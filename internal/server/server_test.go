@@ -1,0 +1,580 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"locsvc/internal/client"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/hierarchy"
+	"locsvc/internal/msg"
+	"locsvc/internal/server"
+	"locsvc/internal/transport"
+)
+
+// testLS bundles a deployed hierarchy with its network for tests.
+type testLS struct {
+	net *transport.Inproc
+	dep *hierarchy.Deployment
+}
+
+// newTestLS deploys the paper's testbed shape by default: a 1.5 km × 1.5 km
+// root area split into four leaf quarters (Fig. 8).
+func newTestLS(t *testing.T, spec hierarchy.Spec, opts server.Options) *testLS {
+	t.Helper()
+	net := NewTestNet()
+	dep, err := hierarchy.Deploy(net, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		dep.Close()
+		net.Close()
+	})
+	return &testLS{net: net, dep: dep}
+}
+
+// NewTestNet returns a plain in-process network.
+func NewTestNet() *transport.Inproc {
+	return transport.NewInproc(transport.InprocOptions{})
+}
+
+func quadSpec() hierarchy.Spec {
+	return hierarchy.Spec{
+		RootArea: geo.R(0, 0, 1500, 1500),
+		Levels:   []hierarchy.Level{{Rows: 2, Cols: 2}},
+	}
+}
+
+// newClientAt attaches a client whose entry server is the leaf responsible
+// for p.
+func (ls *testLS) newClientAt(t *testing.T, id string, p geo.Point, opts client.Options) *client.Client {
+	t.Helper()
+	entry, ok := ls.dep.LeafFor(p)
+	if !ok {
+		t.Fatalf("no leaf for %v", p)
+	}
+	c, err := client.New(ls.net, msg.NodeID(id), entry, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func sightingAt(id string, p geo.Point) core.Sighting {
+	return core.Sighting{OID: core.OID(id), T: time.Now(), Pos: p, SensAcc: 5}
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestRegistrationCreatesForwardingPath(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.0" {
+		t.Errorf("agent = %s, want r.0", obj.Agent())
+	}
+	if obj.OfferedAcc() != 10 {
+		t.Errorf("offeredAcc = %v, want 10 (achievable 10 <= desAcc 10)", obj.OfferedAcc())
+	}
+
+	// The forwarding path must exist on the agent and the root.
+	waitFor(t, func() bool {
+		root, _ := ls.dep.Server("r")
+		leaf, _ := ls.dep.Server("r.0")
+		return root.VisitorCount() == 1 && leaf.VisitorCount() == 1 && leaf.SightingCount() == 1
+	}, "forwarding path created")
+}
+
+func TestRegistrationRoutedFromDistantEntry(t *testing.T) {
+	// The entry server is in the opposite corner of the service area:
+	// the request must climb to the root and descend to the correct leaf.
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(1400, 1400), client.Options{})
+
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.0" {
+		t.Errorf("agent = %s, want r.0", obj.Agent())
+	}
+}
+
+func TestRegistrationAccuracyFailure(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{AchievableAcc: 100})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+
+	_, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if !errors.Is(err, core.ErrAccuracy) {
+		t.Fatalf("err = %v, want ErrAccuracy", err)
+	}
+	// No records must linger anywhere.
+	for id, srv := range ls.dep.Servers {
+		if srv.VisitorCount() != 0 {
+			t.Errorf("server %s has %d visitors after failed registration", id, srv.VisitorCount())
+		}
+	}
+}
+
+func TestRegistrationOutsideServiceArea(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	_, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(5000, 5000)), 10, 50, 3)
+	if err == nil {
+		t.Fatal("registration outside service area succeeded")
+	}
+}
+
+func TestLocalUpdate(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Update(ctx(t), sightingAt("o1", geo.Pt(200, 200))); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.0" {
+		t.Errorf("agent changed on local update: %s", obj.Agent())
+	}
+	ld, err := c.PosQuery(ctx(t), "o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Pos != geo.Pt(200, 200) {
+		t.Errorf("position = %v", ld.Pos)
+	}
+}
+
+func TestHandoverAcrossSiblingLeaves(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(700, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(700, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.0" {
+		t.Fatalf("initial agent = %s", obj.Agent())
+	}
+
+	// Move east across the leaf boundary into r.1's quarter.
+	if err := obj.Update(ctx(t), sightingAt("o1", geo.Pt(800, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.1" {
+		t.Fatalf("agent after handover = %s, want r.1", obj.Agent())
+	}
+
+	// Old agent must have dropped its records; new agent holds them; the
+	// root's forwarding reference must point to the new child.
+	oldLeaf, _ := ls.dep.Server("r.0")
+	newLeaf, _ := ls.dep.Server("r.1")
+	waitFor(t, func() bool {
+		return oldLeaf.VisitorCount() == 0 && oldLeaf.SightingCount() == 0 &&
+			newLeaf.VisitorCount() == 1 && newLeaf.SightingCount() == 1
+	}, "records moved to new agent")
+
+	// Queries keep working after the handover.
+	ld, err := c.PosQuery(ctx(t), "o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Pos != geo.Pt(800, 100) {
+		t.Errorf("position = %v", ld.Pos)
+	}
+	// Updates to the new agent succeed.
+	if err := obj.Update(ctx(t), sightingAt("o1", geo.Pt(820, 120))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandoverDeepHierarchy(t *testing.T) {
+	// Three levels: r → 4 children → 16 grandchildren. A move across the
+	// middle of the area must propagate through the root; a short move
+	// within one quadrant involves only that subtree.
+	spec := hierarchy.Spec{
+		RootArea: geo.R(0, 0, 1600, 1600),
+		Levels:   []hierarchy.Level{{Rows: 2, Cols: 2}, {Rows: 2, Cols: 2}},
+	}
+	ls := newTestLS(t, spec, server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.0.0" {
+		t.Fatalf("initial agent = %s", obj.Agent())
+	}
+
+	// Local handover within quadrant r.0 (crossing leaf boundary at 400).
+	if err := obj.Update(ctx(t), sightingAt("o1", geo.Pt(500, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.0.1" {
+		t.Fatalf("agent = %s, want r.0.1", obj.Agent())
+	}
+
+	// Cross-quadrant handover (crossing the root's midline at 800).
+	if err := obj.Update(ctx(t), sightingAt("o1", geo.Pt(900, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Agent() != "r.1.0" {
+		t.Fatalf("agent = %s, want r.1.0", obj.Agent())
+	}
+
+	// The full forwarding path root → r.1 → r.1.0 must be intact, and
+	// the stale branch under r.0 gone.
+	waitFor(t, func() bool {
+		r0, _ := ls.dep.Server("r.0")
+		r01, _ := ls.dep.Server("r.0.1")
+		r1, _ := ls.dep.Server("r.1")
+		root, _ := ls.dep.Server("r")
+		return r0.VisitorCount() == 0 && r01.VisitorCount() == 0 &&
+			r1.VisitorCount() == 1 && root.VisitorCount() == 1
+	}, "path rewired through root")
+
+	ld, err := c.PosQuery(ctx(t), "o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Pos != geo.Pt(900, 100) {
+		t.Errorf("position = %v", ld.Pos)
+	}
+}
+
+func TestPosQueryLocalVsRemote(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	// Object in the south-west quarter.
+	cObj := ls.newClientAt(t, "owner", geo.Pt(100, 100), client.Options{})
+	if _, err := cObj.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+	// CreatePath propagates leaf-to-root asynchronously (one-way
+	// messages, Algorithm 6-1); remote queries need the full path.
+	waitFor(t, func() bool {
+		root, _ := ls.dep.Server("r")
+		return root.VisitorCount() == 1
+	}, "forwarding path at root")
+	// Local query: client whose entry server is the object's agent.
+	local := ls.newClientAt(t, "local", geo.Pt(50, 50), client.Options{})
+	ld, err := local.PosQuery(ctx(t), "o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Pos != geo.Pt(100, 100) || ld.Acc != 10 {
+		t.Errorf("local ld = %+v", ld)
+	}
+	// Remote query: entry server in the opposite corner.
+	remote := ls.newClientAt(t, "remote", geo.Pt(1400, 1400), client.Options{})
+	ld, err = remote.PosQuery(ctx(t), "o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Pos != geo.Pt(100, 100) {
+		t.Errorf("remote ld = %+v", ld)
+	}
+	// Unknown object: not found from any entry.
+	if _, err := remote.PosQuery(ctx(t), "ghost"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("ghost query err = %v", err)
+	}
+}
+
+func TestRangeQuerySpanningLeaves(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	owner := ls.newClientAt(t, "owner", geo.Pt(100, 100), client.Options{})
+
+	// One object per quarter, near the center of the root area.
+	positions := []geo.Point{{X: 700, Y: 700}, {X: 800, Y: 700}, {X: 700, Y: 800}, {X: 800, Y: 800}}
+	for i, p := range positions {
+		if _, err := owner.Register(ctx(t), sightingAt(fmt.Sprintf("o%d", i), p), 10, 50, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// And one far away that must not be returned.
+	if _, err := owner.Register(ctx(t), sightingAt("far", geo.Pt(1400, 100)), 10, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	q := ls.newClientAt(t, "querier", geo.Pt(100, 1400), client.Options{})
+	objs, err := q.RangeQueryRect(ctx(t), geo.R(650, 650, 850, 850), 25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 {
+		t.Fatalf("range query returned %d objects: %+v", len(objs), objs)
+	}
+	seen := map[core.OID]bool{}
+	for _, e := range objs {
+		seen[e.OID] = true
+	}
+	for i := range positions {
+		if !seen[core.OID(fmt.Sprintf("o%d", i))] {
+			t.Errorf("o%d missing from result", i)
+		}
+	}
+	if seen["far"] {
+		t.Error("far object included")
+	}
+}
+
+func TestRangeQueryRespectsAccuracyAndOverlap(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{AchievableAcc: 30})
+	owner := ls.newClientAt(t, "owner", geo.Pt(100, 100), client.Options{})
+	// Offered accuracy will be 30 (achievable) since desired 10 < 30.
+	if _, err := owner.Register(ctx(t), sightingAt("coarse", geo.Pt(300, 300)), 10, 100, 3); err != nil {
+		t.Fatal(err)
+	}
+	q := ls.newClientAt(t, "querier", geo.Pt(100, 100), client.Options{})
+
+	// reqAcc 20 < offered 30: the object is filtered out (Fig. 3, o5).
+	objs, err := q.RangeQueryRect(ctx(t), geo.R(250, 250, 350, 350), 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 0 {
+		t.Errorf("accuracy filter failed: %+v", objs)
+	}
+	// reqAcc 30: passes.
+	objs, err = q.RangeQueryRect(ctx(t), geo.R(250, 250, 350, 350), 30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 {
+		t.Errorf("want 1 object, got %+v", objs)
+	}
+
+	// Overlap threshold: object at the very edge of the query area
+	// overlaps ~50%; a 0.9 threshold excludes it.
+	objs, err = q.RangeQueryRect(ctx(t), geo.R(300, 250, 400, 350), 30, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 0 {
+		t.Errorf("overlap filter failed: %+v", objs)
+	}
+}
+
+func TestRangeQueryInvalidParams(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	q := ls.newClientAt(t, "querier", geo.Pt(100, 100), client.Options{})
+	if _, err := q.RangeQueryRect(ctx(t), geo.R(0, 0, 10, 10), 25, 0); !errors.Is(err, core.ErrBadRequest) {
+		t.Errorf("reqOverlap=0 err = %v", err)
+	}
+	if _, err := q.RangeQueryRect(ctx(t), geo.R(0, 0, 10, 10), 25, 1.5); !errors.Is(err, core.ErrBadRequest) {
+		t.Errorf("reqOverlap=1.5 err = %v", err)
+	}
+	if _, err := q.RangeQueryRect(ctx(t), geo.Rect{}, 25, 0.5); !errors.Is(err, core.ErrBadRequest) {
+		t.Errorf("empty area err = %v", err)
+	}
+}
+
+func TestNeighborQuery(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	owner := ls.newClientAt(t, "owner", geo.Pt(100, 100), client.Options{})
+	// Nearest is in a different leaf than the query's entry server.
+	if _, err := owner.Register(ctx(t), sightingAt("near", geo.Pt(760, 760)), 10, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Register(ctx(t), sightingAt("mid", geo.Pt(900, 760)), 10, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Register(ctx(t), sightingAt("far", geo.Pt(1400, 1400)), 10, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	q := ls.newClientAt(t, "querier", geo.Pt(100, 100), client.Options{})
+	res, err := q.NeighborQuery(ctx(t), geo.Pt(700, 700), 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nearest.OID != "near" {
+		t.Fatalf("nearest = %s", res.Nearest.OID)
+	}
+	if len(res.Near) != 0 {
+		t.Errorf("nearQual=0 gave nearObjSet %+v", res.Near)
+	}
+	wantDist := geo.Pt(760, 760).Dist(geo.Pt(700, 700)) - 25
+	if diff := res.GuaranteedMinDist - wantDist; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("GuaranteedMinDist = %v, want %v", res.GuaranteedMinDist, wantDist)
+	}
+
+	// With a generous nearQual the mid object appears in nearObjSet.
+	res, err = q.NeighborQuery(ctx(t), geo.Pt(700, 700), 25, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Near) != 1 || res.Near[0].OID != "mid" {
+		t.Errorf("nearObjSet = %+v, want [mid]", res.Near)
+	}
+}
+
+func TestNeighborQueryEmptyService(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	q := ls.newClientAt(t, "querier", geo.Pt(100, 100), client.Options{})
+	if _, err := q.NeighborQuery(ctx(t), geo.Pt(700, 700), 25, 0); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeregisterRemovesPath(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Deregister(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		for _, srv := range ls.dep.Servers {
+			if srv.VisitorCount() != 0 || srv.SightingCount() != 0 {
+				return false
+			}
+		}
+		return true
+	}, "all records removed")
+	if _, err := c.PosQuery(ctx(t), "o1"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("query after deregister err = %v", err)
+	}
+}
+
+func TestChangeAcc(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{AchievableAcc: 20})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 25, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.OfferedAcc() != 25 {
+		t.Fatalf("offered = %v, want 25", obj.OfferedAcc())
+	}
+	// Privacy-motivated coarsening ("I am in town" vs "at the station").
+	offered, err := obj.ChangeAcc(ctx(t), 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offered != 500 {
+		t.Errorf("offered after coarsening = %v, want 500", offered)
+	}
+	// Impossible range: server can only achieve 20.
+	if _, err := obj.ChangeAcc(ctx(t), 1, 5); !errors.Is(err, core.ErrAccuracy) {
+		t.Errorf("err = %v, want ErrAccuracy", err)
+	}
+	// The old registration stays in force.
+	if obj.OfferedAcc() != 500 {
+		t.Errorf("offered mutated on failed change: %v", obj.OfferedAcc())
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{
+		SightingTTL:     200 * time.Millisecond,
+		JanitorInterval: 50 * time.Millisecond,
+	})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	if _, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Without updates, the object must be deregistered everywhere.
+	waitFor(t, func() bool {
+		for _, srv := range ls.dep.Servers {
+			if srv.VisitorCount() != 0 {
+				return false
+			}
+		}
+		return true
+	}, "soft state expired")
+}
+
+func TestSoftStateKeptAliveByUpdates(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{
+		SightingTTL:     300 * time.Millisecond,
+		JanitorInterval: 50 * time.Millisecond,
+	})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(900 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := obj.Update(ctx(t), sightingAt("o1", geo.Pt(100, 100))); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if _, err := c.PosQuery(ctx(t), "o1"); err != nil {
+		t.Errorf("object expired despite updates: %v", err)
+	}
+}
+
+func TestDistanceBasedUpdateProtocol(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{AchievableAcc: 25})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 25, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 10 m move is within the offered accuracy: no update on the wire.
+	sent, err := obj.MaybeUpdate(ctx(t), sightingAt("o1", geo.Pt(110, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent {
+		t.Error("update sent although movement within accuracy")
+	}
+	// A 30 m move exceeds it.
+	sent, err = obj.MaybeUpdate(ctx(t), sightingAt("o1", geo.Pt(130, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sent {
+		t.Error("update not sent although movement exceeded accuracy")
+	}
+}
+
+func TestUpdateUnknownObjectRejected(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	c := ls.newClientAt(t, "client", geo.Pt(100, 100), client.Options{})
+	obj, err := c.Register(ctx(t), sightingAt("o1", geo.Pt(100, 100)), 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Deregister(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	err = obj.Update(ctx(t), sightingAt("o1", geo.Pt(120, 100)))
+	if !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("update after deregister err = %v", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"locsvc/internal/client"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+)
+
+// This file provides the pre-shaped operations of the paper's Table 2
+// experiment on the default testbed (1.5 km × 1.5 km root area, one root
+// plus four leaf quarters, Fig. 8): local updates, local/remote position
+// queries and range queries touching a chosen number of leaf servers.
+//
+// The helpers require the default quadrant deployment; they return an error
+// on other shapes.
+
+// table2Clients lazily creates one measurement client per leaf.
+func (w *World) table2Clients() ([]*client.Client, error) {
+	w.t2mu.Lock()
+	defer w.t2mu.Unlock()
+	if w.t2clients != nil {
+		return w.t2clients, nil
+	}
+	leaves := w.Dep.Leaves()
+	if len(leaves) != 4 || w.Config.Spec.RootArea != geo.R(0, 0, 1500, 1500) {
+		return nil, fmt.Errorf("sim: table 2 helpers need the default 4-leaf 1.5 km testbed")
+	}
+	for i, leaf := range leaves {
+		c, err := client.New(w.Net, msg.NodeID(fmt.Sprintf("t2-client-%d", i)), leaf, client.Options{Timeout: 30 * time.Second})
+		if err != nil {
+			return nil, err
+		}
+		w.t2clients = append(w.t2clients, c)
+	}
+	return w.t2clients, nil
+}
+
+// UpdateRandomLocal sends a position update for a random object, jittered
+// within its current leaf so the update never triggers a handover — Table 2
+// updates are always local in the paper's architecture.
+func (w *World) UpdateRandomLocal(ctx context.Context, rng *rand.Rand) error {
+	i := rng.Intn(len(w.Objects))
+	obj := w.Objects[i]
+	base := w.objPositions[i]
+	leaf := w.objEntryLeaf[i]
+	srv, ok := w.Dep.Server(leaf)
+	if !ok {
+		return fmt.Errorf("sim: missing server %s", leaf)
+	}
+	p := jitterWithin(base, 10, srv.Config().SA.Bounds(), rng)
+	s := core.Sighting{OID: obj.OID(), T: time.Now(), Pos: p, SensAcc: 5}
+	return obj.Update(ctx, s)
+}
+
+// PosQueryFrom issues a position query through the leaf-0 client; local
+// selects a target object whose agent is that same leaf, remote one from
+// the diagonally opposite quadrant.
+func (w *World) PosQueryFrom(ctx context.Context, rng *rand.Rand, local bool) error {
+	clients, err := w.table2Clients()
+	if err != nil {
+		return err
+	}
+	entry := w.Dep.Leaves()[0]
+	far := w.Dep.Leaves()[3]
+	want := entry
+	if !local {
+		want = far
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		i := rng.Intn(len(w.Objects))
+		if w.objEntryLeaf[i] != want {
+			continue
+		}
+		_, qerr := clients[0].PosQuery(ctx, w.Objects[i].OID())
+		return qerr
+	}
+	return fmt.Errorf("sim: no object found on leaf %s", want)
+}
+
+// RangeQueryServers issues a 50 m × 50 m range query through the leaf-0
+// client shaped to involve the given number of servers:
+//
+//	0 — local: the area lies inside the entry leaf itself;
+//	1 — remote, one leaf: inside the diagonally opposite quadrant;
+//	2 — remote, two leaves: straddling one internal boundary;
+//	4 — remote, four leaves: centered on the root midpoint.
+func (w *World) RangeQueryServers(ctx context.Context, rng *rand.Rand, servers int) error {
+	clients, err := w.table2Clients()
+	if err != nil {
+		return err
+	}
+	const size = 50.0
+	var area geo.Rect
+	switch servers {
+	case 0:
+		x := 100 + rng.Float64()*400
+		y := 100 + rng.Float64()*400
+		area = geo.R(x, y, x+size, y+size)
+	case 1:
+		x := 900 + rng.Float64()*400
+		y := 900 + rng.Float64()*400
+		area = geo.R(x, y, x+size, y+size)
+	case 2:
+		x := 900 + rng.Float64()*400
+		area = geo.R(x, 725, x+size, 725+size)
+	case 4:
+		area = geo.R(725, 725, 725+size, 725+size)
+	default:
+		return fmt.Errorf("sim: unsupported server count %d", servers)
+	}
+	_, qerr := clients[0].RangeQueryRect(ctx, area, 100, 0.5)
+	return qerr
+}
+
+// t2state holds the lazily created table-2 clients.
+type t2state struct {
+	t2mu      sync.Mutex
+	t2clients []*client.Client
+}

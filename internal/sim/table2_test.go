@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"locsvc/internal/geo"
+	"locsvc/internal/hierarchy"
+)
+
+func table2World(t *testing.T) *World {
+	t.Helper()
+	w, err := NewWorld(Config{
+		NumObjects: 400,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestUpdateRandomLocalNeverHandsOver(t *testing.T) {
+	w := table2World(t)
+	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		if err := w.UpdateRandomLocal(ctx, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, leaf := range w.Dep.Leaves() {
+		srv, _ := w.Dep.Server(leaf)
+		if got := srv.Metrics().Counter("handover_initiated").Value(); got != 0 {
+			t.Errorf("leaf %s initiated %d handovers from local updates", leaf, got)
+		}
+	}
+}
+
+func TestPosQueryFromLocalAndRemote(t *testing.T) {
+	w := table2World(t)
+	rng := rand.New(rand.NewSource(2))
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := w.PosQueryFrom(ctx, rng, true); err != nil {
+			t.Fatalf("local: %v", err)
+		}
+		if err := w.PosQueryFrom(ctx, rng, false); err != nil {
+			t.Fatalf("remote: %v", err)
+		}
+	}
+	entry, _ := w.Dep.Server(w.Dep.Leaves()[0])
+	if got := entry.Metrics().Counter("pos_query_local").Value(); got != 20 {
+		t.Errorf("local queries = %d, want 20", got)
+	}
+	if got := entry.Metrics().Counter("pos_query_remote").Value(); got != 20 {
+		t.Errorf("remote queries = %d, want 20", got)
+	}
+}
+
+func TestRangeQueryServersShapes(t *testing.T) {
+	w := table2World(t)
+	rng := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+	for _, servers := range []int{0, 1, 2, 4} {
+		if err := w.RangeQueryServers(ctx, rng, servers); err != nil {
+			t.Errorf("servers=%d: %v", servers, err)
+		}
+	}
+	if err := w.RangeQueryServers(ctx, rng, 3); err == nil {
+		t.Error("unsupported server count accepted")
+	}
+}
+
+func TestTable2HelpersRejectOtherShapes(t *testing.T) {
+	w, err := NewWorld(Config{
+		Spec: hierarchy.Spec{
+			RootArea: geo.R(0, 0, 900, 900),
+			Levels:   []hierarchy.Level{{Rows: 3, Cols: 3}},
+		},
+		NumObjects: 50,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	rng := rand.New(rand.NewSource(5))
+	if err := w.PosQueryFrom(context.Background(), rng, true); err == nil {
+		t.Error("table-2 helper accepted a 9-leaf deployment")
+	}
+}

@@ -1,0 +1,119 @@
+package spatial
+
+import (
+	"sort"
+
+	"locsvc/internal/geo"
+)
+
+// BulkLoad builds a balanced point quadtree from a batch of items: the
+// median point (alternating between x- and y-order per level) becomes each
+// subtree's root, giving logarithmic depth regardless of input order.
+//
+// Its value is the worst case, not the average: on randomly ordered input,
+// incremental insertion already yields a balanced tree and is considerably
+// faster (BenchmarkIndexBulkLoad), but on sorted or clustered replay input
+// — exactly what a recovering server may receive when visitors re-report in
+// a systematic order — incremental insertion degenerates into a chain while
+// BulkLoad guarantees logarithmic depth.
+func BulkLoad(items []Item) *Quadtree {
+	t := NewQuadtree()
+	if len(items) == 0 {
+		return t
+	}
+	work := make([]Item, len(items))
+	copy(work, items)
+	t.root = buildBalanced(work, true)
+	t.size = len(items)
+	return t
+}
+
+// buildBalanced recursively picks the median along the alternating axis.
+func buildBalanced(items []Item, byX bool) *qnode {
+	if len(items) == 0 {
+		return nil
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if byX {
+			if items[i].Pos.X != items[j].Pos.X {
+				return items[i].Pos.X < items[j].Pos.X
+			}
+			return items[i].Pos.Y < items[j].Pos.Y
+		}
+		if items[i].Pos.Y != items[j].Pos.Y {
+			return items[i].Pos.Y < items[j].Pos.Y
+		}
+		return items[i].Pos.X < items[j].Pos.X
+	})
+	mid := len(items) / 2
+	// Pull every duplicate of the median position into this node.
+	pivot := items[mid].Pos
+	node := &qnode{pos: pivot}
+	var rest []Item
+	for _, it := range items {
+		if it.Pos == pivot {
+			node.ids = append(node.ids, it.ID)
+		} else {
+			rest = append(rest, it)
+		}
+	}
+	// Partition the remainder into the four quadrants around the pivot.
+	var quads [4][]Item
+	for _, it := range rest {
+		quads[quadrantOf(pivot, it.Pos)] = append(quads[quadrantOf(pivot, it.Pos)], it)
+	}
+	for q := range quads {
+		node.kids[q] = buildBalanced(quads[q], !byX)
+	}
+	return node
+}
+
+// Rebuild replaces the tree's contents with a balanced bulk load of the
+// given items.
+func (t *Quadtree) Rebuild(items []Item) {
+	nt := BulkLoad(items)
+	t.root = nt.root
+	t.size = nt.size
+}
+
+// Bounds returns the bounding rectangle of all indexed points (zero Rect
+// when empty); a convenience for diagnostics.
+func (t *Quadtree) Bounds() geo.Rect {
+	var out geo.Rect
+	first := true
+	var walk func(n *qnode)
+	walk = func(n *qnode) {
+		if n == nil {
+			return
+		}
+		pr := geo.Rect{Min: n.pos, Max: n.pos}
+		if first {
+			out = pr
+			first = false
+		} else {
+			out = geo.Rect{
+				Min: geo.Point{X: minF(out.Min.X, n.pos.X), Y: minF(out.Min.Y, n.pos.Y)},
+				Max: geo.Point{X: maxF(out.Max.X, n.pos.X), Y: maxF(out.Max.Y, n.pos.Y)},
+			}
+		}
+		for _, k := range n.kids {
+			walk(k)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+// Package spatial provides the point indexes used by a location server's
+// main-memory sighting database (paper Section 5): a Point Quadtree (the
+// index the paper's prototype uses, after Samet [17]), an R-tree (the
+// alternative the paper cites, after Guttman [6]) and a linear scan used as
+// a correctness reference and ablation baseline.
+//
+// All indexes store (object id, position) pairs, answer rectangle searches
+// for range queries and stream neighbors in increasing distance order for
+// nearest-neighbor queries.
+package spatial
+
+import (
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// Item is one indexed object.
+type Item struct {
+	ID  core.OID
+	Pos geo.Point
+}
+
+// Index is the interface shared by all spatial index implementations.
+// Implementations are not safe for concurrent use; the owning store
+// serializes access (see internal/store).
+type Index interface {
+	// Insert adds an object at position p. Inserting an id twice without
+	// removing it first leaves two entries; callers are expected to
+	// Remove before re-inserting (the store's update path does).
+	Insert(id core.OID, p geo.Point)
+	// Remove deletes the entry for id at position p, which must be the
+	// position it was inserted with. It reports whether an entry was
+	// removed.
+	Remove(id core.OID, p geo.Point) bool
+	// Len returns the number of indexed entries.
+	Len() int
+	// Search visits every entry whose position lies in the closed
+	// rectangle r. Returning false from visit stops the search early.
+	Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool)
+	// NearestFunc visits entries in order of increasing distance from p.
+	// Returning false from visit stops the enumeration. Ordering between
+	// equidistant entries is unspecified.
+	NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool)
+}
+
+// Kind selects an index implementation by name; it is used by server
+// configuration and the index ablation benchmarks.
+type Kind int
+
+// Supported index kinds.
+const (
+	KindQuadtree Kind = iota + 1
+	KindRTree
+	KindLinear
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindQuadtree:
+		return "quadtree"
+	case KindRTree:
+		return "rtree"
+	case KindLinear:
+		return "linear"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs an index of the given kind. Unknown kinds fall back to the
+// quadtree, the paper's default.
+func New(k Kind) Index {
+	switch k {
+	case KindRTree:
+		return NewRTree()
+	case KindLinear:
+		return NewLinear()
+	default:
+		return NewQuadtree()
+	}
+}
+
+// SearchAll collects every entry inside r. It is a convenience wrapper
+// around Search for callers that want a slice.
+func SearchAll(ix Index, r geo.Rect) []Item {
+	var out []Item
+	ix.Search(r, func(id core.OID, p geo.Point) bool {
+		out = append(out, Item{ID: id, Pos: p})
+		return true
+	})
+	return out
+}
+
+// KNearest returns up to k entries closest to p, nearest first.
+func KNearest(ix Index, p geo.Point, k int) []Item {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Item, 0, k)
+	ix.NearestFunc(p, func(id core.OID, q geo.Point, _ float64) bool {
+		out = append(out, Item{ID: id, Pos: q})
+		return len(out) < k
+	})
+	return out
+}

@@ -1,0 +1,82 @@
+package spatial
+
+import (
+	"sort"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// Linear is a brute-force index used as a correctness reference for the
+// tree indexes and as the baseline in the index ablation (DESIGN.md, A1).
+// Insert and Remove are O(1); Search and NearestFunc scan all entries.
+type Linear struct {
+	items map[core.OID][]geo.Point
+	size  int
+}
+
+var _ Index = (*Linear)(nil)
+
+// NewLinear returns an empty linear index.
+func NewLinear() *Linear {
+	return &Linear{items: make(map[core.OID][]geo.Point)}
+}
+
+// Len implements Index.
+func (l *Linear) Len() int { return l.size }
+
+// Insert implements Index.
+func (l *Linear) Insert(id core.OID, p geo.Point) {
+	l.items[id] = append(l.items[id], p)
+	l.size++
+}
+
+// Remove implements Index.
+func (l *Linear) Remove(id core.OID, p geo.Point) bool {
+	ps := l.items[id]
+	for i, q := range ps {
+		if q == p {
+			ps[i] = ps[len(ps)-1]
+			ps = ps[:len(ps)-1]
+			if len(ps) == 0 {
+				delete(l.items, id)
+			} else {
+				l.items[id] = ps
+			}
+			l.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Search implements Index.
+func (l *Linear) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) {
+	for id, ps := range l.items {
+		for _, p := range ps {
+			if r.ContainsClosed(p) && !visit(id, p) {
+				return
+			}
+		}
+	}
+}
+
+// NearestFunc implements Index by sorting all entries by distance.
+func (l *Linear) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+	type distItem struct {
+		it   Item
+		dist float64
+	}
+	all := make([]distItem, 0, l.size)
+	for id, ps := range l.items {
+		for _, q := range ps {
+			all = append(all, distItem{it: Item{ID: id, Pos: q}, dist: q.Dist(p)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].dist < all[j].dist })
+	for _, di := range all {
+		if !visit(di.it.ID, di.it.Pos, di.dist) {
+			return
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package spatial
+
+import (
+	"container/heap"
+	"math"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// Quadtree is a Point Quadtree after Samet [17], the spatial index the
+// paper's prototype uses for its sightingDB. Every tree node stores one
+// distinct position (plus all object ids sighted exactly there) and splits
+// the plane into four quadrants at that position.
+//
+// Deletion uses subtree re-insertion: when an internal node's last id is
+// removed, the node's subtree is rebuilt without it. On the uniformly
+// distributed positions a location server sees, subtrees are small and this
+// keeps updates cheap (see BenchmarkTable1 for measured rates).
+type Quadtree struct {
+	root *qnode
+	size int
+}
+
+var _ Index = (*Quadtree)(nil)
+
+// NewQuadtree returns an empty point quadtree.
+func NewQuadtree() *Quadtree { return &Quadtree{} }
+
+type qnode struct {
+	pos  geo.Point
+	ids  []core.OID
+	kids [4]*qnode
+}
+
+// quadrant indexes: 0 = NE, 1 = NW, 2 = SW, 3 = SE relative to node point.
+// Points on the dividing lines go east/north, making placement unique.
+func quadrantOf(center, p geo.Point) int {
+	if p.X >= center.X {
+		if p.Y >= center.Y {
+			return 0
+		}
+		return 3
+	}
+	if p.Y >= center.Y {
+		return 1
+	}
+	return 2
+}
+
+// quadrantRect returns the sub-rectangle of region corresponding to
+// quadrant q around center.
+func quadrantRect(region geo.Rect, center geo.Point, q int) geo.Rect {
+	r := region
+	switch q {
+	case 0: // NE
+		r.Min = geo.Point{X: center.X, Y: center.Y}
+	case 1: // NW
+		r.Max.X = center.X
+		r.Min.Y = center.Y
+	case 2: // SW
+		r.Max = geo.Point{X: center.X, Y: center.Y}
+	case 3: // SE
+		r.Min.X = center.X
+		r.Max.Y = center.Y
+	}
+	return r
+}
+
+// Len implements Index.
+func (t *Quadtree) Len() int { return t.size }
+
+// Insert implements Index.
+func (t *Quadtree) Insert(id core.OID, p geo.Point) {
+	t.size++
+	if t.root == nil {
+		t.root = &qnode{pos: p, ids: []core.OID{id}}
+		return
+	}
+	n := t.root
+	for {
+		if n.pos == p {
+			n.ids = append(n.ids, id)
+			return
+		}
+		q := quadrantOf(n.pos, p)
+		if n.kids[q] == nil {
+			n.kids[q] = &qnode{pos: p, ids: []core.OID{id}}
+			return
+		}
+		n = n.kids[q]
+	}
+}
+
+// Remove implements Index.
+func (t *Quadtree) Remove(id core.OID, p geo.Point) bool {
+	n, parent, pq := t.root, (*qnode)(nil), -1
+	for n != nil && n.pos != p {
+		q := quadrantOf(n.pos, p)
+		parent, pq, n = n, q, n.kids[q]
+	}
+	if n == nil {
+		return false
+	}
+	idx := -1
+	for i, v := range n.ids {
+		if v == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	n.ids = append(n.ids[:idx], n.ids[idx+1:]...)
+	t.size--
+	if len(n.ids) > 0 {
+		return true
+	}
+	// Node holds no more objects: rebuild its subtree without it.
+	var items []Item
+	for _, k := range n.kids {
+		collect(k, &items)
+	}
+	rebuilt := buildSubtree(items)
+	if parent == nil {
+		t.root = rebuilt
+	} else {
+		parent.kids[pq] = rebuilt
+	}
+	return true
+}
+
+// collect appends every item in the subtree rooted at n.
+func collect(n *qnode, out *[]Item) {
+	if n == nil {
+		return
+	}
+	for _, id := range n.ids {
+		*out = append(*out, Item{ID: id, Pos: n.pos})
+	}
+	for _, k := range n.kids {
+		collect(k, out)
+	}
+}
+
+// buildSubtree constructs a subtree from items by repeated insertion,
+// choosing a middle element first to keep the subtree balanced-ish.
+func buildSubtree(items []Item) *qnode {
+	if len(items) == 0 {
+		return nil
+	}
+	// Start from the median-ish element to avoid degenerate chains when
+	// items came out of an ordered traversal.
+	mid := len(items) / 2
+	root := &qnode{pos: items[mid].Pos, ids: []core.OID{items[mid].ID}}
+	for i, it := range items {
+		if i == mid {
+			continue
+		}
+		n := root
+		for {
+			if n.pos == it.Pos {
+				n.ids = append(n.ids, it.ID)
+				break
+			}
+			q := quadrantOf(n.pos, it.Pos)
+			if n.kids[q] == nil {
+				n.kids[q] = &qnode{pos: it.Pos, ids: []core.OID{it.ID}}
+				break
+			}
+			n = n.kids[q]
+		}
+	}
+	return root
+}
+
+// Search implements Index.
+func (t *Quadtree) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) {
+	searchQ(t.root, r, visit)
+}
+
+func searchQ(n *qnode, r geo.Rect, visit func(core.OID, geo.Point) bool) bool {
+	if n == nil {
+		return true
+	}
+	if r.ContainsClosed(n.pos) {
+		for _, id := range n.ids {
+			if !visit(id, n.pos) {
+				return false
+			}
+		}
+	}
+	// Prune quadrants that cannot intersect r.
+	// Quadrant 0 (NE): x >= pos.X, y >= pos.Y, etc.
+	if r.Max.X >= n.pos.X && r.Max.Y >= n.pos.Y {
+		if !searchQ(n.kids[0], r, visit) {
+			return false
+		}
+	}
+	if r.Min.X < n.pos.X && r.Max.Y >= n.pos.Y {
+		if !searchQ(n.kids[1], r, visit) {
+			return false
+		}
+	}
+	if r.Min.X < n.pos.X && r.Min.Y < n.pos.Y {
+		if !searchQ(n.kids[2], r, visit) {
+			return false
+		}
+	}
+	if r.Max.X >= n.pos.X && r.Min.Y < n.pos.Y {
+		if !searchQ(n.kids[3], r, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// qheapEntry is either a tree node with its enclosing region or a concrete
+// point ready to be reported.
+type qheapEntry struct {
+	dist   float64
+	node   *qnode   // nil for point entries
+	region geo.Rect // region for node entries
+	item   Item     // set for point entries
+}
+
+type qheap []qheapEntry
+
+func (h qheap) Len() int            { return len(h) }
+func (h qheap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h qheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *qheap) Push(x interface{}) { *h = append(*h, x.(qheapEntry)) }
+func (h *qheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestFunc implements Index using best-first search: a priority queue
+// orders pending quadrants by their minimum possible distance, so entries
+// are reported in exact increasing-distance order.
+func (t *Quadtree) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+	if t.root == nil {
+		return
+	}
+	inf := math.Inf(1)
+	all := geo.Rect{Min: geo.Point{X: -inf, Y: -inf}, Max: geo.Point{X: inf, Y: inf}}
+	h := &qheap{{dist: 0, node: t.root, region: all}}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(qheapEntry)
+		if e.node == nil {
+			if !visit(e.item.ID, e.item.Pos, e.dist) {
+				return
+			}
+			continue
+		}
+		n := e.node
+		d := n.pos.Dist(p)
+		for _, id := range n.ids {
+			heap.Push(h, qheapEntry{dist: d, item: Item{ID: id, Pos: n.pos}})
+		}
+		for q, k := range n.kids {
+			if k == nil {
+				continue
+			}
+			reg := quadrantRect(e.region, n.pos, q)
+			heap.Push(h, qheapEntry{dist: reg.DistToPoint(p), node: k, region: reg})
+		}
+	}
+}
+
+// Depth returns the height of the tree; exposed for tests and diagnostics.
+func (t *Quadtree) Depth() int { return depthQ(t.root) }
+
+func depthQ(n *qnode) int {
+	if n == nil {
+		return 0
+	}
+	max := 0
+	for _, k := range n.kids {
+		if d := depthQ(k); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}

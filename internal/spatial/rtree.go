@@ -1,0 +1,383 @@
+package spatial
+
+import (
+	"container/heap"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// R-tree parameters: maximum and minimum entries per node (Guttman [6]).
+const (
+	rtreeMax = 16
+	rtreeMin = 4
+)
+
+// RTree is a dynamic R-tree with quadratic split, the alternative spatial
+// index the paper cites for the sightingDB. Entries are points, stored as
+// degenerate rectangles.
+type RTree struct {
+	root *rnode
+	size int
+}
+
+var _ Index = (*RTree)(nil)
+
+// NewRTree returns an empty R-tree.
+func NewRTree() *RTree {
+	return &RTree{root: &rnode{leaf: true}}
+}
+
+type rentry struct {
+	rect  geo.Rect
+	child *rnode // nil in leaf entries
+	item  Item   // set in leaf entries
+}
+
+type rnode struct {
+	leaf    bool
+	entries []rentry
+	parent  *rnode
+}
+
+func pointRect(p geo.Point) geo.Rect { return geo.Rect{Min: p, Max: p} }
+
+// mbr returns the minimum bounding rectangle of a node's entries.
+func (n *rnode) mbr() geo.Rect {
+	var r geo.Rect
+	first := true
+	for _, e := range n.entries {
+		if first {
+			r = e.rect
+			first = false
+		} else {
+			r = unionRect(r, e.rect)
+		}
+	}
+	return r
+}
+
+// unionRect is like geo.Rect.Union but treats degenerate (zero-area) point
+// rectangles as non-empty.
+func unionRect(a, b geo.Rect) geo.Rect {
+	out := a
+	if b.Min.X < out.Min.X {
+		out.Min.X = b.Min.X
+	}
+	if b.Min.Y < out.Min.Y {
+		out.Min.Y = b.Min.Y
+	}
+	if b.Max.X > out.Max.X {
+		out.Max.X = b.Max.X
+	}
+	if b.Max.Y > out.Max.Y {
+		out.Max.Y = b.Max.Y
+	}
+	return out
+}
+
+func rectArea(r geo.Rect) float64 { return (r.Max.X - r.Min.X) * (r.Max.Y - r.Min.Y) }
+
+// intersectsClosed reports rectangle overlap including shared boundaries,
+// needed because point entries are degenerate rectangles.
+func intersectsClosed(a, b geo.Rect) bool {
+	return a.Min.X <= b.Max.X && b.Min.X <= a.Max.X &&
+		a.Min.Y <= b.Max.Y && b.Min.Y <= a.Max.Y
+}
+
+// Len implements Index.
+func (t *RTree) Len() int { return t.size }
+
+// Insert implements Index.
+func (t *RTree) Insert(id core.OID, p geo.Point) {
+	t.size++
+	leaf := t.chooseLeaf(t.root, pointRect(p))
+	leaf.entries = append(leaf.entries, rentry{rect: pointRect(p), item: Item{ID: id, Pos: p}})
+	t.adjustTree(leaf)
+}
+
+// chooseLeaf descends to the leaf whose MBR needs the least enlargement to
+// include r (Guttman's ChooseLeaf).
+func (t *RTree) chooseLeaf(n *rnode, r geo.Rect) *rnode {
+	for !n.leaf {
+		best := -1
+		var bestEnlarge, bestArea float64
+		for i, e := range n.entries {
+			area := rectArea(e.rect)
+			enlarged := rectArea(unionRect(e.rect, r)) - area
+			if best < 0 || enlarged < bestEnlarge ||
+				(enlarged == bestEnlarge && area < bestArea) {
+				best, bestEnlarge, bestArea = i, enlarged, area
+			}
+		}
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// adjustTree propagates MBR updates and splits from n up to the root.
+func (t *RTree) adjustTree(n *rnode) {
+	for {
+		var split *rnode
+		if len(n.entries) > rtreeMax {
+			split = t.splitNode(n)
+		}
+		if n.parent == nil {
+			if split != nil {
+				// Grow the tree: new root with two children.
+				newRoot := &rnode{leaf: false}
+				newRoot.entries = []rentry{
+					{rect: n.mbr(), child: n},
+					{rect: split.mbr(), child: split},
+				}
+				n.parent = newRoot
+				split.parent = newRoot
+				t.root = newRoot
+			}
+			return
+		}
+		parent := n.parent
+		// Refresh this node's rectangle in the parent.
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				parent.entries[i].rect = n.mbr()
+				break
+			}
+		}
+		if split != nil {
+			split.parent = parent
+			parent.entries = append(parent.entries, rentry{rect: split.mbr(), child: split})
+		}
+		n = parent
+	}
+}
+
+// splitNode performs Guttman's quadratic split, moving roughly half of n's
+// entries into a returned sibling.
+func (t *RTree) splitNode(n *rnode) *rnode {
+	entries := n.entries
+	// Pick the two seeds wasting the most area if grouped together.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := rectArea(unionRect(entries[i].rect, entries[j].rect)) -
+				rectArea(entries[i].rect) - rectArea(entries[j].rect)
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	g1 := []rentry{entries[s1]}
+	g2 := []rentry{entries[s2]}
+	r1, r2 := entries[s1].rect, entries[s2].rect
+	rest := make([]rentry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach the
+		// minimum, assign them wholesale.
+		if len(g1)+len(rest) == rtreeMin {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				r1 = unionRect(r1, e.rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) == rtreeMin {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				r2 = unionRect(r2, e.rect)
+			}
+			break
+		}
+		// PickNext: entry with the greatest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := rectArea(unionRect(r1, e.rect)) - rectArea(r1)
+			d2 := rectArea(unionRect(r2, e.rect)) - rectArea(r2)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1 := rectArea(unionRect(r1, e.rect)) - rectArea(r1)
+		d2 := rectArea(unionRect(r2, e.rect)) - rectArea(r2)
+		if d1 < d2 || (d1 == d2 && len(g1) < len(g2)) {
+			g1 = append(g1, e)
+			r1 = unionRect(r1, e.rect)
+		} else {
+			g2 = append(g2, e)
+			r2 = unionRect(r2, e.rect)
+		}
+	}
+	n.entries = g1
+	sibling := &rnode{leaf: n.leaf, entries: g2}
+	for _, e := range g2 {
+		if e.child != nil {
+			e.child.parent = sibling
+		}
+	}
+	return sibling
+}
+
+// Remove implements Index.
+func (t *RTree) Remove(id core.OID, p geo.Point) bool {
+	leaf, idx := t.findLeaf(t.root, id, p)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condenseTree(leaf)
+	// Shrink the tree if the root has a single non-leaf child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+	}
+	return true
+}
+
+// findLeaf locates the leaf and entry index holding (id, p).
+func (t *RTree) findLeaf(n *rnode, id core.OID, p geo.Point) (*rnode, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.item.ID == id && e.item.Pos == p {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	pr := pointRect(p)
+	for _, e := range n.entries {
+		if intersectsClosed(e.rect, pr) {
+			if leaf, i := t.findLeaf(e.child, id, p); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condenseTree removes underfull nodes along the path from n to the root
+// and reinserts their orphaned entries (Guttman's CondenseTree).
+func (t *RTree) condenseTree(n *rnode) {
+	var orphans []rentry
+	for n.parent != nil {
+		parent := n.parent
+		if len(n.entries) < rtreeMin {
+			// Unhook n from its parent and stash its entries.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, n.entries...)
+		} else {
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries[i].rect = n.mbr()
+					break
+				}
+			}
+		}
+		n = parent
+	}
+	for _, e := range orphans {
+		if e.child != nil {
+			// Reinsert a whole subtree's leaf items.
+			var items []Item
+			collectR(e.child, &items)
+			for _, it := range items {
+				t.size--
+				t.Insert(it.ID, it.Pos)
+			}
+		} else {
+			t.size--
+			t.Insert(e.item.ID, e.item.Pos)
+		}
+	}
+}
+
+func collectR(n *rnode, out *[]Item) {
+	if n.leaf {
+		for _, e := range n.entries {
+			*out = append(*out, e.item)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		collectR(e.child, out)
+	}
+}
+
+// Search implements Index.
+func (t *RTree) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) {
+	searchR(t.root, r, visit)
+}
+
+func searchR(n *rnode, r geo.Rect, visit func(core.OID, geo.Point) bool) bool {
+	for _, e := range n.entries {
+		if !intersectsClosed(e.rect, r) {
+			continue
+		}
+		if n.leaf {
+			if r.ContainsClosed(e.item.Pos) && !visit(e.item.ID, e.item.Pos) {
+				return false
+			}
+		} else if !searchR(e.child, r, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+type rheapEntry struct {
+	dist float64
+	node *rnode // nil for item entries
+	item Item
+}
+
+type rheap []rheapEntry
+
+func (h rheap) Len() int            { return len(h) }
+func (h rheap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h rheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rheap) Push(x interface{}) { *h = append(*h, x.(rheapEntry)) }
+func (h *rheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestFunc implements Index via best-first search over node MBRs.
+func (t *RTree) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+	h := &rheap{{dist: 0, node: t.root}}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(rheapEntry)
+		if e.node == nil {
+			if !visit(e.item.ID, e.item.Pos, e.dist) {
+				return
+			}
+			continue
+		}
+		for _, en := range e.node.entries {
+			if e.node.leaf {
+				heap.Push(h, rheapEntry{dist: en.item.Pos.Dist(p), item: en.item})
+			} else {
+				heap.Push(h, rheapEntry{dist: en.rect.DistToPoint(p), node: en.child})
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// ChildRecord describes one child of a non-leaf server: its identifier and
+// the service area it is responsible for (the paper's child record with
+// fields id and sa).
+type ChildRecord struct {
+	ID string    `json:"id"`
+	SA core.Area `json:"sa"`
+}
+
+// ConfigRecord is a server's persistent configuration record c (paper
+// Section 5): its own service area, its parent and its children. For the
+// root server Parent is empty; for leaf servers Children is empty.
+type ConfigRecord struct {
+	// ID is the server's node identifier.
+	ID string `json:"id"`
+	// SA is the service area associated with the server.
+	SA core.Area `json:"sa"`
+	// Parent identifies the parent server; empty for the root (the
+	// paper's ε).
+	Parent string `json:"parent,omitempty"`
+	// ParentGroup lists the partition servers sharing the parent's
+	// service area when the parent level is partitioned by object id
+	// (Section 4: "information about tracked objects can be partitioned
+	// based on some portion of the object id", as for the GSM HLR).
+	// Empty means the parent is a single server; otherwise Parent is the
+	// first entry of the group.
+	ParentGroup []string `json:"parentGroup,omitempty"`
+	// Children holds one record per child server, empty for leaves.
+	Children []ChildRecord `json:"children,omitempty"`
+}
+
+// IsRoot reports whether the record describes the root server.
+func (c ConfigRecord) IsRoot() bool { return c.Parent == "" }
+
+// IsLeaf reports whether the record describes a leaf server.
+func (c ConfigRecord) IsLeaf() bool { return len(c.Children) == 0 }
+
+// ChildFor returns the child whose service area contains p, implementing
+// the "select child ∈ c.children with pos ∈ child.c.sa" step used by
+// registration, handover and query forwarding (Algorithms 6-1 and 6-3).
+// Because sibling areas do not overlap, at most one child matches; boundary
+// points are assigned to the first child whose closed area contains them.
+func (c ConfigRecord) ChildFor(p geo.Point) (ChildRecord, bool) {
+	// First pass: half-open rectangle containment for exact, exclusive
+	// assignment on the rectangular partitions deployments use.
+	for _, ch := range c.Children {
+		if ch.SA.Bounds().Contains(p) && ch.SA.Contains(p) {
+			return ch, true
+		}
+	}
+	// Second pass: closed containment, so points on the outer boundary
+	// of the parent area still find a child.
+	for _, ch := range c.Children {
+		if ch.SA.Contains(p) {
+			return ch, true
+		}
+	}
+	return ChildRecord{}, false
+}
+
+// Validate checks the structural invariants of Section 4: a non-leaf
+// server's children must tile its service area (union equals the parent
+// area, no overlaps). Tiling is verified by area accounting, which is exact
+// for the rectangular partitions the hierarchy builder produces and a close
+// approximation for general convex polygons.
+func (c ConfigRecord) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("store: config record without id")
+	}
+	if c.SA.Empty() {
+		return fmt.Errorf("store: server %s has empty service area", c.ID)
+	}
+	if c.IsLeaf() {
+		return nil
+	}
+	var sum float64
+	for i, ch := range c.Children {
+		if ch.ID == "" {
+			return fmt.Errorf("store: server %s child %d without id", c.ID, i)
+		}
+		if ch.SA.Empty() {
+			return fmt.Errorf("store: child %s has empty service area", ch.ID)
+		}
+		sum += ch.SA.Size()
+		for _, other := range c.Children[:i] {
+			inter := ch.SA.Vertices.ClipRect(other.SA.Bounds())
+			if inter.Area() > 1e-6*ch.SA.Size() && overlapsByArea(ch.SA, other.SA) {
+				return fmt.Errorf("store: children %s and %s of %s overlap", ch.ID, other.ID, c.ID)
+			}
+		}
+	}
+	parent := c.SA.Size()
+	if diff := sum - parent; diff > 1e-6*parent || diff < -1e-6*parent {
+		return fmt.Errorf("store: children of %s cover %.3f of parent area %.3f", c.ID, sum, parent)
+	}
+	return nil
+}
+
+// overlapsByArea reports whether two convex areas share real area (not just
+// a boundary), using rectangle clipping of a against b's bounds followed by
+// b's bounds check — exact for the rectangle areas used in deployments.
+func overlapsByArea(a, b core.Area) bool {
+	inter := a.Vertices.ClipRect(b.Bounds())
+	return inter.Area() > 1e-9
+}
+
+// SaveConfig writes the record as JSON to path (atomically via a temp file).
+func SaveConfig(c ConfigRecord, path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshaling config: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: writing config: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: renaming config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a record previously written by SaveConfig.
+func LoadConfig(path string) (ConfigRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ConfigRecord{}, fmt.Errorf("store: reading config: %w", err)
+	}
+	var c ConfigRecord
+	if err := json.Unmarshal(data, &c); err != nil {
+		return ConfigRecord{}, fmt.Errorf("store: parsing config: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,191 @@
+// Package store implements the data-storage components of a location server
+// (paper Section 5 and Fig. 7):
+//
+//   - SightingDB — the main-memory database of sighting records kept by leaf
+//     servers, with a spatial index over positions (for range and nearest-
+//     neighbor queries) and a hash index over object identifiers (for
+//     position queries). Records carry soft-state expiration dates.
+//   - VisitorDB — the per-server database of visitor records, persisted via
+//     an append-only log so that forwarding paths survive crashes. The paper
+//     used DB2 over JDBC; the log-plus-snapshot store here preserves the
+//     property that matters (durability of forwarding paths) without an
+//     external database.
+//   - ConfigRecord — the persistent configuration record describing a
+//     server's service area, parent and children.
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/spatial"
+)
+
+// SightingDB is the volatile sighting-record store of a leaf server. It is
+// safe for concurrent use. Positions are indexed spatially; object ids are
+// hash-indexed. Records expire after the configured TTL unless refreshed by
+// updates — the soft-state principle of Section 5.
+type SightingDB struct {
+	mu    sync.RWMutex
+	idx   spatial.Index
+	byID  map[core.OID]*sightingEntry
+	ttl   time.Duration
+	clock func() time.Time
+}
+
+type sightingEntry struct {
+	s       core.Sighting
+	expires time.Time
+}
+
+// SightingDBOption customizes a SightingDB.
+type SightingDBOption func(*SightingDB)
+
+// WithIndex selects the spatial index implementation (default: quadtree,
+// the paper's choice).
+func WithIndex(kind spatial.Kind) SightingDBOption {
+	return func(db *SightingDB) { db.idx = spatial.New(kind) }
+}
+
+// WithTTL sets the soft-state time-to-live for sighting records. Zero
+// disables expiration.
+func WithTTL(ttl time.Duration) SightingDBOption {
+	return func(db *SightingDB) { db.ttl = ttl }
+}
+
+// WithClock injects a time source, used by tests to control expiry.
+func WithClock(clock func() time.Time) SightingDBOption {
+	return func(db *SightingDB) { db.clock = clock }
+}
+
+// NewSightingDB returns an empty sighting database.
+func NewSightingDB(opts ...SightingDBOption) *SightingDB {
+	db := &SightingDB{
+		idx:   spatial.NewQuadtree(),
+		byID:  make(map[core.OID]*sightingEntry),
+		clock: time.Now,
+	}
+	for _, opt := range opts {
+		opt(db)
+	}
+	return db
+}
+
+// Len returns the number of stored sighting records.
+func (db *SightingDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byID)
+}
+
+// Put inserts or replaces the sighting record for s.OID and refreshes its
+// expiration date. It implements both sightingDB.insert and
+// sightingDB.update of the paper's algorithms.
+func (db *SightingDB) Put(s core.Sighting) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if old, ok := db.byID[s.OID]; ok {
+		db.idx.Remove(s.OID, old.s.Pos)
+	}
+	entry := &sightingEntry{s: s}
+	if db.ttl > 0 {
+		entry.expires = db.clock().Add(db.ttl)
+	}
+	db.byID[s.OID] = entry
+	db.idx.Insert(s.OID, s.Pos)
+}
+
+// Get returns the sighting record for id via the hash index.
+func (db *SightingDB) Get(id core.OID) (core.Sighting, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.byID[id]
+	if !ok {
+		return core.Sighting{}, false
+	}
+	return e.s, true
+}
+
+// Remove deletes the record for id and reports whether it existed.
+func (db *SightingDB) Remove(id core.OID) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.byID[id]
+	if !ok {
+		return false
+	}
+	db.idx.Remove(id, e.s.Pos)
+	delete(db.byID, id)
+	return true
+}
+
+// Touch refreshes the expiration date of id without changing its sighting,
+// used when a tracked object reports "no movement" heartbeats.
+func (db *SightingDB) Touch(id core.OID) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.byID[id]
+	if !ok {
+		return false
+	}
+	if db.ttl > 0 {
+		e.expires = db.clock().Add(db.ttl)
+	}
+	return true
+}
+
+// Expired returns the ids of all records whose soft-state TTL has passed.
+// The caller (the server's janitor) deregisters them.
+func (db *SightingDB) Expired() []core.OID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ttl <= 0 {
+		return nil
+	}
+	now := db.clock()
+	var out []core.OID
+	for id, e := range db.byID {
+		if !e.expires.IsZero() && now.After(e.expires) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SearchArea visits every sighting whose position lies within the closed
+// rectangle r, via the spatial index.
+func (db *SightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.idx.Search(r, func(id core.OID, _ geo.Point) bool {
+		return visit(db.byID[id].s)
+	})
+}
+
+// NearestFunc visits sightings in order of increasing distance from p.
+func (db *SightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting, dist float64) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.idx.NearestFunc(p, func(id core.OID, _ geo.Point, dist float64) bool {
+		return visit(db.byID[id].s, dist)
+	})
+}
+
+// ForEach visits every stored sighting in unspecified order.
+func (db *SightingDB) ForEach(visit func(s core.Sighting) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, e := range db.byID {
+		if !visit(e.s) {
+			return
+		}
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (db *SightingDB) String() string {
+	return fmt.Sprintf("SightingDB(%d records)", db.Len())
+}

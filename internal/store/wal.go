@@ -1,0 +1,209 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// WALOp is the kind of a write-ahead-log record.
+type WALOp string
+
+// WAL operations.
+const (
+	WALPut    WALOp = "put"
+	WALRemove WALOp = "remove"
+)
+
+// WALRecord is one logged visitorDB mutation.
+type WALRecord struct {
+	Op      WALOp         `json:"op"`
+	Visitor VisitorRecord `json:"visitor"`
+}
+
+// WAL is the persistence backend of a VisitorDB. Implementations must allow
+// Replay before the first Append and tolerate Compact at any point.
+type WAL interface {
+	// Replay streams every logged record in order, oldest first.
+	Replay(fn func(WALRecord) error) error
+	// Append durably adds one record.
+	Append(rec WALRecord) error
+	// Compact atomically replaces the log with one Put per live record.
+	Compact(live []VisitorRecord) error
+	// Close releases resources.
+	Close() error
+}
+
+// NullWAL is a no-op WAL for servers that do not need durable forwarding
+// paths (benchmarks, simulations).
+type NullWAL struct{}
+
+var _ WAL = NullWAL{}
+
+// Replay implements WAL.
+func (NullWAL) Replay(func(WALRecord) error) error { return nil }
+
+// Append implements WAL.
+func (NullWAL) Append(WALRecord) error { return nil }
+
+// Compact implements WAL.
+func (NullWAL) Compact([]VisitorRecord) error { return nil }
+
+// Close implements WAL.
+func (NullWAL) Close() error { return nil }
+
+// FileWAL is a JSON-lines append-only log on disk. It substitutes the
+// paper's DB2 database: visitorDB changes are rare (registration,
+// deregistration, handover only), so a simple synchronous log keeps
+// forwarding paths durable at negligible cost.
+type FileWAL struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	// Sync forces an fsync after every append. Off by default: the
+	// paper's durability need is "survive process restart", and tests
+	// exercise that; enable for machine-crash durability.
+	sync bool
+}
+
+var _ WAL = (*FileWAL)(nil)
+
+// FileWALOption customizes a FileWAL.
+type FileWALOption func(*FileWAL)
+
+// WithSync enables fsync-per-append.
+func WithSync() FileWALOption {
+	return func(w *FileWAL) { w.sync = true }
+}
+
+// OpenFileWAL opens (creating if needed) the log at path.
+func OpenFileWAL(path string, opts ...FileWALOption) (*FileWAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL %s: %w", path, err)
+	}
+	w := &FileWAL{path: path, f: f, w: bufio.NewWriter(f)}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w, nil
+}
+
+// Replay implements WAL. A trailing partial line (torn write from a crash)
+// is ignored, matching standard WAL recovery semantics.
+func (w *FileWAL) Replay(fn func(WALRecord) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking WAL: %w", err)
+	}
+	sc := bufio.NewScanner(w.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec WALRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail record: stop replaying.
+			return nil
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: scanning WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: seeking WAL end: %w", err)
+	}
+	return nil
+}
+
+// Append implements WAL.
+func (w *FileWAL) Append(rec WALRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshaling WAL record: %w", err)
+	}
+	if _, err := w.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("store: writing WAL record: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing WAL: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// Compact implements WAL: it writes the live set to a temporary file and
+// atomically renames it over the log.
+func (w *FileWAL) Compact(live []VisitorRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, ".wal-compact-*")
+	if err != nil {
+		return fmt.Errorf("store: creating compaction file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	for _, rec := range live {
+		data, err := json.Marshal(WALRecord{Op: WALPut, Visitor: rec})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: marshaling compaction record: %w", err)
+		}
+		if _, err := bw.Write(append(data, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: writing compaction record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: flushing compaction file: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing compaction file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing compaction file: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: closing old WAL: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		return fmt.Errorf("store: renaming compacted WAL: %w", err)
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening compacted WAL: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	return nil
+}
+
+// Close implements WAL.
+func (w *FileWAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing WAL on close: %w", err)
+	}
+	return w.f.Close()
+}

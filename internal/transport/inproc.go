@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"locsvc/internal/msg"
+)
+
+// InprocOptions configure the in-process network.
+type InprocOptions struct {
+	// Latency, if non-nil, returns the one-way delivery delay between two
+	// nodes. Use it to model the paper's LAN (e.g. a few hundred
+	// microseconds per hop) or wide-area placements.
+	Latency func(from, to msg.NodeID) time.Duration
+	// DropRate is the probability in [0,1] that a one-way message is
+	// silently lost, modelling UDP loss for failure-injection tests.
+	// Replies to calls are subject to the same loss.
+	DropRate float64
+	// Seed seeds the drop decision; zero uses a fixed default.
+	Seed int64
+	// OnDeliver, if non-nil, observes every delivered message; used by
+	// the simulation harness to count messages and hops.
+	OnDeliver func(from, to msg.NodeID, m msg.Message)
+}
+
+// Inproc is an in-process Network: nodes are handler functions invoked on
+// dedicated goroutines per delivery.
+type Inproc struct {
+	mu     sync.RWMutex
+	nodes  map[msg.NodeID]*inprocNode
+	opts   InprocOptions
+	wg     sync.WaitGroup
+	closed bool
+
+	dropMu sync.Mutex
+	rng    *rand.Rand
+}
+
+var _ Network = (*Inproc)(nil)
+
+// NewInproc creates an in-process network.
+func NewInproc(opts InprocOptions) *Inproc {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Inproc{
+		nodes: make(map[msg.NodeID]*inprocNode),
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+type inprocNode struct {
+	id      msg.NodeID
+	net     *Inproc
+	handler Handler
+	calls   *calls
+}
+
+var _ Node = (*inprocNode)(nil)
+
+// Attach implements Network.
+func (n *Inproc) Attach(id msg.NodeID, h Handler) (Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.nodes[id]; ok {
+		return nil, ErrDuplicateID
+	}
+	node := &inprocNode{id: id, net: n, handler: h, calls: newCalls()}
+	n.nodes[id] = node
+	return node, nil
+}
+
+// Close implements Network. It waits up to a grace period for in-flight
+// deliveries so tests do not leak handler goroutines.
+func (n *Inproc) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		n.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+	}
+	return nil
+}
+
+// lookup returns the destination node.
+func (n *Inproc) lookup(id msg.NodeID) (*inprocNode, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	node, ok := n.nodes[id]
+	if !ok {
+		return nil, ErrUnknownNode
+	}
+	return node, nil
+}
+
+// shouldDrop draws a loss decision.
+func (n *Inproc) shouldDrop() bool {
+	if n.opts.DropRate <= 0 {
+		return false
+	}
+	n.dropMu.Lock()
+	defer n.dropMu.Unlock()
+	return n.rng.Float64() < n.opts.DropRate
+}
+
+// deliver runs the full delivery pipeline on a fresh goroutine: latency,
+// loss, observation, then handler dispatch or reply matching.
+func (n *Inproc) deliver(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if n.shouldDrop() {
+			return
+		}
+		if lat := n.opts.Latency; lat != nil {
+			if d := lat(from, dst.id); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if obs := n.opts.OnDeliver; obs != nil {
+			obs(from, dst.id, env.Msg)
+		}
+		if env.Reply {
+			dst.calls.deliver(env.CorrID, env.Msg)
+			return
+		}
+		resp, err := dst.handler(context.Background(), env.From, env.Msg)
+		if env.CorrID == 0 {
+			return // one-way message; response (if any) is discarded
+		}
+		var payload msg.Message
+		switch {
+		case err != nil:
+			payload = msg.ErrorResFrom(err)
+		case resp != nil:
+			payload = resp
+		default:
+			payload = msg.Ack{}
+		}
+		src, lerr := n.lookup(env.From)
+		if lerr != nil {
+			return // caller vanished; nothing to reply to
+		}
+		n.deliver(dst.id, src, msg.Envelope{From: dst.id, CorrID: env.CorrID, Reply: true, Msg: payload})
+	}()
+}
+
+// ID implements Node.
+func (nd *inprocNode) ID() msg.NodeID { return nd.id }
+
+// Send implements Node.
+func (nd *inprocNode) Send(to msg.NodeID, m msg.Message) error {
+	dst, err := nd.net.lookup(to)
+	if err != nil {
+		return err
+	}
+	nd.net.deliver(nd.id, dst, msg.Envelope{From: nd.id, Msg: m})
+	return nil
+}
+
+// Call implements Node.
+func (nd *inprocNode) Call(ctx context.Context, to msg.NodeID, m msg.Message) (msg.Message, error) {
+	dst, err := nd.net.lookup(to)
+	if err != nil {
+		return nil, err
+	}
+	corr, ch := nd.calls.register()
+	nd.net.deliver(nd.id, dst, msg.Envelope{From: nd.id, CorrID: corr, Msg: m})
+	return nd.calls.await(ctx, corr, ch)
+}
+
+// Close implements Node.
+func (nd *inprocNode) Close() error {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	delete(nd.net.nodes, nd.id)
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package transport moves protocol messages between location servers,
+// clients and tracked objects. Two implementations are provided:
+//
+//   - Inproc: every node is a goroutine-dispatched handler in one process,
+//     with injectable per-hop latency and loss. This substitutes the paper's
+//     testbed of five workstations on 100 Mbit Ethernet: hop counts, message
+//     sequences and concurrency are identical, only absolute wire time
+//     differs (see DESIGN.md, substitutions).
+//   - UDP: each node binds a datagram socket, mirroring the paper's choice
+//     of UDP for efficient client/server and server/server interaction.
+//
+// Both support one-way Send and blocking Call with hop-by-hop replies, the
+// two interaction styles of the paper's algorithms.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"locsvc/internal/msg"
+)
+
+// Handler processes one incoming message on a node. For hop-by-hop calls
+// the returned message is sent back as the reply; returning an error sends
+// an ErrorRes instead. One-way messages ignore the return values. Handlers
+// run on their own goroutine and may issue nested Calls.
+type Handler func(ctx context.Context, from msg.NodeID, m msg.Message) (msg.Message, error)
+
+// Node is one attached endpoint of a Network.
+type Node interface {
+	// ID returns the node's network identifier.
+	ID() msg.NodeID
+	// Send delivers m to the destination without waiting for an answer.
+	Send(to msg.NodeID, m msg.Message) error
+	// Call delivers m and blocks until the destination's handler reply
+	// arrives or ctx is done.
+	Call(ctx context.Context, to msg.NodeID, m msg.Message) (msg.Message, error)
+	// Close detaches the node from the network.
+	Close() error
+}
+
+// Network attaches nodes.
+type Network interface {
+	// Attach registers a handler under id and returns the node endpoint.
+	Attach(id msg.NodeID, h Handler) (Node, error)
+	// Close shuts the network down and waits for in-flight deliveries.
+	Close() error
+}
+
+// Errors returned by transports.
+var (
+	ErrUnknownNode = errors.New("transport: unknown destination node")
+	ErrClosed      = errors.New("transport: network closed")
+	ErrDuplicateID = errors.New("transport: node id already attached")
+)
+
+// calls tracks in-flight Call invocations awaiting replies. It is shared by
+// the transport implementations.
+type calls struct {
+	mu      sync.Mutex
+	waiters map[uint64]chan msg.Message
+	next    atomic.Uint64
+}
+
+func newCalls() *calls {
+	return &calls{waiters: make(map[uint64]chan msg.Message)}
+}
+
+// register allocates a correlation id and its reply channel.
+func (c *calls) register() (uint64, chan msg.Message) {
+	id := c.next.Add(1)
+	ch := make(chan msg.Message, 1)
+	c.mu.Lock()
+	c.waiters[id] = ch
+	c.mu.Unlock()
+	return id, ch
+}
+
+// cancel drops a waiter that will no longer be serviced.
+func (c *calls) cancel(id uint64) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	c.mu.Unlock()
+}
+
+// deliver routes a reply to its waiter; it reports whether one was waiting.
+func (c *calls) deliver(id uint64, m msg.Message) bool {
+	c.mu.Lock()
+	ch, ok := c.waiters[id]
+	if ok {
+		delete(c.waiters, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ch <- m
+	return true
+}
+
+// await blocks until the reply for id arrives or ctx is done.
+func (c *calls) await(ctx context.Context, id uint64, ch chan msg.Message) (msg.Message, error) {
+	select {
+	case m := <-ch:
+		if err := msg.AsError(m); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case <-ctx.Done():
+		c.cancel(id)
+		return nil, fmt.Errorf("transport: call: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"locsvc/internal/msg"
+	"locsvc/internal/wire"
+)
+
+// maxDatagram bounds encoded envelope size. Range query results for large
+// areas can carry thousands of entries, so this is generous; the paper's
+// prototype likewise ran over a LAN with large UDP datagrams.
+const maxDatagram = 512 * 1024
+
+// UDP is a datagram Network. Node addresses are resolved through a static
+// Directory (the deployment knows every server's address; clients and
+// objects register themselves when attaching). It mirrors the paper's
+// prototype, whose communication protocols are implemented on top of UDP.
+type UDP struct {
+	mu     sync.RWMutex
+	dir    map[msg.NodeID]*net.UDPAddr
+	nodes  map[msg.NodeID]*udpNode
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Network = (*UDP)(nil)
+
+// NewUDP creates a UDP network with an initially empty directory.
+func NewUDP() *UDP {
+	return &UDP{
+		dir:   make(map[msg.NodeID]*net.UDPAddr),
+		nodes: make(map[msg.NodeID]*udpNode),
+	}
+}
+
+// AddRoute maps a node id to a UDP address ("host:port"). Servers started
+// by cmd/lsd publish their addresses through the deployment config.
+func (u *UDP) AddRoute(id msg.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolving %s: %w", addr, err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.dir[id] = ua
+	return nil
+}
+
+// Route returns the address registered for id.
+func (u *UDP) Route(id msg.NodeID) (string, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	ua, ok := u.dir[id]
+	if !ok {
+		return "", false
+	}
+	return ua.String(), true
+}
+
+// Attach implements Network, binding a fresh socket on 127.0.0.1. The
+// chosen address is added to the directory automatically.
+func (u *UDP) Attach(id msg.NodeID, h Handler) (Node, error) {
+	return u.AttachAddr(id, "127.0.0.1:0", h)
+}
+
+// AttachAuto binds a socket on an ephemeral port of host and attaches the
+// node under its own address as node id ("127.0.0.1:54321"). Clients of a
+// UDP deployment attach this way: every server can then reach them via the
+// address-fallback routing in write without any directory distribution.
+func (u *UDP) AttachAuto(host string, h Handler) (Node, error) {
+	la, err := net.ResolveUDPAddr("udp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving %s: %w", host, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("transport: binding %s: %w", host, err)
+	}
+	id := msg.NodeID(conn.LocalAddr().String())
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if _, ok := u.nodes[id]; ok {
+		conn.Close()
+		return nil, ErrDuplicateID
+	}
+	node := &udpNode{id: id, net: u, conn: conn, handler: h, calls: newCalls()}
+	u.nodes[id] = node
+	u.dir[id] = conn.LocalAddr().(*net.UDPAddr)
+	u.wg.Add(1)
+	go node.readLoop(&u.wg)
+	return node, nil
+}
+
+// AttachAddr binds the node's socket to a specific address.
+func (u *UDP) AttachAddr(id msg.NodeID, bind string, h Handler) (Node, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := u.nodes[id]; ok {
+		return nil, ErrDuplicateID
+	}
+	la, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving bind %s: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("transport: binding %s: %w", bind, err)
+	}
+	node := &udpNode{id: id, net: u, conn: conn, handler: h, calls: newCalls()}
+	u.nodes[id] = node
+	u.dir[id] = conn.LocalAddr().(*net.UDPAddr)
+	u.wg.Add(1)
+	go node.readLoop(&u.wg)
+	return node, nil
+}
+
+// Close implements Network.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	nodes := make([]*udpNode, 0, len(u.nodes))
+	for _, n := range u.nodes {
+		nodes = append(nodes, n)
+	}
+	u.mu.Unlock()
+	for _, n := range nodes {
+		n.conn.Close()
+	}
+	u.wg.Wait()
+	return nil
+}
+
+type udpNode struct {
+	id      msg.NodeID
+	net     *UDP
+	conn    *net.UDPConn
+	handler Handler
+	calls   *calls
+
+	handlerWG sync.WaitGroup
+}
+
+var _ Node = (*udpNode)(nil)
+
+// ID implements Node.
+func (nd *udpNode) ID() msg.NodeID { return nd.id }
+
+// readLoop receives datagrams until the socket closes.
+func (nd *udpNode) readLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, src, err := nd.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				nd.handlerWG.Wait()
+				return
+			}
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		env, err := wire.Decode(data)
+		if err != nil {
+			continue // malformed datagram: drop, as UDP services must
+		}
+		// Learn the sender's address so replies and later messages to
+		// this node need no static directory entry.
+		if env.From != "" && src != nil {
+			nd.net.mu.Lock()
+			if _, known := nd.net.dir[env.From]; !known {
+				nd.net.dir[env.From] = src
+			}
+			nd.net.mu.Unlock()
+		}
+		if env.Reply {
+			nd.calls.deliver(env.CorrID, env.Msg)
+			continue
+		}
+		nd.handlerWG.Add(1)
+		go func(env msg.Envelope) {
+			defer nd.handlerWG.Done()
+			resp, herr := nd.handler(context.Background(), env.From, env.Msg)
+			if env.CorrID == 0 {
+				return
+			}
+			var payload msg.Message
+			switch {
+			case herr != nil:
+				payload = msg.ErrorResFrom(herr)
+			case resp != nil:
+				payload = resp
+			default:
+				payload = msg.Ack{}
+			}
+			reply := msg.Envelope{From: nd.id, CorrID: env.CorrID, Reply: true, Msg: payload}
+			// Best effort: UDP replies may be lost like any datagram.
+			_ = nd.write(env.From, reply)
+		}(env)
+	}
+}
+
+// write encodes and transmits an envelope to the directory address of dst.
+// Node ids that are not in the directory but parse as "host:port" are sent
+// to that address directly: clients of a UDP deployment use their own
+// socket address as node id, so servers can answer them without any
+// directory entry (the paper's prototype likewise replies to the datagram
+// source).
+func (nd *udpNode) write(dst msg.NodeID, env msg.Envelope) error {
+	nd.net.mu.RLock()
+	addr, ok := nd.net.dir[dst]
+	nd.net.mu.RUnlock()
+	if !ok {
+		ua, err := net.ResolveUDPAddr("udp", string(dst))
+		if err != nil || ua.Port == 0 {
+			return ErrUnknownNode
+		}
+		nd.net.mu.Lock()
+		nd.net.dir[dst] = ua
+		nd.net.mu.Unlock()
+		addr = ua
+	}
+	data, err := wire.Encode(env)
+	if err != nil {
+		return err
+	}
+	if len(data) > maxDatagram {
+		return fmt.Errorf("transport: envelope of %d bytes exceeds datagram limit", len(data))
+	}
+	if _, err := nd.conn.WriteToUDP(data, addr); err != nil {
+		return fmt.Errorf("transport: sending to %s: %w", dst, err)
+	}
+	return nil
+}
+
+// Send implements Node.
+func (nd *udpNode) Send(to msg.NodeID, m msg.Message) error {
+	return nd.write(to, msg.Envelope{From: nd.id, Msg: m})
+}
+
+// Call implements Node.
+func (nd *udpNode) Call(ctx context.Context, to msg.NodeID, m msg.Message) (msg.Message, error) {
+	corr, ch := nd.calls.register()
+	if err := nd.write(to, msg.Envelope{From: nd.id, CorrID: corr, Msg: m}); err != nil {
+		nd.calls.cancel(corr)
+		return nil, err
+	}
+	return nd.calls.await(ctx, corr, ch)
+}
+
+// Close implements Node.
+func (nd *udpNode) Close() error {
+	nd.net.mu.Lock()
+	delete(nd.net.nodes, nd.id)
+	nd.net.mu.Unlock()
+	return nd.conn.Close()
+}
