@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -440,6 +441,148 @@ func BenchmarkCacheAblation(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded store: parallel throughput of the concurrent sighting store at
+// 1/4/8 shards, against the seed-equivalent single-lock baseline. Updates go
+// through the batched UpdatePipeline (group commit per shard); queries fan
+// out across shards and merge. A recorded run lives in
+// BENCH_sharded_store.json.
+
+var shardBenchSeed atomic.Int64
+
+// benchRng hands every RunParallel goroutine its own seeded source.
+func benchRng() *rand.Rand {
+	return rand.New(rand.NewSource(shardBenchSeed.Add(1)))
+}
+
+// shardedBenchStores enumerates the stores under comparison: the seed
+// single-lock SightingDB and the sharded store at increasing shard counts.
+func shardedBenchStores() []struct {
+	name string
+	mk   func() store.SightingStore
+} {
+	return []struct {
+		name string
+		mk   func() store.SightingStore
+	}{
+		{"baseline-singlelock", func() store.SightingStore { return store.NewSightingDB() }},
+		{"shards=1", func() store.SightingStore { return store.NewShardedSightingDB(store.WithShards(1)) }},
+		{"shards=4", func() store.SightingStore { return store.NewShardedSightingDB(store.WithShards(4)) }},
+		{"shards=8", func() store.SightingStore { return store.NewShardedSightingDB(store.WithShards(8)) }},
+	}
+}
+
+// loadShardBench fills db with the Table 1 population.
+func loadShardBench(db store.SightingStore) []core.Sighting {
+	rng := rand.New(rand.NewSource(1))
+	sightings := make([]core.Sighting, table1Objects)
+	now := time.Now()
+	for i := range sightings {
+		sightings[i] = core.Sighting{
+			OID: core.OID(fmt.Sprintf("obj-%d", i)), T: now,
+			Pos:     geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide),
+			SensAcc: 10,
+		}
+		db.Put(sightings[i])
+	}
+	return sightings
+}
+
+func BenchmarkShardedUpdate(b *testing.B) {
+	for _, bc := range shardedBenchStores() {
+		b.Run(bc.name, func(b *testing.B) {
+			db := bc.mk()
+			sightings := loadShardBench(db)
+			pipe := store.NewUpdatePipeline(db)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := benchRng()
+				for pb.Next() {
+					s := sightings[rng.Intn(len(sightings))]
+					s.Pos = geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide)
+					pipe.Put(s)
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+func BenchmarkShardedRangeQuery(b *testing.B) {
+	for _, bc := range shardedBenchStores() {
+		b.Run(bc.name, func(b *testing.B) {
+			db := bc.mk()
+			loadShardBench(db)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := benchRng()
+				for pb.Next() {
+					x := rng.Float64() * (table1AreaSide - 100)
+					y := rng.Float64() * (table1AreaSide - 100)
+					area := core.AreaFromRect(geo.R(x, y, x+100, y+100))
+					enlarged := area.Bounds().Enlarge(25)
+					db.SearchArea(enlarged, func(s core.Sighting) bool {
+						ld := core.LocationDescriptor{Pos: s.Pos, Acc: s.SensAcc}
+						area.RangeQualifies(ld, 25, 0.5)
+						return true
+					})
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+func BenchmarkShardedNearest(b *testing.B) {
+	for _, bc := range shardedBenchStores() {
+		b.Run(bc.name, func(b *testing.B) {
+			db := bc.mk()
+			loadShardBench(db)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := benchRng()
+				for pb.Next() {
+					p := geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide)
+					n := 0
+					db.NearestFunc(p, func(core.Sighting, float64) bool {
+						n++
+						return n < 5
+					})
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkShardedMixed is the paper-shaped workload: 90% updates, 10%
+// range queries, all goroutines hammering one store.
+func BenchmarkShardedMixed(b *testing.B) {
+	for _, bc := range shardedBenchStores() {
+		b.Run(bc.name, func(b *testing.B) {
+			db := bc.mk()
+			sightings := loadShardBench(db)
+			pipe := store.NewUpdatePipeline(db)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := benchRng()
+				for pb.Next() {
+					if rng.Intn(10) == 0 {
+						x := rng.Float64() * (table1AreaSide - 100)
+						y := rng.Float64() * (table1AreaSide - 100)
+						db.SearchArea(geo.R(x, y, x+100, y+100), func(core.Sighting) bool { return true })
+					} else {
+						s := sightings[rng.Intn(len(sightings))]
+						s.Pos = geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide)
+						pipe.Put(s)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
 }

@@ -44,7 +44,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 1, 2, A1, A2, A3, A4, A5 or all")
+	table := flag.String("table", "all", "which table to run: 1, 2, A1 … A7 or all")
 	quick := flag.Bool("quick", false, "reduced populations for a fast smoke run")
 	flag.Parse()
 
@@ -61,9 +61,10 @@ func main() {
 	run("A4", ablationUpdateProtocols)
 	run("A5", ablationLocality)
 	run("A6", ablationRootPartitions)
+	run("A7", ablationShardedStore)
 
 	switch *table {
-	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "all":
+	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(1)
@@ -606,6 +607,82 @@ func ablationRootPartitions(quick bool) {
 		}
 		fmt.Printf("%-12d %22s %24s\n", parts, strings.Join(recStats, "/"), strings.Join(msgStats, "/"))
 		w.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A7: sharded sighting store with the batched update pipeline.
+// Parallel workers hammer one store; shards=0 is the seed single-lock
+// SightingDB baseline (a recorded run lives in BENCH_sharded_store.json).
+
+func ablationShardedStore(quick bool) {
+	objects := 25_000
+	opsPerWorker := 50_000
+	if quick {
+		objects, opsPerWorker = 5_000, 10_000
+	}
+	const side = 10_000.0
+	const workers = 8
+	fmt.Printf("\nAblation A7: sharded store vs single lock (%d objects, %d workers x %d updates)\n\n",
+		objects, workers, opsPerWorker)
+	fmt.Printf("%-22s %14s %14s\n", "store", "updates/s", "range q/s")
+
+	for _, shards := range []int{0, 1, 4, 8} {
+		var db store.SightingStore
+		name := fmt.Sprintf("sharded (%d shards)", shards)
+		if shards == 0 {
+			db = store.NewSightingDB()
+			name = "single lock (seed)"
+		} else {
+			db = store.NewShardedSightingDB(store.WithShards(shards))
+		}
+		rng := rand.New(rand.NewSource(1))
+		sightings := make([]core.Sighting, objects)
+		now := time.Now()
+		for i := range sightings {
+			sightings[i] = core.Sighting{
+				OID: core.OID(fmt.Sprintf("obj-%d", i)), T: now,
+				Pos:     geo.Pt(rng.Float64()*side, rng.Float64()*side),
+				SensAcc: 10,
+			}
+			db.Put(sightings[i])
+		}
+		pipe := store.NewUpdatePipeline(db)
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < opsPerWorker; i++ {
+					s := sightings[wrng.Intn(objects)]
+					s.Pos = geo.Pt(wrng.Float64()*side, wrng.Float64()*side)
+					pipe.Put(s)
+				}
+			}(w)
+		}
+		wg.Wait()
+		updateRate := float64(workers*opsPerWorker) / time.Since(start).Seconds()
+
+		queries := opsPerWorker / 10
+		start = time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(int64(100 + w)))
+				for i := 0; i < queries; i++ {
+					x := wrng.Float64() * (side - 100)
+					y := wrng.Float64() * (side - 100)
+					db.SearchArea(geo.R(x, y, x+100, y+100), func(core.Sighting) bool { return true })
+				}
+			}(w)
+		}
+		wg.Wait()
+		queryRate := float64(workers*queries) / time.Since(start).Seconds()
+		fmt.Printf("%-22s %14.0f %14.0f\n", name, updateRate, queryRate)
 	}
 }
 

@@ -1,0 +1,3 @@
+module locsvc
+
+go 1.21

@@ -366,6 +366,11 @@ type EventCount struct {
 	SubID string
 	Leaf  NodeID
 	Count int
+	// Seq is the leaf's per-subscription report sequence number. The
+	// transport models UDP and can reorder deliveries; the coordinator
+	// ignores reports older than the newest it has applied per leaf (the
+	// same staleness guard forwarding paths get from PathT).
+	Seq uint64
 }
 
 // EventNotify is the asynchronous notification delivered to the subscriber

@@ -24,8 +24,19 @@ import (
 
 // leafSub is one installed subscription on a leaf server.
 type leafSub struct {
-	sub       msg.EventSubscribe
+	sub msg.EventSubscribe
+	// evalMu serializes re-evaluations of this subscription. Counting
+	// qualifying objects reads the sighting store and cannot happen
+	// under events.mu; without this lock two concurrent re-evaluations
+	// could interleave so that a count computed against a stale store
+	// snapshot overwrites — and reports to the coordinator — over a
+	// newer one, leaving the aggregate stuck until the next mutation.
+	evalMu    sync.Mutex
 	lastCount int
+	// seq numbers this leaf's count reports (guarded by events.mu, like
+	// lastCount) so the coordinator can discard reordered deliveries.
+	// It is clock-seeded at install; see installSubscription.
+	seq uint64
 	// fired tracks the local meeting-pair state to avoid repeated
 	// notifications for the same pair.
 	firedPairs map[pairKey]bool
@@ -44,7 +55,10 @@ func orderedPair(a, b core.OID) pairKey {
 type coordSub struct {
 	sub     msg.EventSubscribe
 	perLeaf map[msg.NodeID]int
-	fired   bool
+	// perLeafSeq remembers the newest report sequence applied per leaf;
+	// older (reordered) reports are discarded.
+	perLeafSeq map[msg.NodeID]uint64
+	fired      bool
 }
 
 // events bundles the per-server event state.
@@ -103,14 +117,28 @@ func (s *Server) installSubscription(sub msg.EventSubscribe) {
 	s.events.mu.Lock()
 	ls, exists := s.events.local[sub.SubID]
 	if !exists {
-		ls = &leafSub{sub: sub, lastCount: -1, firedPairs: make(map[pairKey]bool)}
+		ls = &leafSub{
+			sub:       sub,
+			lastCount: -1,
+			// Seed the report sequence from the clock: a re-installed
+			// subscription (unsubscribe + resubscribe under the same
+			// SubID) starts above any sequence its previous incarnation
+			// could have reached, so a stale in-flight report from the
+			// old epoch cannot outrank fresh ones at the coordinator.
+			seq:        uint64(s.opts.Clock().UnixNano()),
+			firedPairs: make(map[pairKey]bool),
+		}
 		s.events.local[sub.SubID] = ls
 	}
 	s.events.mu.Unlock()
 	if sub.Coordinator == s.ID() {
 		s.events.mu.Lock()
 		if _, ok := s.events.coord[sub.SubID]; !ok {
-			s.events.coord[sub.SubID] = &coordSub{sub: sub, perLeaf: make(map[msg.NodeID]int)}
+			s.events.coord[sub.SubID] = &coordSub{
+				sub:        sub,
+				perLeaf:    make(map[msg.NodeID]int),
+				perLeafSeq: make(map[msg.NodeID]uint64),
+			}
 		}
 		s.events.mu.Unlock()
 	}
@@ -157,6 +185,13 @@ func (s *Server) handleEventCount(req msg.EventCount) {
 		s.events.mu.Unlock()
 		return
 	}
+	if req.Seq <= cs.perLeafSeq[req.Leaf] {
+		// A newer report from this leaf was already applied; this one
+		// was reordered in flight.
+		s.events.mu.Unlock()
+		return
+	}
+	cs.perLeafSeq[req.Leaf] = req.Seq
 	cs.perLeaf[req.Leaf] = req.Count
 	total := 0
 	for _, c := range cs.perLeaf {
@@ -192,8 +227,13 @@ func (s *Server) notifySightingsChanged() {
 	}
 }
 
-// reevaluateSub recomputes one subscription's local state.
+// reevaluateSub recomputes one subscription's local state. Evaluations are
+// serialized per subscription (see leafSub.evalMu); a mutation arriving
+// mid-evaluation triggers its own evaluation afterwards, so the last
+// reported state always reflects the newest store contents.
 func (s *Server) reevaluateSub(ls *leafSub) {
+	ls.evalMu.Lock()
+	defer ls.evalMu.Unlock()
 	switch ls.sub.Kind {
 	case msg.EventCountAbove:
 		s.reevaluateCount(ls)
@@ -225,9 +265,14 @@ func (s *Server) reevaluateCount(ls *leafSub) {
 	s.events.mu.Lock()
 	changed := count != ls.lastCount
 	ls.lastCount = count
+	var seq uint64
+	if changed {
+		ls.seq++
+		seq = ls.seq
+	}
 	s.events.mu.Unlock()
 	if changed {
-		s.sendOrCount(sub.Coordinator, msg.EventCount{SubID: sub.SubID, Leaf: s.ID(), Count: count})
+		s.sendOrCount(sub.Coordinator, msg.EventCount{SubID: sub.SubID, Leaf: s.ID(), Count: count, Seq: seq})
 	}
 }
 

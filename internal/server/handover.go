@@ -25,8 +25,9 @@ func (s *Server) handleUpdate(ctx context.Context, from msg.NodeID, req msg.Upda
 	}
 
 	if s.inArea(req.S.Pos) {
-		// Line 8: plain in-area update.
-		s.sightings.Put(req.S)
+		// Line 8: plain in-area update, batched per shard by the
+		// pipeline under concurrency.
+		s.pipe.Put(req.S)
 		s.notifySightingsChanged()
 		s.met.Counter("updates_local").Inc()
 		return msg.UpdateRes{Moved: false, OfferedAcc: rec.OfferedAcc}, nil
@@ -204,7 +205,7 @@ func (s *Server) becomeAgent(req msg.HandoverReq) (msg.HandoverRes, error) {
 		s.met.Counter("visitor_db_errors").Inc()
 		return msg.HandoverRes{}, err
 	}
-	s.sightings.Put(req.S)
+	s.pipe.Put(req.S)
 	s.notifySightingsChanged()
 	s.met.Counter("handover_accepted").Inc()
 

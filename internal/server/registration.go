@@ -75,7 +75,7 @@ func (s *Server) handleRegister(ctx context.Context, req msg.RegisterReq) {
 		s.respondToOrigin(req.Origin, msg.ErrorResFrom(err))
 		return
 	}
-	s.sightings.Put(req.S)
+	s.pipe.Put(req.S)
 	s.notifySightingsChanged()
 	s.met.Counter("register_ok").Inc()
 

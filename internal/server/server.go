@@ -40,6 +40,10 @@ type Options struct {
 	JanitorInterval time.Duration
 	// Index selects the sightingDB's spatial index (default quadtree).
 	Index spatial.Kind
+	// Shards partitions a leaf's sightingDB into that many independently
+	// locked shards keyed by object id, so concurrent updates scale
+	// across cores. 0 or 1 keeps the single-lock store.
+	Shards int
 	// WAL persists the visitorDB; nil keeps it in memory only.
 	WAL store.WAL
 	// CallTimeout bounds hop-by-hop calls (handover forwarding).
@@ -94,8 +98,12 @@ type Server struct {
 	node     transport.Node
 
 	// sightings is the main-memory sighting database; only leaf servers
-	// populate it (Section 5).
-	sightings *store.SightingDB
+	// populate it (Section 5). With Options.Shards > 1 it is the sharded
+	// implementation; otherwise the single-lock one.
+	sightings store.SightingStore
+	// pipe batches concurrent position updates per shard (group commit);
+	// all sighting writes on the update/registration path go through it.
+	pipe *store.UpdatePipeline
 	// visitors is the (persistent) visitor database every server keeps.
 	visitors *store.VisitorDB
 
@@ -135,11 +143,21 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 		stop:     make(chan struct{}),
 	}
 	if cfg.IsLeaf() {
-		s.sightings = store.NewSightingDB(
+		sopts := []store.SightingDBOption{
 			store.WithIndex(opts.Index),
 			store.WithTTL(opts.SightingTTL),
 			store.WithClock(opts.Clock),
-		)
+		}
+		if opts.Shards > 1 {
+			s.sightings = store.NewShardedSightingDB(append(sopts, store.WithShards(opts.Shards))...)
+		} else {
+			s.sightings = store.NewSightingDB(sopts...)
+		}
+		var popts []store.PipelineOption
+		if opts.SightingTTL > 0 {
+			popts = append(popts, store.OnExpired(s.expireVisitors))
+		}
+		s.pipe = store.NewUpdatePipeline(s.sightings, popts...)
 	}
 	node, err := network.Attach(msg.NodeID(cfg.ID), s.handle)
 	if err != nil {
@@ -306,28 +324,48 @@ func (s *Server) janitor() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
-			for _, id := range s.sightings.Expired() {
-				s.expireVisitor(id)
-			}
+			s.expireVisitors(s.sightings.Expired())
 		}
 	}
 }
 
-// expireVisitor removes one expired visitor like a deregistration.
-func (s *Server) expireVisitor(id core.OID) {
-	s.met.Counter("soft_state_expired").Inc()
+// expireVisitors removes a batch of expired visitors, detected by the
+// janitor's scan or the update pipeline's amortized sweep. Event
+// subscriptions are re-evaluated once per batch, not once per id. It runs
+// with no store locks held.
+func (s *Server) expireVisitors(ids []core.OID) {
+	removed := false
+	for _, id := range ids {
+		if s.expireVisitor(id) {
+			removed = true
+		}
+	}
+	if removed {
+		s.notifySightingsChanged()
+	}
+}
+
+// expireVisitor removes one expired visitor like a deregistration,
+// reporting whether it removed anything. The expiry observation that led
+// here is stale by the time this runs, so removal is conditional: a record
+// that a concurrent update refreshed in the meantime stays live and
+// nothing is torn down. The caller re-evaluates event subscriptions.
+func (s *Server) expireVisitor(id core.OID) bool {
 	lastT := s.opts.Clock()
 	if sight, ok := s.sightings.Get(id); ok && sight.T.After(lastT) {
 		lastT = sight.T
 	}
-	s.sightings.Remove(id)
-	s.notifySightingsChanged()
+	if !s.sightings.RemoveExpired(id) {
+		return false
+	}
+	s.met.Counter("soft_state_expired").Inc()
 	if _, err := s.visitors.Remove(id); err != nil {
 		s.met.Counter("visitor_db_errors").Inc()
 	}
 	if s.parent() != "" {
 		s.sendOrCount(s.parentForOID(id), msg.RemovePath{OID: id, SightingT: lastT})
 	}
+	return true
 }
 
 // RestoreVisitors asks every visitor recorded in the (persistent) visitorDB

@@ -1,0 +1,116 @@
+package spatial
+
+import (
+	"container/heap"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// Neighbor is one entry of a nearest-neighbor stream: an indexed object
+// together with its distance from the query point.
+type Neighbor struct {
+	ID   core.OID
+	Pos  geo.Point
+	Dist float64
+}
+
+// NearestFetch returns up to k entries nearest to a fixed query point,
+// nearest first. Successive calls with growing k must extend the previous
+// answer (same prefix when the underlying data is unchanged); MergeNearest
+// re-fetches with doubled k to pull deeper into a stream.
+type NearestFetch func(k int) []Neighbor
+
+// FetchFromIndex adapts an Index to a NearestFetch around p. The returned
+// fetch is only as concurrency-safe as the index it wraps.
+func FetchFromIndex(ix Index, p geo.Point) NearestFetch {
+	return func(k int) []Neighbor {
+		out := make([]Neighbor, 0, k)
+		ix.NearestFunc(p, func(id core.OID, q geo.Point, dist float64) bool {
+			out = append(out, Neighbor{ID: id, Pos: q, Dist: dist})
+			return len(out) < k
+		})
+		return out
+	}
+}
+
+// nnStream pulls one source's neighbors in distance order. Sources expose a
+// push-style NearestFunc, so the stream buffers a prefix and re-fetches with
+// doubled depth when the merge needs to see further — each shard is queried
+// only as deeply as the merged consumer actually advances into it.
+type nnStream struct {
+	fetch NearestFetch
+	buf   []Neighbor
+	pos   int
+	k     int
+	done  bool // the last fetch returned fewer than k entries
+}
+
+// next returns the stream's next neighbor in distance order.
+func (st *nnStream) next() (Neighbor, bool) {
+	for {
+		if st.pos < len(st.buf) {
+			n := st.buf[st.pos]
+			st.pos++
+			return n, true
+		}
+		if st.done {
+			return Neighbor{}, false
+		}
+		st.k *= 2
+		st.buf = st.fetch(st.k)
+		if len(st.buf) < st.k {
+			st.done = true
+		}
+		if st.pos >= len(st.buf) && st.done {
+			return Neighbor{}, false
+		}
+	}
+}
+
+// streamHeap orders streams by the distance of their current head.
+type streamHead struct {
+	head Neighbor
+	st   *nnStream
+}
+
+type streamHeap []streamHead
+
+func (h streamHeap) Len() int            { return len(h) }
+func (h streamHeap) Less(i, j int) bool  { return h[i].head.Dist < h[j].head.Dist }
+func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(streamHead)) }
+func (h *streamHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MergeNearest visits the union of several distance-ordered neighbor
+// streams in global order of increasing distance — the k-way merge behind
+// sharded nearest-neighbor queries. Returning false from visit stops the
+// enumeration; ordering between equidistant entries is unspecified.
+func MergeNearest(fetches []NearestFetch, visit func(n Neighbor) bool) {
+	h := make(streamHeap, 0, len(fetches))
+	for _, f := range fetches {
+		st := &nnStream{fetch: f, k: 2} // first next() fetches 4
+		if n, ok := st.next(); ok {
+			h = append(h, streamHead{head: n, st: st})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		top := h[0]
+		if !visit(top.head) {
+			return
+		}
+		if n, ok := top.st.next(); ok {
+			h[0].head = n
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+}

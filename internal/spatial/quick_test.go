@@ -25,22 +25,32 @@ func (pointSet) Generate(rng *rand.Rand, size int) reflect.Value {
 	return reflect.ValueOf(ps)
 }
 
+// newShardedQuadtree builds the sharded wrapper covered by the property
+// tests alongside the plain indexes.
+func newShardedQuadtree() Index {
+	return NewSharded(4, func() Index { return NewQuadtree() })
+}
+
 // TestQuickSearchMatchesLinear: for any generated point set and query
-// rectangle, tree searches return exactly what the linear reference does.
+// rectangle, tree and sharded searches return exactly what the linear
+// reference does.
 func TestQuickSearchMatchesLinear(t *testing.T) {
 	prop := func(ps pointSet, qx0, qy0, qx1, qy1 int8) bool {
 		ref := NewLinear()
 		qt := NewQuadtree()
 		rt := NewRTree()
+		sh := newShardedQuadtree()
 		for i, p := range ps {
 			id := core.OID(fmt.Sprintf("o%d", i))
 			ref.Insert(id, p)
 			qt.Insert(id, p)
 			rt.Insert(id, p)
+			sh.Insert(id, p)
 		}
 		r := geo.R(float64(qx0), float64(qy0), float64(qx1), float64(qy1))
 		want := idsIn(ref, r)
-		return equalIDs(idsIn(qt, r), want) && equalIDs(idsIn(rt, r), want)
+		return equalIDs(idsIn(qt, r), want) && equalIDs(idsIn(rt, r), want) &&
+			equalIDs(idsIn(sh, r), want)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -54,29 +64,69 @@ func TestQuickDeleteHalfMatchesLinear(t *testing.T) {
 		ref := NewLinear()
 		qt := NewQuadtree()
 		rt := NewRTree()
+		sh := newShardedQuadtree()
 		for i, p := range ps {
 			id := core.OID(fmt.Sprintf("o%d", i))
 			ref.Insert(id, p)
 			qt.Insert(id, p)
 			rt.Insert(id, p)
+			sh.Insert(id, p)
 		}
 		for i, p := range ps {
 			if i%2 == 1 {
 				continue
 			}
 			id := core.OID(fmt.Sprintf("o%d", i))
-			if !ref.Remove(id, p) || !qt.Remove(id, p) || !rt.Remove(id, p) {
+			if !ref.Remove(id, p) || !qt.Remove(id, p) || !rt.Remove(id, p) || !sh.Remove(id, p) {
 				return false
 			}
 		}
-		if qt.Len() != ref.Len() || rt.Len() != ref.Len() {
+		if qt.Len() != ref.Len() || rt.Len() != ref.Len() || sh.Len() != ref.Len() {
 			return false
 		}
 		all := geo.R(-1, -1, 51, 51)
 		want := idsIn(ref, all)
-		return equalIDs(idsIn(qt, all), want) && equalIDs(idsIn(rt, all), want)
+		return equalIDs(idsIn(qt, all), want) && equalIDs(idsIn(rt, all), want) &&
+			equalIDs(idsIn(sh, all), want)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNearestStreamMatchesLinear: the sharded merged nearest-neighbor
+// stream yields exactly the linear reference's distance sequence, for the
+// whole population.
+func TestQuickNearestStreamMatchesLinear(t *testing.T) {
+	prop := func(ps pointSet, qx, qy int8) bool {
+		ref := NewLinear()
+		sh := newShardedQuadtree()
+		for i, p := range ps {
+			id := core.OID(fmt.Sprintf("o%d", i))
+			ref.Insert(id, p)
+			sh.Insert(id, p)
+		}
+		q := geo.Pt(float64(qx), float64(qy))
+		var want, got []float64
+		ref.NearestFunc(q, func(_ core.OID, _ geo.Point, d float64) bool {
+			want = append(want, d)
+			return true
+		})
+		sh.NearestFunc(q, func(_ core.OID, _ geo.Point, d float64) bool {
+			got = append(got, d)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
 }
@@ -95,7 +145,11 @@ func TestQuickNearestIsGlobalMinimum(t *testing.T) {
 				best = d
 			}
 		}
-		for _, mk := range []func() Index{func() Index { return NewQuadtree() }, func() Index { return NewRTree() }} {
+		for _, mk := range []func() Index{
+			func() Index { return NewQuadtree() },
+			func() Index { return NewRTree() },
+			newShardedQuadtree,
+		} {
 			ix := mk()
 			for i, p := range ps {
 				ix.Insert(core.OID(fmt.Sprintf("o%d", i)), p)

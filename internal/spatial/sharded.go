@@ -1,0 +1,153 @@
+package spatial
+
+import (
+	"sync"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// Sharded partitions an index into n independently locked shards keyed by
+// object id, making it safe for concurrent use: inserts and removes of
+// different objects proceed in parallel on a multi-core machine instead of
+// serializing behind one lock. Range searches fan out across all shards;
+// nearest-neighbor enumeration merges the per-shard streams in global
+// distance order via MergeNearest.
+//
+// Sharding by object id (not by space) keeps update cost independent of an
+// object's position — the hot path of the paper's update-heavy workloads —
+// at the price of touching every shard on queries, which are the rarer
+// operation in those workloads.
+//
+// Sharded is the Index-level building block for callers that only need a
+// concurrent spatial index. store.ShardedSightingDB deliberately applies
+// the same pattern inline rather than embedding this type: its shard lock
+// must also cover the co-located object-id hash map, so an update's
+// Remove+Insert and map write commit atomically under one acquisition.
+type Sharded struct {
+	shards []indexShard
+}
+
+type indexShard struct {
+	mu  sync.RWMutex
+	idx Index
+}
+
+var _ Index = (*Sharded)(nil)
+
+// ShardFor maps an object id onto one of n shards. The hash is FNV-1a
+// (like the partition routing in internal/server) inlined over the string,
+// so the per-operation shard pick allocates nothing.
+func ShardFor(id core.OID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// NewSharded builds a sharded index with n shards (at least one), each
+// backed by a fresh sub-index from mk.
+func NewSharded(n int, mk func() Index) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]indexShard, n)}
+	for i := range s.shards {
+		s.shards[i].idx = mk()
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+func (s *Sharded) shardFor(id core.OID) *indexShard {
+	return &s.shards[ShardFor(id, len(s.shards))]
+}
+
+// Insert implements Index.
+func (s *Sharded) Insert(id core.OID, p geo.Point) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.idx.Insert(id, p)
+	sh.mu.Unlock()
+}
+
+// Remove implements Index.
+func (s *Sharded) Remove(id core.OID, p geo.Point) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	ok := sh.idx.Remove(id, p)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len implements Index.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.idx.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Search implements Index by fanning the rectangle across every shard.
+func (s *Sharded) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		stopped := false
+		sh.mu.RLock()
+		sh.idx.Search(r, func(id core.OID, p geo.Point) bool {
+			if !visit(id, p) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// NearestFunc implements Index by merging the per-shard nearest streams in
+// increasing distance order. Each shard is locked only for the duration of
+// one buffered fetch, so a long enumeration does not starve writers; under
+// concurrent modification the stream is a best-effort snapshot, like every
+// query against a live store.
+func (s *Sharded) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+	if len(s.shards) == 1 {
+		// Nothing to merge: stream straight off the sub-index.
+		sh := &s.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.idx.NearestFunc(p, visit)
+		return
+	}
+	fetches := make([]NearestFetch, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		fetch := FetchFromIndex(sh.idx, p)
+		fetches[i] = func(k int) []Neighbor {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			return fetch(k)
+		}
+	}
+	MergeNearest(fetches, func(n Neighbor) bool {
+		return visit(n.ID, n.Pos, n.Dist)
+	})
+}

@@ -1,0 +1,134 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+func TestShardedIndexBasic(t *testing.T) {
+	s := NewSharded(4, func() Index { return NewQuadtree() })
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	for i := 0; i < 32; i++ {
+		s.Insert(core.OID(fmt.Sprintf("o%d", i)), geo.Pt(float64(i), float64(i)))
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Remove("o5", geo.Pt(5, 5)) {
+		t.Error("Remove existing returned false")
+	}
+	if s.Remove("o5", geo.Pt(5, 5)) {
+		t.Error("double Remove returned true")
+	}
+	n := 0
+	s.Search(geo.R(0, 0, 10, 10), func(core.OID, geo.Point) bool { n++; return true })
+	if n != 10 { // o0..o10 minus o5
+		t.Errorf("Search found %d, want 10", n)
+	}
+	// Early stop must propagate across shard boundaries.
+	n = 0
+	s.Search(geo.R(0, 0, 31, 31), func(core.OID, geo.Point) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early-stopped Search visited %d, want 3", n)
+	}
+}
+
+func TestMergeNearestGlobalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sources := make([]*Linear, 3)
+	var all []float64
+	q := geo.Pt(50, 50)
+	for i := range sources {
+		sources[i] = NewLinear()
+		for j := 0; j < 20; j++ {
+			p := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+			sources[i].Insert(core.OID(fmt.Sprintf("s%d-o%d", i, j)), p)
+			all = append(all, p.Dist(q))
+		}
+	}
+	sort.Float64s(all)
+	fetches := make([]NearestFetch, len(sources))
+	for i, src := range sources {
+		fetches[i] = FetchFromIndex(src, q)
+	}
+	var got []float64
+	MergeNearest(fetches, func(n Neighbor) bool {
+		got = append(got, n.Dist)
+		return true
+	})
+	if len(got) != len(all) {
+		t.Fatalf("merge yielded %d entries, want %d", len(got), len(all))
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("merge dist[%d] = %v, want %v", i, got[i], all[i])
+		}
+	}
+	// Early stop.
+	got = got[:0]
+	MergeNearest(fetches, func(n Neighbor) bool {
+		got = append(got, n.Dist)
+		return len(got) < 5
+	})
+	if len(got) != 5 {
+		t.Errorf("early-stopped merge yielded %d, want 5", len(got))
+	}
+}
+
+func TestMergeNearestEmptySources(t *testing.T) {
+	called := false
+	MergeNearest(nil, func(Neighbor) bool { called = true; return true })
+	MergeNearest([]NearestFetch{FetchFromIndex(NewLinear(), geo.Pt(0, 0))},
+		func(Neighbor) bool { called = true; return true })
+	if called {
+		t.Error("visit called on empty sources")
+	}
+}
+
+// TestShardedIndexConcurrent exercises the shard-safe wrapper from many
+// goroutines; its value is running clean under `go test -race`.
+func TestShardedIndexConcurrent(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 50
+	}
+	s := NewSharded(8, func() Index { return NewQuadtree() })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			pos := map[core.OID]geo.Point{}
+			for i := 0; i < iters; i++ {
+				id := core.OID(fmt.Sprintf("w%d-o%d", w, i%30))
+				switch i % 4 {
+				case 0, 1:
+					if p, ok := pos[id]; ok {
+						s.Remove(id, p)
+					}
+					p := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+					s.Insert(id, p)
+					pos[id] = p
+				case 2:
+					s.Search(geo.R(0, 0, 50, 50), func(core.OID, geo.Point) bool { return true })
+				case 3:
+					n := 0
+					s.NearestFunc(geo.Pt(50, 50), func(core.OID, geo.Point, float64) bool {
+						n++
+						return n < 5
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

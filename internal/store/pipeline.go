@@ -1,0 +1,125 @@
+package store
+
+import (
+	"sync"
+
+	"locsvc/internal/core"
+)
+
+// UpdatePipeline batches concurrent position updates per shard before they
+// hit the sighting store — the group-commit pattern applied to the paper's
+// update-heavy workload. Each shard has a combining lane: the first updater
+// to arrive becomes the lane leader and applies its own update immediately;
+// updates arriving while the leader is inside PutBatch queue up and are
+// applied as one batch under a single shard-lock acquisition when the
+// leader comes back around. Under low concurrency the pipeline degenerates
+// to a plain Put (one extra uncontended mutex); under high concurrency a
+// K-deep queue costs one lock acquisition instead of K, and superseded
+// updates to the same object are coalesced away by the store's PutBatch.
+//
+// The pipeline also amortizes janitor work: after committing a batch, the
+// leader sweeps a bounded number of records for soft-state expiry and hands
+// any expired ids to the OnExpired callback, so expiry detection rides the
+// update path instead of relying solely on the periodic full scan.
+type UpdatePipeline struct {
+	db        SightingStore
+	onExpired func([]core.OID)
+	lanes     []updateLane
+}
+
+type updateLane struct {
+	mu      sync.Mutex
+	pending []pendingUpdate
+	leading bool
+}
+
+type pendingUpdate struct {
+	s    core.Sighting
+	done chan struct{}
+}
+
+// PipelineOption customizes an UpdatePipeline.
+type PipelineOption func(*UpdatePipeline)
+
+// OnExpired installs a callback receiving ids found expired during the
+// amortized post-batch sweep. The callback runs on an updater's goroutine
+// with no store locks held; it must tolerate ids that a concurrent update
+// has refreshed since the sweep (like the janitor's Expired snapshot, the
+// sweep is a point-in-time observation).
+func OnExpired(fn func([]core.OID)) PipelineOption {
+	return func(p *UpdatePipeline) { p.onExpired = fn }
+}
+
+// NewUpdatePipeline builds a pipeline over db with one combining lane per
+// shard.
+func NewUpdatePipeline(db SightingStore, opts ...PipelineOption) *UpdatePipeline {
+	p := &UpdatePipeline{
+		db:    db,
+		lanes: make([]updateLane, db.NumShards()),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Put routes s through its shard's combining lane and returns once the
+// update is committed to the store. It is safe for concurrent use.
+func (p *UpdatePipeline) Put(s core.Sighting) {
+	lane := &p.lanes[p.db.ShardFor(s.OID)]
+	lane.mu.Lock()
+	if lane.leading {
+		// A leader is committing: enqueue and wait for it to apply us.
+		done := make(chan struct{})
+		lane.pending = append(lane.pending, pendingUpdate{s: s, done: done})
+		lane.mu.Unlock()
+		<-done
+		return
+	}
+	lane.leading = true
+	lane.mu.Unlock()
+
+	// Leader: commit own update, then drain whatever queued up meanwhile,
+	// batch by batch, until the lane is empty.
+	batch := []core.Sighting{s}
+	var dones []chan struct{}
+	applied := 0
+	for {
+		p.db.PutBatch(batch)
+		applied += len(batch)
+		for _, d := range dones {
+			close(d)
+		}
+		lane.mu.Lock()
+		if len(lane.pending) == 0 {
+			lane.leading = false
+			lane.mu.Unlock()
+			break
+		}
+		queued := lane.pending
+		lane.pending = nil
+		lane.mu.Unlock()
+		batch = batch[:0]
+		dones = dones[:0]
+		for _, pu := range queued {
+			batch = append(batch, pu.s)
+			dones = append(dones, pu.done)
+		}
+	}
+	// Sweep only after giving up leadership: the OnExpired callback can
+	// be expensive (path teardown, event re-evaluation), and updates
+	// queueing behind the lane must not wait on it.
+	p.sweep(applied)
+}
+
+// sweep runs the amortized expiry scan after a leadership stint: the
+// budget scales with the number of updates committed so sweep cost stays a
+// constant fraction of update work.
+func (p *UpdatePipeline) sweep(applied int) {
+	if p.onExpired == nil || applied <= 0 {
+		return
+	}
+	if ids := p.db.SweepExpired(2 * applied); len(ids) > 0 {
+		p.onExpired(ids)
+	}
+}

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// gatedStore wraps a SightingStore and blocks inside PutBatch until the
+// test releases it, so tests can deterministically pile updates onto a
+// pipeline lane while its leader is mid-commit.
+type gatedStore struct {
+	SightingStore
+	entered chan []core.Sighting // receives each batch on entry
+	release chan struct{}        // one receive per batch to proceed
+}
+
+func (g *gatedStore) PutBatch(batch []core.Sighting) {
+	g.entered <- append([]core.Sighting(nil), batch...)
+	<-g.release
+	g.SightingStore.PutBatch(batch)
+}
+
+func TestPipelinePutApplies(t *testing.T) {
+	db := NewShardedSightingDB(WithShards(4))
+	pipe := NewUpdatePipeline(db)
+	pipe.Put(sighting("a", 1, 2))
+	if s, ok := db.Get("a"); !ok || s.Pos != geo.Pt(1, 2) {
+		t.Fatalf("Get after pipeline Put = %+v, %v", s, ok)
+	}
+}
+
+// TestPipelineGroupCommit pins the leader inside its first commit, queues
+// followers on the same lane, and verifies they are all applied by the
+// leader's next commit as one batch.
+func TestPipelineGroupCommit(t *testing.T) {
+	inner := NewShardedSightingDB(WithShards(1))
+	gate := &gatedStore{SightingStore: inner, entered: make(chan []core.Sighting), release: make(chan struct{})}
+	pipe := NewUpdatePipeline(gate)
+
+	leaderDone := make(chan struct{})
+	go func() {
+		pipe.Put(sighting("leader", 0, 0))
+		close(leaderDone)
+	}()
+	first := <-gate.entered // leader is now inside PutBatch
+	if len(first) != 1 || first[0].OID != "leader" {
+		t.Fatalf("first batch = %v", first)
+	}
+
+	const followers = 5
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pipe.Put(sighting(fmt.Sprintf("f%d", i), float64(i), 0))
+		}(i)
+	}
+	// Wait until every follower is queued on the lane.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pipe.lanes[0].mu.Lock()
+		n := len(pipe.lanes[0].pending)
+		pipe.lanes[0].mu.Unlock()
+		if n == followers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers queued", n, followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	gate.release <- struct{}{} // leader commits its own update
+	second := <-gate.entered   // ... and comes back with the queued batch
+	if len(second) != followers {
+		t.Errorf("second batch has %d updates, want %d (group commit broken)", len(second), followers)
+	}
+	gate.release <- struct{}{}
+	wg.Wait()
+	<-leaderDone
+	if inner.Len() != followers+1 {
+		t.Errorf("Len = %d, want %d", inner.Len(), followers+1)
+	}
+}
+
+// TestPipelineOnExpired verifies the amortized sweep reports expired ids on
+// the update path.
+func TestPipelineOnExpired(t *testing.T) {
+	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	db := NewShardedSightingDB(WithShards(2), WithTTL(30*time.Second), WithClock(clock))
+	var expired []core.OID
+	pipe := NewUpdatePipeline(db, OnExpired(func(ids []core.OID) {
+		mu.Lock()
+		expired = append(expired, ids...)
+		mu.Unlock()
+	}))
+
+	pipe.Put(sighting("stale", 1, 1))
+	mu.Lock()
+	now = now.Add(time.Minute)
+	mu.Unlock()
+	// Fresh updates to other objects must surface the stale record via
+	// the bounded sweep within a few batches.
+	for i := 0; i < 8; i++ {
+		pipe.Put(sighting(fmt.Sprintf("fresh%d", i), float64(i), 0))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, id := range expired {
+		if id == "stale" {
+			found = true
+		}
+		if id != "stale" {
+			t.Errorf("unexpired id %s reported", id)
+		}
+	}
+	if !found {
+		t.Error("stale record never reported by the amortized sweep")
+	}
+}
+
+// TestPipelineConcurrentDistinctObjects checks that heavy concurrent
+// traffic through the pipeline loses no update: every object ends at its
+// last written position.
+func TestPipelineConcurrentDistinctObjects(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for _, db := range []SightingStore{
+		NewSightingDB(),
+		NewShardedSightingDB(WithShards(8)),
+	} {
+		pipe := NewUpdatePipeline(db)
+		const workers = 10
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < iters; i++ {
+					pipe.Put(sighting(fmt.Sprintf("w%d", w), rng.Float64()*100, float64(i)))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if db.Len() != workers {
+			t.Fatalf("%T: Len = %d, want %d", db, db.Len(), workers)
+		}
+		for w := 0; w < workers; w++ {
+			s, ok := db.Get(core.OID(fmt.Sprintf("w%d", w)))
+			if !ok || s.Pos.Y != float64(iters-1) {
+				t.Errorf("%T: w%d final = %+v, %v (want Y=%d)", db, w, s, ok, iters-1)
+			}
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/spatial"
+)
+
+// ShardedSightingDB is a SightingStore partitioned into N independently
+// locked shards keyed by object id. Each shard owns its slice of the hash
+// index, its own spatial sub-index and its own expiry-sweep cursor, all
+// guarded by one shard lock — so the Remove+Insert pair of an update is
+// applied atomically per shard and updates to different shards never
+// contend.
+//
+// Sharding is by object id, not by space: the update path (the hot path of
+// the paper's workloads) stays O(1) lock acquisitions regardless of where
+// an object moves, while range and nearest-neighbor queries fan out across
+// all shards and merge. Range results concatenate; nearest-neighbor streams
+// merge in global distance order via spatial.MergeNearest.
+type ShardedSightingDB struct {
+	shards []sightingShard
+	ttl    time.Duration
+	clock  func() time.Time
+	// sweepShardCursor rotates the shard SweepExpired starts at, so
+	// small budgets still cover every shard over successive calls.
+	sweepShardCursor atomic.Uint64
+}
+
+type sightingShard struct {
+	mu   sync.RWMutex
+	idx  spatial.Index
+	byID map[core.OID]*sightingEntry
+
+	// sweep cursor for the amortized expiry scan.
+	sweepKeys []core.OID
+	sweepPos  int
+}
+
+var _ SightingStore = (*ShardedSightingDB)(nil)
+
+// NewShardedSightingDB returns an empty sharded sighting database. The
+// shard count comes from WithShards (default 1, which is behaviorally the
+// single-lock SightingDB).
+func NewShardedSightingDB(opts ...SightingDBOption) *ShardedSightingDB {
+	cfg := defaultSightingConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	db := &ShardedSightingDB{
+		shards: make([]sightingShard, cfg.shards),
+		ttl:    cfg.ttl,
+		clock:  cfg.clock,
+	}
+	for i := range db.shards {
+		db.shards[i].idx = cfg.newIndex()
+		db.shards[i].byID = make(map[core.OID]*sightingEntry)
+	}
+	return db
+}
+
+// NumShards implements SightingStore.
+func (db *ShardedSightingDB) NumShards() int { return len(db.shards) }
+
+// ShardFor implements SightingStore.
+func (db *ShardedSightingDB) ShardFor(id core.OID) int {
+	return spatial.ShardFor(id, len(db.shards))
+}
+
+func (db *ShardedSightingDB) shard(id core.OID) *sightingShard {
+	return &db.shards[db.ShardFor(id)]
+}
+
+// Len implements SightingStore.
+func (db *ShardedSightingDB) Len() int {
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += len(sh.byID)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Put implements SightingStore.
+func (db *ShardedSightingDB) Put(s core.Sighting) {
+	sh := db.shard(s.OID)
+	sh.mu.Lock()
+	db.putLocked(sh, s)
+	sh.mu.Unlock()
+}
+
+// PutBatch implements SightingStore: the batch is grouped by shard and each
+// group applied under a single lock acquisition. Within a group, updates to
+// the same object are coalesced — only the last sighting per object touches
+// the spatial index, fusing its Remove+Insert pair once instead of once per
+// superseded update.
+func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
+	switch len(batch) {
+	case 0:
+		return
+	case 1:
+		db.Put(batch[0])
+		return
+	}
+	if len(db.shards) == 1 {
+		db.putGroup(&db.shards[0], batch)
+		return
+	}
+	// Fast path: batches assembled by a per-shard pipeline lane are
+	// single-shard by construction; detect that without allocating the
+	// per-shard grouping.
+	first := db.ShardFor(batch[0].OID)
+	same := true
+	for _, s := range batch[1:] {
+		if db.ShardFor(s.OID) != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		db.putGroup(&db.shards[first], batch)
+		return
+	}
+	groups := make([][]core.Sighting, len(db.shards))
+	for _, s := range batch {
+		i := db.ShardFor(s.OID)
+		groups[i] = append(groups[i], s)
+	}
+	for i, g := range groups {
+		if len(g) > 0 {
+			db.putGroup(&db.shards[i], g)
+		}
+	}
+}
+
+// putGroup applies one shard's slice of a batch under one lock acquisition,
+// coalescing superseded updates to the same object.
+func (db *ShardedSightingDB) putGroup(sh *sightingShard, group []core.Sighting) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(group) > 1 {
+		// Keep only the last update per object; earlier ones are
+		// observationally dead once the batch commits atomically.
+		last := make(map[core.OID]int, len(group))
+		for i, s := range group {
+			last[s.OID] = i
+		}
+		if len(last) < len(group) {
+			for i, s := range group {
+				if last[s.OID] == i {
+					db.putLocked(sh, s)
+				}
+			}
+			return
+		}
+	}
+	for _, s := range group {
+		db.putLocked(sh, s)
+	}
+}
+
+func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) {
+	if old, ok := sh.byID[s.OID]; ok {
+		sh.idx.Remove(s.OID, old.s.Pos)
+	}
+	entry := &sightingEntry{s: s}
+	if db.ttl > 0 {
+		entry.expires = db.clock().Add(db.ttl)
+	}
+	sh.byID[s.OID] = entry
+	sh.idx.Insert(s.OID, s.Pos)
+}
+
+// Get implements SightingStore.
+func (db *ShardedSightingDB) Get(id core.OID) (core.Sighting, bool) {
+	sh := db.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.byID[id]
+	if !ok {
+		return core.Sighting{}, false
+	}
+	return e.s, true
+}
+
+// Remove implements SightingStore.
+func (db *ShardedSightingDB) Remove(id core.OID) bool {
+	sh := db.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.byID[id]
+	if !ok {
+		return false
+	}
+	sh.idx.Remove(id, e.s.Pos)
+	delete(sh.byID, id)
+	return true
+}
+
+// RemoveExpired implements SightingStore: the record is removed only if
+// its TTL has passed at the time the shard lock is held, so a record
+// refreshed since an expiry observation survives.
+func (db *ShardedSightingDB) RemoveExpired(id core.OID) bool {
+	sh := db.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.byID[id]
+	if !ok || db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
+		return false
+	}
+	sh.idx.Remove(id, e.s.Pos)
+	delete(sh.byID, id)
+	return true
+}
+
+// Touch implements SightingStore.
+func (db *ShardedSightingDB) Touch(id core.OID) bool {
+	sh := db.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.byID[id]
+	if !ok {
+		return false
+	}
+	if db.ttl > 0 {
+		e.expires = db.clock().Add(db.ttl)
+	}
+	return true
+}
+
+// Expired implements SightingStore with a full scan, shard by shard.
+func (db *ShardedSightingDB) Expired() []core.OID {
+	if db.ttl <= 0 {
+		return nil
+	}
+	var out []core.OID
+	for i := range db.shards {
+		sh := &db.shards[i]
+		now := db.clock()
+		sh.mu.RLock()
+		for id, e := range sh.byID {
+			if !e.expires.IsZero() && now.After(e.expires) {
+				out = append(out, id)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// SweepExpired implements SightingStore. At most max records are examined
+// in total, spread over the shards starting at a rotating shard, so
+// successive calls with small budgets still cover the whole database; each
+// shard resumes its own cursor and reports an id at most once per call.
+func (db *ShardedSightingDB) SweepExpired(max int) []core.OID {
+	if max <= 0 || db.ttl <= 0 {
+		return nil
+	}
+	n := len(db.shards)
+	start := int(db.sweepShardCursor.Add(1)-1) % n
+	var out []core.OID
+	remaining := max
+	for i := 0; i < n && remaining > 0; i++ {
+		ids, examined := db.sweepShard(&db.shards[(start+i)%n], remaining)
+		out = append(out, ids...)
+		remaining -= examined
+	}
+	return out
+}
+
+// sweepShard examines up to max of one shard's records, resuming at the
+// shard's cursor, and returns the expired ids found plus how many records
+// it examined. The cursor's key snapshot is refilled only at the start of
+// a call, never mid-call, so a call cannot wrap and report an id twice.
+func (db *ShardedSightingDB) sweepShard(sh *sightingShard, max int) ([]core.OID, int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.byID) == 0 {
+		return nil, 0
+	}
+	now := db.clock()
+	var out []core.OID
+	examined := 0
+	for ; examined < max; examined++ {
+		if sh.sweepPos >= len(sh.sweepKeys) {
+			if examined > 0 {
+				break // snapshot exhausted mid-call: resume next call
+			}
+			sh.sweepKeys = sh.sweepKeys[:0]
+			for id := range sh.byID {
+				sh.sweepKeys = append(sh.sweepKeys, id)
+			}
+			sh.sweepPos = 0
+		}
+		id := sh.sweepKeys[sh.sweepPos]
+		sh.sweepPos++
+		if e, ok := sh.byID[id]; ok && !e.expires.IsZero() && now.After(e.expires) {
+			out = append(out, id)
+		}
+	}
+	return out, examined
+}
+
+// SearchArea implements SightingStore by fanning the rectangle across all
+// shards. Each shard is visited under its read lock; the search is a
+// consistent snapshot per shard.
+func (db *ShardedSightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) bool) {
+	for i := range db.shards {
+		sh := &db.shards[i]
+		stopped := false
+		sh.mu.RLock()
+		sh.idx.Search(r, func(id core.OID, _ geo.Point) bool {
+			if !visit(sh.byID[id].s) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// NearestFunc implements SightingStore by merging the per-shard nearest
+// streams in global distance order. Shard locks are held only per buffered
+// fetch, so writers are not starved by a long enumeration; an entry removed
+// between fetch and visit is skipped.
+func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting, dist float64) bool) {
+	if len(db.shards) == 1 {
+		// Nothing to merge: stream straight off the sub-index.
+		sh := &db.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.idx.NearestFunc(p, func(id core.OID, _ geo.Point, dist float64) bool {
+			return visit(sh.byID[id].s, dist)
+		})
+		return
+	}
+	fetches := make([]spatial.NearestFetch, len(db.shards))
+	for i := range db.shards {
+		sh := &db.shards[i]
+		fetch := spatial.FetchFromIndex(sh.idx, p)
+		fetches[i] = func(k int) []spatial.Neighbor {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			return fetch(k)
+		}
+	}
+	spatial.MergeNearest(fetches, func(n spatial.Neighbor) bool {
+		s, ok := db.Get(n.ID)
+		if !ok {
+			return true
+		}
+		return visit(s, n.Dist)
+	})
+}
+
+// ForEach implements SightingStore.
+func (db *ShardedSightingDB) ForEach(visit func(s core.Sighting) bool) {
+	for i := range db.shards {
+		sh := &db.shards[i]
+		stopped := false
+		sh.mu.RLock()
+		for _, e := range sh.byID {
+			if !visit(e.s) {
+				stopped = true
+				break
+			}
+		}
+		sh.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (db *ShardedSightingDB) String() string {
+	return fmt.Sprintf("ShardedSightingDB(%d shards, %d records)", len(db.shards), db.Len())
+}

@@ -1,0 +1,382 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/spatial"
+)
+
+func TestShardedSightingDBBasic(t *testing.T) {
+	db := NewShardedSightingDB(WithShards(4))
+	if db.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", db.NumShards())
+	}
+	for i := 0; i < 40; i++ {
+		db.Put(sighting(fmt.Sprintf("o%d", i), float64(i), float64(i)))
+	}
+	if db.Len() != 40 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	got, ok := db.Get("o7")
+	if !ok || got.Pos != geo.Pt(7, 7) {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if !db.Remove("o7") || db.Remove("o7") {
+		t.Error("Remove / double-Remove misbehaved")
+	}
+	if db.Touch("missing") {
+		t.Error("Touch missing returned true")
+	}
+	if !db.Touch("o8") {
+		t.Error("Touch existing returned false")
+	}
+	count := 0
+	db.ForEach(func(core.Sighting) bool { count++; return true })
+	if count != 39 {
+		t.Errorf("ForEach visited %d", count)
+	}
+	count = 0
+	db.ForEach(func(core.Sighting) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("ForEach early stop visited %d", count)
+	}
+	if got := db.String(); got != "ShardedSightingDB(4 shards, 39 records)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestShardedPutBatchCoalesces(t *testing.T) {
+	db := NewShardedSightingDB(WithShards(4))
+	// Three updates of the same object in one batch: only the last
+	// position must survive, and the superseded ones must not linger in
+	// the spatial index.
+	db.PutBatch([]core.Sighting{
+		sighting("a", 1, 1),
+		sighting("b", 2, 2),
+		sighting("a", 50, 50),
+		sighting("a", 90, 90),
+	})
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+	if s, _ := db.Get("a"); s.Pos != geo.Pt(90, 90) {
+		t.Errorf("a at %v, want (90,90)", s.Pos)
+	}
+	var hits []core.OID
+	db.SearchArea(geo.R(0, 0, 60, 60), func(s core.Sighting) bool {
+		hits = append(hits, s.OID)
+		return true
+	})
+	if len(hits) != 1 || hits[0] != "b" {
+		t.Errorf("SearchArea = %v, want [b] (stale positions of a indexed?)", hits)
+	}
+}
+
+func TestShardedExpiryAndSweep(t *testing.T) {
+	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	db := NewShardedSightingDB(WithShards(4), WithTTL(30*time.Second), WithClock(clock))
+	for i := 0; i < 16; i++ {
+		db.Put(sighting(fmt.Sprintf("o%d", i), float64(i), float64(i)))
+	}
+	if got := db.Expired(); len(got) != 0 {
+		t.Fatalf("expired immediately: %v", got)
+	}
+	advance(20 * time.Second)
+	db.Put(sighting("o3", 3, 3)) // refresh one record
+	advance(20 * time.Second)
+	if got := db.Expired(); len(got) != 15 {
+		t.Errorf("Expired found %d, want 15", len(got))
+	}
+	// The bounded sweep must find every expired record across repeated
+	// calls, despite its per-call budget.
+	found := map[core.OID]bool{}
+	for i := 0; i < 10; i++ {
+		for _, id := range db.SweepExpired(8) {
+			found[id] = true
+		}
+	}
+	if len(found) != 15 || found["o3"] {
+		t.Errorf("sweep found %d records (o3: %v), want 15 without o3", len(found), found["o3"])
+	}
+}
+
+// TestSweepExpiredNoDuplicatesWithinCall: a budget far exceeding the
+// population must not wrap the cursor and report the same id twice in one
+// call, on either implementation.
+func TestSweepExpiredNoDuplicatesWithinCall(t *testing.T) {
+	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	for _, db := range []SightingStore{
+		NewSightingDB(WithTTL(time.Second), WithClock(clock)),
+		NewShardedSightingDB(WithShards(4), WithTTL(time.Second), WithClock(clock)),
+	} {
+		for i := 0; i < 5; i++ {
+			db.Put(sighting(fmt.Sprintf("o%d", i), float64(i), 0))
+		}
+		mu.Lock()
+		now = now.Add(time.Minute)
+		mu.Unlock()
+		ids := db.SweepExpired(1000)
+		seen := map[core.OID]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Errorf("%T: SweepExpired reported %s twice in one call", db, id)
+			}
+			seen[id] = true
+		}
+		if len(seen) == 0 {
+			t.Errorf("%T: SweepExpired found nothing", db)
+		}
+	}
+}
+
+// TestRemoveExpiredGuardsRefresh: RemoveExpired must be a no-op for a
+// record refreshed after the expiry observation — the race the janitor and
+// the pipeline sweep act under.
+func TestRemoveExpiredGuardsRefresh(t *testing.T) {
+	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	for _, db := range []SightingStore{
+		NewSightingDB(WithTTL(30*time.Second), WithClock(clock)),
+		NewShardedSightingDB(WithShards(4), WithTTL(30*time.Second), WithClock(clock)),
+	} {
+		db.Put(sighting("x", 1, 1))
+		db.Put(sighting("y", 2, 2))
+		mu.Lock()
+		now = now.Add(time.Minute)
+		mu.Unlock()
+		if got := db.Expired(); len(got) != 2 {
+			t.Fatalf("%T: Expired = %v", db, got)
+		}
+		db.Put(sighting("x", 1, 1)) // refreshed between observation and removal
+		if db.RemoveExpired("x") {
+			t.Errorf("%T: RemoveExpired removed a refreshed record", db)
+		}
+		if _, ok := db.Get("x"); !ok {
+			t.Errorf("%T: refreshed record gone", db)
+		}
+		if !db.RemoveExpired("y") {
+			t.Errorf("%T: RemoveExpired kept a genuinely expired record", db)
+		}
+		if db.RemoveExpired("missing") {
+			t.Errorf("%T: RemoveExpired removed a missing record", db)
+		}
+	}
+}
+
+// collectArea runs a range query and returns the result as a sorted id list.
+func collectArea(db SightingStore, r geo.Rect) []core.OID {
+	var out []core.OID
+	db.SearchArea(r, func(s core.Sighting) bool {
+		out = append(out, s.OID)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// collectNearest returns the first k (id, dist) pairs of the NN stream.
+func collectNearest(db SightingStore, p geo.Point, k int) []spatial.Neighbor {
+	var out []spatial.Neighbor
+	db.NearestFunc(p, func(s core.Sighting, dist float64) bool {
+		out = append(out, spatial.Neighbor{ID: s.OID, Pos: s.Pos, Dist: dist})
+		return len(out) < k
+	})
+	return out
+}
+
+func equalOIDs(a, b []core.OID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstOracle compares sharded range and NN results against the
+// single-lock linear-scan oracle holding the same records.
+func checkAgainstOracle(t *testing.T, db SightingStore, oracle *SightingDB, rng *rand.Rand, side float64) {
+	t.Helper()
+	if db.Len() != oracle.Len() {
+		t.Fatalf("Len = %d, oracle %d", db.Len(), oracle.Len())
+	}
+	for q := 0; q < 8; q++ {
+		x, y := rng.Float64()*side, rng.Float64()*side
+		r := geo.R(x, y, x+side/4, y+side/4)
+		if got, want := collectArea(db, r), collectArea(oracle, r); !equalOIDs(got, want) {
+			t.Fatalf("SearchArea(%v) = %v, oracle %v", r, got, want)
+		}
+		p := geo.Pt(rng.Float64()*side, rng.Float64()*side)
+		got := collectNearest(db, p, 10)
+		want := collectNearest(oracle, p, 10)
+		if len(got) != len(want) {
+			t.Fatalf("NearestFunc returned %d entries, oracle %d", len(got), len(want))
+		}
+		for i := range got {
+			// Distances must agree exactly; ids may differ only on ties.
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("NN stream dist[%d] = %v (id %s), oracle %v (id %s)",
+					i, got[i].Dist, got[i].ID, want[i].Dist, want[i].ID)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesOracleRandomized applies the same randomized op
+// sequence (puts, batched puts, removes) to a 4-shard store and to the
+// single-lock linear-index oracle, checking queries agree throughout.
+func TestShardedMatchesOracleRandomized(t *testing.T) {
+	const side = 100.0
+	rng := rand.New(rand.NewSource(42))
+	db := NewShardedSightingDB(WithShards(4))
+	oracle := NewSightingDB(WithIndex(spatial.KindLinear))
+	for round := 0; round < 30; round++ {
+		switch rng.Intn(3) {
+		case 0:
+			s := sighting(fmt.Sprintf("o%d", rng.Intn(60)), rng.Float64()*side, rng.Float64()*side)
+			db.Put(s)
+			oracle.Put(s)
+		case 1:
+			batch := make([]core.Sighting, 1+rng.Intn(20))
+			for i := range batch {
+				// Coarse grid provokes duplicate positions and
+				// repeated ids inside one batch.
+				batch[i] = sighting(fmt.Sprintf("o%d", rng.Intn(60)),
+					float64(rng.Intn(20))*5, float64(rng.Intn(20))*5)
+			}
+			db.PutBatch(batch)
+			oracle.PutBatch(batch)
+		case 2:
+			id := core.OID(fmt.Sprintf("o%d", rng.Intn(60)))
+			if db.Remove(id) != oracle.Remove(id) {
+				t.Fatalf("Remove(%s) disagreed with oracle", id)
+			}
+		}
+		checkAgainstOracle(t, db, oracle, rng, side)
+	}
+}
+
+// TestShardedConcurrentMatchesOracle is the concurrency property test of
+// this PR: goroutines apply randomized batched updates concurrently — each
+// goroutine owning a disjoint set of objects, so the final per-object state
+// is deterministic — and after quiescing, sharded range and NN queries must
+// return exactly what the single-threaded linear-scan oracle returns.
+func TestShardedConcurrentMatchesOracle(t *testing.T) {
+	const (
+		side    = 1000.0
+		workers = 8
+	)
+	perWorker := 40
+	rounds := 30
+	if testing.Short() {
+		perWorker, rounds = 10, 8
+	}
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db := NewShardedSightingDB(WithShards(shards))
+			pipe := NewUpdatePipeline(db)
+			final := make([]core.Sighting, workers*perWorker)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for r := 0; r < rounds; r++ {
+						if rng.Intn(2) == 0 {
+							// One-at-a-time updates through the pipeline.
+							for i := 0; i < perWorker; i++ {
+								idx := w*perWorker + i
+								s := sighting(fmt.Sprintf("o%d", idx), rng.Float64()*side, rng.Float64()*side)
+								pipe.Put(s)
+								final[idx] = s
+							}
+						} else {
+							// Direct batch covering this worker's objects.
+							batch := make([]core.Sighting, perWorker)
+							for i := range batch {
+								idx := w*perWorker + i
+								batch[i] = sighting(fmt.Sprintf("o%d", idx), rng.Float64()*side, rng.Float64()*side)
+								final[idx] = batch[i]
+							}
+							db.PutBatch(batch)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			oracle := NewSightingDB(WithIndex(spatial.KindLinear))
+			for _, s := range final {
+				oracle.Put(s)
+			}
+			checkAgainstOracle(t, db, oracle, rand.New(rand.NewSource(99)), side)
+		})
+	}
+}
+
+// TestShardedConcurrentHammer exercises every store operation from many
+// goroutines at once; its value is running clean under `go test -race`.
+func TestShardedConcurrentHammer(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	db := NewShardedSightingDB(WithShards(8), WithTTL(time.Minute))
+	pipe := NewUpdatePipeline(db)
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("w%d-o%d", w%4, i%40)
+				switch i % 8 {
+				case 0, 1:
+					pipe.Put(sighting(id, rng.Float64()*100, rng.Float64()*100))
+				case 2:
+					batch := make([]core.Sighting, 4)
+					for j := range batch {
+						batch[j] = sighting(fmt.Sprintf("w%d-o%d", w%4, rng.Intn(40)),
+							rng.Float64()*100, rng.Float64()*100)
+					}
+					db.PutBatch(batch)
+				case 3:
+					db.Get(core.OID(id))
+				case 4:
+					db.SearchArea(geo.R(0, 0, 50, 50), func(core.Sighting) bool { return true })
+				case 5:
+					n := 0
+					db.NearestFunc(geo.Pt(50, 50), func(core.Sighting, float64) bool {
+						n++
+						return n < 5
+					})
+				case 6:
+					db.Remove(core.OID(fmt.Sprintf("w%d-o%d", w%4, rng.Intn(40))))
+				case 7:
+					db.SweepExpired(8)
+					db.Touch(core.OID(id))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -4,7 +4,10 @@
 //   - SightingDB — the main-memory database of sighting records kept by leaf
 //     servers, with a spatial index over positions (for range and nearest-
 //     neighbor queries) and a hash index over object identifiers (for
-//     position queries). Records carry soft-state expiration dates.
+//     position queries). Records carry soft-state expiration dates. The
+//     sharded variant (ShardedSightingDB) partitions the database by object
+//     id so updates scale across cores; UpdatePipeline batches concurrent
+//     updates per shard (group commit under one lock acquisition).
 //   - VisitorDB — the per-server database of visitor records, persisted via
 //     an append-only log so that forwarding paths survive crashes. The paper
 //     used DB2 over JDBC; the log-plus-snapshot store here preserves the
@@ -24,54 +27,94 @@ import (
 	"locsvc/internal/spatial"
 )
 
+// sightingConfig collects the options shared by NewSightingDB and
+// NewShardedSightingDB.
+type sightingConfig struct {
+	newIndex func() spatial.Index
+	ttl      time.Duration
+	clock    func() time.Time
+	shards   int
+}
+
+func defaultSightingConfig() sightingConfig {
+	return sightingConfig{
+		newIndex: func() spatial.Index { return spatial.NewQuadtree() },
+		clock:    time.Now,
+		shards:   1,
+	}
+}
+
+// SightingDBOption customizes a SightingDB or ShardedSightingDB.
+type SightingDBOption func(*sightingConfig)
+
+// WithIndex selects the spatial index implementation (default: quadtree,
+// the paper's choice). A sharded database creates one index per shard.
+func WithIndex(kind spatial.Kind) SightingDBOption {
+	return func(c *sightingConfig) {
+		c.newIndex = func() spatial.Index { return spatial.New(kind) }
+	}
+}
+
+// WithTTL sets the soft-state time-to-live for sighting records. Zero
+// disables expiration.
+func WithTTL(ttl time.Duration) SightingDBOption {
+	return func(c *sightingConfig) { c.ttl = ttl }
+}
+
+// WithClock injects a time source, used by tests to control expiry.
+func WithClock(clock func() time.Time) SightingDBOption {
+	return func(c *sightingConfig) { c.clock = clock }
+}
+
+// WithShards sets the shard count of a ShardedSightingDB (minimum 1).
+// NewSightingDB ignores it: the single-lock database is one shard by
+// definition.
+func WithShards(n int) SightingDBOption {
+	return func(c *sightingConfig) {
+		if n >= 1 {
+			c.shards = n
+		}
+	}
+}
+
 // SightingDB is the volatile sighting-record store of a leaf server. It is
 // safe for concurrent use. Positions are indexed spatially; object ids are
 // hash-indexed. Records expire after the configured TTL unless refreshed by
 // updates — the soft-state principle of Section 5.
+//
+// Every operation serializes behind one lock; it is the seed-equivalent
+// baseline and correctness oracle for ShardedSightingDB.
 type SightingDB struct {
 	mu    sync.RWMutex
 	idx   spatial.Index
 	byID  map[core.OID]*sightingEntry
 	ttl   time.Duration
 	clock func() time.Time
+
+	// sweep cursor for the amortized expiry scan (SweepExpired).
+	sweepKeys []core.OID
+	sweepPos  int
 }
+
+var _ SightingStore = (*SightingDB)(nil)
 
 type sightingEntry struct {
 	s       core.Sighting
 	expires time.Time
 }
 
-// SightingDBOption customizes a SightingDB.
-type SightingDBOption func(*SightingDB)
-
-// WithIndex selects the spatial index implementation (default: quadtree,
-// the paper's choice).
-func WithIndex(kind spatial.Kind) SightingDBOption {
-	return func(db *SightingDB) { db.idx = spatial.New(kind) }
-}
-
-// WithTTL sets the soft-state time-to-live for sighting records. Zero
-// disables expiration.
-func WithTTL(ttl time.Duration) SightingDBOption {
-	return func(db *SightingDB) { db.ttl = ttl }
-}
-
-// WithClock injects a time source, used by tests to control expiry.
-func WithClock(clock func() time.Time) SightingDBOption {
-	return func(db *SightingDB) { db.clock = clock }
-}
-
 // NewSightingDB returns an empty sighting database.
 func NewSightingDB(opts ...SightingDBOption) *SightingDB {
-	db := &SightingDB{
-		idx:   spatial.NewQuadtree(),
-		byID:  make(map[core.OID]*sightingEntry),
-		clock: time.Now,
-	}
+	cfg := defaultSightingConfig()
 	for _, opt := range opts {
-		opt(db)
+		opt(&cfg)
 	}
-	return db
+	return &SightingDB{
+		idx:   cfg.newIndex(),
+		byID:  make(map[core.OID]*sightingEntry),
+		ttl:   cfg.ttl,
+		clock: cfg.clock,
+	}
 }
 
 // Len returns the number of stored sighting records.
@@ -81,12 +124,35 @@ func (db *SightingDB) Len() int {
 	return len(db.byID)
 }
 
+// NumShards implements SightingStore: the single-lock database is one shard.
+func (db *SightingDB) NumShards() int { return 1 }
+
+// ShardFor implements SightingStore.
+func (db *SightingDB) ShardFor(core.OID) int { return 0 }
+
 // Put inserts or replaces the sighting record for s.OID and refreshes its
 // expiration date. It implements both sightingDB.insert and
 // sightingDB.update of the paper's algorithms.
 func (db *SightingDB) Put(s core.Sighting) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.putLocked(s)
+}
+
+// PutBatch applies a batch of puts under a single lock acquisition. Later
+// entries for the same object override earlier ones, as if applied in order.
+func (db *SightingDB) PutBatch(batch []core.Sighting) {
+	if len(batch) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range batch {
+		db.putLocked(s)
+	}
+}
+
+func (db *SightingDB) putLocked(s core.Sighting) {
 	if old, ok := db.byID[s.OID]; ok {
 		db.idx.Remove(s.OID, old.s.Pos)
 	}
@@ -122,6 +188,23 @@ func (db *SightingDB) Remove(id core.OID) bool {
 	return true
 }
 
+// RemoveExpired deletes the record for id only if its soft-state TTL has
+// passed, and reports whether it removed anything. Callers acting on a
+// stale expiry observation (the janitor's Expired snapshot, the pipeline's
+// amortized sweep) use it so a record refreshed since the observation
+// survives.
+func (db *SightingDB) RemoveExpired(id core.OID) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.byID[id]
+	if !ok || db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
+		return false
+	}
+	db.idx.Remove(id, e.s.Pos)
+	delete(db.byID, id)
+	return true
+}
+
 // Touch refreshes the expiration date of id without changing its sighting,
 // used when a tracked object reports "no movement" heartbeats.
 func (db *SightingDB) Touch(id core.OID) bool {
@@ -149,6 +232,44 @@ func (db *SightingDB) Expired() []core.OID {
 	var out []core.OID
 	for id, e := range db.byID {
 		if !e.expires.IsZero() && now.After(e.expires) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SweepExpired examines at most max records — resuming where the previous
+// sweep stopped — and returns the expired ids among them, each at most
+// once per call (the cursor's key snapshot is refilled only at the start
+// of a call, never mid-call, so a call cannot wrap around and re-report).
+// It lets callers amortize expiry detection over the update path instead
+// of scanning the whole database at once; the periodic Expired scan
+// remains the backstop.
+func (db *SightingDB) SweepExpired(max int) []core.OID {
+	if max <= 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ttl <= 0 || len(db.byID) == 0 {
+		return nil
+	}
+	now := db.clock()
+	var out []core.OID
+	for examined := 0; examined < max; examined++ {
+		if db.sweepPos >= len(db.sweepKeys) {
+			if examined > 0 {
+				break // snapshot exhausted mid-call: resume next call
+			}
+			db.sweepKeys = db.sweepKeys[:0]
+			for id := range db.byID {
+				db.sweepKeys = append(db.sweepKeys, id)
+			}
+			db.sweepPos = 0
+		}
+		id := db.sweepKeys[db.sweepPos]
+		db.sweepPos++
+		if e, ok := db.byID[id]; ok && !e.expires.IsZero() && now.After(e.expires) {
 			out = append(out, id)
 		}
 	}

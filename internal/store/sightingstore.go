@@ -1,0 +1,57 @@
+package store
+
+import (
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// SightingStore is the sighting-database interface the server programs
+// against. Two implementations exist:
+//
+//   - SightingDB — one lock, the seed-equivalent baseline and the oracle
+//     the sharded implementation is property-tested against;
+//   - ShardedSightingDB — N independently locked shards keyed by object id,
+//     with a batch API that applies a group of updates per shard under one
+//     lock acquisition.
+//
+// All implementations are safe for concurrent use. Queries observe a
+// consistent snapshot per shard; cross-shard queries are linearizable only
+// when the store is quiescent, which matches the service semantics (a range
+// query racing an update may see either position — exactly as it may over
+// the network).
+type SightingStore interface {
+	// Len returns the number of stored sighting records.
+	Len() int
+	// NumShards returns the number of independently locked shards.
+	NumShards() int
+	// ShardFor maps an object id to its shard, for callers that batch
+	// work per shard (UpdatePipeline).
+	ShardFor(id core.OID) int
+	// Put inserts or replaces the record for s.OID and refreshes its
+	// expiration date.
+	Put(s core.Sighting)
+	// PutBatch applies a batch of puts, acquiring each involved shard's
+	// lock once. Later entries for the same object override earlier ones.
+	PutBatch(batch []core.Sighting)
+	// Get returns the record for id via the hash index.
+	Get(id core.OID) (core.Sighting, bool)
+	// Remove deletes the record for id and reports whether it existed.
+	Remove(id core.OID) bool
+	// RemoveExpired deletes the record for id only if its TTL has
+	// passed, so callers acting on a stale expiry observation cannot
+	// tear down a concurrently refreshed record.
+	RemoveExpired(id core.OID) bool
+	// Touch refreshes the expiration date of id.
+	Touch(id core.OID) bool
+	// Expired returns the ids of all records whose soft-state TTL passed.
+	Expired() []core.OID
+	// SweepExpired examines at most max records (resuming where the last
+	// sweep stopped) and returns the expired ids among them.
+	SweepExpired(max int) []core.OID
+	// SearchArea visits every sighting inside the closed rectangle r.
+	SearchArea(r geo.Rect, visit func(s core.Sighting) bool)
+	// NearestFunc visits sightings in order of increasing distance from p.
+	NearestFunc(p geo.Point, visit func(s core.Sighting, dist float64) bool)
+	// ForEach visits every stored sighting in unspecified order.
+	ForEach(visit func(s core.Sighting) bool)
+}

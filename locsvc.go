@@ -133,6 +133,10 @@ type LocalConfig struct {
 	SightingTTL time.Duration
 	// Index selects the sightingDB spatial index (default quadtree).
 	Index IndexKind
+	// Shards partitions each leaf's sighting store into that many
+	// independently locked shards keyed by object id, so concurrent
+	// updates scale across cores; 0 or 1 keeps the single-lock store.
+	Shards int
 	// EnableCaches turns on all three leaf caches of Section 6.5.
 	EnableCaches bool
 	// HopLatency delays every message, modelling network hops.
@@ -162,6 +166,7 @@ func NewLocal(cfg LocalConfig) (*Service, error) {
 		AchievableAcc:    cfg.AchievableAcc,
 		SightingTTL:      cfg.SightingTTL,
 		Index:            cfg.Index,
+		Shards:           cfg.Shards,
 		EnableAreaCache:  cfg.EnableCaches,
 		EnableAgentCache: cfg.EnableCaches,
 		EnablePosCache:   cfg.EnableCaches,
