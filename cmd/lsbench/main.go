@@ -613,7 +613,11 @@ func ablationRootPartitions(quick bool) {
 // ---------------------------------------------------------------------------
 // Ablation A7: sharded sighting store with the batched update pipeline.
 // Parallel workers hammer one store; shards=0 is the seed single-lock
-// SightingDB baseline (a recorded run lives in BENCH_sharded_store.json).
+// SightingDB baseline. The knn5 column shows the resumable per-shard
+// nearest-neighbor cursors: the distance-ordered merge advances each shard
+// one neighbor at a time instead of re-fetching prefixes with doubled
+// depth (recorded runs live in BENCH_sharded_store.json and
+// BENCH_nn_cursor.json).
 
 func ablationShardedStore(quick bool) {
 	objects := 25_000
@@ -625,7 +629,7 @@ func ablationShardedStore(quick bool) {
 	const workers = 8
 	fmt.Printf("\nAblation A7: sharded store vs single lock (%d objects, %d workers x %d updates)\n\n",
 		objects, workers, opsPerWorker)
-	fmt.Printf("%-22s %14s %14s\n", "store", "updates/s", "range q/s")
+	fmt.Printf("%-22s %14s %14s %14s\n", "store", "updates/s", "range q/s", "knn5 q/s")
 
 	for _, shards := range []int{0, 1, 4, 8} {
 		var db store.SightingStore
@@ -682,7 +686,27 @@ func ablationShardedStore(quick bool) {
 		}
 		wg.Wait()
 		queryRate := float64(workers*queries) / time.Since(start).Seconds()
-		fmt.Printf("%-22s %14.0f %14.0f\n", name, updateRate, queryRate)
+
+		knnOps := opsPerWorker / 10
+		start = time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(int64(200 + w)))
+				for i := 0; i < knnOps; i++ {
+					p := geo.Pt(wrng.Float64()*side, wrng.Float64()*side)
+					n := 0
+					db.NearestFunc(p, func(core.Sighting, float64) bool {
+						n++
+						return n < 5
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		knnRate := float64(workers*knnOps) / time.Since(start).Seconds()
+		fmt.Printf("%-22s %14.0f %14.0f %14.0f\n", name, updateRate, queryRate, knnRate)
 	}
 }
 

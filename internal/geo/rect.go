@@ -82,6 +82,33 @@ func (r Rect) Intersects(s Rect) bool {
 		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
 }
 
+// IntersectsClosed reports rectangle overlap including shared boundaries.
+// The spatial indexes use it for pruning: degenerate (zero-area) point
+// rectangles and bounds touching a query edge must still count, because
+// index searches are closed.
+func (r Rect) IntersectsClosed(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// GrowToInclude widens r in place so the closed rectangle covers p. It is
+// the shared maintenance step of the lazily-tightened bounding rectangles
+// kept by the spatial indexes and the sharded stores.
+func (r *Rect) GrowToInclude(p Point) {
+	if p.X < r.Min.X {
+		r.Min.X = p.X
+	}
+	if p.Y < r.Min.Y {
+		r.Min.Y = p.Y
+	}
+	if p.X > r.Max.X {
+		r.Max.X = p.X
+	}
+	if p.Y > r.Max.Y {
+		r.Max.Y = p.Y
+	}
+}
+
 // Intersect returns the intersection of r and s; the result may be Empty.
 func (r Rect) Intersect(s Rect) Rect {
 	out := Rect{

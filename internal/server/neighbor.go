@@ -33,6 +33,17 @@ func (s *Server) handleNeighborQuery(ctx context.Context, req msg.NeighborQueryR
 	}
 	s.met.Counter("neighbor_query_seen").Inc()
 
+	// Local fast path: stream this leaf's own sightings in increasing
+	// distance order off the store's nearest-neighbor cursor machinery.
+	// When the whole answer is provably local, the expanding-ring search
+	// below — one window search per doubling, possibly fanning out over
+	// the network — collapses into one cursor walk plus one collection
+	// search.
+	if res, ok := s.neighborQueryLocal(req); ok {
+		s.met.Counter("neighbor_query_local_fast").Inc()
+		return res, nil
+	}
+
 	rootBounds := s.rootArea.Bounds()
 	maxRadius := rootBounds.Width() + rootBounds.Height() // covers everything from any p
 
@@ -93,4 +104,65 @@ func (s *Server) handleNeighborQuery(ctx context.Context, req msg.NeighborQueryR
 		Near:              res.Near,
 		GuaranteedMinDist: res.GuaranteedMinDist,
 	}, nil
+}
+
+// neighborQueryLocal resolves a nearest-neighbor query without touching the
+// network when the answer is provably local. It streams this leaf's
+// sightings nearest-first until one qualifies under the same predicate the
+// distributed window search applies. With the nearest qualifying candidate
+// at distance d, every object that can influence the answer has a recorded
+// position within d + nearQual of p; if that collection disc — enlarged by
+// reqAcc exactly like a forwarded window would be — lies inside this leaf's
+// service area, then any such object is agented here (objects are stored by
+// position), so the distributed phases cannot contribute anything further
+// and the selection rule runs on purely local candidates. Queries near a
+// service-area border fall back to the expanding-ring search (ok == false).
+func (s *Server) neighborQueryLocal(req msg.NeighborQueryReq) (msg.Message, bool) {
+	sa := s.cfg.SA.Bounds()
+	const anyOverlap = 1e-9
+	// Cap the cursor walk: a store full of non-qualifying sightings should
+	// fall back to the distributed search, not be streamed end to end.
+	const scanCap = 64
+	nearestDist := -1.0
+	examined := 0
+	s.sightings.NearestFunc(req.P, func(sight core.Sighting, dist float64) bool {
+		if !sa.ContainsRect(geo.RectAround(req.P, dist).Enlarge(req.ReqAcc)) {
+			// The candidate disc already escapes this leaf, and every
+			// later candidate is farther still: locality is unprovable.
+			return false
+		}
+		// The qualification window only needs to strictly contain the
+		// candidate's position: overlap is then positive and the
+		// predicate reduces to the accuracy test, exactly as the
+		// expanding ring converges to.
+		window := core.AreaFromRect(geo.RectAround(req.P, dist+1))
+		if _, ok := s.entryIfQualifies(sight, window, req.ReqAcc, anyOverlap); ok {
+			nearestDist = dist
+			return false
+		}
+		examined++
+		return examined < scanCap
+	})
+	if nearestDist < 0 {
+		// No local qualifying candidate; only the distributed search can
+		// answer (or establish emptiness).
+		return nil, false
+	}
+	collectR := nearestDist + req.NearQual
+	window := core.AreaFromRect(geo.RectAround(req.P, collectR))
+	enlarged := window.Bounds().Enlarge(req.ReqAcc)
+	if !sa.ContainsRect(enlarged) {
+		return nil, false
+	}
+	cands := s.localRangeResult(window, req.ReqAcc, anyOverlap, enlarged)
+	res := core.SelectNearest(cands, req.P, req.ReqAcc, req.NearQual)
+	if !res.Found {
+		return msg.NeighborQueryRes{Found: false}, true
+	}
+	return msg.NeighborQueryRes{
+		Found:             true,
+		Nearest:           res.Nearest,
+		Near:              res.Near,
+		GuaranteedMinDist: res.GuaranteedMinDist,
+	}, true
 }

@@ -139,17 +139,29 @@ func (s *Server) collectRange(ctx context.Context, area core.Area, reqAcc, reqOv
 func (s *Server) localRangeResult(area core.Area, reqAcc, reqOverlap float64, enlarged geo.Rect) []core.Entry {
 	var out []core.Entry
 	s.sightings.SearchArea(enlarged, func(sight core.Sighting) bool {
-		rec, ok := s.visitors.Get(sight.OID)
-		if !ok {
-			return true
-		}
-		ld := core.LocationDescriptor{Pos: sight.Pos, Acc: rec.OfferedAcc}
-		if area.RangeQualifies(ld, reqAcc, reqOverlap) {
-			out = append(out, core.Entry{OID: sight.OID, LD: ld})
+		if e, ok := s.entryIfQualifies(sight, area, reqAcc, reqOverlap); ok {
+			out = append(out, e)
 		}
 		return true
 	})
 	return out
+}
+
+// entryIfQualifies looks up the visitor record behind a sighting and
+// applies the full range predicate of Section 3.2, returning the wire
+// entry when the object qualifies. It is shared by the range-query leaf
+// path and the nearest-neighbor local fast path, so both apply identical
+// accuracy and overlap semantics.
+func (s *Server) entryIfQualifies(sight core.Sighting, area core.Area, reqAcc, reqOverlap float64) (core.Entry, bool) {
+	rec, ok := s.visitors.Get(sight.OID)
+	if !ok {
+		return core.Entry{}, false
+	}
+	ld := core.LocationDescriptor{Pos: sight.Pos, Acc: rec.OfferedAcc}
+	if !area.RangeQualifies(ld, reqAcc, reqOverlap) {
+		return core.Entry{}, false
+	}
+	return core.Entry{OID: sight.OID, LD: ld}, true
 }
 
 // handleRangeQueryFwd implements the forwarding half of Algorithm 6-5:

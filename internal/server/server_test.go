@@ -424,6 +424,61 @@ func TestNeighborQuery(t *testing.T) {
 	}
 }
 
+// TestNeighborQueryLocalFastPath: an interior query whose whole collection
+// disc lies inside the entry leaf is answered off the leaf's own
+// nearest-neighbor cursor without touching the tree, and agrees with the
+// selection-rule oracle; a query near the leaf border must fall back to the
+// distributed expanding-ring search and still agree.
+func TestNeighborQueryLocalFastPath(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{})
+	owner := ls.newClientAt(t, "owner", geo.Pt(100, 100), client.Options{})
+	var entries []core.Entry
+	for i, p := range []geo.Point{
+		geo.Pt(200, 200), geo.Pt(240, 200), geo.Pt(300, 350), geo.Pt(700, 700),
+		geo.Pt(760, 760), geo.Pt(1400, 200),
+	} {
+		oid := core.OID(fmt.Sprintf("n%d", i))
+		obj, err := owner.Register(ctx(t), sightingAt(string(oid), p), 10, 50, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, core.Entry{OID: oid, LD: core.LocationDescriptor{Pos: p, Acc: obj.OfferedAcc()}})
+	}
+	leaf, _ := ls.dep.Server("r.0")
+	q := ls.newClientAt(t, "querier", geo.Pt(100, 100), client.Options{})
+
+	check := func(p geo.Point, nearQual float64) {
+		t.Helper()
+		res, err := q.NeighborQuery(ctx(t), p, 25, nearQual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.SelectNearest(entries, p, 25, nearQual)
+		if res.Nearest.OID != want.Nearest.OID {
+			t.Fatalf("query %v: nearest %s, oracle %s", p, res.Nearest.OID, want.Nearest.OID)
+		}
+		if len(res.Near) != len(want.Near) {
+			t.Fatalf("query %v: nearObjSet %d, oracle %d", p, len(res.Near), len(want.Near))
+		}
+	}
+
+	// Interior query: disc(nearest + nearQual + reqAcc) stays inside r.0,
+	// so the fast path must fire.
+	before := leaf.Metrics().Counter("neighbor_query_local_fast").Value()
+	check(geo.Pt(230, 210), 60)
+	if after := leaf.Metrics().Counter("neighbor_query_local_fast").Value(); after != before+1 {
+		t.Errorf("interior query: local fast count %d, want %d", after, before+1)
+	}
+
+	// Border query: the nearest candidate's disc crosses into r.3, the
+	// fast path must decline and the distributed search must answer.
+	before = leaf.Metrics().Counter("neighbor_query_local_fast").Value()
+	check(geo.Pt(730, 730), 80)
+	if after := leaf.Metrics().Counter("neighbor_query_local_fast").Value(); after != before {
+		t.Errorf("border query took the fast path despite a crossing disc")
+	}
+}
+
 func TestNeighborQueryEmptyService(t *testing.T) {
 	ls := newTestLS(t, quadSpec(), server.Options{})
 	q := ls.newClientAt(t, "querier", geo.Pt(100, 100), client.Options{})

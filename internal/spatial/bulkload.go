@@ -1,14 +1,13 @@
 package spatial
 
 import (
-	"sort"
-
 	"locsvc/internal/geo"
 )
 
-// BulkLoad builds a balanced point quadtree from a batch of items: the
-// median point (alternating between x- and y-order per level) becomes each
-// subtree's root, giving logarithmic depth regardless of input order.
+// BulkLoad builds a balanced point quadtree from a batch of items: batches
+// that fit one leaf bucket stay a bucket, larger ones divide at the true
+// median point (alternating between x- and y-order per level), giving
+// logarithmic depth regardless of input order.
 //
 // Its value is the worst case, not the average: on randomly ordered input,
 // incremental insertion already yields a balanced tree and is considerably
@@ -23,49 +22,9 @@ func BulkLoad(items []Item) *Quadtree {
 	}
 	work := make([]Item, len(items))
 	copy(work, items)
-	t.root = buildBalanced(work, true)
+	t.root = buildSubtree(work, true)
 	t.size = len(items)
 	return t
-}
-
-// buildBalanced recursively picks the median along the alternating axis.
-func buildBalanced(items []Item, byX bool) *qnode {
-	if len(items) == 0 {
-		return nil
-	}
-	sort.Slice(items, func(i, j int) bool {
-		if byX {
-			if items[i].Pos.X != items[j].Pos.X {
-				return items[i].Pos.X < items[j].Pos.X
-			}
-			return items[i].Pos.Y < items[j].Pos.Y
-		}
-		if items[i].Pos.Y != items[j].Pos.Y {
-			return items[i].Pos.Y < items[j].Pos.Y
-		}
-		return items[i].Pos.X < items[j].Pos.X
-	})
-	mid := len(items) / 2
-	// Pull every duplicate of the median position into this node.
-	pivot := items[mid].Pos
-	node := &qnode{pos: pivot}
-	var rest []Item
-	for _, it := range items {
-		if it.Pos == pivot {
-			node.ids = append(node.ids, it.ID)
-		} else {
-			rest = append(rest, it)
-		}
-	}
-	// Partition the remainder into the four quadrants around the pivot.
-	var quads [4][]Item
-	for _, it := range rest {
-		quads[quadrantOf(pivot, it.Pos)] = append(quads[quadrantOf(pivot, it.Pos)], it)
-	}
-	for q := range quads {
-		node.kids[q] = buildBalanced(quads[q], !byX)
-	}
-	return node
 }
 
 // Rebuild replaces the tree's contents with a balanced bulk load of the
@@ -74,6 +33,7 @@ func (t *Quadtree) Rebuild(items []Item) {
 	nt := BulkLoad(items)
 	t.root = nt.root
 	t.size = nt.size
+	t.ghosts = 0
 }
 
 // Bounds returns the bounding rectangle of all indexed points (zero Rect

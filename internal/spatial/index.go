@@ -6,7 +6,19 @@
 //
 // All indexes store (object id, position) pairs, answer rectangle searches
 // for range queries and stream neighbors in increasing distance order for
-// nearest-neighbor queries.
+// nearest-neighbor queries. Nearest-neighbor enumeration is exposed two
+// ways: push-style (NearestFunc) and as a resumable pull-style Cursor
+// (NearestCursor) whose best-first traversal pauses between neighbors — the
+// building block that lets the sharded wrappers merge per-shard streams
+// without re-traversing each shard's prefix (see Cursor for the contract).
+//
+// The concurrent wrappers (Sharded here, store.ShardedSightingDB) maintain
+// a conservative per-shard bounding rectangle over live entries: it always
+// contains every live position (inserts grow it immediately; removals only
+// mark it stale and it is recomputed once stale removals outnumber live
+// entries), so skipping a shard whose rectangle misses a query rectangle,
+// or ordering unopened shard streams by the rectangle's minimum distance,
+// can never change a query result.
 package spatial
 
 import (
@@ -14,10 +26,15 @@ import (
 	"locsvc/internal/geo"
 )
 
-// Item is one indexed object.
+// Item is one indexed object. Ref is an optional opaque payload carried
+// alongside the entry by indexes that implement ItemIndex: a store can
+// stash its record pointer there and get it back from a search, sparing a
+// hash-map lookup per match on the hot read path. Indexes never inspect
+// Ref; id-keyed callers may leave it nil.
 type Item struct {
 	ID  core.OID
 	Pos geo.Point
+	Ref any
 }
 
 // Index is the interface shared by all spatial index implementations.
@@ -41,6 +58,24 @@ type Index interface {
 	// Returning false from visit stops the enumeration. Ordering between
 	// equidistant entries is unspecified.
 	NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool)
+	// NearestCursor returns a paused nearest-neighbor enumeration around
+	// p that yields the same stream as NearestFunc one neighbor per Next
+	// call; see Cursor for the full contract.
+	NearestCursor(p geo.Point) Cursor
+}
+
+// ItemIndex is an optional capability an Index may implement: inserting
+// whole Items (including the opaque Ref payload) and searching with the
+// stored Item handed back to the visitor. Entries inserted through either
+// Insert or InsertItem are removed through the same Remove — the payload
+// plays no part in matching. The stores type-assert for this capability and
+// fall back to the id-keyed API, so it stays invisible to plain callers.
+type ItemIndex interface {
+	Index
+	// InsertItem adds it, carrying its Ref payload alongside the entry.
+	InsertItem(it Item)
+	// SearchItems is Search handing back the stored Item per match.
+	SearchItems(r geo.Rect, visit func(it Item) bool)
 }
 
 // Kind selects an index implementation by name; it is used by server
@@ -92,15 +127,21 @@ func SearchAll(ix Index, r geo.Rect) []Item {
 	return out
 }
 
-// KNearest returns up to k entries closest to p, nearest first.
+// KNearest returns up to k entries closest to p, nearest first. It pulls
+// exactly k neighbors off a cursor, so no implementation over-fetches.
 func KNearest(ix Index, p geo.Point, k int) []Item {
 	if k <= 0 {
 		return nil
 	}
+	c := ix.NearestCursor(p)
+	defer c.Close()
 	out := make([]Item, 0, k)
-	ix.NearestFunc(p, func(id core.OID, q geo.Point, _ float64) bool {
-		out = append(out, Item{ID: id, Pos: q})
-		return len(out) < k
-	})
+	for len(out) < k {
+		n, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, Item{ID: n.ID, Pos: n.Pos})
+	}
 	return out
 }

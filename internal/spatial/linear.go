@@ -2,6 +2,7 @@ package spatial
 
 import (
 	"sort"
+	"sync"
 
 	"locsvc/internal/core"
 	"locsvc/internal/geo"
@@ -61,21 +62,62 @@ func (l *Linear) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) {
 	}
 }
 
-// NearestFunc implements Index by sorting all entries by distance.
-func (l *Linear) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
-	type distItem struct {
-		it   Item
-		dist float64
-	}
-	all := make([]distItem, 0, l.size)
+// linearCursor is the linear scan's nearest-neighbor cursor: a sorted
+// snapshot buffer, advanced one entry per Next. The snapshot is taken at
+// creation, so a cursor resumed across modifications simply replays the
+// state it saw — trivially monotone.
+type linearCursor struct {
+	buf    []Neighbor
+	pos    int
+	closed bool
+}
+
+var linearCursorPool = sync.Pool{New: func() any { return new(linearCursor) }}
+
+// NearestCursor implements Index by snapshotting all entries sorted by
+// distance from p.
+func (l *Linear) NearestCursor(p geo.Point) Cursor {
+	c := linearCursorPool.Get().(*linearCursor)
+	c.pos = 0
+	c.closed = false
+	c.buf = c.buf[:0]
 	for id, ps := range l.items {
 		for _, q := range ps {
-			all = append(all, distItem{it: Item{ID: id, Pos: q}, dist: q.Dist(p)})
+			c.buf = append(c.buf, Neighbor{ID: id, Pos: q, Dist: q.Dist(p)})
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].dist < all[j].dist })
-	for _, di := range all {
-		if !visit(di.it.ID, di.it.Pos, di.dist) {
+	sort.Slice(c.buf, func(i, j int) bool { return c.buf[i].Dist < c.buf[j].Dist })
+	return c
+}
+
+// Next implements Cursor.
+func (c *linearCursor) Next() (Neighbor, bool) {
+	if c.pos >= len(c.buf) {
+		return Neighbor{}, false
+	}
+	n := c.buf[c.pos]
+	c.pos++
+	return n, true
+}
+
+// Close implements Cursor, returning the snapshot buffer to a pool.
+func (c *linearCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	clear(c.buf)
+	c.buf = c.buf[:0]
+	linearCursorPool.Put(c)
+}
+
+// NearestFunc implements Index by draining a sorted-snapshot cursor.
+func (l *Linear) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+	c := l.NearestCursor(p)
+	defer c.Close()
+	for {
+		n, ok := c.Next()
+		if !ok || !visit(n.ID, n.Pos, n.Dist) {
 			return
 		}
 	}

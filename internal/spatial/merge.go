@@ -1,8 +1,6 @@
 package spatial
 
 import (
-	"container/heap"
-
 	"locsvc/internal/core"
 	"locsvc/internal/geo"
 )
@@ -16,101 +14,56 @@ type Neighbor struct {
 }
 
 // NearestFetch returns up to k entries nearest to a fixed query point,
-// nearest first. Successive calls with growing k must extend the previous
-// answer (same prefix when the underlying data is unchanged); MergeNearest
-// re-fetches with doubled k to pull deeper into a stream.
+// nearest first. It is kept for callers that want a batch interface; the
+// streaming paths use Cursor directly, which avoids re-traversing the
+// prefix when a consumer needs to look deeper.
 type NearestFetch func(k int) []Neighbor
 
-// FetchFromIndex adapts an Index to a NearestFetch around p. The returned
-// fetch is only as concurrency-safe as the index it wraps.
+// FetchFromIndex adapts an Index to a NearestFetch around p: each call
+// opens a fresh cursor and drains its first k neighbors. The returned fetch
+// is only as concurrency-safe as the index it wraps.
 func FetchFromIndex(ix Index, p geo.Point) NearestFetch {
 	return func(k int) []Neighbor {
+		if k <= 0 {
+			return nil
+		}
+		c := ix.NearestCursor(p)
+		defer c.Close()
 		out := make([]Neighbor, 0, k)
-		ix.NearestFunc(p, func(id core.OID, q geo.Point, dist float64) bool {
-			out = append(out, Neighbor{ID: id, Pos: q, Dist: dist})
-			return len(out) < k
-		})
+		for len(out) < k {
+			n, ok := c.Next()
+			if !ok {
+				break
+			}
+			out = append(out, n)
+		}
 		return out
 	}
 }
 
-// nnStream pulls one source's neighbors in distance order. Sources expose a
-// push-style NearestFunc, so the stream buffers a prefix and re-fetches with
-// doubled depth when the merge needs to see further — each shard is queried
-// only as deeply as the merged consumer actually advances into it.
-type nnStream struct {
-	fetch NearestFetch
-	buf   []Neighbor
-	pos   int
-	k     int
-	done  bool // the last fetch returned fewer than k entries
-}
-
-// next returns the stream's next neighbor in distance order.
-func (st *nnStream) next() (Neighbor, bool) {
-	for {
-		if st.pos < len(st.buf) {
-			n := st.buf[st.pos]
-			st.pos++
-			return n, true
-		}
-		if st.done {
-			return Neighbor{}, false
-		}
-		st.k *= 2
-		st.buf = st.fetch(st.k)
-		if len(st.buf) < st.k {
-			st.done = true
-		}
-		if st.pos >= len(st.buf) && st.done {
-			return Neighbor{}, false
+// MergeNearest visits the union of several distance-ordered cursors in
+// global order of increasing distance — the k-way merge behind sharded
+// nearest-neighbor queries. Each cursor is advanced exactly one neighbor at
+// a time, so stopping after k results costs k advances plus one buffered
+// head per cursor. Returning false from visit stops the enumeration;
+// ordering between equidistant entries is unspecified. The caller retains
+// ownership of the cursors and closes them.
+func MergeNearest(cursors []Cursor, visit func(n Neighbor) bool) {
+	var h heapOf[mref]
+	for _, c := range cursors {
+		if n, ok := c.Next(); ok {
+			h.push(n.Dist, mref{cur: c, head: n})
 		}
 	}
-}
-
-// streamHeap orders streams by the distance of their current head.
-type streamHead struct {
-	head Neighbor
-	st   *nnStream
-}
-
-type streamHeap []streamHead
-
-func (h streamHeap) Len() int            { return len(h) }
-func (h streamHeap) Less(i, j int) bool  { return h[i].head.Dist < h[j].head.Dist }
-func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(streamHead)) }
-func (h *streamHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// MergeNearest visits the union of several distance-ordered neighbor
-// streams in global order of increasing distance — the k-way merge behind
-// sharded nearest-neighbor queries. Returning false from visit stops the
-// enumeration; ordering between equidistant entries is unspecified.
-func MergeNearest(fetches []NearestFetch, visit func(n Neighbor) bool) {
-	h := make(streamHeap, 0, len(fetches))
-	for _, f := range fetches {
-		st := &nnStream{fetch: f, k: 2} // first next() fetches 4
-		if n, ok := st.next(); ok {
-			h = append(h, streamHead{head: n, st: st})
-		}
-	}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		top := h[0]
-		if !visit(top.head) {
+	for h.len() > 0 {
+		top := h.es[0]
+		if !visit(top.val.head) {
 			return
 		}
-		if n, ok := top.st.next(); ok {
-			h[0].head = n
-			heap.Fix(&h, 0)
+		if n, ok := top.val.cur.Next(); ok {
+			h.replaceTop(n.Dist, mref{cur: top.val.cur, head: n})
 		} else {
-			heap.Pop(&h)
+			h.pop()
 		}
 	}
 }

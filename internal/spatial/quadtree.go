@@ -1,37 +1,86 @@
 package spatial
 
 import (
-	"container/heap"
-	"math"
+	"sort"
+	"sync"
 
 	"locsvc/internal/core"
 	"locsvc/internal/geo"
 )
 
+// qBucket is the leaf capacity of the bucketed point quadtree: a leaf
+// absorbs up to this many entries before it splits. Buckets keep the tree
+// shallow — depth is O(log4(n/qBucket)) instead of O(log4 n) — which is the
+// multiplier a sharded store pays on every query probe, and a bucket scan
+// is a branch-free sweep over contiguous items, far cheaper per entry than
+// a pointer-chasing descent. A leaf whose entries all share one position
+// cannot be split and simply stays oversized, which keeps duplicate-heavy
+// workloads correct.
+const qBucket = 16
+
 // Quadtree is a Point Quadtree after Samet [17], the spatial index the
-// paper's prototype uses for its sightingDB. Every tree node stores one
-// distinct position (plus all object ids sighted exactly there) and splits
-// the plane into four quadrants at that position.
+// paper's prototype uses for its sightingDB, refined with leaf buckets:
+// internal nodes store one distinct dividing position (plus all object ids
+// sighted exactly there) and split the plane into four quadrants at that
+// position, while leaves hold a small bucket of entries until they are
+// worth dividing.
 //
-// Deletion uses subtree re-insertion: when an internal node's last id is
-// removed, the node's subtree is rebuilt without it. On the uniformly
-// distributed positions a location server sees, subtrees are small and this
-// keeps updates cheap (see BenchmarkTable1 for measured rates).
+// Deletion is O(depth): removing a bucket entry edits the bucket in place,
+// and removing a dividing position's last id leaves the divider behind as a
+// position-only tombstone ("ghost") that no longer reports anything. Ghosts
+// are swept by rebuilding the tree balanced once they outnumber a quarter
+// of the live entries — amortized O(log n) per removal, and the rebuild is
+// also where ghost nodes and stale rectangles disappear.
+//
+// Every node caches the bounding rectangle of its subtree's actual
+// positions (sub), maintained with the same lazily-tightened invariant as
+// the shard rectangles: inserts grow the rectangles along the descent path
+// immediately, removals leave ancestors' rectangles conservatively large,
+// and a subtree rebuild recomputes its rectangles exactly. Searches and the
+// nearest-neighbor cursor prune on sub instead of the unbounded quadrant
+// regions, which skips subtrees whose data lies nowhere near the query —
+// the dominant cost once the database is split into per-shard trees.
 type Quadtree struct {
 	root *qnode
 	size int
+	// ghosts counts internal nodes whose dividing position holds no
+	// resident entries anymore; the tree is rebuilt once they outnumber
+	// size/4.
+	ghosts int
 }
 
-var _ Index = (*Quadtree)(nil)
+var (
+	_ Index     = (*Quadtree)(nil)
+	_ ItemIndex = (*Quadtree)(nil)
+)
 
 // NewQuadtree returns an empty point quadtree.
 func NewQuadtree() *Quadtree { return &Quadtree{} }
 
 type qnode struct {
-	pos  geo.Point
-	ids  []core.OID
-	kids [4]*qnode
+	// sub conservatively bounds every position in this subtree. It grows
+	// immediately on insert and is recomputed exactly on subtree rebuild;
+	// between rebuilds removals may leave it larger than the live extent,
+	// never smaller.
+	sub geo.Rect
+	// Internal nodes: pos is the dividing position, res the entries
+	// resident exactly there, kids the four quadrants. Leaves: items is
+	// the bucket; pos/res/kids are unused.
+	pos   geo.Point
+	res   []Item
+	items []Item
+	kids  [4]*qnode
+	leaf  bool
 }
+
+func newLeaf(it Item) *qnode {
+	n := &qnode{leaf: true, sub: geo.Rect{Min: it.Pos, Max: it.Pos}}
+	n.items = append(n.items, it)
+	return n
+}
+
+// growSub widens n.sub to cover p.
+func (n *qnode) growSub(p geo.Point) { n.sub.GrowToInclude(p) }
 
 // quadrant indexes: 0 = NE, 1 = NW, 2 = SW, 3 = SE relative to node point.
 // Points on the dividing lines go east/north, making placement unique.
@@ -48,54 +97,117 @@ func quadrantOf(center, p geo.Point) int {
 	return 2
 }
 
-// quadrantRect returns the sub-rectangle of region corresponding to
-// quadrant q around center.
-func quadrantRect(region geo.Rect, center geo.Point, q int) geo.Rect {
-	r := region
-	switch q {
-	case 0: // NE
-		r.Min = geo.Point{X: center.X, Y: center.Y}
-	case 1: // NW
-		r.Max.X = center.X
-		r.Min.Y = center.Y
-	case 2: // SW
-		r.Max = geo.Point{X: center.X, Y: center.Y}
-	case 3: // SE
-		r.Min.X = center.X
-		r.Max.Y = center.Y
-	}
-	return r
-}
-
 // Len implements Index.
 func (t *Quadtree) Len() int { return t.size }
 
 // Insert implements Index.
 func (t *Quadtree) Insert(id core.OID, p geo.Point) {
+	t.InsertItem(Item{ID: id, Pos: p})
+}
+
+// InsertItem implements ItemIndex, carrying it.Ref alongside the entry.
+func (t *Quadtree) InsertItem(it Item) {
 	t.size++
 	if t.root == nil {
-		t.root = &qnode{pos: p, ids: []core.OID{id}}
+		t.root = newLeaf(it)
 		return
 	}
 	n := t.root
 	for {
-		if n.pos == p {
-			n.ids = append(n.ids, id)
+		n.growSub(it.Pos)
+		if n.leaf {
+			n.items = append(n.items, it)
+			if len(n.items) > qBucket {
+				n.split()
+			}
 			return
 		}
-		q := quadrantOf(n.pos, p)
+		if n.pos == it.Pos {
+			if len(n.res) == 0 {
+				t.ghosts-- // a ghost divider comes back to life
+			}
+			n.res = append(n.res, it)
+			return
+		}
+		q := quadrantOf(n.pos, it.Pos)
 		if n.kids[q] == nil {
-			n.kids[q] = &qnode{pos: p, ids: []core.OID{id}}
+			n.kids[q] = newLeaf(it)
 			return
 		}
 		n = n.kids[q]
 	}
 }
 
+// split turns an over-full leaf into an internal node: the bucket entry
+// nearest the bucket centroid becomes the dividing position (a balanced
+// pick on any distribution), entries sighted exactly there become the
+// node's resident entries and the rest drop into fresh leaf kids. A bucket
+// whose entries all share one position cannot be divided and stays an
+// oversized leaf.
+func (n *qnode) split() {
+	var cx, cy float64
+	for _, it := range n.items {
+		cx += it.Pos.X
+		cy += it.Pos.Y
+	}
+	c := geo.Pt(cx/float64(len(n.items)), cy/float64(len(n.items)))
+	best, bestD := -1, 0.0
+	distinct := false
+	first := n.items[0].Pos
+	for i, it := range n.items {
+		if it.Pos != first {
+			distinct = true
+		}
+		if d := it.Pos.Dist(c); best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if !distinct {
+		return
+	}
+	items := n.items
+	n.leaf = false
+	n.items = nil
+	n.pos = items[best].Pos
+	for _, it := range items {
+		if it.Pos == n.pos {
+			n.res = append(n.res, it)
+			continue
+		}
+		q := quadrantOf(n.pos, it.Pos)
+		if k := n.kids[q]; k != nil {
+			k.growSub(it.Pos)
+			k.items = append(k.items, it)
+		} else {
+			n.kids[q] = newLeaf(it)
+		}
+	}
+}
+
 // Remove implements Index.
 func (t *Quadtree) Remove(id core.OID, p geo.Point) bool {
 	n, parent, pq := t.root, (*qnode)(nil), -1
-	for n != nil && n.pos != p {
+	for n != nil {
+		if n.leaf {
+			for i, it := range n.items {
+				if it.ID == id && it.Pos == p {
+					n.items = append(n.items[:i], n.items[i+1:]...)
+					t.size--
+					if len(n.items) == 0 {
+						if parent == nil {
+							t.root = nil
+						} else {
+							parent.kids[pq] = nil
+						}
+					}
+					return true
+				}
+			}
+			return false
+		}
+		if n.pos == p {
+			break
+		}
 		q := quadrantOf(n.pos, p)
 		parent, pq, n = n, q, n.kids[q]
 	}
@@ -103,8 +215,8 @@ func (t *Quadtree) Remove(id core.OID, p geo.Point) bool {
 		return false
 	}
 	idx := -1
-	for i, v := range n.ids {
-		if v == id {
+	for i, v := range n.res {
+		if v.ID == id {
 			idx = i
 			break
 		}
@@ -112,23 +224,43 @@ func (t *Quadtree) Remove(id core.OID, p geo.Point) bool {
 	if idx < 0 {
 		return false
 	}
-	n.ids = append(n.ids[:idx], n.ids[idx+1:]...)
+	n.res = append(n.res[:idx], n.res[idx+1:]...)
 	t.size--
-	if len(n.ids) > 0 {
+	if len(n.res) > 0 {
 		return true
 	}
-	// Node holds no more objects: rebuild its subtree without it.
-	var items []Item
+	// The dividing position holds no more objects. A childless divider is
+	// simply unlinked; one with live subtrees becomes a ghost, swept by
+	// the amortized rebuild below.
+	dead := true
 	for _, k := range n.kids {
-		collect(k, &items)
+		if k != nil {
+			dead = false
+			break
+		}
 	}
-	rebuilt := buildSubtree(items)
-	if parent == nil {
-		t.root = rebuilt
-	} else {
-		parent.kids[pq] = rebuilt
+	if dead {
+		if parent == nil {
+			t.root = nil
+		} else {
+			parent.kids[pq] = nil
+		}
+		return true
+	}
+	t.ghosts++
+	if t.ghosts*4 > t.size {
+		t.rebuild()
 	}
 	return true
+}
+
+// rebuild replaces the tree with a balanced ghost-free copy of its live
+// entries, tightening every cached rectangle exactly.
+func (t *Quadtree) rebuild() {
+	var items []Item
+	collect(t.root, &items)
+	t.root = buildSubtree(items, true)
+	t.ghosts = 0
 }
 
 // collect appends every item in the subtree rooted at n.
@@ -136,138 +268,230 @@ func collect(n *qnode, out *[]Item) {
 	if n == nil {
 		return
 	}
-	for _, id := range n.ids {
-		*out = append(*out, Item{ID: id, Pos: n.pos})
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
 	}
+	*out = append(*out, n.res...)
 	for _, k := range n.kids {
 		collect(k, out)
 	}
 }
 
-// buildSubtree constructs a subtree from items by repeated insertion,
-// choosing a middle element first to keep the subtree balanced-ish.
-func buildSubtree(items []Item) *qnode {
+// buildSubtree constructs a balanced subtree: batches small enough for one
+// bucket become leaves, larger ones are divided at the true median along
+// alternating axes (BulkLoad and deletion rebuilds share it, so a rebuild
+// is also where stale rectangles are tightened). It may reorder items.
+func buildSubtree(items []Item, byX bool) *qnode {
 	if len(items) == 0 {
 		return nil
 	}
-	// Start from the median-ish element to avoid degenerate chains when
-	// items came out of an ordered traversal.
-	mid := len(items) / 2
-	root := &qnode{pos: items[mid].Pos, ids: []core.OID{items[mid].ID}}
-	for i, it := range items {
-		if i == mid {
+	n := &qnode{sub: geo.Rect{Min: items[0].Pos, Max: items[0].Pos}}
+	for _, it := range items[1:] {
+		n.growSub(it.Pos)
+	}
+	if len(items) <= qBucket {
+		n.leaf = true
+		n.items = append(n.items, items...)
+		return n
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if byX {
+			if items[i].Pos.X != items[j].Pos.X {
+				return items[i].Pos.X < items[j].Pos.X
+			}
+			return items[i].Pos.Y < items[j].Pos.Y
+		}
+		if items[i].Pos.Y != items[j].Pos.Y {
+			return items[i].Pos.Y < items[j].Pos.Y
+		}
+		return items[i].Pos.X < items[j].Pos.X
+	})
+	n.pos = items[len(items)/2].Pos
+	var quads [4][]Item
+	for _, it := range items {
+		if it.Pos == n.pos {
+			n.res = append(n.res, it)
 			continue
 		}
-		n := root
-		for {
-			if n.pos == it.Pos {
-				n.ids = append(n.ids, it.ID)
-				break
-			}
-			q := quadrantOf(n.pos, it.Pos)
-			if n.kids[q] == nil {
-				n.kids[q] = &qnode{pos: it.Pos, ids: []core.OID{it.ID}}
-				break
-			}
-			n = n.kids[q]
-		}
+		q := quadrantOf(n.pos, it.Pos)
+		quads[q] = append(quads[q], it)
 	}
-	return root
+	for q := range quads {
+		n.kids[q] = buildSubtree(quads[q], !byX)
+	}
+	return n
 }
 
-// Search implements Index.
+// Search implements Index with an iterative descent over an explicit
+// worklist (no call frame per node — range probes repeat once per shard,
+// so per-node overhead is the multiplier the sharded store pays). Descent
+// prunes twice: the classic quadrant half-plane tests, which never touch a
+// child node's memory, then each visited node's cached subtree rectangle —
+// so a subtree whose actual data lies nowhere near r is abandoned on entry
+// even when its quadrant region intersects r.
 func (t *Quadtree) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) {
-	searchQ(t.root, r, visit)
+	t.SearchItems(r, func(it Item) bool { return visit(it.ID, it.Pos) })
 }
 
-func searchQ(n *qnode, r geo.Rect, visit func(core.OID, geo.Point) bool) bool {
-	if n == nil {
-		return true
-	}
-	if r.ContainsClosed(n.pos) {
-		for _, id := range n.ids {
-			if !visit(id, n.pos) {
-				return false
-			}
-		}
-	}
-	// Prune quadrants that cannot intersect r.
-	// Quadrant 0 (NE): x >= pos.X, y >= pos.Y, etc.
-	if r.Max.X >= n.pos.X && r.Max.Y >= n.pos.Y {
-		if !searchQ(n.kids[0], r, visit) {
-			return false
-		}
-	}
-	if r.Min.X < n.pos.X && r.Max.Y >= n.pos.Y {
-		if !searchQ(n.kids[1], r, visit) {
-			return false
-		}
-	}
-	if r.Min.X < n.pos.X && r.Min.Y < n.pos.Y {
-		if !searchQ(n.kids[2], r, visit) {
-			return false
-		}
-	}
-	if r.Max.X >= n.pos.X && r.Min.Y < n.pos.Y {
-		if !searchQ(n.kids[3], r, visit) {
-			return false
-		}
-	}
-	return true
-}
-
-// qheapEntry is either a tree node with its enclosing region or a concrete
-// point ready to be reported.
-type qheapEntry struct {
-	dist   float64
-	node   *qnode   // nil for point entries
-	region geo.Rect // region for node entries
-	item   Item     // set for point entries
-}
-
-type qheap []qheapEntry
-
-func (h qheap) Len() int            { return len(h) }
-func (h qheap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h qheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *qheap) Push(x interface{}) { *h = append(*h, x.(qheapEntry)) }
-func (h *qheap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// NearestFunc implements Index using best-first search: a priority queue
-// orders pending quadrants by their minimum possible distance, so entries
-// are reported in exact increasing-distance order.
-func (t *Quadtree) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+// SearchItems implements ItemIndex: the same pruned descent, handing the
+// stored Item (payload included) to the visitor.
+func (t *Quadtree) SearchItems(r geo.Rect, visit func(it Item) bool) {
 	if t.root == nil {
 		return
 	}
-	inf := math.Inf(1)
-	all := geo.Rect{Min: geo.Point{X: -inf, Y: -inf}, Max: geo.Point{X: inf, Y: inf}}
-	h := &qheap{{dist: 0, node: t.root, region: all}}
-	for h.Len() > 0 {
-		e := heap.Pop(h).(qheapEntry)
-		if e.node == nil {
-			if !visit(e.item.ID, e.item.Pos, e.dist) {
-				return
+	// The worklist holds pending siblings: at most three per level, so a
+	// fixed array covers any sanely balanced tree without allocating and
+	// append spills to the heap for degenerate ones.
+	var arr [32]*qnode
+	stack := append(arr[:0], t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !intersectsClosed(n.sub, r) {
+			continue
+		}
+		if n.leaf {
+			if r.ContainsRect(n.sub) {
+				// The whole bucket lies inside r: emit without
+				// per-item containment tests.
+				for _, it := range n.items {
+					if !visit(it) {
+						return
+					}
+				}
+				continue
+			}
+			for _, it := range n.items {
+				if r.ContainsClosed(it.Pos) && !visit(it) {
+					return
+				}
 			}
 			continue
 		}
-		n := e.node
-		d := n.pos.Dist(p)
-		for _, id := range n.ids {
-			heap.Push(h, qheapEntry{dist: d, item: Item{ID: id, Pos: n.pos}})
+		if r.ContainsClosed(n.pos) {
+			for _, it := range n.res {
+				if !visit(it) {
+					return
+				}
+			}
 		}
-		for q, k := range n.kids {
+		// Push quadrants that can intersect r.
+		// Quadrant 0 (NE): x >= pos.X, y >= pos.Y, etc.
+		east, north := r.Max.X >= n.pos.X, r.Max.Y >= n.pos.Y
+		west, south := r.Min.X < n.pos.X, r.Min.Y < n.pos.Y
+		if k := n.kids[0]; k != nil && east && north {
+			stack = append(stack, k)
+		}
+		if k := n.kids[1]; k != nil && west && north {
+			stack = append(stack, k)
+		}
+		if k := n.kids[2]; k != nil && west && south {
+			stack = append(stack, k)
+		}
+		if k := n.kids[3]; k != nil && east && south {
+			stack = append(stack, k)
+		}
+	}
+}
+
+// qref is one pending step of a paused best-first traversal: a subtree
+// still to be expanded (node != nil), or a single entry ready to be
+// reported. Subtrees are keyed by the minimum distance to their cached
+// subtree rectangle, which is tighter than the quadrant region and keeps
+// the heap free of region bookkeeping.
+type qref struct {
+	node *qnode // nil for point entries
+	item Item   // set for point entries
+}
+
+// quadCursor is the quadtree's resumable nearest-neighbor cursor: the
+// best-first priority queue, paused between neighbors.
+type quadCursor struct {
+	p      geo.Point
+	h      heapOf[qref]
+	closed bool
+}
+
+var quadCursorPool = sync.Pool{New: func() any { return new(quadCursor) }}
+
+// NearestCursor implements Index. The cursor shares the tree's nodes, so it
+// obeys the same synchronization rules as every other read.
+func (t *Quadtree) NearestCursor(p geo.Point) Cursor {
+	c := quadCursorPool.Get().(*quadCursor)
+	c.p = p
+	c.closed = false
+	c.h.reset()
+	if t.root != nil {
+		c.h.push(t.root.sub.DistToPoint(p), qref{node: t.root})
+	}
+	return c
+}
+
+// Next implements Cursor: pop pending steps until a point entry surfaces,
+// expanding subtree steps into their quadrants and resident entries. Child
+// keys are clamped to the popped key so the stream stays monotone even when
+// the tree is modified between calls (on a quiescent tree the clamp is a
+// no-op: a subtree's minimum distance never undercuts its parent's).
+func (c *quadCursor) Next() (Neighbor, bool) {
+	for c.h.len() > 0 {
+		e := c.h.pop()
+		if e.val.node == nil {
+			it := e.val.item
+			return Neighbor{ID: it.ID, Pos: it.Pos, Dist: e.key}, true
+		}
+		n := e.val.node
+		floor := e.key
+		if n.leaf {
+			for _, it := range n.items {
+				d := it.Pos.Dist(c.p)
+				if d < floor {
+					d = floor
+				}
+				c.h.push(d, qref{item: it})
+			}
+			continue
+		}
+		d := n.pos.Dist(c.p)
+		if d < floor {
+			d = floor
+		}
+		for _, it := range n.res {
+			c.h.push(d, qref{item: it})
+		}
+		for _, k := range n.kids {
 			if k == nil {
 				continue
 			}
-			reg := quadrantRect(e.region, n.pos, q)
-			heap.Push(h, qheapEntry{dist: reg.DistToPoint(p), node: k, region: reg})
+			kd := k.sub.DistToPoint(c.p)
+			if kd < floor {
+				kd = floor
+			}
+			c.h.push(kd, qref{node: k})
+		}
+	}
+	return Neighbor{}, false
+}
+
+// Close implements Cursor, returning the traversal state to a pool.
+func (c *quadCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.h.reset()
+	quadCursorPool.Put(c)
+}
+
+// NearestFunc implements Index by draining a cursor: best-first search over
+// subtree rectangles reports entries in exact increasing-distance order.
+func (t *Quadtree) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+	c := t.NearestCursor(p)
+	defer c.Close()
+	for {
+		n, ok := c.Next()
+		if !ok || !visit(n.ID, n.Pos, n.Dist) {
+			return
 		}
 	}
 }

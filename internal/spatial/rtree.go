@@ -1,7 +1,7 @@
 package spatial
 
 import (
-	"container/heap"
+	"sync"
 
 	"locsvc/internal/core"
 	"locsvc/internal/geo"
@@ -80,10 +80,7 @@ func rectArea(r geo.Rect) float64 { return (r.Max.X - r.Min.X) * (r.Max.Y - r.Mi
 
 // intersectsClosed reports rectangle overlap including shared boundaries,
 // needed because point entries are degenerate rectangles.
-func intersectsClosed(a, b geo.Rect) bool {
-	return a.Min.X <= b.Max.X && b.Min.X <= a.Max.X &&
-		a.Min.Y <= b.Max.Y && b.Min.Y <= a.Max.Y
-}
+func intersectsClosed(a, b geo.Rect) bool { return a.IntersectsClosed(b) }
 
 // Len implements Index.
 func (t *RTree) Len() int { return t.size }
@@ -341,43 +338,87 @@ func searchR(n *rnode, r geo.Rect, visit func(core.OID, geo.Point) bool) bool {
 	return true
 }
 
-type rheapEntry struct {
-	dist float64
+// rref is one pending step of a paused best-first traversal: a node still
+// to be expanded, or a leaf entry ready to be reported.
+type rref struct {
 	node *rnode // nil for item entries
 	item Item
 }
 
-type rheap []rheapEntry
-
-func (h rheap) Len() int            { return len(h) }
-func (h rheap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h rheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *rheap) Push(x interface{}) { *h = append(*h, x.(rheapEntry)) }
-func (h *rheap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// rtreeCursor is the R-tree's resumable nearest-neighbor cursor: the
+// best-first priority queue over node MBRs, paused between neighbors.
+type rtreeCursor struct {
+	p      geo.Point
+	h      heapOf[rref]
+	closed bool
 }
 
-// NearestFunc implements Index via best-first search over node MBRs.
-func (t *RTree) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
-	h := &rheap{{dist: 0, node: t.root}}
-	for h.Len() > 0 {
-		e := heap.Pop(h).(rheapEntry)
-		if e.node == nil {
-			if !visit(e.item.ID, e.item.Pos, e.dist) {
-				return
-			}
-			continue
+var rtreeCursorPool = sync.Pool{New: func() any { return new(rtreeCursor) }}
+
+// NearestCursor implements Index. The cursor shares the tree's nodes, so it
+// obeys the same synchronization rules as every other read.
+func (t *RTree) NearestCursor(p geo.Point) Cursor {
+	c := rtreeCursorPool.Get().(*rtreeCursor)
+	c.p = p
+	c.closed = false
+	c.h.reset()
+	c.h.push(0, rref{node: t.root})
+	return c
+}
+
+// Next implements Cursor. Keys are clamped to the popped key so the stream
+// stays monotone when the tree is modified between calls (a no-op on a
+// quiescent tree, where a child MBR's minimum distance never undercuts its
+// parent's).
+func (c *rtreeCursor) Next() (Neighbor, bool) {
+	for c.h.len() > 0 {
+		e := c.h.pop()
+		if e.val.node == nil {
+			it := e.val.item
+			return Neighbor{ID: it.ID, Pos: it.Pos, Dist: e.key}, true
 		}
-		for _, en := range e.node.entries {
-			if e.node.leaf {
-				heap.Push(h, rheapEntry{dist: en.item.Pos.Dist(p), item: en.item})
-			} else {
-				heap.Push(h, rheapEntry{dist: en.rect.DistToPoint(p), node: en.child})
+		n := e.val.node
+		floor := e.key
+		if n.leaf {
+			for _, en := range n.entries {
+				d := en.item.Pos.Dist(c.p)
+				if d < floor {
+					d = floor
+				}
+				c.h.push(d, rref{item: en.item})
 			}
+		} else {
+			for _, en := range n.entries {
+				d := en.rect.DistToPoint(c.p)
+				if d < floor {
+					d = floor
+				}
+				c.h.push(d, rref{node: en.child})
+			}
+		}
+	}
+	return Neighbor{}, false
+}
+
+// Close implements Cursor, returning the traversal state to a pool.
+func (c *rtreeCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.h.reset()
+	rtreeCursorPool.Put(c)
+}
+
+// NearestFunc implements Index by draining a cursor: best-first search over
+// node MBRs reports entries in exact increasing-distance order.
+func (t *RTree) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
+	c := t.NearestCursor(p)
+	defer c.Close()
+	for {
+		n, ok := c.Next()
+		if !ok || !visit(n.ID, n.Pos, n.Dist) {
+			return
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package spatial
 
 import (
+	"math"
 	"sync"
 
 	"locsvc/internal/core"
@@ -10,14 +11,18 @@ import (
 // Sharded partitions an index into n independently locked shards keyed by
 // object id, making it safe for concurrent use: inserts and removes of
 // different objects proceed in parallel on a multi-core machine instead of
-// serializing behind one lock. Range searches fan out across all shards;
-// nearest-neighbor enumeration merges the per-shard streams in global
-// distance order via MergeNearest.
+// serializing behind one lock. Range searches fan out across the shards
+// whose bounding rectangle intersects the query; nearest-neighbor
+// enumeration merges the per-shard cursors in global distance order,
+// advancing each shard exactly one neighbor at a time (MergeSources).
 //
 // Sharding by object id (not by space) keeps update cost independent of an
 // object's position — the hot path of the paper's update-heavy workloads —
 // at the price of touching every shard on queries, which are the rarer
-// operation in those workloads.
+// operation in those workloads. Each shard therefore maintains a
+// conservative bounding rectangle over its live entries (see the package
+// documentation for the staleness invariant) so queries can skip shards
+// that cannot contribute.
 //
 // Sharded is the Index-level building block for callers that only need a
 // concurrent spatial index. store.ShardedSightingDB deliberately applies
@@ -31,6 +36,15 @@ type Sharded struct {
 type indexShard struct {
 	mu  sync.RWMutex
 	idx Index
+
+	// bound conservatively contains every live position: inserts grow it
+	// immediately, removals only bump stale, and the rectangle is
+	// recomputed exactly once stale removals outnumber live entries —
+	// amortized O(1) per removal. Meaningless while the shard is empty
+	// (nonempty == false).
+	bound    geo.Rect
+	nonempty bool
+	stale    int
 }
 
 var _ Index = (*Sharded)(nil)
@@ -74,11 +88,59 @@ func (s *Sharded) shardFor(id core.OID) *indexShard {
 	return &s.shards[ShardFor(id, len(s.shards))]
 }
 
+// noteInsert grows the shard's bounding rectangle to cover p. Caller holds
+// the shard's write lock.
+func (sh *indexShard) noteInsert(p geo.Point) {
+	if !sh.nonempty {
+		sh.bound = geo.Rect{Min: p, Max: p}
+		sh.nonempty = true
+		sh.stale = 0
+		return
+	}
+	sh.bound.GrowToInclude(p)
+}
+
+// noteRemove records a removal against the bounding rectangle, tightening
+// it lazily. Caller holds the shard's write lock.
+func (sh *indexShard) noteRemove() {
+	n := sh.idx.Len()
+	if n == 0 {
+		sh.nonempty = false
+		sh.stale = 0
+		return
+	}
+	sh.stale++
+	if sh.stale > n {
+		sh.tighten()
+	}
+}
+
+// tighten recomputes the exact bounding rectangle with a full scan.
+func (sh *indexShard) tighten() {
+	inf := math.Inf(1)
+	all := geo.Rect{Min: geo.Point{X: -inf, Y: -inf}, Max: geo.Point{X: inf, Y: inf}}
+	first := true
+	var b geo.Rect
+	sh.idx.Search(all, func(_ core.OID, p geo.Point) bool {
+		if first {
+			b = geo.Rect{Min: p, Max: p}
+			first = false
+			return true
+		}
+		b.GrowToInclude(p)
+		return true
+	})
+	sh.bound = b
+	sh.nonempty = !first
+	sh.stale = 0
+}
+
 // Insert implements Index.
 func (s *Sharded) Insert(id core.OID, p geo.Point) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	sh.idx.Insert(id, p)
+	sh.noteInsert(p)
 	sh.mu.Unlock()
 }
 
@@ -87,6 +149,9 @@ func (s *Sharded) Remove(id core.OID, p geo.Point) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	ok := sh.idx.Remove(id, p)
+	if ok {
+		sh.noteRemove()
+	}
 	sh.mu.Unlock()
 	return ok
 }
@@ -103,19 +168,23 @@ func (s *Sharded) Len() int {
 	return n
 }
 
-// Search implements Index by fanning the rectangle across every shard.
+// Search implements Index by fanning the rectangle across every shard
+// whose bounding rectangle intersects it.
 func (s *Sharded) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) {
+	stopped := false
+	inner := func(id core.OID, p geo.Point) bool {
+		if !visit(id, p) {
+			stopped = true
+			return false
+		}
+		return true
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
-		stopped := false
 		sh.mu.RLock()
-		sh.idx.Search(r, func(id core.OID, p geo.Point) bool {
-			if !visit(id, p) {
-				stopped = true
-				return false
-			}
-			return true
-		})
+		if sh.nonempty && intersectsClosed(sh.bound, r) {
+			sh.idx.Search(r, inner)
+		}
 		sh.mu.RUnlock()
 		if stopped {
 			return
@@ -123,31 +192,53 @@ func (s *Sharded) Search(r geo.Rect, visit func(id core.OID, p geo.Point) bool) 
 	}
 }
 
-// NearestFunc implements Index by merging the per-shard nearest streams in
-// increasing distance order. Each shard is locked only for the duration of
-// one buffered fetch, so a long enumeration does not starve writers; under
-// concurrent modification the stream is a best-effort snapshot, like every
-// query against a live store.
+// NearestCursor implements Index: per-shard cursors are merged in global
+// distance order, each shard opened lazily only when the merge frontier
+// reaches its bounding rectangle and locked only for the duration of one
+// advance, so a long enumeration does not starve writers. Under concurrent
+// modification the stream is a best-effort snapshot, like every query
+// against a live store.
+func (s *Sharded) NearestCursor(p geo.Point) Cursor {
+	srcs := make([]CursorSource, 0, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		nonempty := sh.nonempty
+		minDist := 0.0
+		if nonempty {
+			minDist = sh.bound.DistToPoint(p)
+		}
+		sh.mu.RUnlock()
+		if !nonempty {
+			continue
+		}
+		srcs = append(srcs, CursorSource{MinDist: minDist, Open: func() Cursor {
+			sh.mu.RLock()
+			inner := sh.idx.NearestCursor(p)
+			sh.mu.RUnlock()
+			return LockCursor(&sh.mu, inner)
+		}})
+	}
+	return MergeSources(srcs)
+}
+
+// NearestFunc implements Index by draining a merged cursor.
 func (s *Sharded) NearestFunc(p geo.Point, visit func(id core.OID, q geo.Point, dist float64) bool) {
 	if len(s.shards) == 1 {
-		// Nothing to merge: stream straight off the sub-index.
+		// Nothing to merge: stream straight off the sub-index under one
+		// read-lock acquisition.
 		sh := &s.shards[0]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		sh.idx.NearestFunc(p, visit)
 		return
 	}
-	fetches := make([]NearestFetch, len(s.shards))
-	for i := range s.shards {
-		sh := &s.shards[i]
-		fetch := FetchFromIndex(sh.idx, p)
-		fetches[i] = func(k int) []Neighbor {
-			sh.mu.RLock()
-			defer sh.mu.RUnlock()
-			return fetch(k)
+	c := s.NearestCursor(p)
+	defer c.Close()
+	for {
+		n, ok := c.Next()
+		if !ok || !visit(n.ID, n.Pos, n.Dist) {
+			return
 		}
 	}
-	MergeNearest(fetches, func(n Neighbor) bool {
-		return visit(n.ID, n.Pos, n.Dist)
-	})
 }

@@ -55,15 +55,25 @@ func TestMergeNearestGlobalOrder(t *testing.T) {
 		}
 	}
 	sort.Float64s(all)
-	fetches := make([]NearestFetch, len(sources))
-	for i, src := range sources {
-		fetches[i] = FetchFromIndex(src, q)
+	openAll := func() []Cursor {
+		cs := make([]Cursor, len(sources))
+		for i, src := range sources {
+			cs[i] = src.NearestCursor(q)
+		}
+		return cs
 	}
+	closeAll := func(cs []Cursor) {
+		for _, c := range cs {
+			c.Close()
+		}
+	}
+	cs := openAll()
 	var got []float64
-	MergeNearest(fetches, func(n Neighbor) bool {
+	MergeNearest(cs, func(n Neighbor) bool {
 		got = append(got, n.Dist)
 		return true
 	})
+	closeAll(cs)
 	if len(got) != len(all) {
 		t.Fatalf("merge yielded %d entries, want %d", len(got), len(all))
 	}
@@ -74,20 +84,34 @@ func TestMergeNearestGlobalOrder(t *testing.T) {
 	}
 	// Early stop.
 	got = got[:0]
-	MergeNearest(fetches, func(n Neighbor) bool {
+	cs = openAll()
+	MergeNearest(cs, func(n Neighbor) bool {
 		got = append(got, n.Dist)
 		return len(got) < 5
 	})
+	closeAll(cs)
 	if len(got) != 5 {
 		t.Errorf("early-stopped merge yielded %d, want 5", len(got))
+	}
+	// The batch compatibility adapter still extends its prefix as k grows.
+	fetch := FetchFromIndex(sources[0], q)
+	four, eight := fetch(4), fetch(8)
+	if len(four) != 4 || len(eight) != 8 {
+		t.Fatalf("fetch sizes = %d, %d; want 4, 8", len(four), len(eight))
+	}
+	for i := range four {
+		if four[i] != eight[i] {
+			t.Errorf("fetch prefix diverged at %d: %v vs %v", i, four[i], eight[i])
+		}
 	}
 }
 
 func TestMergeNearestEmptySources(t *testing.T) {
 	called := false
 	MergeNearest(nil, func(Neighbor) bool { called = true; return true })
-	MergeNearest([]NearestFetch{FetchFromIndex(NewLinear(), geo.Pt(0, 0))},
-		func(Neighbor) bool { called = true; return true })
+	empty := NewLinear().NearestCursor(geo.Pt(0, 0))
+	MergeNearest([]Cursor{empty}, func(Neighbor) bool { called = true; return true })
+	empty.Close()
 	if called {
 		t.Error("visit called on empty sources")
 	}

@@ -22,7 +22,14 @@ import (
 // the paper's workloads) stays O(1) lock acquisitions regardless of where
 // an object moves, while range and nearest-neighbor queries fan out across
 // all shards and merge. Range results concatenate; nearest-neighbor streams
-// merge in global distance order via spatial.MergeNearest.
+// merge in global distance order via resumable per-shard cursors
+// (spatial.MergeSources), each shard advanced exactly one neighbor at a
+// time. Every shard also maintains a conservative bounding rectangle over
+// its live positions (grown on insert, lazily tightened after removals —
+// see the spatial package documentation for the invariant), so a range
+// search skips shards whose rectangle misses the query and the
+// nearest-neighbor merge never opens a shard whose rectangle lies beyond
+// the consumer's stopping distance.
 type ShardedSightingDB struct {
 	shards []sightingShard
 	ttl    time.Duration
@@ -35,11 +42,62 @@ type ShardedSightingDB struct {
 type sightingShard struct {
 	mu   sync.RWMutex
 	idx  spatial.Index
-	byID map[core.OID]*sightingEntry
+	// items is idx narrowed to the payload-carrying capability (nil when
+	// the index kind does not support it): entries then carry their
+	// *sightingEntry, so a range search resolves records straight off the
+	// index node instead of re-hashing every match through byID.
+	items spatial.ItemIndex
+	byID  map[core.OID]*sightingEntry
+
+	// bound conservatively contains every live position; nonempty and
+	// stale implement the lazily-tightened invariant (recompute once
+	// stale removals outnumber live records — amortized O(1)).
+	bound    geo.Rect
+	nonempty bool
+	stale    int
 
 	// sweep cursor for the amortized expiry scan.
 	sweepKeys []core.OID
 	sweepPos  int
+}
+
+// noteInsert grows the shard's bounding rectangle to cover p. Caller holds
+// the shard's write lock.
+func (sh *sightingShard) noteInsert(p geo.Point) {
+	if !sh.nonempty {
+		sh.bound = geo.Rect{Min: p, Max: p}
+		sh.nonempty = true
+		sh.stale = 0
+		return
+	}
+	sh.bound.GrowToInclude(p)
+}
+
+// noteRemove records a removal against the bounding rectangle, tightening
+// it lazily via the co-located hash index. Caller holds the shard's write
+// lock.
+func (sh *sightingShard) noteRemove() {
+	if len(sh.byID) == 0 {
+		sh.nonempty = false
+		sh.stale = 0
+		return
+	}
+	sh.stale++
+	if sh.stale <= len(sh.byID) {
+		return
+	}
+	first := true
+	var b geo.Rect
+	for _, e := range sh.byID {
+		if first {
+			b = geo.Rect{Min: e.s.Pos, Max: e.s.Pos}
+			first = false
+			continue
+		}
+		b.GrowToInclude(e.s.Pos)
+	}
+	sh.bound = b
+	sh.stale = 0
 }
 
 var _ SightingStore = (*ShardedSightingDB)(nil)
@@ -59,6 +117,7 @@ func NewShardedSightingDB(opts ...SightingDBOption) *ShardedSightingDB {
 	}
 	for i := range db.shards {
 		db.shards[i].idx = cfg.newIndex()
+		db.shards[i].items, _ = db.shards[i].idx.(spatial.ItemIndex)
 		db.shards[i].byID = make(map[core.OID]*sightingEntry)
 	}
 	return db
@@ -169,13 +228,19 @@ func (db *ShardedSightingDB) putGroup(sh *sightingShard, group []core.Sighting) 
 func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) {
 	if old, ok := sh.byID[s.OID]; ok {
 		sh.idx.Remove(s.OID, old.s.Pos)
+		sh.noteRemove()
 	}
 	entry := &sightingEntry{s: s}
 	if db.ttl > 0 {
 		entry.expires = db.clock().Add(db.ttl)
 	}
 	sh.byID[s.OID] = entry
-	sh.idx.Insert(s.OID, s.Pos)
+	if sh.items != nil {
+		sh.items.InsertItem(spatial.Item{ID: s.OID, Pos: s.Pos, Ref: entry})
+	} else {
+		sh.idx.Insert(s.OID, s.Pos)
+	}
+	sh.noteInsert(s.Pos)
 }
 
 // Get implements SightingStore.
@@ -201,6 +266,7 @@ func (db *ShardedSightingDB) Remove(id core.OID) bool {
 	}
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
+	sh.noteRemove()
 	return true
 }
 
@@ -217,6 +283,7 @@ func (db *ShardedSightingDB) RemoveExpired(id core.OID) bool {
 	}
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
+	sh.noteRemove()
 	return true
 }
 
@@ -308,21 +375,43 @@ func (db *ShardedSightingDB) sweepShard(sh *sightingShard, max int) ([]core.OID,
 	return out, examined
 }
 
-// SearchArea implements SightingStore by fanning the rectangle across all
-// shards. Each shard is visited under its read lock; the search is a
-// consistent snapshot per shard.
+// SearchArea implements SightingStore by fanning the rectangle across the
+// shards whose bounding rectangle intersects it. Each shard is visited
+// under its read lock; the search is a consistent snapshot per shard.
 func (db *ShardedSightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) bool) {
+	stopped := false
+	var sh *sightingShard
+	// One inner closure pair for all shards; sh is rebound per iteration.
+	// The payload path resolves the record straight off the index entry;
+	// the fallback re-hashes through byID.
+	innerItems := func(it spatial.Item) bool {
+		e, ok := it.Ref.(*sightingEntry)
+		if !ok {
+			e = sh.byID[it.ID]
+		}
+		if !visit(e.s) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	inner := func(id core.OID, _ geo.Point) bool {
+		if !visit(sh.byID[id].s) {
+			stopped = true
+			return false
+		}
+		return true
+	}
 	for i := range db.shards {
-		sh := &db.shards[i]
-		stopped := false
+		sh = &db.shards[i]
 		sh.mu.RLock()
-		sh.idx.Search(r, func(id core.OID, _ geo.Point) bool {
-			if !visit(sh.byID[id].s) {
-				stopped = true
-				return false
+		if sh.nonempty && sh.bound.IntersectsClosed(r) {
+			if sh.items != nil {
+				sh.items.SearchItems(r, innerItems)
+			} else {
+				sh.idx.Search(r, inner)
 			}
-			return true
-		})
+		}
 		sh.mu.RUnlock()
 		if stopped {
 			return
@@ -330,10 +419,12 @@ func (db *ShardedSightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) 
 	}
 }
 
-// NearestFunc implements SightingStore by merging the per-shard nearest
-// streams in global distance order. Shard locks are held only per buffered
-// fetch, so writers are not starved by a long enumeration; an entry removed
-// between fetch and visit is skipped.
+// NearestFunc implements SightingStore by merging resumable per-shard
+// nearest-neighbor cursors in global distance order. Each shard is locked
+// only for the duration of one cursor advance, so writers are not starved
+// by a long enumeration, and a shard whose bounding rectangle lies beyond
+// the distance at which the consumer stops is never opened at all. An
+// entry removed between the advance and the visit is skipped.
 func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting, dist float64) bool) {
 	if len(db.shards) == 1 {
 		// Nothing to merge: stream straight off the sub-index.
@@ -345,23 +436,41 @@ func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting
 		})
 		return
 	}
-	fetches := make([]spatial.NearestFetch, len(db.shards))
+	srcs := make([]spatial.CursorSource, 0, len(db.shards))
 	for i := range db.shards {
 		sh := &db.shards[i]
-		fetch := spatial.FetchFromIndex(sh.idx, p)
-		fetches[i] = func(k int) []spatial.Neighbor {
+		sh.mu.RLock()
+		nonempty := sh.nonempty
+		minDist := 0.0
+		if nonempty {
+			minDist = sh.bound.DistToPoint(p)
+		}
+		sh.mu.RUnlock()
+		if !nonempty {
+			continue
+		}
+		srcs = append(srcs, spatial.CursorSource{MinDist: minDist, Open: func() spatial.Cursor {
 			sh.mu.RLock()
-			defer sh.mu.RUnlock()
-			return fetch(k)
+			inner := sh.idx.NearestCursor(p)
+			sh.mu.RUnlock()
+			return spatial.LockCursor(&sh.mu, inner)
+		}})
+	}
+	c := spatial.MergeSources(srcs)
+	defer c.Close()
+	for {
+		n, ok := c.Next()
+		if !ok {
+			return
+		}
+		s, found := db.Get(n.ID)
+		if !found {
+			continue
+		}
+		if !visit(s, n.Dist) {
+			return
 		}
 	}
-	spatial.MergeNearest(fetches, func(n spatial.Neighbor) bool {
-		s, ok := db.Get(n.ID)
-		if !ok {
-			return true
-		}
-		return visit(s, n.Dist)
-	})
 }
 
 // ForEach implements SightingStore.

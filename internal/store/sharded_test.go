@@ -380,3 +380,65 @@ func TestShardedConcurrentHammer(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestShardedBoundPruningStaysExact drives the per-shard bounding
+// rectangles through their whole lifecycle — growth under clustered
+// inserts, staleness under mass removal, lazy re-tightening, emptying —
+// and checks pruned SearchArea/NearestFunc answers against the linear
+// oracle at every stage. Clustered corners make pruning actually fire:
+// a wrongly tightened (or wrongly trusted) rectangle would drop results.
+func TestShardedBoundPruningStaysExact(t *testing.T) {
+	const side = 1000.0
+	rng := rand.New(rand.NewSource(7))
+	db := NewShardedSightingDB(WithShards(4))
+	oracle := NewSightingDB(WithIndex(spatial.KindLinear))
+	put := func(id string, x, y float64) {
+		s := sighting(id, x, y)
+		db.Put(s)
+		oracle.Put(s)
+	}
+	// Stage 1: two tight clusters in opposite corners.
+	for i := 0; i < 200; i++ {
+		put(fmt.Sprintf("a%d", i), rng.Float64()*50, rng.Float64()*50)
+		put(fmt.Sprintf("b%d", i), side-rng.Float64()*50, side-rng.Float64()*50)
+	}
+	checkAgainstOracle(t, db, oracle, rng, side)
+	// A query between the clusters must return nothing (every shard
+	// bound misses it) without breaking later queries.
+	mid := geo.R(side/2-100, side/2-100, side/2+100, side/2+100)
+	if got := collectArea(db, mid); len(got) != 0 {
+		t.Fatalf("mid-area search returned %d ids, want 0", len(got))
+	}
+	// Stage 2: remove one whole cluster — bounds go maximally stale,
+	// then tighten lazily as removals outnumber live records.
+	for i := 0; i < 200; i++ {
+		id := core.OID(fmt.Sprintf("b%d", i))
+		if db.Remove(id) != oracle.Remove(id) {
+			t.Fatalf("Remove(%s) disagreed with oracle", id)
+		}
+	}
+	checkAgainstOracle(t, db, oracle, rng, side)
+	// Stage 3: refill near the emptied corner; grown bounds must cover it.
+	for i := 0; i < 100; i++ {
+		put(fmt.Sprintf("c%d", i), side-rng.Float64()*30, rng.Float64()*30)
+	}
+	checkAgainstOracle(t, db, oracle, rng, side)
+	// Stage 4: empty the store completely; every query must see nothing.
+	var all []core.OID
+	db.ForEach(func(s core.Sighting) bool { all = append(all, s.OID); return true })
+	for _, id := range all {
+		if db.Remove(id) != oracle.Remove(id) {
+			t.Fatalf("Remove(%s) disagreed with oracle", id)
+		}
+	}
+	if db.Len() != 0 {
+		t.Fatalf("Len = %d after emptying", db.Len())
+	}
+	if got := collectArea(db, geo.R(0, 0, side, side)); len(got) != 0 {
+		t.Fatalf("search on empty store returned %d ids", len(got))
+	}
+	got := collectNearest(db, geo.Pt(1, 1), 5)
+	if len(got) != 0 {
+		t.Fatalf("nearest on empty store returned %d entries", len(got))
+	}
+}

@@ -85,8 +85,11 @@ func WithShards(n int) SightingDBOption {
 // Every operation serializes behind one lock; it is the seed-equivalent
 // baseline and correctness oracle for ShardedSightingDB.
 type SightingDB struct {
-	mu    sync.RWMutex
-	idx   spatial.Index
+	mu  sync.RWMutex
+	idx spatial.Index
+	// items is idx narrowed to the payload-carrying capability (nil when
+	// unsupported); see ShardedSightingDB for the rationale.
+	items spatial.ItemIndex
 	byID  map[core.OID]*sightingEntry
 	ttl   time.Duration
 	clock func() time.Time
@@ -109,12 +112,14 @@ func NewSightingDB(opts ...SightingDBOption) *SightingDB {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &SightingDB{
+	db := &SightingDB{
 		idx:   cfg.newIndex(),
 		byID:  make(map[core.OID]*sightingEntry),
 		ttl:   cfg.ttl,
 		clock: cfg.clock,
 	}
+	db.items, _ = db.idx.(spatial.ItemIndex)
+	return db
 }
 
 // Len returns the number of stored sighting records.
@@ -161,7 +166,11 @@ func (db *SightingDB) putLocked(s core.Sighting) {
 		entry.expires = db.clock().Add(db.ttl)
 	}
 	db.byID[s.OID] = entry
-	db.idx.Insert(s.OID, s.Pos)
+	if db.items != nil {
+		db.items.InsertItem(spatial.Item{ID: s.OID, Pos: s.Pos, Ref: entry})
+	} else {
+		db.idx.Insert(s.OID, s.Pos)
+	}
 }
 
 // Get returns the sighting record for id via the hash index.
@@ -277,10 +286,21 @@ func (db *SightingDB) SweepExpired(max int) []core.OID {
 }
 
 // SearchArea visits every sighting whose position lies within the closed
-// rectangle r, via the spatial index.
+// rectangle r, via the spatial index. With a payload-carrying index the
+// record is resolved straight off the index entry.
 func (db *SightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.items != nil {
+		db.items.SearchItems(r, func(it spatial.Item) bool {
+			e, ok := it.Ref.(*sightingEntry)
+			if !ok {
+				e = db.byID[it.ID]
+			}
+			return visit(e.s)
+		})
+		return
+	}
 	db.idx.Search(r, func(id core.OID, _ geo.Point) bool {
 		return visit(db.byID[id].s)
 	})
