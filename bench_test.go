@@ -32,6 +32,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -583,6 +585,142 @@ func BenchmarkShardedMixed(b *testing.B) {
 				}
 			})
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sighting WAL: update-path overhead of durable per-shard logs, and the
+// parallel-replay speedup of sharded recovery. A recorded run lives in
+// BENCH_wal.json.
+
+// BenchmarkWALUpdate measures the cost the per-shard sighting WAL adds to
+// the batched update path at shards=8: no WAL, WAL with per-append flush
+// (process-crash durability, the default) and WAL with fsync-per-append.
+func BenchmarkWALUpdate(b *testing.B) {
+	cases := []struct {
+		name string
+		wal  bool
+		sync bool
+	}{
+		{"shards=8/nowal", false, false},
+		{"shards=8/wal", true, false},
+		{"shards=8/wal+sync", true, true},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := []store.SightingDBOption{store.WithShards(8)}
+			var w *store.ShardedWAL
+			if bc.wal {
+				var walOpts []store.FileWALOption
+				if bc.sync {
+					walOpts = append(walOpts, store.WithSync())
+				}
+				var err error
+				w, err = store.OpenShardedWAL(b.TempDir(), 8, walOpts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				opts = append(opts, store.WithSightingWAL(w))
+			}
+			db := store.NewShardedSightingDB(opts...)
+			sightings := loadShardBench(db)
+			pipe := store.NewUpdatePipeline(db)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := benchRng()
+				for pb.Next() {
+					s := sightings[rng.Intn(len(sightings))]
+					s.Pos = geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide)
+					pipe.Put(s)
+				}
+			})
+			b.StopTimer()
+			if w != nil {
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkWALReplay measures crash recovery: replaying the same 25k-object
+// history from one serial log versus eight per-shard logs recovered in
+// parallel (each bulk-loading its spatial index). Each iteration recovers
+// a fresh copy of the golden log — Recover auto-compacts a churn-heavy
+// log, so reusing one directory would measure snapshot replay after the
+// first iteration.
+func BenchmarkWALReplay(b *testing.B) {
+	copyDir := func(src, dst string) {
+		b.Helper()
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(src, e.Name()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			dir := b.TempDir()
+			w, err := store.OpenShardedWAL(dir, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			db := store.NewShardedSightingDB(store.WithSightingWAL(w))
+			loadShardBench(db)
+			// A second round of updates so replay does real supersede work.
+			rng := rand.New(rand.NewSource(21))
+			batch := make([]core.Sighting, 0, 256)
+			for i := 0; i < table1Objects; i++ {
+				batch = append(batch, core.Sighting{
+					OID: core.OID(fmt.Sprintf("obj-%d", rng.Intn(table1Objects))),
+					Pos: geo.Pt(rng.Float64()*table1AreaSide, rng.Float64()*table1AreaSide),
+				})
+				if len(batch) == cap(batch) {
+					db.PutBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			db.PutBatch(batch)
+			if err := db.WALErr(); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh := b.TempDir()
+				copyDir(dir, fresh)
+				b.StartTimer()
+				w2, err := store.OpenShardedWAL(fresh, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				db2 := store.NewShardedSightingDB(store.WithSightingWAL(w2))
+				if err := db2.Recover(); err != nil {
+					b.Fatal(err)
+				}
+				if db2.Len() != table1Objects {
+					b.Fatalf("recovered %d records", db2.Len())
+				}
+				if err := w2.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(table1Objects)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 		})
 	}
 }

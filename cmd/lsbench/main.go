@@ -613,7 +613,9 @@ func ablationRootPartitions(quick bool) {
 // ---------------------------------------------------------------------------
 // Ablation A7: sharded sighting store with the batched update pipeline.
 // Parallel workers hammer one store; shards=0 is the seed single-lock
-// SightingDB baseline. The knn5 column shows the resumable per-shard
+// SightingDB baseline. The wal upd/s column repeats the update workload
+// with durable per-shard sighting logs attached (one WAL append per
+// group-commit batch, no fsync; recorded runs in BENCH_wal.json). The knn5 column shows the resumable per-shard
 // nearest-neighbor cursors: the distance-ordered merge advances each shard
 // one neighbor at a time instead of re-fetching prefixes with doubled
 // depth (recorded runs live in BENCH_sharded_store.json and
@@ -629,17 +631,11 @@ func ablationShardedStore(quick bool) {
 	const workers = 8
 	fmt.Printf("\nAblation A7: sharded store vs single lock (%d objects, %d workers x %d updates)\n\n",
 		objects, workers, opsPerWorker)
-	fmt.Printf("%-22s %14s %14s %14s\n", "store", "updates/s", "range q/s", "knn5 q/s")
+	fmt.Printf("%-22s %14s %14s %14s %14s\n", "store", "updates/s", "wal upd/s", "range q/s", "knn5 q/s")
 
-	for _, shards := range []int{0, 1, 4, 8} {
-		var db store.SightingStore
-		name := fmt.Sprintf("sharded (%d shards)", shards)
-		if shards == 0 {
-			db = store.NewSightingDB()
-			name = "single lock (seed)"
-		} else {
-			db = store.NewShardedSightingDB(store.WithShards(shards))
-		}
+	// measureUpdates loads db with the standard population and hammers it
+	// with the parallel pipeline update workload, returning updates/s.
+	measureUpdates := func(db store.SightingStore) float64 {
 		rng := rand.New(rand.NewSource(1))
 		sightings := make([]core.Sighting, objects)
 		now := time.Now()
@@ -652,7 +648,6 @@ func ablationShardedStore(quick bool) {
 			db.Put(sightings[i])
 		}
 		pipe := store.NewUpdatePipeline(db)
-
 		start := time.Now()
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -668,10 +663,45 @@ func ablationShardedStore(quick bool) {
 			}(w)
 		}
 		wg.Wait()
-		updateRate := float64(workers*opsPerWorker) / time.Since(start).Seconds()
+		return float64(workers*opsPerWorker) / time.Since(start).Seconds()
+	}
+
+	for _, shards := range []int{0, 1, 4, 8} {
+		var db store.SightingStore
+		name := fmt.Sprintf("sharded (%d shards)", shards)
+		if shards == 0 {
+			db = store.NewSightingDB()
+			name = "single lock (seed)"
+		} else {
+			db = store.NewShardedSightingDB(store.WithShards(shards))
+		}
+		updateRate := measureUpdates(db)
+
+		// Same workload with durable per-shard sighting logs attached
+		// (process-crash durability, no fsync) — the wal upd/s column.
+		walRate := "-"
+		if shards > 0 {
+			walDir, err := os.MkdirTemp("", "lsbench-wal")
+			if err != nil {
+				fatal(err)
+			}
+			swal, err := store.OpenShardedWAL(walDir, shards)
+			if err != nil {
+				fatal(err)
+			}
+			wdb := store.NewShardedSightingDB(store.WithSightingWAL(swal))
+			rate := measureUpdates(wdb)
+			if err := swal.Flush(); err != nil {
+				fatal(err)
+			}
+			swal.Close()
+			os.RemoveAll(walDir)
+			walRate = fmt.Sprintf("%.0f", rate)
+		}
 
 		queries := opsPerWorker / 10
-		start = time.Now()
+		var wg sync.WaitGroup
+		start := time.Now()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
@@ -706,7 +736,7 @@ func ablationShardedStore(quick bool) {
 		}
 		wg.Wait()
 		knnRate := float64(workers*knnOps) / time.Since(start).Seconds()
-		fmt.Printf("%-22s %14.0f %14.0f %14.0f\n", name, updateRate, queryRate, knnRate)
+		fmt.Printf("%-22s %14.0f %14s %14.0f %14.0f\n", name, updateRate, walRate, queryRate, knnRate)
 	}
 }
 

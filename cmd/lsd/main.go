@@ -10,10 +10,14 @@
 // ports 7000…). Then each server is started with:
 //
 //	lsd -topology ls.json -id r
-//	lsd -topology ls.json -id r.0 -wal /var/lib/lsd/r0.wal
+//	lsd -topology ls.json -id r.0 -wal /var/lib/lsd/r0.wal \
+//	    -shards 8 -swal /var/lib/lsd/r0-sightings
 //	...
 //
-// Flags -acc, -ttl and -caches tune the leaf behaviour.
+// Flags -acc, -ttl and -caches tune the leaf behaviour; -shards partitions
+// the leaf's sighting store, -swal gives it durable per-shard logs that are
+// replayed in parallel at startup, and -fsync upgrades both WALs to
+// machine-crash durability.
 package main
 
 import (
@@ -53,6 +57,9 @@ func main() {
 		host     = flag.String("host", "127.0.0.1", "host for generated addresses (with -gen)")
 		port     = flag.Int("port", 7000, "first port for generated addresses (with -gen)")
 		walPath  = flag.String("wal", "", "visitorDB WAL path (persistent forwarding paths)")
+		swalDir  = flag.String("swal", "", "sightingDB WAL directory: one durable log segment per shard, replayed in parallel at startup (leaves only)")
+		shards   = flag.Int("shards", 1, "sighting-store shards on a leaf (independently locked, keyed by object id)")
+		fsync    = flag.Bool("fsync", false, "fsync every WAL append (machine-crash durability)")
 		acc      = flag.Float64("acc", 10, "achievable accuracy of this leaf in meters")
 		ttl      = flag.Duration("ttl", 5*time.Minute, "soft-state TTL for sighting records (0 disables)")
 		caches   = flag.Bool("caches", true, "enable the Section 6.5 leaf caches")
@@ -112,16 +119,28 @@ func main() {
 	opts := server.Options{
 		AchievableAcc:    *acc,
 		SightingTTL:      *ttl,
+		Shards:           *shards,
 		EnableAreaCache:  *caches,
 		EnableAgentCache: *caches,
 		EnablePosCache:   *caches,
 	}
+	var walOpts []store.FileWALOption
+	if *fsync {
+		walOpts = append(walOpts, store.WithSync())
+	}
 	if *walPath != "" {
-		wal, werr := store.OpenFileWAL(*walPath)
+		wal, werr := store.OpenFileWAL(*walPath, walOpts...)
 		if werr != nil {
 			fatal(werr)
 		}
 		opts.WAL = wal
+	}
+	if *swalDir != "" && cfg.IsLeaf() {
+		swal, werr := store.OpenShardedWAL(*swalDir, *shards, walOpts...)
+		if werr != nil {
+			fatal(werr)
+		}
+		opts.SightingWAL = swal
 	}
 
 	// Attach on the configured address: server.New attaches via

@@ -155,9 +155,18 @@ type Deployment struct {
 }
 
 // Deploy builds the tree for spec and starts one Server per config on the
-// network. opts apply to every server; per-server WALs are not supported
-// here (use server.New directly for recovery scenarios).
+// network. opts apply to every server; use DeployWith to vary options per
+// server (per-leaf WALs, recovery scenarios).
 func Deploy(network transport.Network, spec Spec, opts server.Options) (*Deployment, error) {
+	return DeployWith(network, spec, opts, nil)
+}
+
+// DeployWith is Deploy with a per-server options hook: customize, when
+// non-nil, receives each server's config record plus the shared base
+// options and returns the options that server starts with — the seam for
+// per-leaf concerns such as visitor WALs and per-shard sighting WALs. An
+// error from customize aborts the deployment.
+func DeployWith(network transport.Network, spec Spec, opts server.Options, customize func(cfg store.ConfigRecord, base server.Options) (server.Options, error)) (*Deployment, error) {
 	configs, err := Build(spec)
 	if err != nil {
 		return nil, err
@@ -169,7 +178,15 @@ func Deploy(network transport.Network, spec Spec, opts server.Options) (*Deploym
 		Servers: make(map[msg.NodeID]*server.Server, len(configs)),
 	}
 	for _, cfg := range configs {
-		srv, err := server.New(cfg, rootArea, network, opts)
+		srvOpts := opts
+		if customize != nil {
+			srvOpts, err = customize(cfg, opts)
+			if err != nil {
+				d.Close()
+				return nil, fmt.Errorf("hierarchy: configuring %s: %w", cfg.ID, err)
+			}
+		}
+		srv, err := server.New(cfg, rootArea, network, srvOpts)
 		if err != nil {
 			d.Close()
 			return nil, fmt.Errorf("hierarchy: deploying %s: %w", cfg.ID, err)

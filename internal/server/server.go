@@ -46,6 +46,14 @@ type Options struct {
 	Shards int
 	// WAL persists the visitorDB; nil keeps it in memory only.
 	WAL store.WAL
+	// SightingWAL persists a leaf's sightingDB through one durable log
+	// segment per shard; nil keeps the sighting store purely in memory
+	// (the paper's baseline, rebuilt via RestoreVisitors after a crash).
+	// When set, the leaf uses the sharded store regardless of Shards, the
+	// store adopts the WAL's shard count, existing log contents are
+	// replayed (all shards in parallel) before the server attaches to the
+	// network, and the server closes the WAL on Close.
+	SightingWAL *store.ShardedWAL
 	// CallTimeout bounds hop-by-hop calls (handover forwarding).
 	CallTimeout time.Duration
 	// QueryTimeout bounds the entry server's wait for distributed query
@@ -80,6 +88,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JanitorInterval <= 0 && o.SightingTTL > 0 {
 		o.JanitorInterval = o.SightingTTL / 4
+	}
+	if o.JanitorInterval <= 0 && o.SightingWAL != nil {
+		// Even without soft-state expiry the janitor has work: it drives
+		// the grow-triggered compaction of the sighting WAL segments.
+		o.JanitorInterval = time.Minute
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
@@ -127,8 +140,20 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 		return nil, fmt.Errorf("server: invalid config: %w", err)
 	}
 	opts = opts.withDefaults()
+	// On any failure past this point the server owns the passed-in WALs
+	// (it would have closed them in Close), so release them rather than
+	// leak fds and writer goroutines to the caller.
+	closeWALs := func() {
+		if opts.SightingWAL != nil {
+			opts.SightingWAL.Close()
+		}
+	}
 	visitors, err := store.NewVisitorDB(opts.WAL)
 	if err != nil {
+		if opts.WAL != nil {
+			opts.WAL.Close()
+		}
+		closeWALs()
 		return nil, fmt.Errorf("server %s: opening visitorDB: %w", cfg.ID, err)
 	}
 	s := &Server{
@@ -148,9 +173,20 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 			store.WithTTL(opts.SightingTTL),
 			store.WithClock(opts.Clock),
 		}
-		if opts.Shards > 1 {
+		switch {
+		case opts.SightingWAL != nil:
+			sdb := store.NewShardedSightingDB(append(sopts,
+				store.WithShards(opts.Shards),
+				store.WithSightingWAL(opts.SightingWAL))...)
+			if err := sdb.Recover(); err != nil {
+				visitors.Close()
+				closeWALs()
+				return nil, fmt.Errorf("server %s: recovering sightingDB: %w", cfg.ID, err)
+			}
+			s.sightings = sdb
+		case opts.Shards > 1:
 			s.sightings = store.NewShardedSightingDB(append(sopts, store.WithShards(opts.Shards))...)
-		} else {
+		default:
 			s.sightings = store.NewSightingDB(sopts...)
 		}
 		var popts []store.PipelineOption
@@ -161,6 +197,8 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 	}
 	node, err := network.Attach(msg.NodeID(cfg.ID), s.handle)
 	if err != nil {
+		visitors.Close()
+		closeWALs()
 		return nil, fmt.Errorf("server %s: attaching to network: %w", cfg.ID, err)
 	}
 	s.node = node
@@ -217,6 +255,11 @@ func (s *Server) Close() error {
 		}
 		if verr := s.visitors.Close(); verr != nil && err == nil {
 			err = verr
+		}
+		if s.opts.SightingWAL != nil {
+			if werr := s.opts.SightingWAL.Close(); werr != nil && err == nil {
+				err = werr
+			}
 		}
 	})
 	return err
@@ -319,12 +362,27 @@ func (s *Server) janitor() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.opts.JanitorInterval)
 	defer ticker.Stop()
+	walDownReported := false
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-ticker.C:
 			s.expireVisitors(s.sightings.Expired())
+			if sdb, ok := s.sightings.(*store.ShardedSightingDB); ok {
+				// Surface a dead sighting WAL once: the store keeps
+				// serving (soft state), but the operator must learn
+				// durability is gone before the next crash proves it.
+				if err := sdb.WALErr(); err != nil && !walDownReported {
+					walDownReported = true
+					s.met.Counter("sighting_wal_down").Inc()
+				}
+				// Keep the sighting WAL's replay time proportional to the
+				// live set: compact any segment whose history outgrew it.
+				if err := sdb.CompactWALIfGrown(); err != nil {
+					s.met.Counter("sighting_wal_compact_errors").Inc()
+				}
+			}
 		}
 	}
 }

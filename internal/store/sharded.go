@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -37,11 +38,21 @@ type ShardedSightingDB struct {
 	// sweepShardCursor rotates the shard SweepExpired starts at, so
 	// small budgets still cover every shard over successive calls.
 	sweepShardCursor atomic.Uint64
+
+	// wal, when non-nil, receives every committed batch and removal
+	// before it is applied; appends happen under the owning shard's lock,
+	// so each segment's order matches its shard's application order. A
+	// failed append marks the WAL down and stops further logging, keeping
+	// every segment a consistent prefix of its shard's history; the
+	// sticky error is surfaced through WALErr. The store itself stays
+	// available without the log — the sightingDB is soft state, as in the
+	// paper's baseline.
+	wal *ShardedWAL
 }
 
 type sightingShard struct {
-	mu   sync.RWMutex
-	idx  spatial.Index
+	mu  sync.RWMutex
+	idx spatial.Index
 	// items is idx narrowed to the payload-carrying capability (nil when
 	// the index kind does not support it): entries then carry their
 	// *sightingEntry, so a range search resolves records straight off the
@@ -104,16 +115,22 @@ var _ SightingStore = (*ShardedSightingDB)(nil)
 
 // NewShardedSightingDB returns an empty sharded sighting database. The
 // shard count comes from WithShards (default 1, which is behaviorally the
-// single-lock SightingDB).
+// single-lock SightingDB); with WithSightingWAL the store adopts the WAL's
+// segment count instead, since the persistent log fixes the id→shard
+// mapping. Call Recover before use to replay an existing log.
 func NewShardedSightingDB(opts ...SightingDBOption) *ShardedSightingDB {
 	cfg := defaultSightingConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.wal != nil {
+		cfg.shards = cfg.wal.NumShards()
+	}
 	db := &ShardedSightingDB{
 		shards: make([]sightingShard, cfg.shards),
 		ttl:    cfg.ttl,
 		clock:  cfg.clock,
+		wal:    cfg.wal,
 	}
 	for i := range db.shards {
 		db.shards[i].idx = cfg.newIndex()
@@ -149,8 +166,12 @@ func (db *ShardedSightingDB) Len() int {
 
 // Put implements SightingStore.
 func (db *ShardedSightingDB) Put(s core.Sighting) {
-	sh := db.shard(s.OID)
+	i := db.ShardFor(s.OID)
+	sh := &db.shards[i]
 	sh.mu.Lock()
+	if db.wal != nil {
+		_ = db.wal.AppendPut(i, s)
+	}
 	db.putLocked(sh, s)
 	sh.mu.Unlock()
 }
@@ -169,7 +190,7 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 		return
 	}
 	if len(db.shards) == 1 {
-		db.putGroup(&db.shards[0], batch)
+		db.putGroup(0, batch)
 		return
 	}
 	// Fast path: batches assembled by a per-shard pipeline lane are
@@ -184,7 +205,7 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 		}
 	}
 	if same {
-		db.putGroup(&db.shards[first], batch)
+		db.putGroup(first, batch)
 		return
 	}
 	groups := make([][]core.Sighting, len(db.shards))
@@ -194,16 +215,23 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 	}
 	for i, g := range groups {
 		if len(g) > 0 {
-			db.putGroup(&db.shards[i], g)
+			db.putGroup(i, g)
 		}
 	}
 }
 
 // putGroup applies one shard's slice of a batch under one lock acquisition,
-// coalescing superseded updates to the same object.
-func (db *ShardedSightingDB) putGroup(sh *sightingShard, group []core.Sighting) {
+// coalescing superseded updates to the same object. With a WAL attached the
+// whole group becomes a single write-ahead append — the batch is the
+// durability unit, amortizing marshal and flush cost the same way the
+// pipeline's combining lane amortizes lock cost.
+func (db *ShardedSightingDB) putGroup(shard int, group []core.Sighting) {
+	sh := &db.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if db.wal != nil {
+		db.logBatch(shard, group)
+	}
 	if len(group) > 1 {
 		// Keep only the last update per object; earlier ones are
 		// observationally dead once the batch commits atomically.
@@ -257,13 +285,15 @@ func (db *ShardedSightingDB) Get(id core.OID) (core.Sighting, bool) {
 
 // Remove implements SightingStore.
 func (db *ShardedSightingDB) Remove(id core.OID) bool {
-	sh := db.shard(id)
+	i := db.ShardFor(id)
+	sh := &db.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok {
 		return false
 	}
+	db.logRemove(i, id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
 	sh.noteRemove()
@@ -274,13 +304,15 @@ func (db *ShardedSightingDB) Remove(id core.OID) bool {
 // its TTL has passed at the time the shard lock is held, so a record
 // refreshed since an expiry observation survives.
 func (db *ShardedSightingDB) RemoveExpired(id core.OID) bool {
-	sh := db.shard(id)
+	i := db.ShardFor(id)
+	sh := &db.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok || db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
 		return false
 	}
+	db.logRemove(i, id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
 	sh.noteRemove()
@@ -495,4 +527,208 @@ func (db *ShardedSightingDB) ForEach(visit func(s core.Sighting) bool) {
 // String implements fmt.Stringer for diagnostics.
 func (db *ShardedSightingDB) String() string {
 	return fmt.Sprintf("ShardedSightingDB(%d shards, %d records)", len(db.shards), db.Len())
+}
+
+// logBatch write-ahead-logs one shard group. Caller holds the shard's write
+// lock, which makes the segment's append order the shard's commit order.
+// Append errors are sticky inside the WAL (see ShardedWAL) and surfaced
+// through WALErr; the store keeps serving.
+func (db *ShardedSightingDB) logBatch(shard int, batch []core.Sighting) {
+	_ = db.wal.AppendBatch(shard, batch)
+}
+
+// logRemove write-ahead-logs one removal. Caller holds the shard's write
+// lock.
+func (db *ShardedSightingDB) logRemove(shard int, id core.OID) {
+	if db.wal == nil {
+		return
+	}
+	_ = db.wal.AppendRemove(shard, id)
+}
+
+// WALErr returns the sticky error of the first failed WAL append, or nil
+// while the WAL is healthy (or absent). After a non-nil return the WAL has
+// stopped logging and recovery will replay only the state up to the
+// failure.
+func (db *ShardedSightingDB) WALErr() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Err()
+}
+
+// Recover rebuilds the store from its attached WAL, replaying all shard
+// segments concurrently — the recovery-time payoff of sharding the log.
+// Each shard's records fold into a live set (batches apply in order, later
+// entries superseding earlier ones; removals delete), which then bulk-loads
+// the shard's spatial index in one balanced build (Quadtree.Rebuild)
+// instead of per-record inserts — replay input arrives in systematic
+// order, the incremental-insertion worst case.
+//
+// Recover must run before the store is shared: it requires every shard to
+// be empty and takes each shard's lock for the whole rebuild. Replayed
+// records get a fresh soft-state TTL lease — the paper's expiry semantics
+// re-age them if their objects stay silent after the restart. Without an
+// attached WAL, Recover is a no-op.
+func (db *ShardedSightingDB) Recover() error {
+	if db.wal == nil {
+		return nil
+	}
+	errs := make([]error, len(db.shards))
+	var wg sync.WaitGroup
+	for i := range db.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = db.recoverShard(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// recoverShard replays one shard's segment and bulk-loads the shard.
+func (db *ShardedSightingDB) recoverShard(shard int) error {
+	sh := &db.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.byID) != 0 {
+		return fmt.Errorf("store: recovering shard %d over %d live records (Recover must run on an empty store)", shard, len(sh.byID))
+	}
+	live := make(map[core.OID]core.Sighting)
+	replayed := int64(0)
+	err := db.wal.ReplayShard(shard, func(rec WALRecord) error {
+		switch rec.Op {
+		case WALSightingBatch:
+			for _, s := range rec.Sightings {
+				live[s.OID] = s
+			}
+			replayed += int64(len(rec.Sightings))
+		case WALSightingRemove:
+			delete(live, rec.OID)
+			replayed++
+		default:
+			return fmt.Errorf("store: unexpected WAL op %q in sighting shard %d", rec.Op, shard)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: replaying sighting shard %d: %w", shard, err)
+	}
+	if replayed > int64(len(live))+walCompactSlack {
+		// The history dwarfs the live set: rewrite the segment now so the
+		// next restart replays the snapshot, not the churn. Best-effort —
+		// a failure (full disk, say) keeps the original correct log, so
+		// recovery itself still succeeds; the janitor's grow-triggered
+		// pass will retry later.
+		liveSlice := make([]core.Sighting, 0, len(live))
+		for _, s := range live {
+			liveSlice = append(liveSlice, s)
+		}
+		_ = db.wal.CompactShard(shard, liveSlice)
+	}
+	var expires time.Time
+	if db.ttl > 0 {
+		expires = db.clock().Add(db.ttl)
+	}
+	items := make([]spatial.Item, 0, len(live))
+	for _, s := range live {
+		e := &sightingEntry{s: s, expires: expires}
+		sh.byID[s.OID] = e
+		items = append(items, spatial.Item{ID: s.OID, Pos: s.Pos, Ref: e})
+		sh.noteInsert(s.Pos)
+	}
+	if qt, ok := sh.idx.(*spatial.Quadtree); ok {
+		qt.Rebuild(items)
+	} else if sh.items != nil {
+		for _, it := range items {
+			sh.items.InsertItem(it)
+		}
+	} else {
+		for _, it := range items {
+			sh.idx.Insert(it.ID, it.Pos)
+		}
+	}
+	return nil
+}
+
+// CompactWAL rewrites every shard segment to exactly its live sightings,
+// shard by shard under the shard lock (so no concurrent commit can fall
+// between the snapshot and the rewrite). Call it to keep replay time
+// proportional to the live set instead of the update history; the server's
+// janitor drives the grow-triggered variant, CompactWALIfGrown. Without an
+// attached WAL it is a no-op.
+func (db *ShardedSightingDB) CompactWAL() error {
+	if db.wal == nil {
+		return nil
+	}
+	var errs []error
+	for i := range db.shards {
+		if err := db.compactShard(i); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CompactWALIfGrown compacts only the shards whose segment has grown by
+// more than one live-set (plus walCompactSlack) since their last compaction — the
+// classic log-structured policy: amortized rewrite cost stays a constant
+// fraction of append work, and an idle or freshly compacted shard is never
+// rewritten. Cheap when nothing grew; safe to call on every janitor tick.
+func (db *ShardedSightingDB) CompactWALIfGrown() error {
+	if db.wal == nil || db.wal.Err() != nil {
+		// A down WAL has stopped logging; there is nothing worth
+		// rewriting and the sticky error is surfaced through WALErr.
+		return nil
+	}
+	var errs []error
+	for i := range db.shards {
+		appended := db.wal.AppendedSince(i)
+		if appended == 0 {
+			continue
+		}
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		grown := appended > int64(len(sh.byID))+walCompactSlack
+		sh.mu.RUnlock()
+		if !grown {
+			continue
+		}
+		if err := db.compactShard(i); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// compactShard snapshots one shard's live set under its lock and rewrites
+// the segment. In the WAL's asynchronous mode the disk work happens
+// outside the shard lock — updates only stall for the queue drain and the
+// in-memory snapshot, while records appended during the rewrite wait in
+// the buffer and land after the snapshot (BeginCompact/FinishCompact).
+func (db *ShardedSightingDB) compactShard(i int) error {
+	sh := &db.shards[i]
+	if db.wal.Asynchronous() {
+		sh.mu.Lock()
+		if err := db.wal.BeginCompact(i); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		live := make([]core.Sighting, 0, len(sh.byID))
+		for _, e := range sh.byID {
+			live = append(live, e.s)
+		}
+		sh.mu.Unlock()
+		return db.wal.FinishCompact(i, live)
+	}
+	// Synchronous mode appends directly to the segment under the shard
+	// lock, so the rewrite must hold it too.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	live := make([]core.Sighting, 0, len(sh.byID))
+	for _, e := range sh.byID {
+		live = append(live, e.s)
+	}
+	return db.wal.CompactShard(i, live)
 }

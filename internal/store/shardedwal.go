@@ -1,0 +1,527 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locsvc/internal/core"
+)
+
+// ShardedWAL persists a sharded sighting store through one FileWAL segment
+// per shard, so crash recovery can replay every shard concurrently instead
+// of scanning one serial log. Records are routed by the same id-hash shard
+// mapping the store uses, which gives each segment a total order consistent
+// with its shard's lock: all of one object's records live in exactly one
+// segment, in application order.
+//
+// The append unit is the group-commit batch of the update pipeline: one
+// WALSightingBatch record per PutBatch shard group, so the marshal and
+// flush cost of durability is amortized over the batch exactly as the
+// combining lane amortizes lock cost.
+//
+// # Append modes
+//
+// By default appends are asynchronous: AppendBatch/AppendRemove enqueue
+// the record on the shard's pending list (the caller holds the shard lock,
+// so list order is commit order — the update path pays one batch copy and
+// a slice append) and a per-segment writer goroutine swaps the list out,
+// encodes it, and commits the whole drain with a single write+flush. The
+// writer waits a short coalescing window (walCoalesceDelay) before each
+// swap, so even a trickle of updates amortizes the encode setup and the
+// syscall across a group — the group-commit idea applied once more, at the
+// disk boundary. This gives bounded-lag durability: at any kill point each
+// segment holds a consistent prefix of its shard's history, at most the
+// pending cap plus one coalescing window behind; Flush is the barrier that
+// waits for everything already appended to reach the OS. With WithSync
+// appends become synchronous with an fsync per record — full machine-crash
+// durability on the update path.
+//
+// A failed append or encode marks the WAL down: logging stops (keeping
+// every segment a clean prefix rather than writing past a gap) and the
+// sticky error is reported by Err, Flush and Close.
+//
+// The segment count is a property of the persistent log, not of the
+// process: it determines which segment holds each object's records, so
+// reopening a directory with a different shard count is refused rather
+// than silently splitting an object's history across unordered segments.
+type ShardedWAL struct {
+	dir  string
+	segs []*FileWAL
+	bufs []walShardBuf // nil in synchronous (WithSync) mode
+	wg   sync.WaitGroup
+
+	// appended counts records logged per shard since that segment's last
+	// compaction, feeding the store's grow-triggered compaction policy.
+	appended []atomic.Int64
+
+	down  atomic.Bool
+	errMu sync.Mutex
+	err   error // first append failure, sticky
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// walShardBuf is one shard's pending append list, double-buffered with its
+// writer goroutine.
+type walShardBuf struct {
+	mu    sync.Mutex
+	data  *sync.Cond // signals the writer: records or acks pending
+	space *sync.Cond // signals producers: list drained below the cap
+	recs  []WALRecord
+	acks  []chan struct{} // flush barriers to close after the next commit
+	stop  bool
+	// compacting pauses the writer between BeginCompact and
+	// FinishCompact: records keep accumulating here but none may reach
+	// the old segment, or the rename would discard them.
+	compacting bool
+	// free recycles the copied batch slices between writer and producers
+	// (both already hold mu), keeping the append path allocation-free in
+	// the steady state — garbage here would turn into GC scan pressure on
+	// the store's large pointer-rich heap.
+	free [][]core.Sighting
+}
+
+// waitSpace blocks until the pending list is below the cap (or shutdown).
+// Caller holds sb.mu.
+func (sb *walShardBuf) waitSpace() {
+	for len(sb.recs) >= walPendingCap && !sb.stop {
+		sb.space.Wait()
+	}
+}
+
+// push adds rec to the pending list, waking the writer on the empty→
+// nonempty edge. Caller holds sb.mu after waitSpace.
+func (sb *walShardBuf) push(rec WALRecord) {
+	sb.recs = append(sb.recs, rec)
+	if len(sb.recs) == 1 {
+		sb.data.Signal()
+	}
+}
+
+// takeBatchBuf pops a recycled batch slice. Caller holds sb.mu.
+func (sb *walShardBuf) takeBatchBuf() []core.Sighting {
+	if n := len(sb.free); n > 0 {
+		buf := sb.free[n-1]
+		sb.free[n-1] = nil
+		sb.free = sb.free[:n-1]
+		return buf
+	}
+	return nil
+}
+
+// walPendingCap bounds a shard's pending record list; producers blocking
+// on it are the backpressure when the disk falls behind. It also bounds
+// what a kill can lose in the asynchronous mode.
+const walPendingCap = 4096
+
+// walCoalesceDelay is how long a writer lingers after the first pending
+// record before committing, letting a commit group form. It bounds the
+// extra durability lag and the latency of a Flush barrier.
+const walCoalesceDelay = time.Millisecond
+
+// walCompactSlack is how far a segment's logged history may exceed its
+// live set before compaction triggers — shared by the janitor's
+// grow-triggered pass (CompactWALIfGrown) and the post-recovery
+// auto-compaction, so both fire at the same point.
+const walCompactSlack = 1024
+
+// segmentPath names shard i's log inside dir.
+func segmentPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i))
+}
+
+// OpenShardedWAL opens (creating if needed) a sharded sighting log under
+// dir with the given shard count (minimum 1). If dir already holds
+// segments, their count must equal shards; see the type comment for why a
+// mismatch is an error rather than a migration. Passing WithSync selects
+// the synchronous fsync-per-append mode; otherwise appends are
+// asynchronous (see the type comment).
+func OpenShardedWAL(dir string, shards int, opts ...FileWALOption) (*ShardedWAL, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating sighting WAL dir %s: %w", dir, err)
+	}
+	existing, nonempty := 0, false
+	for {
+		st, err := os.Stat(segmentPath(dir, existing))
+		if err != nil {
+			break
+		}
+		if st.Size() > 0 {
+			nonempty = true
+		}
+		existing++
+	}
+	if existing > 0 && existing != shards {
+		// Only segments with history pin the count: a record's segment is
+		// its id-hash shard, so resharding nonempty logs would scatter an
+		// object's ordered history. All-empty segments carry none — they
+		// are what a crashed first open or an idle run leaves — so adopt
+		// the requested count and clear the extras.
+		if nonempty {
+			return nil, fmt.Errorf("store: sighting WAL %s has %d shard segments, want %d (the shard count is fixed by the persistent log)",
+				dir, existing, shards)
+		}
+		for i := shards; i < existing; i++ {
+			if err := os.Remove(segmentPath(dir, i)); err != nil {
+				return nil, fmt.Errorf("store: clearing stale empty segment: %w", err)
+			}
+		}
+	}
+	w := &ShardedWAL{dir: dir, segs: make([]*FileWAL, shards), appended: make([]atomic.Int64, shards)}
+	for i := range w.segs {
+		seg, err := OpenFileWAL(segmentPath(dir, i), opts...)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.segs[i] = seg
+	}
+	if !w.segs[0].sync {
+		w.bufs = make([]walShardBuf, shards)
+		for i := range w.bufs {
+			sb := &w.bufs[i]
+			sb.data = sync.NewCond(&sb.mu)
+			sb.space = sync.NewCond(&sb.mu)
+			w.wg.Add(1)
+			go w.writer(i)
+		}
+	}
+	return w, nil
+}
+
+// NumShards returns the number of log segments.
+func (w *ShardedWAL) NumShards() int { return len(w.segs) }
+
+// Dir returns the directory holding the segments, for diagnostics.
+func (w *ShardedWAL) Dir() string { return w.dir }
+
+// AppendBatch logs one group-commit batch of sighting puts to shard's
+// segment — asynchronously in the default mode, durably before returning
+// with WithSync. Later entries for the same object supersede earlier ones,
+// matching SightingStore.PutBatch. The batch is copied; the caller may
+// reuse the slice. After a failed append the WAL is down (see Err) and
+// calls return the sticky error without logging.
+func (w *ShardedWAL) AppendBatch(shard int, batch []core.Sighting) error {
+	if w.down.Load() {
+		return w.Err()
+	}
+	if w.bufs == nil {
+		err := w.segs[shard].Append(WALRecord{Op: WALSightingBatch, Sightings: batch})
+		if err != nil {
+			w.fail(err)
+			return err
+		}
+		w.appended[shard].Add(int64(len(batch)))
+		return nil
+	}
+	w.enqueue(shard, batch, core.Sighting{}, false)
+	w.appended[shard].Add(int64(len(batch)))
+	return nil
+}
+
+// AppendPut logs a single sighting put — the batch-of-one common case,
+// spared the caller-side slice — with the same mode semantics as
+// AppendBatch.
+func (w *ShardedWAL) AppendPut(shard int, s core.Sighting) error {
+	if w.down.Load() {
+		return w.Err()
+	}
+	if w.bufs == nil {
+		err := w.segs[shard].Append(WALRecord{Op: WALSightingBatch, Sightings: []core.Sighting{s}})
+		if err != nil {
+			w.fail(err)
+			return err
+		}
+		w.appended[shard].Add(1)
+		return nil
+	}
+	w.enqueue(shard, nil, s, true)
+	w.appended[shard].Add(1)
+	return nil
+}
+
+// AppendRemove logs the removal of id to shard's segment, with the same
+// mode semantics as AppendBatch.
+func (w *ShardedWAL) AppendRemove(shard int, id core.OID) error {
+	if w.down.Load() {
+		return w.Err()
+	}
+	if w.bufs == nil {
+		err := w.segs[shard].Append(WALRecord{Op: WALSightingRemove, OID: id})
+		if err != nil {
+			w.fail(err)
+			return err
+		}
+		w.appended[shard].Add(1)
+		return nil
+	}
+	sb := &w.bufs[shard]
+	sb.mu.Lock()
+	sb.waitSpace()
+	sb.push(WALRecord{Op: WALSightingRemove, OID: id})
+	sb.mu.Unlock()
+	w.appended[shard].Add(1)
+	return nil
+}
+
+// enqueue copies a put (batch, or the single sighting when one is true)
+// into a recycled buffer and puts the record on shard's pending list,
+// blocking on the cap.
+func (w *ShardedWAL) enqueue(shard int, batch []core.Sighting, s core.Sighting, one bool) {
+	sb := &w.bufs[shard]
+	sb.mu.Lock()
+	sb.waitSpace()
+	cp := sb.takeBatchBuf()
+	if one {
+		cp = append(cp[:0], s)
+	} else {
+		cp = append(cp[:0], batch...)
+	}
+	sb.push(WALRecord{Op: WALSightingBatch, Sightings: cp})
+	sb.mu.Unlock()
+}
+
+// writer is shard i's commit goroutine: it lingers for the coalescing
+// window once records are pending, swaps the shard's list out, encodes it
+// (timestamps memoized across the drain — group-commit records cluster in
+// time) and hands the whole drain to the segment as one write+flush.
+func (w *ShardedWAL) writer(shard int) {
+	defer w.wg.Done()
+	sb := &w.bufs[shard]
+	seg := w.segs[shard]
+	var local []WALRecord
+	var out []byte
+	var memo walTimeMemo
+	for {
+		sb.mu.Lock()
+		// Hand the previous drain's batch buffers back for reuse.
+		for i := range local {
+			if s := local[i].Sightings; s != nil && len(sb.free) < 64 {
+				sb.free = append(sb.free, s[:0])
+			}
+			local[i].Sightings = nil
+		}
+		for sb.compacting || (len(sb.recs) == 0 && len(sb.acks) == 0 && !sb.stop) {
+			sb.data.Wait()
+		}
+		// Linger so a commit group can form — unless a barrier, shutdown
+		// or backpressure wants the commit now.
+		if len(sb.recs) > 0 && len(sb.acks) == 0 && !sb.stop && len(sb.recs) < walPendingCap {
+			sb.mu.Unlock()
+			time.Sleep(walCoalesceDelay)
+			sb.mu.Lock()
+		}
+		local, sb.recs = sb.recs, local[:0]
+		acks := sb.acks
+		sb.acks = nil
+		stop := sb.stop
+		sb.space.Broadcast()
+		sb.mu.Unlock()
+		if len(local) > 0 && !w.down.Load() {
+			out = out[:0]
+			var err error
+			for _, rec := range local {
+				if out, err = appendWALRecordJSON(out, rec, &memo); err != nil {
+					w.fail(err)
+					break
+				}
+			}
+			if err == nil && len(out) > 0 {
+				if err := seg.AppendRaw(out); err != nil {
+					w.fail(err)
+				}
+			}
+		}
+		for _, ack := range acks {
+			close(ack)
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// Flush blocks until every record appended before the call has been handed
+// to the OS, and returns the sticky append error, if any. It is the
+// durability barrier of the asynchronous mode (a no-op barrier with
+// WithSync, where appends are already synchronous).
+func (w *ShardedWAL) Flush() error {
+	if w.bufs != nil {
+		acks := make([]chan struct{}, len(w.bufs))
+		for i := range w.bufs {
+			acks[i] = w.barrier(i)
+		}
+		for _, ack := range acks {
+			<-ack
+		}
+	}
+	return w.Err()
+}
+
+// barrier registers a flush barrier on shard's buffer and returns the
+// channel closed once everything currently buffered is committed.
+func (w *ShardedWAL) barrier(shard int) chan struct{} {
+	sb := &w.bufs[shard]
+	ack := make(chan struct{})
+	sb.mu.Lock()
+	if sb.stop {
+		// Writer is gone (or going): nothing further will commit.
+		close(ack)
+	} else {
+		sb.acks = append(sb.acks, ack)
+		sb.data.Signal()
+	}
+	sb.mu.Unlock()
+	return ack
+}
+
+// flushShard is Flush for a single shard's buffer.
+func (w *ShardedWAL) flushShard(shard int) error {
+	if w.bufs != nil {
+		<-w.barrier(shard)
+	}
+	return w.Err()
+}
+
+// Err returns the sticky error of the first failed append, or nil while
+// the WAL is healthy. After a non-nil return the WAL has stopped logging
+// and recovery will replay only the state up to the failure.
+func (w *ShardedWAL) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+// fail records the first append error and stops further logging. Stopping
+// entirely rather than writing past a gap keeps every segment a clean
+// prefix of its shard's history: a prefix recovers to a correct (if stale)
+// state, while a log with a hole could resurrect a removed record.
+func (w *ShardedWAL) fail(err error) {
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+	w.down.Store(true)
+}
+
+// ReplayShard streams shard's records oldest first, with FileWAL.Replay's
+// recovery guarantees (torn tail tolerated, mid-file corruption surfaced
+// with its offset).
+func (w *ShardedWAL) ReplayShard(shard int, fn func(WALRecord) error) error {
+	return w.segs[shard].Replay(fn)
+}
+
+// AppendedSince reports how many sightings and removals were logged to
+// shard's segment since its last compaction (a batch counts its length) —
+// the grow signal for compaction policies, commensurable with a live-set
+// size.
+func (w *ShardedWAL) AppendedSince(shard int) int64 {
+	return w.appended[shard].Load()
+}
+
+// CompactShard atomically rewrites shard's segment to one batch record
+// holding exactly the live sightings, after draining the shard's append
+// buffer (a buffered pre-snapshot record written after the snapshot would
+// un-supersede it on replay). The caller must guarantee no concurrent
+// appends to the same shard for the whole call (the store holds the shard
+// lock); in asynchronous mode the BeginCompact/FinishCompact pair lets the
+// disk work happen outside that lock instead.
+func (w *ShardedWAL) CompactShard(shard int, live []core.Sighting) error {
+	if err := w.flushShard(shard); err != nil {
+		return err
+	}
+	return w.rewriteSegment(shard, live)
+}
+
+// Asynchronous reports whether appends run through per-shard writer
+// goroutines (the default) rather than synchronously (WithSync).
+func (w *ShardedWAL) Asynchronous() bool { return w.bufs != nil }
+
+// BeginCompact prepares shard for a low-stall compaction (asynchronous
+// mode only): it drains the shard's pending records to the current segment
+// and pauses the shard's writer, so a live-set snapshot the caller takes
+// before releasing the store's shard lock is consistent with the segment.
+// Appends keep flowing into the in-memory buffer while the caller rewrites
+// the segment with FinishCompact — they land after the snapshot in the new
+// segment, which is exactly the replay order that reproduces the store.
+// The caller must hold the store's shard lock across BeginCompact and the
+// snapshot, and must call FinishCompact exactly once afterwards.
+func (w *ShardedWAL) BeginCompact(shard int) error {
+	if err := w.flushShard(shard); err != nil {
+		return err
+	}
+	sb := &w.bufs[shard]
+	sb.mu.Lock()
+	sb.compacting = true
+	sb.mu.Unlock()
+	return nil
+}
+
+// FinishCompact rewrites shard's segment to exactly live and resumes the
+// shard's writer, which then drains whatever accumulated during the
+// rewrite into the new segment. Called without the store's shard lock.
+func (w *ShardedWAL) FinishCompact(shard int, live []core.Sighting) error {
+	err := w.rewriteSegment(shard, live)
+	sb := &w.bufs[shard]
+	sb.mu.Lock()
+	sb.compacting = false
+	sb.data.Signal()
+	sb.mu.Unlock()
+	return err
+}
+
+// rewriteSegment replaces shard's segment contents with one live-set batch
+// record and resets the growth counter.
+func (w *ShardedWAL) rewriteSegment(shard int, live []core.Sighting) error {
+	var recs []WALRecord
+	if len(live) > 0 {
+		recs = []WALRecord{{Op: WALSightingBatch, Sightings: live}}
+	}
+	if err := w.segs[shard].CompactRecords(recs); err != nil {
+		return err
+	}
+	w.appended[shard].Store(0)
+	return nil
+}
+
+// Close drains the append buffers, stops the writers and closes every
+// segment. It is idempotent. The caller should have stopped appending (as
+// with FileWAL.Close); an append racing Close is dropped — the stop flag
+// under each shard's mutex keeps it a clean drop, never a reorder or a
+// race — and appends after Close park on the stopped buffer without
+// touching the closed segments.
+func (w *ShardedWAL) Close() error {
+	w.closeOnce.Do(func() {
+		if w.bufs != nil {
+			for i := range w.bufs {
+				sb := &w.bufs[i]
+				sb.mu.Lock()
+				sb.stop = true
+				sb.data.Signal()
+				sb.space.Broadcast()
+				sb.mu.Unlock()
+			}
+			w.wg.Wait()
+		}
+		errs := []error{w.Err()}
+		for _, seg := range w.segs {
+			if seg != nil {
+				if err := seg.Close(); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
+		w.closeErr = errors.Join(errs...)
+	})
+	return w.closeErr
+}

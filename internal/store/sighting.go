@@ -13,6 +13,11 @@
 //     used DB2 over JDBC; the log-plus-snapshot store here preserves the
 //     property that matters (durability of forwarding paths) without an
 //     external database.
+//   - ShardedWAL — optional per-shard write-ahead logs for the sighting
+//     store (WithSightingWAL): each group-commit batch is one log append,
+//     and Recover replays all shards in parallel, bulk-loading each shard's
+//     spatial index. See the wal.go file comment for the log format,
+//     durability modes (WithSync) and recovery guarantees.
 //   - ConfigRecord — the persistent configuration record describing a
 //     server's service area, parent and children.
 package store
@@ -34,6 +39,7 @@ type sightingConfig struct {
 	ttl      time.Duration
 	clock    func() time.Time
 	shards   int
+	wal      *ShardedWAL
 }
 
 func defaultSightingConfig() sightingConfig {
@@ -75,6 +81,17 @@ func WithShards(n int) SightingDBOption {
 			c.shards = n
 		}
 	}
+}
+
+// WithSightingWAL attaches per-shard write-ahead logs to a
+// ShardedSightingDB: every committed batch and removal is appended to the
+// owning shard's log before it is applied, and Recover rebuilds the store
+// from the logs after a crash. The store adopts the WAL's shard count
+// (which is fixed by the persistent log — see ShardedWAL), overriding
+// WithShards. NewSightingDB ignores the option; use a one-shard
+// ShardedSightingDB for a durable single-lock store.
+func WithSightingWAL(w *ShardedWAL) SightingDBOption {
+	return func(c *sightingConfig) { c.wal = w }
 }
 
 // SightingDB is the volatile sighting-record store of a leaf server. It is

@@ -48,13 +48,16 @@ func NewVisitorDB(wal WAL) (*VisitorDB, error) {
 	}
 	db := &VisitorDB{recs: make(map[core.OID]VisitorRecord), wal: wal}
 	err := wal.Replay(func(rec WALRecord) error {
+		if rec.Visitor == nil && (rec.Op == WALPut || rec.Op == WALRemove) {
+			return fmt.Errorf("store: visitor WAL record %q without visitor payload", rec.Op)
+		}
 		switch rec.Op {
 		case WALPut:
-			db.recs[rec.Visitor.OID] = rec.Visitor
+			db.recs[rec.Visitor.OID] = *rec.Visitor
 		case WALRemove:
 			delete(db.recs, rec.Visitor.OID)
 		default:
-			return fmt.Errorf("store: unknown WAL op %q", rec.Op)
+			return fmt.Errorf("store: unknown WAL op %q in visitor WAL", rec.Op)
 		}
 		return nil
 	})
@@ -83,7 +86,7 @@ func (db *VisitorDB) Get(id core.OID) (VisitorRecord, bool) {
 func (db *VisitorDB) Put(rec VisitorRecord) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.wal.Append(WALRecord{Op: WALPut, Visitor: rec}); err != nil {
+	if err := db.wal.Append(WALRecord{Op: WALPut, Visitor: &rec}); err != nil {
 		return fmt.Errorf("store: appending visitor put: %w", err)
 	}
 	db.recs[rec.OID] = rec
@@ -101,7 +104,7 @@ func (db *VisitorDB) PutIfNewer(rec VisitorRecord) (bool, error) {
 	if old, ok := db.recs[rec.OID]; ok && old.PathT.After(rec.PathT) {
 		return false, nil
 	}
-	if err := db.wal.Append(WALRecord{Op: WALPut, Visitor: rec}); err != nil {
+	if err := db.wal.Append(WALRecord{Op: WALPut, Visitor: &rec}); err != nil {
 		return false, fmt.Errorf("store: appending visitor put: %w", err)
 	}
 	db.recs[rec.OID] = rec
@@ -117,7 +120,7 @@ func (db *VisitorDB) RemoveIf(id core.OID, pred func(VisitorRecord) bool) (bool,
 	if !ok || !pred(rec) {
 		return false, nil
 	}
-	if err := db.wal.Append(WALRecord{Op: WALRemove, Visitor: VisitorRecord{OID: id}}); err != nil {
+	if err := db.wal.Append(WALRecord{Op: WALRemove, Visitor: &VisitorRecord{OID: id}}); err != nil {
 		return false, fmt.Errorf("store: appending visitor remove: %w", err)
 	}
 	delete(db.recs, id)
@@ -132,7 +135,7 @@ func (db *VisitorDB) Remove(id core.OID) (bool, error) {
 	if _, ok := db.recs[id]; !ok {
 		return false, nil
 	}
-	if err := db.wal.Append(WALRecord{Op: WALRemove, Visitor: VisitorRecord{OID: id}}); err != nil {
+	if err := db.wal.Append(WALRecord{Op: WALRemove, Visitor: &VisitorRecord{OID: id}}); err != nil {
 		return false, fmt.Errorf("store: appending visitor remove: %w", err)
 	}
 	delete(db.recs, id)

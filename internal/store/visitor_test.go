@@ -160,7 +160,7 @@ func TestFileWALTornTailIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := wal.Append(WALRecord{Op: WALPut, Visitor: VisitorRecord{OID: "good"}}); err != nil {
+	if err := wal.Append(WALRecord{Op: WALPut, Visitor: &VisitorRecord{OID: "good"}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := wal.Close(); err != nil {

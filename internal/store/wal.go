@@ -1,13 +1,63 @@
+// Write-ahead logging for the store package.
+//
+// # Log format
+//
+// A log is a sequence of JSON-encoded WALRecord lines ("JSON lines"), one
+// record per '\n'-terminated line, appended in commit order. Two record
+// families share the framing:
+//
+//   - visitor mutations — Op "put"/"remove" with the Visitor field set;
+//     the VisitorDB appends one record per mutation (registration,
+//     deregistration, handover — rare by design, Section 5 of the paper);
+//   - sighting mutations — Op "sbatch" carrying a whole group-commit batch
+//     of sightings in one record, and Op "sremove" carrying one removed
+//     object id. These are appended by ShardedSightingDB through a
+//     ShardedWAL, one log segment per shard; batch framing amortizes the
+//     marshal and flush cost across the batch exactly as the update
+//     pipeline's combining lane amortizes lock cost.
+//
+// # Durability modes
+//
+// FileWAL.Append flushes the userspace buffer to the OS, so a log survives
+// a process crash or kill (the durability the paper's restart design
+// needs). WithSync additionally fsyncs per append for machine-crash
+// durability at the usual cost. ShardedWAL's default mode trades a bounded
+// lag for update-path speed: appends are enqueued per shard and a writer
+// goroutine commits queued records in order, so a kill can lose at most the
+// last queue-depth records per shard while every segment stays a clean
+// prefix of its shard's history; ShardedWAL.Flush is the barrier, and
+// WithSync selects fully synchronous fsync-per-append operation instead.
+//
+// # Recovery guarantees
+//
+// Replay delivers the longest well-formed prefix of the log:
+//
+//   - a partial final line — the torn tail a crash mid-append leaves — is
+//     ignored, and the store recovers to the state before that append;
+//   - an unparseable record anywhere before the final line is corruption,
+//     not a torn write: Replay stops and returns an error wrapping
+//     ErrCorruptWAL that identifies the byte offset, rather than silently
+//     dropping every record after it;
+//   - record length is unbounded; replay is not capped at any line size.
+//
+// Compact rewrites a log to its live set via a temporary file in the same
+// directory followed by an atomic rename. A crash (or any failure) before
+// the rename leaves the original log untouched and the WAL usable; leftover
+// ".wal-compact-*" temporaries are never read back.
 package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"locsvc/internal/core"
 )
 
 // WALOp is the kind of a write-ahead-log record.
@@ -15,14 +65,33 @@ type WALOp string
 
 // WAL operations.
 const (
+	// WALPut and WALRemove are visitorDB mutations.
 	WALPut    WALOp = "put"
 	WALRemove WALOp = "remove"
+	// WALSightingBatch carries one group-commit batch of sighting puts;
+	// WALSightingRemove one sighting removal (deregistration, handover or
+	// soft-state expiry).
+	WALSightingBatch  WALOp = "sbatch"
+	WALSightingRemove WALOp = "sremove"
 )
 
-// WALRecord is one logged visitorDB mutation.
+// ErrCorruptWAL marks an unparseable record before the final line of a log:
+// mid-file damage that replay must surface instead of treating as a torn
+// tail. Errors wrapping it identify the byte offset of the bad record.
+var ErrCorruptWAL = errors.New("store: corrupt WAL record")
+
+// WALRecord is one logged mutation. Exactly one payload field is set,
+// according to Op: Visitor for visitorDB records, Sightings for a sighting
+// batch, OID for a sighting removal.
 type WALRecord struct {
-	Op      WALOp         `json:"op"`
-	Visitor VisitorRecord `json:"visitor"`
+	Op      WALOp          `json:"op"`
+	Visitor *VisitorRecord `json:"visitor,omitempty"`
+	// Sightings is the batch payload of a WALSightingBatch record; later
+	// entries for the same object supersede earlier ones, exactly as in
+	// SightingStore.PutBatch.
+	Sightings []core.Sighting `json:"sightings,omitempty"`
+	// OID is the removed object of a WALSightingRemove record.
+	OID core.OID `json:"oid,omitempty"`
 }
 
 // WAL is the persistence backend of a VisitorDB. Implementations must allow
@@ -59,7 +128,9 @@ func (NullWAL) Close() error { return nil }
 // FileWAL is a JSON-lines append-only log on disk. It substitutes the
 // paper's DB2 database: visitorDB changes are rare (registration,
 // deregistration, handover only), so a simple synchronous log keeps
-// forwarding paths durable at negligible cost.
+// forwarding paths durable at negligible cost. It also serves as the
+// per-shard segment of a ShardedWAL, where batch framing keeps the sighting
+// update path cheap.
 type FileWAL struct {
 	mu   sync.Mutex
 	path string
@@ -91,46 +162,109 @@ func OpenFileWAL(path string, opts ...FileWALOption) (*FileWAL, error) {
 	for _, opt := range opts {
 		opt(w)
 	}
+	if w.sync {
+		// Make a just-created log's directory entry durable too; without
+		// this a machine crash could forget the file while its records'
+		// fsyncs succeeded.
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return w, nil
 }
 
-// Replay implements WAL. A trailing partial line (torn write from a crash)
-// is ignored, matching standard WAL recovery semantics.
+// syncDir fsyncs the directory containing path, making a create or rename
+// of that entry durable against machine crash.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("store: opening WAL directory: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing WAL directory: %w", err)
+	}
+	return nil
+}
+
+// Path returns the log's file path, for diagnostics.
+func (w *FileWAL) Path() string { return w.path }
+
+// Replay implements WAL. Only a partial final line — the torn tail a crash
+// mid-append leaves behind — is tolerated: it is ignored AND truncated
+// away, so later appends start a fresh line instead of gluing onto the
+// fragment (which would read back as corruption on the next restart). An
+// unterminated final line that parses whole is kept and its missing
+// newline written. An unparseable record anywhere earlier is corruption
+// and yields an error wrapping ErrCorruptWAL with the record's byte
+// offset, after fn has received the intact prefix. Records of any length
+// replay; there is no line-size cap.
 func (w *FileWAL) Replay(fn func(WALRecord) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing WAL before replay: %w", err)
+	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: seeking WAL: %w", err)
 	}
-	sc := bufio.NewScanner(w.f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	// Always leave the file positioned at the end for later appends,
+	// whatever path returns.
+	defer w.f.Seek(0, io.SeekEnd)
+	r := bufio.NewReaderSize(w.f, 64*1024)
+	var offset int64
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("store: reading WAL at offset %d: %w", offset, rerr)
 		}
-		var rec WALRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// Torn tail record: stop replaying.
+		terminated := bytes.HasSuffix(line, []byte{'\n'})
+		rec := bytes.TrimSuffix(line, []byte{'\n'})
+		if len(rec) > 0 {
+			var parsed WALRecord
+			if uerr := json.Unmarshal(rec, &parsed); uerr != nil {
+				if !terminated {
+					// Partial final line: the torn tail of a crashed
+					// append. Recover to the state before it, and cut the
+					// fragment off so the next append starts cleanly.
+					if terr := w.f.Truncate(offset); terr != nil {
+						return fmt.Errorf("store: truncating torn WAL tail at offset %d: %w", offset, terr)
+					}
+					return nil
+				}
+				return fmt.Errorf("%w at offset %d of %s: %v", ErrCorruptWAL, offset, w.path, uerr)
+			}
+			if err := fn(parsed); err != nil {
+				return err
+			}
+			if !terminated {
+				// A whole record whose trailing newline the crash ate:
+				// keep it and complete the framing so the next append
+				// does not fuse with it.
+				if _, werr := w.f.Seek(0, io.SeekEnd); werr != nil {
+					return fmt.Errorf("store: seeking WAL end: %w", werr)
+				}
+				if _, werr := w.f.Write([]byte{'\n'}); werr != nil {
+					return fmt.Errorf("store: terminating final WAL record: %w", werr)
+				}
+			}
+		}
+		offset += int64(len(line))
+		if rerr == io.EOF {
 			return nil
 		}
-		if err := fn(rec); err != nil {
-			return err
-		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: scanning WAL: %w", err)
-	}
-	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
-		return fmt.Errorf("store: seeking WAL end: %w", err)
-	}
-	return nil
 }
 
 // Append implements WAL.
 func (w *FileWAL) Append(rec WALRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.appendLocked(rec)
+}
+
+func (w *FileWAL) appendLocked(rec WALRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: marshaling WAL record: %w", err)
@@ -149,9 +283,45 @@ func (w *FileWAL) Append(rec WALRecord) error {
 	return nil
 }
 
+// AppendRaw appends pre-encoded, newline-terminated records as a single
+// write and flush — the commit path of ShardedWAL's asynchronous appender,
+// which amortizes the syscall over a whole queue drain. The caller is
+// responsible for the encoding being valid JSON lines (appendWALRecordJSON).
+func (w *FileWAL) AppendRaw(data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("store: writing WAL records: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing WAL: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
 // Compact implements WAL: it writes the live set to a temporary file and
-// atomically renames it over the log.
+// atomically renames it over the log. See CompactRecords for the failure
+// contract.
 func (w *FileWAL) Compact(live []VisitorRecord) error {
+	recs := make([]WALRecord, len(live))
+	for i := range live {
+		recs[i] = WALRecord{Op: WALPut, Visitor: &live[i]}
+	}
+	return w.CompactRecords(recs)
+}
+
+// CompactRecords atomically replaces the log's contents with recs, in
+// order. The temporary file is written and fsynced first, then renamed over
+// the log; the temporary's file handle becomes the new append handle, so no
+// reopen can fail after the swap. Every failure path leaves the original
+// log untouched, open and usable for further appends — a crash anywhere
+// before the rename loses nothing but the compaction.
+func (w *FileWAL) CompactRecords(recs []WALRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	dir := filepath.Dir(w.path)
@@ -159,43 +329,49 @@ func (w *FileWAL) Compact(live []VisitorRecord) error {
 	if err != nil {
 		return fmt.Errorf("store: creating compaction file: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	// Until the rename succeeds, the temporary is discarded on every exit
+	// path and the original log stays authoritative.
+	abort := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	bw := bufio.NewWriter(tmp)
-	for _, rec := range live {
-		data, err := json.Marshal(WALRecord{Op: WALPut, Visitor: rec})
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
 		if err != nil {
-			tmp.Close()
-			return fmt.Errorf("store: marshaling compaction record: %w", err)
+			return abort(fmt.Errorf("store: marshaling compaction record: %w", err))
 		}
 		if _, err := bw.Write(append(data, '\n')); err != nil {
-			tmp.Close()
-			return fmt.Errorf("store: writing compaction record: %w", err)
+			return abort(fmt.Errorf("store: writing compaction record: %w", err))
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: flushing compaction file: %w", err)
+		return abort(fmt.Errorf("store: flushing compaction file: %w", err))
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: syncing compaction file: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: closing compaction file: %w", err)
-	}
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("store: closing old WAL: %w", err)
+		return abort(fmt.Errorf("store: syncing compaction file: %w", err))
 	}
 	if err := os.Rename(tmp.Name(), w.path); err != nil {
-		return fmt.Errorf("store: renaming compacted WAL: %w", err)
+		return abort(fmt.Errorf("store: renaming compacted WAL: %w", err))
 	}
-	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: reopening compacted WAL: %w", err)
+	// The rename is the commit point: the temporary's handle now refers to
+	// the log, so adopt it and retire the old handle. Errors past this
+	// point cannot un-commit anything, so they are only reported.
+	old := w.f
+	w.f = tmp
+	w.w = bufio.NewWriter(tmp)
+	var firstErr error
+	if w.sync {
+		// In fsync mode the rename itself must be durable, or a machine
+		// crash could revert the directory entry to the old inode and
+		// orphan every later fsynced append.
+		firstErr = syncDir(w.path)
 	}
-	w.f = f
-	w.w = bufio.NewWriter(f)
-	return nil
+	if err := old.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("store: closing pre-compaction WAL handle: %w", err)
+	}
+	return firstErr
 }
 
 // Close implements WAL.

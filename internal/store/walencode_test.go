@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// The hand-rolled hot-path encoder must round-trip through Replay's
+// json.Unmarshal to exactly the record the standard marshaler would have
+// preserved — including awkward ids, timestamps and float shapes.
+func TestWALRecordEncodingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	awkwardIDs := []core.OID{
+		"plain", "", `qu"ote`, `back\slash`, "uni·cødé-日本", "ctrl\nnew\tline\x01",
+		"<html>&amp;</html>",
+	}
+	randomSighting := func() core.Sighting {
+		var pos geo.Point
+		switch rng.Intn(4) {
+		case 0:
+			pos = geo.Pt(rng.NormFloat64()*1e6, rng.NormFloat64()*1e6)
+		case 1:
+			pos = geo.Pt(float64(rng.Intn(1000)), float64(rng.Intn(1000)))
+		case 2:
+			pos = geo.Pt(rng.Float64()*1e-9, -rng.Float64()*1e12)
+		default:
+			pos = geo.Pt(0, -0.5)
+		}
+		var ts time.Time
+		switch rng.Intn(3) {
+		case 0:
+			ts = time.Time{}
+		case 1:
+			ts = time.Date(2026, 7, 28, 12, 0, 0, rng.Intn(1e9), time.UTC)
+		default:
+			ts = time.Date(1999, 1, 2, 3, 4, 5, 0, time.FixedZone("X", 3600)).Add(time.Duration(rng.Int63n(1e15)))
+		}
+		return core.Sighting{
+			OID:     awkwardIDs[rng.Intn(len(awkwardIDs))],
+			T:       ts,
+			Pos:     pos,
+			SensAcc: rng.Float64() * 100,
+		}
+	}
+	var memo walTimeMemo
+	for i := 0; i < 500; i++ {
+		var rec WALRecord
+		if rng.Intn(3) == 0 {
+			rec = WALRecord{Op: WALSightingRemove, OID: awkwardIDs[rng.Intn(len(awkwardIDs))]}
+		} else {
+			batch := make([]core.Sighting, rng.Intn(5))
+			for j := range batch {
+				batch[j] = randomSighting()
+			}
+			rec = WALRecord{Op: WALSightingBatch, Sightings: batch}
+		}
+		line, err := appendWALRecordJSON(nil, rec, nil)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", rec, err)
+		}
+		if !bytes.HasSuffix(line, []byte{'\n'}) {
+			t.Fatalf("encoding not newline-terminated: %q", line)
+		}
+		// The writer's timestamp memo must never change the serialization.
+		memoLine, err := appendWALRecordJSON(nil, rec, &memo)
+		if err != nil {
+			t.Fatalf("memoized encode: %v", err)
+		}
+		if !bytes.Equal(line, memoLine) {
+			t.Fatalf("memoized encoding differs:\n  %q\n  %q", line, memoLine)
+		}
+		var got WALRecord
+		if err := json.Unmarshal(bytes.TrimSuffix(line, []byte{'\n'}), &got); err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		// Compare against what the standard encoding preserves.
+		std, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("std encode: %v", err)
+		}
+		var want WALRecord
+		if err := json.Unmarshal(std, &want); err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != want.Op || got.OID != want.OID || len(got.Sightings) != len(want.Sightings) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+		for j := range got.Sightings {
+			g, w := got.Sightings[j], want.Sightings[j]
+			if g.OID != w.OID || !g.T.Equal(w.T) || g.Pos != w.Pos || g.SensAcc != w.SensAcc {
+				t.Fatalf("sighting %d mismatch:\n got %+v\nwant %+v", j, g, w)
+			}
+		}
+	}
+}
+
+// A visitor record routed through the generic fallback still encodes.
+func TestWALRecordEncodingFallback(t *testing.T) {
+	rec := WALRecord{Op: WALPut, Visitor: &VisitorRecord{OID: "v1", ForwardRef: "c2"}}
+	line, err := appendWALRecordJSON(nil, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got WALRecord
+	if err := json.Unmarshal(bytes.TrimSuffix(line, []byte{'\n'}), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Visitor == nil || got.Visitor.OID != "v1" || got.Visitor.ForwardRef != "c2" {
+		t.Fatalf("fallback round trip = %+v", got)
+	}
+}
+
+// Non-finite coordinates must fail encoding (invalid JSON would read back
+// as corruption) rather than poison the log.
+func TestWALRecordEncodingRejectsNonFinite(t *testing.T) {
+	bad := core.Sighting{OID: "x", Pos: geo.Point{X: 1, Y: 2}}
+	bad.Pos.X = nan()
+	if _, err := appendWALRecordJSON(nil, WALRecord{Op: WALSightingBatch, Sightings: []core.Sighting{bad}}, nil); err == nil {
+		t.Fatal("encoded a NaN coordinate")
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }

@@ -1,0 +1,819 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/spatial"
+)
+
+// writeVisitorLog writes n visitor put records and returns the log path
+// plus the byte offset and length of every line.
+func writeVisitorLog(t *testing.T, n int) (string, []int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "log.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := WALRecord{Op: WALPut, Visitor: &VisitorRecord{
+			OID: core.OID(fmt.Sprintf("o%d", i)), ForwardRef: fmt.Sprintf("c%d", i),
+		}}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	off := int64(0)
+	for _, line := range strings.SplitAfter(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		offsets = append(offsets, off)
+		off += int64(len(line))
+	}
+	return path, offsets
+}
+
+func replayAll(t *testing.T, path string) ([]WALRecord, error) {
+	t.Helper()
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var got []WALRecord
+	rerr := w.Replay(func(rec WALRecord) error { got = append(got, rec); return nil })
+	return got, rerr
+}
+
+// A record corrupted in the middle of the log must surface an error naming
+// its offset — not be treated as a torn tail that silently discards every
+// later record.
+func TestReplayMidFileCorruption(t *testing.T) {
+	path, offsets := writeVisitorLog(t, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clobber a byte inside the third record, keeping its newline.
+	data[offsets[2]+1] = 0x00
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := replayAll(t, path)
+	if !errors.Is(rerr, ErrCorruptWAL) {
+		t.Fatalf("Replay error = %v, want ErrCorruptWAL", rerr)
+	}
+	if !strings.Contains(rerr.Error(), fmt.Sprintf("offset %d", offsets[2])) {
+		t.Errorf("error %q does not identify offset %d", rerr, offsets[2])
+	}
+	if len(got) != 2 {
+		t.Errorf("intact prefix delivered %d records, want 2", len(got))
+	}
+}
+
+// A corrupted FINAL record that is newline-terminated is a complete,
+// damaged record — corruption, not a torn write.
+func TestReplayCorruptTerminatedFinalLine(t *testing.T) {
+	path, offsets := writeVisitorLog(t, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[2]+1] = 0x00
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := replayAll(t, path); !errors.Is(rerr, ErrCorruptWAL) {
+		t.Fatalf("Replay error = %v, want ErrCorruptWAL", rerr)
+	}
+}
+
+// Truncating the log at any byte boundary — the torn tail a crash can
+// leave — must recover exactly the records whose lines survived whole, with
+// no error: a prefix-consistent store.
+func TestReplayTornTailPrefixProperty(t *testing.T) {
+	const records = 12
+	path, offsets := writeVisitorLog(t, records)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	cuts := []int64{0, 1, int64(len(full)) - 1, int64(len(full))}
+	for i := 0; i < 40; i++ {
+		cuts = append(cuts, int64(rng.Intn(len(full)+1)))
+	}
+	for _, cut := range cuts {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The expected count is the number of lines whose content survives
+		// whole: a final line missing only its newline is still a complete
+		// record (truncation mid-record never parses, so accepting it is
+		// safe), hence end-1.
+		want := 0
+		for i := range offsets {
+			end := int64(len(full))
+			if i+1 < len(offsets) {
+				end = offsets[i+1]
+			}
+			if end-1 <= cut {
+				want++
+			}
+		}
+		got, rerr := replayAll(t, path)
+		if rerr != nil {
+			t.Fatalf("cut at %d: Replay error %v", cut, rerr)
+		}
+		if len(got) != want {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), want)
+		}
+		for j, rec := range got {
+			if rec.Visitor == nil || rec.Visitor.OID != core.OID(fmt.Sprintf("o%d", j)) {
+				t.Fatalf("cut at %d: record %d = %+v, want o%d", cut, j, rec, j)
+			}
+		}
+		// The recovery must have healed the tail (truncated a fragment,
+		// terminated an unframed whole record): appending and replaying
+		// again yields the same prefix plus the new record — not a glued,
+		// corrupt line.
+		w2, err := OpenFileWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Replay(func(WALRecord) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Append(WALRecord{Op: WALPut, Visitor: &VisitorRecord{OID: "sentinel"}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		again, rerr := replayAll(t, path)
+		if rerr != nil {
+			t.Fatalf("cut at %d: replay after post-recovery append: %v", cut, rerr)
+		}
+		if len(again) != want+1 || again[want].Visitor == nil || again[want].Visitor.OID != "sentinel" {
+			t.Fatalf("cut at %d: post-recovery append corrupted the log: %d records", cut, len(again))
+		}
+	}
+}
+
+// Records larger than the old 4 MiB scanner cap must replay; a single big
+// batch would otherwise abort the whole recovery with ErrTooLong.
+func TestReplayLargeRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sighting batch comfortably past 4 MiB when marshaled.
+	batch := make([]core.Sighting, 60_000)
+	for i := range batch {
+		batch[i] = core.Sighting{OID: core.OID(fmt.Sprintf("obj-%06d", i)), Pos: geo.Pt(float64(i), 1)}
+	}
+	if err := w.Append(WALRecord{Op: WALSightingBatch, Sightings: batch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALRecord{Op: WALSightingRemove, OID: "obj-000001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() < 4*1024*1024 {
+		t.Fatalf("log size %v, want > 4 MiB to exercise the cap", st.Size())
+	}
+	got, rerr := replayAll(t, path)
+	if rerr != nil {
+		t.Fatalf("Replay: %v", rerr)
+	}
+	if len(got) != 2 || len(got[0].Sightings) != len(batch) || got[1].OID != "obj-000001" {
+		t.Fatalf("replayed %d records (first batch %d sightings)", len(got), len(got[0].Sightings))
+	}
+}
+
+// A crash between Compact's temp-file write and the rename leaves a stray
+// temporary next to the log; recovery must keep the original log
+// authoritative and never read the temporary.
+func TestCompactCrashBeforeRenameKeepsOriginal(t *testing.T) {
+	path, _ := writeVisitorLog(t, 4)
+	// The "crashed compaction": a fully written, never-renamed temp file
+	// with different (older) contents.
+	stray := filepath.Join(filepath.Dir(path), ".wal-compact-12345")
+	if err := os.WriteFile(stray, []byte(`{"op":"put","visitor":{"oid":"ghost"}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := replayAll(t, path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records, want the original 4", len(got))
+	}
+	for _, rec := range got {
+		if rec.Visitor.OID == "ghost" {
+			t.Fatal("recovery read the abandoned compaction temporary")
+		}
+	}
+}
+
+// Any Compact failure before the rename must leave the original log open
+// and usable: later Appends and Close must succeed and the appended record
+// must be durable.
+func TestCompactFailureLeavesWALUsable(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "wals")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "log.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALRecord{Op: WALPut, Visitor: &VisitorRecord{OID: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Force CreateTemp (and any rename) to fail: replace the directory
+	// with a plain file. The already-open log handle stays valid.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sub, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := w.Compact([]VisitorRecord{{OID: "a"}}); cerr == nil {
+		t.Fatal("Compact succeeded without its directory")
+	}
+	// The failure path must not have closed the log out from under us.
+	if err := w.Append(WALRecord{Op: WALPut, Visitor: &VisitorRecord{OID: "b"}}); err != nil {
+		t.Fatalf("Append after failed Compact: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close after failed Compact: %v", err)
+	}
+}
+
+// Reopening a sharded log with a different shard count must be refused
+// once any segment holds history (the id→segment mapping is a property of
+// the persistent log) — but all-empty segments, as left by a crashed first
+// open or an idle run, must not pin the count.
+func TestShardedWALShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRemove(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShardedWAL(dir, 8); err == nil {
+		t.Fatal("reopening a 4-segment log with history with 8 shards succeeded")
+	}
+	w, err = OpenShardedWAL(dir, 4)
+	if err != nil {
+		t.Fatalf("reopening with matching count: %v", err)
+	}
+	w.Close()
+
+	// Empty segments adopt the requested count instead.
+	empty := t.TempDir()
+	w, err = OpenShardedWAL(empty, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err = OpenShardedWAL(empty, 2)
+	if err != nil {
+		t.Fatalf("reopening all-empty segments with a new count: %v", err)
+	}
+	if w.NumShards() != 2 {
+		t.Fatalf("NumShards = %d", w.NumShards())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segmentPath(empty, 2)); err == nil {
+		t.Fatal("stale empty segment survived the count change")
+	}
+}
+
+// sightingOracle mirrors the intended live set of a store.
+type sightingOracle map[core.OID]core.Sighting
+
+// expectRecovered compares a recovered store against the oracle on every
+// query surface: Len, Get, a full-area range search and nearest-neighbor
+// order.
+func expectRecovered(t *testing.T, db *ShardedSightingDB, oracle sightingOracle) {
+	t.Helper()
+	if db.Len() != len(oracle) {
+		t.Errorf("recovered Len = %d, oracle %d", db.Len(), len(oracle))
+	}
+	for id, want := range oracle {
+		got, ok := db.Get(id)
+		if !ok {
+			t.Errorf("recovered store lost %s", id)
+			continue
+		}
+		if got.Pos != want.Pos || !got.T.Equal(want.T) || got.SensAcc != want.SensAcc {
+			t.Errorf("recovered %s = %+v, want %+v", id, got, want)
+		}
+	}
+	// Range: everything inside the full area, no extras, positions intact.
+	seen := map[core.OID]geo.Point{}
+	db.SearchArea(geo.R(-1e9, -1e9, 1e9, 1e9), func(s core.Sighting) bool {
+		seen[s.OID] = s.Pos
+		return true
+	})
+	if len(seen) != len(oracle) {
+		t.Errorf("range search found %d records, oracle %d", len(seen), len(oracle))
+	}
+	for id, pos := range seen {
+		if want, ok := oracle[id]; !ok || want.Pos != pos {
+			t.Errorf("range search saw %s at %v, oracle %+v (present %v)", id, pos, oracle[id], ok)
+		}
+	}
+	// Nearest: distances must be non-decreasing and match the oracle's
+	// sorted distance multiset.
+	origin := geo.Pt(0, 0)
+	var gotDists, wantDists []float64
+	db.NearestFunc(origin, func(s core.Sighting, d float64) bool {
+		gotDists = append(gotDists, d)
+		return true
+	})
+	for _, s := range oracle {
+		wantDists = append(wantDists, origin.Dist(s.Pos))
+	}
+	sort.Float64s(wantDists)
+	if len(gotDists) != len(wantDists) {
+		t.Fatalf("nearest enumerated %d records, oracle %d", len(gotDists), len(wantDists))
+	}
+	for i := range gotDists {
+		if diff := gotDists[i] - wantDists[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("nearest distance %d = %v, oracle %v", i, gotDists[i], wantDists[i])
+		}
+	}
+}
+
+// The full put/remove/expire lifecycle must replay to exactly the oracle's
+// state after a simulated crash (the WAL is never Closed — every append is
+// flushed, as a killed process would leave it).
+func TestShardedWALReplayEqualsOracle(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	ttl := time.Minute
+
+	w, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(WithSightingWAL(w), WithTTL(ttl), WithClock(clock))
+	if db.NumShards() != shards {
+		t.Fatalf("store did not adopt WAL shard count: %d", db.NumShards())
+	}
+	oracle := sightingOracle{}
+
+	rng := rand.New(rand.NewSource(7))
+	ids := make([]core.OID, 64)
+	for i := range ids {
+		ids[i] = core.OID(fmt.Sprintf("obj-%d", i))
+	}
+	for step := 0; step < 1500; step++ {
+		id := ids[rng.Intn(len(ids))]
+		switch op := rng.Intn(10); {
+		case op < 6: // single put
+			s := core.Sighting{OID: id, T: now, Pos: geo.Pt(rng.Float64()*1000, rng.Float64()*1000), SensAcc: 5}
+			db.Put(s)
+			oracle[id] = s
+		case op < 8: // batch put (the pipeline's group-commit shape)
+			batch := make([]core.Sighting, 1+rng.Intn(8))
+			for i := range batch {
+				bid := ids[rng.Intn(len(ids))]
+				batch[i] = core.Sighting{OID: bid, T: now, Pos: geo.Pt(rng.Float64()*1000, rng.Float64()*1000), SensAcc: 5}
+			}
+			db.PutBatch(batch)
+			for _, s := range batch {
+				oracle[s.OID] = s
+			}
+		case op < 9: // remove
+			if db.Remove(id) {
+				delete(oracle, id)
+			}
+		default: // expire: age the record's lease out, then sweep it
+			if _, ok := oracle[id]; ok {
+				now = now.Add(2 * ttl)
+				if !db.RemoveExpired(id) {
+					t.Fatalf("step %d: %s did not expire", step, id)
+				}
+				delete(oracle, id)
+				// Refresh every survivor so only id expired.
+				for oid, s := range oracle {
+					s.T = now
+					db.Put(s)
+					oracle[oid] = s
+				}
+			}
+		}
+	}
+	if err := db.WALErr(); err != nil {
+		t.Fatalf("WAL went down during the run: %v", err)
+	}
+	// The durability barrier: everything enqueued reaches the OS. The
+	// "crash" below then models a killed process whose writes the OS kept.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: no Close. Reopen the directory and recover.
+	w2, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	db2 := NewShardedSightingDB(WithSightingWAL(w2), WithTTL(ttl), WithClock(clock))
+	if err := db2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	expectRecovered(t, db2, oracle)
+
+	// Recovered records carry a fresh lease: nothing is expired now, and
+	// everything expires once the TTL passes un-refreshed.
+	if ids := db2.Expired(); len(ids) != 0 {
+		t.Errorf("%d records expired immediately after recovery", len(ids))
+	}
+	now = now.Add(2 * ttl)
+	if got := len(db2.Expired()); got != len(oracle) {
+		t.Errorf("after TTL: %d expired, want all %d", got, len(oracle))
+	}
+}
+
+// The acceptance scenario: kill after N batched updates through the
+// pipeline, recover in parallel, and compare every query surface against a
+// never-crashed oracle store. Also exercises recovery into non-quadtree
+// indexes (no Rebuild bulk-load path) for the same result.
+func TestShardedWALCrashAfterBatchedUpdates(t *testing.T) {
+	for _, kind := range []spatial.Kind{spatial.KindQuadtree, spatial.KindRTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			const shards = 8
+			dir := t.TempDir()
+			w, err := OpenShardedWAL(dir, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := NewShardedSightingDB(WithSightingWAL(w), WithIndex(kind))
+			pipe := NewUpdatePipeline(db)
+			oracle := sightingOracle{}
+			rng := rand.New(rand.NewSource(9))
+			now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+			for i := 0; i < 4000; i++ {
+				id := core.OID(fmt.Sprintf("obj-%d", rng.Intn(500)))
+				s := core.Sighting{OID: id, T: now, Pos: geo.Pt(rng.Float64()*1000, rng.Float64()*1000), SensAcc: 5}
+				pipe.Put(s)
+				oracle[id] = s
+			}
+			if err := db.WALErr(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Kill; recover from disk.
+			w2, err := OpenShardedWAL(dir, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			db2 := NewShardedSightingDB(WithSightingWAL(w2), WithIndex(kind))
+			if err := db2.Recover(); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			expectRecovered(t, db2, oracle)
+		})
+	}
+}
+
+// Compaction shrinks segments to the live set, and a recover after
+// compaction (plus further appends) still matches the oracle.
+func TestShardedWALCompactThenRecover(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(WithSightingWAL(w))
+	oracle := sightingOracle{}
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			id := core.OID(fmt.Sprintf("obj-%d", i))
+			s := core.Sighting{OID: id, T: now, Pos: geo.Pt(float64(round), float64(i)), SensAcc: 5}
+			db.Put(s)
+			oracle[id] = s
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := dirSize(t, dir)
+	if err := db.CompactWAL(); err != nil {
+		t.Fatalf("CompactWAL: %v", err)
+	}
+	if sizeAfter := dirSize(t, dir); sizeAfter >= sizeBefore {
+		t.Errorf("compaction did not shrink the log: %d -> %d", sizeBefore, sizeAfter)
+	}
+	// Post-compaction appends land after the snapshot.
+	s := core.Sighting{OID: "late", T: now, Pos: geo.Pt(500, 500), SensAcc: 5}
+	db.Put(s)
+	oracle["late"] = s
+	if db.Remove("obj-3") {
+		delete(oracle, "obj-3")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	db2 := NewShardedSightingDB(WithSightingWAL(w2))
+	if err := db2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	expectRecovered(t, db2, oracle)
+}
+
+// Grow-triggered compaction rewrites only churned shards, and recovery on
+// a churn-heavy log auto-compacts so the next restart replays the live set.
+func TestCompactWALIfGrown(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(WithSightingWAL(w))
+	oracle := sightingOracle{}
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	// Heavy churn on few objects: history >> live set. Half the rounds go
+	// through PutBatch so the growth counter's batch-length accounting
+	// (one batch record, len(batch) sightings) is exercised too.
+	for round := 0; round < 600; round++ {
+		batch := make([]core.Sighting, 0, 4)
+		for i := 0; i < 4; i++ {
+			id := core.OID(fmt.Sprintf("obj-%d", i))
+			s := core.Sighting{OID: id, T: now, Pos: geo.Pt(float64(round), float64(i)), SensAcc: 5}
+			if round%2 == 0 {
+				db.Put(s)
+			} else {
+				batch = append(batch, s)
+			}
+			oracle[id] = s
+		}
+		db.PutBatch(batch)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := dirSize(t, dir)
+	if err := db.CompactWALIfGrown(); err != nil {
+		t.Fatal(err)
+	}
+	after := dirSize(t, dir)
+	if after >= before {
+		t.Errorf("grown segments not compacted: %d -> %d", before, after)
+	}
+	for i := 0; i < shards; i++ {
+		if n := w.AppendedSince(i); n != 0 {
+			t.Errorf("shard %d appended counter = %d after compaction", i, n)
+		}
+	}
+	// No further growth: a second call must be a no-op (sizes unchanged).
+	if err := db.CompactWALIfGrown(); err != nil {
+		t.Fatal(err)
+	}
+	if again := dirSize(t, dir); again != after {
+		t.Errorf("idle compaction rewrote segments: %d -> %d", after, again)
+	}
+	// State must survive the compaction.
+	w2, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	db2 := NewShardedSightingDB(WithSightingWAL(w2))
+	if err := db2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	expectRecovered(t, db2, oracle)
+}
+
+// Recover on a churn-heavy log compacts the segments as a side effect, so
+// restart cost does not accumulate across crashes.
+func TestRecoverAutoCompactsChurnedLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(WithSightingWAL(w))
+	for round := 0; round < 2000; round++ {
+		db.Put(core.Sighting{OID: "only", Pos: geo.Pt(float64(round), 0), SensAcc: 5})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := dirSize(t, dir)
+	w2, err := OpenShardedWAL(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	db2 := NewShardedSightingDB(WithSightingWAL(w2))
+	if err := db2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if after := dirSize(t, dir); after >= before/10 {
+		t.Errorf("recovery did not compact the churned log: %d -> %d", before, after)
+	}
+	if got, ok := db2.Get("only"); !ok || got.Pos != geo.Pt(1999, 0) {
+		t.Errorf("recovered record = %+v, %v", got, ok)
+	}
+}
+
+// Low-stall compaction interleaved with live writers must lose nothing:
+// records appended during a rewrite wait in the buffer and land after the
+// snapshot, so recovery still equals the oracle.
+func TestCompactWALConcurrentWithAppends(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(WithSightingWAL(w))
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	const writers = 4
+	const perWriter = 2000
+	var writerWG sync.WaitGroup
+	stopCompact := make(chan struct{})
+	compactorDone := make(chan struct{})
+	go func() {
+		defer close(compactorDone)
+		for {
+			select {
+			case <-stopCompact:
+				return
+			default:
+			}
+			if err := db.CompactWALIfGrown(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				// Disjoint ids per writer; heavy per-id churn.
+				id := core.OID(fmt.Sprintf("w%d-obj-%d", g, i%50))
+				db.Put(core.Sighting{OID: id, T: now, Pos: geo.Pt(float64(i), float64(g)), SensAcc: 5})
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stopCompact)
+	select {
+	case <-compactorDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("compactor did not stop")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: last put per id wins.
+	oracle := sightingOracle{}
+	for g := 0; g < writers; g++ {
+		for i := perWriter - 50; i < perWriter; i++ {
+			id := core.OID(fmt.Sprintf("w%d-obj-%d", g, i%50))
+			oracle[id] = core.Sighting{OID: id, T: now, Pos: geo.Pt(float64(i), float64(g)), SensAcc: 5}
+		}
+	}
+	w2, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	db2 := NewShardedSightingDB(WithSightingWAL(w2))
+	if err := db2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	expectRecovered(t, db2, oracle)
+}
+
+// Recover must refuse to run over live records rather than double-load.
+func TestRecoverRequiresEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	db := NewShardedSightingDB(WithSightingWAL(w))
+	db.Put(core.Sighting{OID: "a", Pos: geo.Pt(1, 1)})
+	if err := db.Recover(); err == nil {
+		t.Fatal("Recover over a non-empty store succeeded")
+	}
+}
+
+// A corrupted middle record in one shard fails that shard's recovery (with
+// the offset surfaced) while the other shards still replay.
+func TestRecoverSurfacesShardCorruption(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(WithSightingWAL(w))
+	for i := 0; i < 40; i++ {
+		db.Put(core.Sighting{OID: core.OID(fmt.Sprintf("obj-%d", i)), Pos: geo.Pt(float64(i), 0)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle of shard 0's segment.
+	seg := segmentPath(dir, 0)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] = 0x00
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	db2 := NewShardedSightingDB(WithSightingWAL(w2))
+	rerr := db2.Recover()
+	if !errors.Is(rerr, ErrCorruptWAL) {
+		t.Fatalf("Recover error = %v, want ErrCorruptWAL", rerr)
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}

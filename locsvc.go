@@ -40,6 +40,7 @@ package locsvc
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"locsvc/internal/client"
@@ -49,6 +50,7 @@ import (
 	"locsvc/internal/msg"
 	"locsvc/internal/server"
 	"locsvc/internal/spatial"
+	"locsvc/internal/store"
 	"locsvc/internal/transport"
 )
 
@@ -137,6 +139,18 @@ type LocalConfig struct {
 	// independently locked shards keyed by object id, so concurrent
 	// updates scale across cores; 0 or 1 keeps the single-lock store.
 	Shards int
+	// WALDir enables durable server state. Every server persists its
+	// visitorDB (the forwarding paths of paper Section 5) to
+	// <dir>/<id>-visitors.wal, and every leaf additionally keeps one
+	// durable log segment per sighting shard under <dir>/<id>-sightings/,
+	// replayed in parallel on deployment. Restarting a Service on the
+	// same WALDir therefore restores tracked objects, their forwarding
+	// paths and their last positions — queries answer immediately,
+	// before any device re-reports. Empty keeps all state in memory.
+	WALDir string
+	// WALSync fsyncs every WAL append (machine-crash durability instead
+	// of process-crash durability).
+	WALSync bool
 	// EnableCaches turns on all three leaf caches of Section 6.5.
 	EnableCaches bool
 	// HopLatency delays every message, modelling network hops.
@@ -162,7 +176,7 @@ func NewLocal(cfg LocalConfig) (*Service, error) {
 	}
 	net := transport.NewInproc(opts)
 	spec := hierarchy.Spec{RootArea: cfg.Area, Levels: cfg.Levels, RootPartitions: cfg.RootPartitions}
-	dep, err := hierarchy.Deploy(net, spec, server.Options{
+	base := server.Options{
 		AchievableAcc:    cfg.AchievableAcc,
 		SightingTTL:      cfg.SightingTTL,
 		Index:            cfg.Index,
@@ -170,7 +184,35 @@ func NewLocal(cfg LocalConfig) (*Service, error) {
 		EnableAreaCache:  cfg.EnableCaches,
 		EnableAgentCache: cfg.EnableCaches,
 		EnablePosCache:   cfg.EnableCaches,
-	})
+	}
+	var customize func(store.ConfigRecord, server.Options) (server.Options, error)
+	if cfg.WALDir != "" {
+		shards := cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		var walOpts []store.FileWALOption
+		if cfg.WALSync {
+			walOpts = append(walOpts, store.WithSync())
+		}
+		customize = func(rec store.ConfigRecord, o server.Options) (server.Options, error) {
+			vw, err := store.OpenFileWAL(filepath.Join(cfg.WALDir, rec.ID+"-visitors.wal"), walOpts...)
+			if err != nil {
+				return o, err
+			}
+			o.WAL = vw
+			if rec.IsLeaf() {
+				sw, err := store.OpenShardedWAL(filepath.Join(cfg.WALDir, rec.ID+"-sightings"), shards, walOpts...)
+				if err != nil {
+					vw.Close()
+					return o, err
+				}
+				o.SightingWAL = sw
+			}
+			return o, nil
+		}
+	}
+	dep, err := hierarchy.DeployWith(net, spec, base, customize)
 	if err != nil {
 		net.Close()
 		return nil, err
