@@ -7,6 +7,12 @@
 //	lsctl -topology ls.json -entry r.0 range    -x0 0 -y0 0 -x1 400 -y1 400
 //	lsctl -topology ls.json -entry r.0 nearest  -x 120 -y 100
 //	lsctl -topology ls.json -entry r.0 dereg    -oid taxi-1
+//	lsctl -topology ls.json -entry r.0 stats
+//
+// stats prints the entry server's diagnostic snapshot: visitor and
+// sighting counts, the sighting store's shard layout (occupancy and
+// lock-contention counters per shard, resize epoch — what the -autoshard
+// policy feeds on) and the metrics registry.
 //
 // register keeps the process alive with -keep to continue serving accuracy
 // notifications and recovery update requests; otherwise it exits after the
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"locsvc/internal/client"
@@ -140,6 +147,31 @@ func main() {
 		for _, e := range res.Near {
 			fmt.Printf("  near: %s at (%.1f, %.1f)\n", e.OID, e.LD.Pos.X, e.LD.Pos.Y)
 		}
+	case "stats":
+		res, err := cl.Diag(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		role := "inner"
+		if res.IsLeaf {
+			role = "leaf"
+		}
+		fmt.Printf("server %s (%s): %d visitors, %d sightings\n", res.Server, role, res.Visitors, res.Sightings)
+		if len(res.Shards) > 0 {
+			fmt.Printf("sighting shards: %d (epoch %d)\n", len(res.Shards), res.Epoch)
+			fmt.Printf("  %-6s %10s %12s %12s\n", "shard", "records", "writeops", "contended")
+			for i, sh := range res.Shards {
+				fmt.Printf("  %-6d %10d %12d %12d\n", i, sh.Len, sh.Ops, sh.Contended)
+			}
+			fmt.Printf("pipeline: %d updates, %d handoffs (queued behind a lane leader)\n",
+				res.PipelineOps, res.PipelineHandoffs)
+		}
+		if res.Metrics != "" {
+			fmt.Printf("metrics:\n")
+			for _, line := range strings.Split(strings.TrimRight(res.Metrics, "\n"), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
+		}
 	case "dereg":
 		need(*oid, "-oid")
 		obj, err := cl.Register(ctx, sight(*oid, *x, *y), *desAcc, *minAcc, *speed)
@@ -194,7 +226,7 @@ func loadNodes(path string) (map[string]string, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lsctl -topology ls.json -entry <server> <register|update|pos|range|nearest|dereg> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lsctl -topology ls.json -entry <server> <register|update|pos|range|nearest|dereg|stats> [flags]")
 	os.Exit(2)
 }
 

@@ -15,9 +15,12 @@
 //	...
 //
 // Flags -acc, -ttl and -caches tune the leaf behaviour; -shards partitions
-// the leaf's sighting store, -swal gives it durable per-shard logs that are
-// replayed in parallel at startup, and -fsync upgrades both WALs to
-// machine-crash durability.
+// the leaf's sighting store, -autoshard lets the shard count adapt to
+// observed lock contention at runtime (live resize between -autoshard-min
+// and -autoshard-max), -swal gives the store durable per-shard logs that
+// are replayed in parallel at startup (and re-cut under the new mapping
+// when a resize moves the layout to its next epoch), and -fsync upgrades
+// both WALs to machine-crash durability.
 package main
 
 import (
@@ -48,22 +51,25 @@ type Topology struct {
 
 func main() {
 	var (
-		topoPath = flag.String("topology", "ls.json", "topology file shared by all servers")
-		id       = flag.String("id", "", "server id to run (e.g. r, r.0)")
-		gen      = flag.Bool("gen", false, "generate a topology file and exit")
-		area     = flag.Float64("area", 1500, "side of the square root service area in meters (with -gen)")
-		fanout   = flag.Int("fanout", 2, "grid fan-out per level: each area splits fanout x fanout (with -gen)")
-		depth    = flag.Int("depth", 1, "number of hierarchy levels below the root (with -gen)")
-		host     = flag.String("host", "127.0.0.1", "host for generated addresses (with -gen)")
-		port     = flag.Int("port", 7000, "first port for generated addresses (with -gen)")
-		walPath  = flag.String("wal", "", "visitorDB WAL path (persistent forwarding paths)")
-		swalDir  = flag.String("swal", "", "sightingDB WAL directory: one durable log segment per shard, replayed in parallel at startup (leaves only)")
-		shards   = flag.Int("shards", 1, "sighting-store shards on a leaf (independently locked, keyed by object id)")
-		fsync    = flag.Bool("fsync", false, "fsync every WAL append (machine-crash durability)")
-		acc      = flag.Float64("acc", 10, "achievable accuracy of this leaf in meters")
-		ttl      = flag.Duration("ttl", 5*time.Minute, "soft-state TTL for sighting records (0 disables)")
-		caches   = flag.Bool("caches", true, "enable the Section 6.5 leaf caches")
-		restore  = flag.Bool("restore", false, "request updates from persisted visitors at startup")
+		topoPath     = flag.String("topology", "ls.json", "topology file shared by all servers")
+		id           = flag.String("id", "", "server id to run (e.g. r, r.0)")
+		gen          = flag.Bool("gen", false, "generate a topology file and exit")
+		area         = flag.Float64("area", 1500, "side of the square root service area in meters (with -gen)")
+		fanout       = flag.Int("fanout", 2, "grid fan-out per level: each area splits fanout x fanout (with -gen)")
+		depth        = flag.Int("depth", 1, "number of hierarchy levels below the root (with -gen)")
+		host         = flag.String("host", "127.0.0.1", "host for generated addresses (with -gen)")
+		port         = flag.Int("port", 7000, "first port for generated addresses (with -gen)")
+		walPath      = flag.String("wal", "", "visitorDB WAL path (persistent forwarding paths)")
+		swalDir      = flag.String("swal", "", "sightingDB WAL directory: one durable log segment per shard, replayed in parallel at startup (leaves only)")
+		shards       = flag.Int("shards", 1, "sighting-store shards on a leaf (independently locked, keyed by object id); the starting count with -autoshard")
+		autoshard    = flag.Bool("autoshard", false, "adapt the leaf's shard count to observed lock contention at runtime (live resize; with -swal the log follows through epoch switches)")
+		autoshardMin = flag.Int("autoshard-min", 1, "lower shard-count bound for -autoshard")
+		autoshardMax = flag.Int("autoshard-max", 64, "upper shard-count bound for -autoshard")
+		fsync        = flag.Bool("fsync", false, "fsync every WAL append (machine-crash durability)")
+		acc          = flag.Float64("acc", 10, "achievable accuracy of this leaf in meters")
+		ttl          = flag.Duration("ttl", 5*time.Minute, "soft-state TTL for sighting records (0 disables)")
+		caches       = flag.Bool("caches", true, "enable the Section 6.5 leaf caches")
+		restore      = flag.Bool("restore", false, "request updates from persisted visitors at startup")
 	)
 	flag.Parse()
 
@@ -116,13 +122,20 @@ func main() {
 		}
 	}
 
+	nshards, err := store.NormalizeShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
 	opts := server.Options{
 		AchievableAcc:    *acc,
 		SightingTTL:      *ttl,
-		Shards:           *shards,
+		Shards:           nshards,
 		EnableAreaCache:  *caches,
 		EnableAgentCache: *caches,
 		EnablePosCache:   *caches,
+	}
+	if *autoshard {
+		opts.AutoShard = &store.AutoShardConfig{Min: *autoshardMin, Max: *autoshardMax}
 	}
 	var walOpts []store.FileWALOption
 	if *fsync {
@@ -136,7 +149,7 @@ func main() {
 		opts.WAL = wal
 	}
 	if *swalDir != "" && cfg.IsLeaf() {
-		swal, werr := store.OpenShardedWAL(*swalDir, *shards, walOpts...)
+		swal, werr := store.OpenShardedWAL(*swalDir, nshards, walOpts...)
 		if werr != nil {
 			fatal(werr)
 		}

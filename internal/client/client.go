@@ -348,6 +348,24 @@ func (c *Client) RangeQueryRect(ctx context.Context, r geo.Rect, reqAcc, reqOver
 	return c.RangeQuery(ctx, core.AreaFromRect(r), reqAcc, reqOverlap)
 }
 
+// Diag fetches the entry server's diagnostic snapshot: store occupancy,
+// sighting-shard layout (occupancy and contention per shard, resize
+// epoch) and the metrics registry. Operator tooling (lsctl stats) uses it
+// to observe what the AutoShard policy observes.
+func (c *Client) Diag(ctx context.Context) (msg.DiagRes, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	resp, err := c.node.Call(cctx, c.entry, msg.DiagReq{})
+	if err != nil {
+		return msg.DiagRes{}, err
+	}
+	res, ok := resp.(msg.DiagRes)
+	if !ok {
+		return msg.DiagRes{}, core.ErrBadRequest
+	}
+	return res, nil
+}
+
 // NeighborResult is the client-side result of a nearest-neighbor query.
 type NeighborResult struct {
 	Nearest           core.Entry

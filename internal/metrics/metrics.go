@@ -29,6 +29,21 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a settable instantaneous value — occupancy, shard counts,
+// queue depths. Unlike a Counter it moves in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // reservoirSize bounds histogram memory; large enough for stable p99 on the
 // workloads in this repository.
 const reservoirSize = 8192
@@ -45,13 +60,23 @@ type Histogram struct {
 	rng     *rand.Rand
 }
 
-// NewHistogram returns an empty histogram.
+// histSeed distinguishes the reservoir RNG of every histogram created in
+// the process. A shared fixed seed would make all histograms sample the
+// same observation indices, so correlated input streams (the same latency
+// measured at two points, say) would retain identically biased reservoirs
+// and their percentile estimates would share, rather than average out,
+// the sampling error.
+var histSeed atomic.Uint64
+
+// NewHistogram returns an empty histogram with an independently seeded
+// reservoir.
 func NewHistogram() *Histogram {
+	seed := histSeed.Add(0x9E3779B97F4A7C15) ^ uint64(time.Now().UnixNano())
 	return &Histogram{
 		samples: make([]float64, 0, reservoirSize),
 		min:     math.Inf(1),
 		max:     math.Inf(-1),
-		rng:     rand.New(rand.NewSource(1)),
+		rng:     rand.New(rand.NewSource(int64(seed))),
 	}
 }
 
@@ -144,10 +169,11 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Registry is a named collection of counters and histograms.
+// Registry is a named collection of counters, gauges and histograms.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -155,6 +181,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -169,6 +196,27 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// DropGauge removes a gauge from the registry — used when the entity it
+// described disappears (a shard after a shrink, say), so snapshots do not
+// keep reporting a stale series.
+func (r *Registry) DropGauge(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gauges, name)
 }
 
 // Histogram returns (creating if needed) the histogram with the given name.
@@ -186,9 +234,12 @@ func (r *Registry) Histogram(name string) *Histogram {
 // Snapshot renders all metrics sorted by name, one per line.
 func (r *Registry) Snapshot() string {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for n := range r.counters {
 		names = append(names, "c:"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "g:"+n)
 	}
 	for n := range r.hists {
 		names = append(names, "h:"+n)
@@ -202,6 +253,8 @@ func (r *Registry) Snapshot() string {
 		switch kind {
 		case "c":
 			fmt.Fprintf(&b, "%s = %d\n", name, r.Counter(name).Value())
+		case "g":
+			fmt.Fprintf(&b, "%s = %d\n", name, r.Gauge(name).Value())
 		case "h":
 			h := r.Histogram(name)
 			fmt.Fprintf(&b, "%s: n=%d mean=%.6f p50=%.6f p99=%.6f max=%.6f\n",

@@ -135,3 +135,59 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Errorf("histogram count = %d", got)
 	}
 }
+
+// TestHistogramReservoirsIndependent: two histograms fed the identical
+// over-capacity stream must not retain identical reservoirs — a shared
+// fixed RNG seed would make every histogram sample the same observation
+// indices, so correlated streams would share their sampling bias instead
+// of averaging it out.
+func TestHistogramReservoirsIndependent(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	const n = 4 * reservoirSize
+	for i := 0; i < n; i++ {
+		v := float64(i)
+		a.Observe(v)
+		b.Observe(v)
+	}
+	a.mu.Lock()
+	sa := append([]float64(nil), a.samples...)
+	a.mu.Unlock()
+	b.mu.Lock()
+	sb := append([]float64(nil), b.samples...)
+	b.mu.Unlock()
+	if len(sa) != reservoirSize || len(sb) != reservoirSize {
+		t.Fatalf("reservoir sizes %d / %d, want %d", len(sa), len(sb), reservoirSize)
+	}
+	same := true
+	for i := range sa {
+		if sa[i] != sb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two histograms sampled the identical reservoir from the same stream (shared RNG seed)")
+	}
+	// Exact aggregate statistics are unaffected by the reservoir.
+	if a.Count() != n || a.Mean() != b.Mean() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Errorf("aggregate stats diverged: count %d mean %g/%g", a.Count(), a.Mean(), b.Mean())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("shards")
+	g.Set(8)
+	g.Add(-2)
+	if got := r.Gauge("shards").Value(); got != 6 {
+		t.Errorf("gauge = %d, want 6", got)
+	}
+	snap := r.Snapshot()
+	if !strings.Contains(snap, "shards = 6") {
+		t.Errorf("snapshot missing gauge: %q", snap)
+	}
+	r.DropGauge("shards")
+	if snap := r.Snapshot(); strings.Contains(snap, "shards") {
+		t.Errorf("dropped gauge still in snapshot: %q", snap)
+	}
+}

@@ -385,6 +385,44 @@ type EventNotify struct {
 }
 
 // ---------------------------------------------------------------------------
+// Diagnostics.
+
+// DiagReq asks a server for its diagnostic snapshot — store occupancy,
+// sighting-shard layout and the metrics registry. Operator tooling (lsctl
+// stats) calls it against any server in the deployment.
+type DiagReq struct{}
+
+// ShardDiag is one sighting shard's occupancy and write-lock pressure
+// sample, mirroring store.ShardStat.
+type ShardDiag struct {
+	Len       int
+	Ops       int64
+	Contended int64
+}
+
+// DiagRes answers a DiagReq.
+type DiagRes struct {
+	Server    NodeID
+	IsLeaf    bool
+	Visitors  int
+	Sightings int
+	// Shards describes the sighting store's current generation — the
+	// per-shard occupancy and contention counters the AutoShard policy
+	// resizes on. Empty on non-leaf servers and single-lock stores.
+	Shards []ShardDiag
+	// Epoch counts the sighting store's completed live resizes.
+	Epoch uint64
+	// PipelineOps and PipelineHandoffs are the update pipeline's
+	// cumulative update count and how many of those queued behind a
+	// group-commit lane leader.
+	PipelineOps      int64
+	PipelineHandoffs int64
+	// Metrics is the server's metrics registry snapshot, one metric per
+	// line.
+	Metrics string
+}
+
+// ---------------------------------------------------------------------------
 // Generic responses.
 
 // Ack is an empty success reply for one-way-style calls.
@@ -425,5 +463,7 @@ func (EventSubscribe) isMessage()   {}
 func (EventUnsubscribe) isMessage() {}
 func (EventCount) isMessage()       {}
 func (EventNotify) isMessage()      {}
+func (DiagReq) isMessage()          {}
+func (DiagRes) isMessage()          {}
 func (Ack) isMessage()              {}
 func (ErrorRes) isMessage()         {}

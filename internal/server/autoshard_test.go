@@ -1,0 +1,187 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc/internal/client"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/hierarchy"
+	"locsvc/internal/server"
+	"locsvc/internal/store"
+)
+
+// TestAutoShardGrowsUnderLoad deploys a single-leaf server with an
+// AutoShard policy whose Min bound exceeds the starting shard count and a
+// fast janitor tick, hammers it with concurrent updates from many
+// clients, and checks that the janitor-driven policy resizes the sighting
+// store live — visible through the diagnostics message — without losing a
+// single update. The Min-bound enforcement makes the resize deterministic
+// on any machine; organic contention-driven decisions (which need real
+// multi-core lock pressure) are covered by the store-level policy tests.
+func TestAutoShardGrowsUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-driven janitor test")
+	}
+	spec := hierarchy.Spec{RootArea: geo.R(0, 0, 1500, 1500)}
+	ls := newTestLS(t, spec, server.Options{
+		AchievableAcc:   10,
+		JanitorInterval: 20 * time.Millisecond,
+		AutoShard: &store.AutoShardConfig{
+			Min: 4, Max: 8,
+			GrowAt:   0.0001, // any contention at all is evidence
+			Patience: 1, Cooldown: 1, MinOps: 64,
+		},
+	})
+	cl := ls.newClientAt(t, "diag-client", geo.Pt(10, 10), client.Options{Timeout: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const (
+		workers   = 8
+		perWorker = 12
+	)
+	type obj struct{ o *client.TrackedObject }
+	objs := make([][]obj, workers)
+	for w := 0; w < workers; w++ {
+		owner := ls.newClientAt(t, fmt.Sprintf("own-%d", w), geo.Pt(10, 10), client.Options{Timeout: 10 * time.Second})
+		for i := 0; i < perWorker; i++ {
+			o, err := owner.Register(ctx, core.Sighting{
+				OID: core.OID(fmt.Sprintf("as-o%d-%d", w, i)), T: time.Now(),
+				Pos: geo.Pt(float64(10+w*10), float64(10+i*10)), SensAcc: 5,
+			}, 10, 100, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs[w] = append(objs[w], obj{o})
+		}
+	}
+
+	// Update storm: enough rounds for several janitor ticks to observe
+	// real contention.
+	deadline := time.Now().Add(2 * time.Second)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(deadline) {
+				for i, ob := range objs[w] {
+					s := core.Sighting{
+						OID: core.OID(fmt.Sprintf("as-o%d-%d", w, i)), T: time.Now(),
+						Pos: geo.Pt(rng.Float64()*1400+10, rng.Float64()*1400+10), SensAcc: 5,
+					}
+					if err := ob.o.Update(ctx, s); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// A couple more ticks so the policy can see the tail of the storm.
+	time.Sleep(100 * time.Millisecond)
+
+	res, err := cl.Diag(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsLeaf {
+		t.Fatalf("diag: entry server not a leaf: %+v", res)
+	}
+	if got, want := res.Sightings, workers*perWorker; got != want {
+		t.Errorf("diag sightings = %d, want %d", got, want)
+	}
+	if len(res.Shards) < 4 {
+		t.Errorf("AutoShard never grew the store to its Min bound: %d shards after the update storm", len(res.Shards))
+	}
+	if res.Epoch == 0 {
+		t.Errorf("epoch still 0 after a grow decision")
+	}
+	if res.PipelineOps == 0 {
+		t.Errorf("diag pipeline ops = 0 after the update storm")
+	}
+	if !strings.Contains(res.Metrics, "sighting_shards = ") {
+		t.Errorf("metrics snapshot missing the sighting_shards gauge:\n%s", res.Metrics)
+	}
+	if !strings.Contains(res.Metrics, "sighting_shard_occupancy.000 = ") {
+		t.Errorf("metrics snapshot missing per-shard occupancy gauges:\n%s", res.Metrics)
+	}
+	if !strings.Contains(res.Metrics, "sighting_resizes = ") {
+		t.Errorf("metrics snapshot missing the resize counter:\n%s", res.Metrics)
+	}
+
+	// Every object must still be queryable through the resized layout.
+	for w := 0; w < workers; w++ {
+		if _, err := cl.PosQuery(ctx, core.OID(fmt.Sprintf("as-o%d-0", w))); err != nil {
+			t.Errorf("PosQuery(as-o%d-0) after resize: %v", w, err)
+		}
+	}
+}
+
+// TestDiagNonLeaf: the diagnostics message must answer on inner servers
+// too, without shard data.
+func TestDiagNonLeaf(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{AchievableAcc: 10})
+	srv, ok := ls.dep.Server(ls.dep.Root())
+	if !ok {
+		t.Fatal("no root server")
+	}
+	cl, err := client.New(ls.net, "diag-root-client", srv.ID(), client.Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Diag(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsLeaf || len(res.Shards) != 0 {
+		t.Errorf("root diag claims leaf data: %+v", res)
+	}
+	if res.Server != srv.ID() {
+		t.Errorf("diag server = %s, want %s", res.Server, srv.ID())
+	}
+}
+
+// TestNeighborQueryAtExactObjectPosition: a nearest-neighbor query issued
+// from exactly an object's recorded position with nearQual 0 used to
+// return not-found — the collection window around the nearest candidate
+// had radius 0, so its area was zero and every candidate's overlap degree
+// collapsed to 0 (pre-existing since the seed; surfaced by the resize
+// end-to-end drive). Both resolution paths are pinned: the provably-local
+// cursor walk (query deep inside a leaf) and the distributed expanding
+// ring (query on a leaf border).
+func TestNeighborQueryAtExactObjectPosition(t *testing.T) {
+	ls := newTestLS(t, quadSpec(), server.Options{AchievableAcc: 10})
+	ctx := context.Background()
+	owner := ls.newClientAt(t, "nn-owner", geo.Pt(100, 100), client.Options{Timeout: 5 * time.Second})
+	positions := []geo.Point{
+		geo.Pt(100, 100), // deep inside leaf r.0: local fast path
+		geo.Pt(740, 740), // near the r.0 corner: distributed ring
+	}
+	for i, p := range positions {
+		if _, err := owner.Register(ctx, core.Sighting{
+			OID: core.OID(fmt.Sprintf("exact-%d", i)), T: time.Now(), Pos: p, SensAcc: 5,
+		}, 10, 100, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range positions {
+		res, err := owner.NeighborQuery(ctx, p, 100, 0)
+		if err != nil {
+			t.Fatalf("NeighborQuery at exact position %v: %v", p, err)
+		}
+		if res.Nearest.OID != core.OID(fmt.Sprintf("exact-%d", i)) {
+			t.Errorf("nearest at %v = %s, want exact-%d", p, res.Nearest.OID, i)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+
+	"locsvc/internal/msg"
+	"locsvc/internal/store"
+)
+
+// shardMaintenance runs once per janitor tick on leaves with a sharded
+// sighting store: it exports per-shard occupancy and contention through
+// the metrics registry and, when an AutoShard policy is configured, feeds
+// it the tick's contention sample and applies its resize decision.
+func (s *Server) shardMaintenance(sdb *store.ShardedSightingDB) {
+	stats := sdb.ShardStats()
+	var ops, contended int64
+	for i, st := range stats {
+		ops += st.Ops
+		contended += st.Contended
+		s.met.Gauge(shardGaugeName("sighting_shard_occupancy", i)).Set(int64(st.Len))
+		s.met.Gauge(shardGaugeName("sighting_shard_contended", i)).Set(st.Contended)
+	}
+	// A shrink leaves gauges for shards that no longer exist; drop them so
+	// snapshots describe the current generation only.
+	for i := len(stats); i < s.gaugedShards; i++ {
+		s.met.DropGauge(shardGaugeName("sighting_shard_occupancy", i))
+		s.met.DropGauge(shardGaugeName("sighting_shard_contended", i))
+	}
+	s.gaugedShards = len(stats)
+	s.met.Gauge("sighting_shards").Set(int64(len(stats)))
+	s.met.Gauge("sighting_epoch").Set(int64(sdb.Epoch()))
+
+	if s.autoShard == nil {
+		return
+	}
+	pipeOps, handoffs := s.pipe.Stats()
+	if target, ok := s.autoShard.Observe(sdb.NumShards(), ops, contended, pipeOps, handoffs); ok {
+		if err := sdb.Resize(target); err != nil {
+			// The in-memory resize stands even on error (the failure is
+			// the WAL's epoch switch — logging stopped); count it so the
+			// operator sees the log fell behind the layout.
+			s.met.Counter("sighting_resize_errors").Inc()
+			return
+		}
+		s.met.Counter("sighting_resizes").Inc()
+	}
+}
+
+// shardGaugeName formats one shard's gauge series name.
+func shardGaugeName(prefix string, shard int) string {
+	return fmt.Sprintf("%s.%03d", prefix, shard)
+}
+
+// handleDiag answers a diagnostics request with the server's store
+// occupancy, sighting-shard layout and metrics snapshot.
+func (s *Server) handleDiag() (msg.Message, error) {
+	res := msg.DiagRes{
+		Server:   s.ID(),
+		IsLeaf:   s.cfg.IsLeaf(),
+		Visitors: s.visitors.Len(),
+		Metrics:  s.met.Snapshot(),
+	}
+	if s.sightings != nil {
+		res.Sightings = s.sightings.Len()
+	}
+	if sdb, ok := s.sightings.(*store.ShardedSightingDB); ok {
+		res.Epoch = sdb.Epoch()
+		for _, st := range sdb.ShardStats() {
+			res.Shards = append(res.Shards, msg.ShardDiag{Len: st.Len, Ops: st.Ops, Contended: st.Contended})
+		}
+	}
+	if s.pipe != nil {
+		res.PipelineOps, res.PipelineHandoffs = s.pipe.Stats()
+	}
+	return res, nil
+}

@@ -87,8 +87,12 @@ func (s *Server) handleNeighborQuery(ctx context.Context, req msg.NeighborQueryR
 	}
 
 	// Collection ring: every object that can appear in nearObjSet has a
-	// recorded position within nearestDist + nearQual of p.
-	collectR := nearestDist + req.NearQual
+	// recorded position within nearestDist + nearQual of p. The +1 m
+	// margin keeps the window's area positive when the nearest candidate
+	// sits exactly at p with nearQual 0 — a zero-area window would give
+	// every candidate overlap degree 0 and filter the whole answer away
+	// (SelectNearest applies the exact rule to the superset).
+	collectR := nearestDist + req.NearQual + 1
 	window := core.AreaFromRect(geo.RectAround(req.P, collectR))
 	cands, _, _, err := s.collectRange(ctx, window, req.ReqAcc, anyOverlap)
 	if err != nil {
@@ -148,7 +152,13 @@ func (s *Server) neighborQueryLocal(req msg.NeighborQueryReq) (msg.Message, bool
 		// answer (or establish emptiness).
 		return nil, false
 	}
-	collectR := nearestDist + req.NearQual
+	// The +1 m margin keeps the window's area positive even when the
+	// nearest candidate sits exactly at P with nearQual 0 (a query at an
+	// object's recorded position): a zero-area window gives every
+	// candidate overlap degree 0 and filters the entire answer away. The
+	// margin only admits a superset; SelectNearest applies the exact
+	// rule. Same reasoning as the +1 in the qualification window above.
+	collectR := nearestDist + req.NearQual + 1
 	window := core.AreaFromRect(geo.RectAround(req.P, collectR))
 	enlarged := window.Bounds().Enlarge(req.ReqAcc)
 	if !sa.ContainsRect(enlarged) {

@@ -1,0 +1,36 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"locsvc/internal/store"
+)
+
+// TestJanitorIntervalDefaults pins the feature-derived janitor cadence —
+// in particular that enabling AutoShard caps the tick at its 5s
+// observation cadence even when a long SightingTTL (or the leisurely
+// WAL-compaction default) would otherwise stretch it to minutes, while an
+// explicit operator value always wins.
+func TestJanitorIntervalDefaults(t *testing.T) {
+	auto := &store.AutoShardConfig{}
+	for _, tc := range []struct {
+		name string
+		in   Options
+		want time.Duration
+	}{
+		{"ttl drives", Options{SightingTTL: time.Minute}, 15 * time.Second},
+		{"autoshard caps long ttl", Options{SightingTTL: 5 * time.Minute, AutoShard: auto}, 5 * time.Second},
+		{"short ttl under the cap kept", Options{SightingTTL: 8 * time.Second, AutoShard: auto}, 2 * time.Second},
+		{"autoshard alone", Options{AutoShard: auto}, 5 * time.Second},
+		{"wal alone", Options{SightingWAL: &store.ShardedWAL{}}, time.Minute},
+		{"autoshard caps wal default", Options{SightingWAL: &store.ShardedWAL{}, AutoShard: auto}, 5 * time.Second},
+		{"explicit wins", Options{JanitorInterval: 90 * time.Second, SightingTTL: time.Minute, AutoShard: auto}, 90 * time.Second},
+		{"nothing enabled", Options{}, 0},
+	} {
+		got := tc.in.withDefaults().JanitorInterval
+		if got != tc.want {
+			t.Errorf("%s: JanitorInterval = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -42,8 +42,19 @@ type Options struct {
 	Index spatial.Kind
 	// Shards partitions a leaf's sightingDB into that many independently
 	// locked shards keyed by object id, so concurrent updates scale
-	// across cores. 0 or 1 keeps the single-lock store.
+	// across cores. 0 or 1 keeps the single-lock store; negative counts
+	// are rejected by New (store.NormalizeShards). With AutoShard set this
+	// is only the starting point — the count then adapts at runtime.
 	Shards int
+	// AutoShard enables contention-driven live resizing of a leaf's
+	// sighting store: every janitor tick feeds the shard-lock and
+	// pipeline-lane contention samples to the policy, and a grow/shrink
+	// decision drives store.ShardedSightingDB.Resize while the server
+	// keeps serving (with a sighting WAL attached, the log follows
+	// through an epoch switch). The leaf uses the sharded store even when
+	// Shards <= 1. Zero fields in the config take the documented
+	// defaults.
+	AutoShard *store.AutoShardConfig
 	// WAL persists the visitorDB; nil keeps it in memory only.
 	WAL store.WAL
 	// SightingWAL persists a leaf's sightingDB through one durable log
@@ -86,13 +97,21 @@ func (o Options) withDefaults() Options {
 	if o.QueryTimeout <= 0 {
 		o.QueryTimeout = 5 * time.Second
 	}
-	if o.JanitorInterval <= 0 && o.SightingTTL > 0 {
-		o.JanitorInterval = o.SightingTTL / 4
-	}
-	if o.JanitorInterval <= 0 && o.SightingWAL != nil {
-		// Even without soft-state expiry the janitor has work: it drives
-		// the grow-triggered compaction of the sighting WAL segments.
-		o.JanitorInterval = time.Minute
+	if o.JanitorInterval <= 0 {
+		// Derive the tick from the enabled features. The AutoShard
+		// observation cadence caps it at 5s: the policy exists to track
+		// workload shifts, which a TTL/4 of minutes (or the leisurely
+		// WAL-compaction default) would watch in slow motion.
+		if o.SightingTTL > 0 {
+			o.JanitorInterval = o.SightingTTL / 4
+		} else if o.SightingWAL != nil {
+			// Even without soft-state expiry the janitor has work: it
+			// drives the grow-triggered compaction of the WAL segments.
+			o.JanitorInterval = time.Minute
+		}
+		if o.AutoShard != nil && (o.JanitorInterval <= 0 || o.JanitorInterval > 5*time.Second) {
+			o.JanitorInterval = 5 * time.Second
+		}
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
@@ -124,6 +143,12 @@ type Server struct {
 	pend   *pending
 	events *events
 	met    *metrics.Registry
+
+	// autoShard, on leaves that enabled it, is the adaptive shard-count
+	// policy the janitor feeds; gaugedShards tracks how many per-shard
+	// gauges are registered so a shrink can drop the stale ones.
+	autoShard    *store.AutoShard
+	gaugedShards int
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -168,6 +193,12 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 		stop:     make(chan struct{}),
 	}
 	if cfg.IsLeaf() {
+		shards, serr := store.NormalizeShards(opts.Shards)
+		if serr != nil {
+			visitors.Close()
+			closeWALs()
+			return nil, fmt.Errorf("server %s: %w", cfg.ID, serr)
+		}
 		sopts := []store.SightingDBOption{
 			store.WithIndex(opts.Index),
 			store.WithTTL(opts.SightingTTL),
@@ -176,7 +207,7 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 		switch {
 		case opts.SightingWAL != nil:
 			sdb := store.NewShardedSightingDB(append(sopts,
-				store.WithShards(opts.Shards),
+				store.WithShards(shards),
 				store.WithSightingWAL(opts.SightingWAL))...)
 			if err := sdb.Recover(); err != nil {
 				visitors.Close()
@@ -184,10 +215,13 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 				return nil, fmt.Errorf("server %s: recovering sightingDB: %w", cfg.ID, err)
 			}
 			s.sightings = sdb
-		case opts.Shards > 1:
-			s.sightings = store.NewShardedSightingDB(append(sopts, store.WithShards(opts.Shards))...)
+		case shards > 1 || opts.AutoShard != nil:
+			s.sightings = store.NewShardedSightingDB(append(sopts, store.WithShards(shards))...)
 		default:
 			s.sightings = store.NewSightingDB(sopts...)
+		}
+		if opts.AutoShard != nil {
+			s.autoShard = store.NewAutoShard(*opts.AutoShard)
 		}
 		var popts []store.PipelineOption
 		if opts.SightingTTL > 0 {
@@ -329,6 +363,10 @@ func (s *Server) handle(ctx context.Context, from msg.NodeID, m msg.Message) (ms
 		s.handleEventCount(req)
 		return nil, nil
 
+	// Diagnostics.
+	case msg.DiagReq:
+		return s.handleDiag()
+
 	// Recovery aid.
 	case msg.RegisterFailed:
 		s.pend.deliver(req.OpID, req)
@@ -377,6 +415,10 @@ func (s *Server) janitor() {
 					walDownReported = true
 					s.met.Counter("sighting_wal_down").Inc()
 				}
+				// Contention-driven live resizing, then occupancy and
+				// contention export — the tick is both the policy's
+				// observation cadence and the metrics refresh.
+				s.shardMaintenance(sdb)
 				// Keep the sighting WAL's replay time proportional to the
 				// live set: compact any segment whose history outgrew it.
 				if err := sdb.CompactWALIfGrown(); err != nil {

@@ -1,0 +1,190 @@
+package store
+
+// AutoShardConfig bounds and tunes the adaptive shard-count policy. The
+// zero value selects the defaults noted per field; Min/Max clamp every
+// decision, so a deployment can pin the count by setting Min == Max.
+type AutoShardConfig struct {
+	// Min and Max bound the shard count (defaults 1 and 64).
+	Min, Max int
+	// GrowAt is the contention ratio above which the store doubles its
+	// shard count (default 0.08). Two ratios are watched, each in its own
+	// unit so healthy group-commit batching cannot masquerade as
+	// contention: contended shard-lock acquisitions per lock acquisition,
+	// and pipeline lane handoffs per pipelined update; the larger of the
+	// two is compared against the thresholds.
+	GrowAt float64
+	// ShrinkAt is the ratio below which the count halves (default 0.01).
+	// Keeping it well under GrowAt is the hysteresis band that prevents
+	// flapping around a single threshold.
+	ShrinkAt float64
+	// Patience is how many consecutive observation ticks must agree
+	// before a resize fires (default 2) — a one-tick burst is not a
+	// workload shift.
+	Patience int
+	// Cooldown is how many ticks after a resize the policy stays silent
+	// (default 2), letting the migrated store exhibit its new contention
+	// profile before being judged again.
+	Cooldown int
+	// MinOps is the minimum number of write ops a tick must observe to
+	// count as evidence (default 512); idle ticks neither grow, shrink
+	// nor advance the patience streak.
+	MinOps int64
+}
+
+// withDefaults fills unset fields.
+func (c AutoShardConfig) withDefaults() AutoShardConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 64
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.GrowAt <= 0 {
+		c.GrowAt = 0.08
+	}
+	if c.ShrinkAt <= 0 {
+		c.ShrinkAt = 0.01
+	}
+	if c.ShrinkAt >= c.GrowAt {
+		// An inverted (or collapsed) band has no hysteresis: every tick
+		// would qualify for one of the two decisions and the count would
+		// flap. Restore a band below the grow threshold.
+		c.ShrinkAt = c.GrowAt / 8
+	}
+	if c.Patience <= 0 {
+		c.Patience = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 512
+	}
+	return c
+}
+
+// AutoShard decides when a ShardedSightingDB should resize, from the
+// contention the store and its update pipeline sample on their write
+// paths. It is a pure policy object: feed it one Observe per tick (the
+// server's janitor does) with the cumulative counters, and act on the
+// returned target when ok is true. Not safe for concurrent use; drive it
+// from one goroutine.
+//
+// The decision rule: per tick, the contention ratio is the larger of
+// Δcontended/Δops (shard-lock pressure, per lock acquisition) and
+// Δhandoffs/ΔpipeOps (combining pressure, per pipelined update) — kept
+// separate because one store op commits a whole combined batch, so mixing
+// the units would count healthy group commit as contention. A ratio above
+// GrowAt for Patience consecutive ticks doubles the shard count; below
+// ShrinkAt for Patience ticks halves it. Both are clamped to [Min, Max],
+// a Cooldown of silent ticks follows every decision, and a source whose
+// tick saw fewer than MinOps operations contributes no evidence — growth
+// must be demanded by load, and an idle store keeps whatever layout the
+// last load shaped.
+//
+// A workload concentrated on one hot object saturates its lane however
+// many shards exist, so its handoff ratio can keep the count at Max;
+// Max is the deliberate bound on how much query fan-out the policy may
+// buy in that (unshardable) situation.
+type AutoShard struct {
+	cfg AutoShardConfig
+
+	lastOps, lastContended    int64
+	lastPipeOps, lastHandoffs int64
+	seeded                    bool
+
+	growStreak, shrinkStreak int
+	cooldown                 int
+}
+
+// NewAutoShard builds a policy with cfg (zero fields defaulted).
+func NewAutoShard(cfg AutoShardConfig) *AutoShard {
+	return &AutoShard{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *AutoShard) Config() AutoShardConfig { return a.cfg }
+
+// Observe feeds one tick of cumulative counters — ops and contended as
+// defined on ShardStat (summed over the shards), pipeOps and handoffs as
+// reported by UpdatePipeline.Stats — and returns the shard count the
+// store should resize to. ok is false when no change is warranted this
+// tick.
+func (a *AutoShard) Observe(current int, ops, contended, pipeOps, handoffs int64) (target int, ok bool) {
+	dOps := ops - a.lastOps
+	dCont := contended - a.lastContended
+	dPipe := pipeOps - a.lastPipeOps
+	dHand := handoffs - a.lastHandoffs
+	a.lastOps, a.lastContended = ops, contended
+	a.lastPipeOps, a.lastHandoffs = pipeOps, handoffs
+	// The bounds are configuration, not evidence: a store outside them is
+	// brought inside immediately, whatever the contention says.
+	if current < a.cfg.Min {
+		return a.cfg.Min, true
+	}
+	if current > a.cfg.Max {
+		return a.cfg.Max, true
+	}
+	if !a.seeded {
+		// First observation: counters existed before the policy did, so
+		// the first delta spans unknown time. Establish the baseline only.
+		a.seeded = true
+		return 0, false
+	}
+	if a.cooldown > 0 {
+		a.cooldown--
+		return 0, false
+	}
+	// Each signal needs enough operations of its own kind to count as
+	// evidence this tick; the decision uses the worse of the two.
+	ratio := -1.0
+	if dOps >= a.cfg.MinOps {
+		ratio = float64(dCont) / float64(dOps)
+	}
+	if dPipe >= a.cfg.MinOps {
+		if r := float64(dHand) / float64(dPipe); r > ratio {
+			ratio = r
+		}
+	}
+	if ratio < 0 {
+		return 0, false
+	}
+	switch {
+	case ratio >= a.cfg.GrowAt:
+		a.growStreak++
+		a.shrinkStreak = 0
+	case ratio <= a.cfg.ShrinkAt:
+		a.shrinkStreak++
+		a.growStreak = 0
+	default:
+		a.growStreak, a.shrinkStreak = 0, 0
+	}
+	if a.growStreak >= a.cfg.Patience {
+		a.growStreak, a.shrinkStreak = 0, 0
+		target = current * 2
+		if target > a.cfg.Max {
+			target = a.cfg.Max
+		}
+		if target != current {
+			a.cooldown = a.cfg.Cooldown
+			return target, true
+		}
+		return 0, false
+	}
+	if a.shrinkStreak >= a.cfg.Patience {
+		a.growStreak, a.shrinkStreak = 0, 0
+		target = current / 2
+		if target < a.cfg.Min {
+			target = a.cfg.Min
+		}
+		if target != current {
+			a.cooldown = a.cfg.Cooldown
+			return target, true
+		}
+		return 0, false
+	}
+	return 0, false
+}

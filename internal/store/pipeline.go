@@ -2,8 +2,10 @@ package store
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"locsvc/internal/core"
+	"locsvc/internal/spatial"
 )
 
 // UpdatePipeline batches concurrent position updates per shard before they
@@ -17,6 +19,15 @@ import (
 // K-deep queue costs one lock acquisition instead of K, and superseded
 // updates to the same object are coalesced away by the store's PutBatch.
 //
+// The lane array follows the store through live resizes: every Put checks
+// the store's current shard count and swaps in a fresh lane set when it
+// changed. Old lanes drain naturally — whoever holds or claims leadership
+// of a lane commits everything queued on it — so no update is stranded by
+// the swap, and a batch assembled under the old lane count is simply
+// re-grouped by the store. Each update queued behind a lane leader bumps
+// the handoff counter; together with the store's shard-lock contention
+// samples it is the signal the AutoShard policy resizes on.
+//
 // The pipeline also amortizes janitor work: after committing a batch, the
 // leader sweeps a bounded number of records for soft-state expiry and hands
 // any expired ids to the OnExpired callback, so expiry detection rides the
@@ -24,7 +35,19 @@ import (
 type UpdatePipeline struct {
 	db        SightingStore
 	onExpired func([]core.OID)
-	lanes     []updateLane
+
+	lanes  atomic.Pointer[laneSet]
+	swapMu sync.Mutex // serializes lane-set swaps
+
+	// ops counts updates routed through the pipeline, handoffs the subset
+	// that queued behind a lane leader (combining happened — the lock was
+	// busy). Cumulative; survive lane-set swaps.
+	ops      atomic.Int64
+	handoffs atomic.Int64
+}
+
+type laneSet struct {
+	l []updateLane
 }
 
 type updateLane struct {
@@ -53,23 +76,48 @@ func OnExpired(fn func([]core.OID)) PipelineOption {
 // NewUpdatePipeline builds a pipeline over db with one combining lane per
 // shard.
 func NewUpdatePipeline(db SightingStore, opts ...PipelineOption) *UpdatePipeline {
-	p := &UpdatePipeline{
-		db:    db,
-		lanes: make([]updateLane, db.NumShards()),
-	}
+	p := &UpdatePipeline{db: db}
+	p.lanes.Store(&laneSet{l: make([]updateLane, db.NumShards())})
 	for _, opt := range opts {
 		opt(p)
 	}
 	return p
 }
 
+// Stats returns the cumulative number of updates routed through the
+// pipeline and how many of them queued behind a lane leader.
+func (p *UpdatePipeline) Stats() (ops, handoffs int64) {
+	return p.ops.Load(), p.handoffs.Load()
+}
+
+// currentLanes returns the lane set, swapping in a fresh one when the
+// store's shard count changed since the last look (a live resize).
+func (p *UpdatePipeline) currentLanes() *laneSet {
+	ls := p.lanes.Load()
+	n := p.db.NumShards()
+	if len(ls.l) == n {
+		return ls
+	}
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	ls = p.lanes.Load()
+	if len(ls.l) != n {
+		ls = &laneSet{l: make([]updateLane, n)}
+		p.lanes.Store(ls)
+	}
+	return ls
+}
+
 // Put routes s through its shard's combining lane and returns once the
 // update is committed to the store. It is safe for concurrent use.
 func (p *UpdatePipeline) Put(s core.Sighting) {
-	lane := &p.lanes[p.db.ShardFor(s.OID)]
+	p.ops.Add(1)
+	ls := p.currentLanes()
+	lane := &ls.l[spatial.ShardFor(s.OID, len(ls.l))]
 	lane.mu.Lock()
 	if lane.leading {
 		// A leader is committing: enqueue and wait for it to apply us.
+		p.handoffs.Add(1)
 		done := make(chan struct{})
 		lane.pending = append(lane.pending, pendingUpdate{s: s, done: done})
 		lane.mu.Unlock()

@@ -65,9 +65,10 @@ func TestPipelineGroupCommit(t *testing.T) {
 	// Wait until every follower is queued on the lane.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		pipe.lanes[0].mu.Lock()
-		n := len(pipe.lanes[0].pending)
-		pipe.lanes[0].mu.Unlock()
+		lane := &pipe.lanes.Load().l[0]
+		lane.mu.Lock()
+		n := len(lane.pending)
+		lane.mu.Unlock()
 		if n == followers {
 			break
 		}

@@ -31,10 +31,37 @@ import (
 // search skips shards whose rectangle misses the query and the
 // nearest-neighbor merge never opens a shard whose rectangle lies beyond
 // the consumer's stopping distance.
+//
+// # The epoch invariant
+//
+// The id→shard mapping lives behind an epoch-versioned generation pointer
+// (shardGen) so the shard count can change while the store serves traffic
+// (Resize, typically driven by an AutoShard policy). At every instant each
+// object id has exactly one authoritative shard: the shard the id hashes to
+// in the oldest generation that has not yet handed that shard off. All
+// mutations lock the authoritative shard and double-check its moved flag
+// after acquiring the lock — a shard observed moved means a newer
+// generation took over, and the operation reloads the generation pointer
+// and retries. A resize drains the old generation one shard at a time while
+// holding that shard's lock (the per-shard handoff), so no operation is
+// ever blocked for longer than one shard's handoff and the steady-state
+// cost of the indirection is one atomic pointer load plus one bool check.
+// Queries that run while a migration is in flight consult both generations
+// — previous first, current second, so an entry mid-flight is seen by at
+// least one of the two scans — and dedupe by object id.
 type ShardedSightingDB struct {
-	shards []sightingShard
-	ttl    time.Duration
-	clock  func() time.Time
+	gen   atomic.Pointer[shardGen]
+	ttl   time.Duration
+	clock func() time.Time
+	// newIndex builds one shard's spatial sub-index; retained so Resize
+	// can populate fresh generations.
+	newIndex func() spatial.Index
+
+	// resizeMu serializes Resize against itself and against WAL
+	// compaction (both restructure or rewrite per-shard state that must
+	// not interleave with a generation change).
+	resizeMu sync.Mutex
+
 	// sweepShardCursor rotates the shard SweepExpired starts at, so
 	// small budgets still cover every shard over successive calls.
 	sweepShardCursor atomic.Uint64
@@ -50,6 +77,20 @@ type ShardedSightingDB struct {
 	wal *ShardedWAL
 }
 
+// shardGen is one generation of the id→shard mapping: an epoch number, the
+// shard array of that epoch, and — while a migration out of the previous
+// generation is still in flight — a pointer to that previous generation.
+// Generations are immutable once published; Resize publishes a fresh one.
+type shardGen struct {
+	epoch  uint64
+	shards []*sightingShard
+	// prev is the generation being drained into this one, nil once the
+	// migration completed. While non-nil, a shard of prev that has not
+	// been handed off (moved == false) is still the authority for the ids
+	// hashing to it under prev's mapping.
+	prev *shardGen
+}
+
 type sightingShard struct {
 	mu  sync.RWMutex
 	idx spatial.Index
@@ -59,6 +100,24 @@ type sightingShard struct {
 	// index node instead of re-hashing every match through byID.
 	items spatial.ItemIndex
 	byID  map[core.OID]*sightingEntry
+
+	// moved marks a shard whose contents were handed off to a newer
+	// generation. Set under mu by the migration; every mutation that
+	// acquired this shard's lock re-checks it and re-routes (the
+	// double-check half of the epoch protocol). byID and idx are KEPT,
+	// frozen as an immutable pre-handoff snapshot — queries holding a
+	// generation a resize has since drained still read them (with moved
+	// hits re-validated against current authority), so they must never
+	// be nil'ed or mutated after the handoff; the whole generation is
+	// reclaimed when its last reader drops it.
+	moved bool
+
+	// ops and contended sample write-lock pressure: ops counts write-path
+	// lock acquisitions, contended the subset that found the lock already
+	// held (TryLock failed). Their ratio is the contention signal the
+	// AutoShard policy feeds on.
+	ops       atomic.Int64
+	contended atomic.Int64
 
 	// bound conservatively contains every live position; nonempty and
 	// stale implement the lazily-tightened invariant (recompute once
@@ -70,6 +129,16 @@ type sightingShard struct {
 	// sweep cursor for the amortized expiry scan.
 	sweepKeys []core.OID
 	sweepPos  int
+}
+
+// lockWrite acquires the shard's write lock, sampling contention: a failed
+// TryLock means another goroutine held the lock at the moment of arrival.
+func (sh *sightingShard) lockWrite() {
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.ops.Add(1)
 }
 
 // noteInsert grows the shard's bounding rectangle to cover p. Caller holds
@@ -116,8 +185,9 @@ var _ SightingStore = (*ShardedSightingDB)(nil)
 // NewShardedSightingDB returns an empty sharded sighting database. The
 // shard count comes from WithShards (default 1, which is behaviorally the
 // single-lock SightingDB); with WithSightingWAL the store adopts the WAL's
-// segment count instead, since the persistent log fixes the id→shard
-// mapping. Call Recover before use to replay an existing log.
+// segment count instead, since the persistent log records the id→shard
+// mapping of its last epoch. Call Recover before use to replay an existing
+// log. The count can change at runtime through Resize.
 func NewShardedSightingDB(opts ...SightingDBOption) *ShardedSightingDB {
 	cfg := defaultSightingConfig()
 	for _, opt := range opts {
@@ -127,50 +197,131 @@ func NewShardedSightingDB(opts ...SightingDBOption) *ShardedSightingDB {
 		cfg.shards = cfg.wal.NumShards()
 	}
 	db := &ShardedSightingDB{
-		shards: make([]sightingShard, cfg.shards),
-		ttl:    cfg.ttl,
-		clock:  cfg.clock,
-		wal:    cfg.wal,
+		ttl:      cfg.ttl,
+		clock:    cfg.clock,
+		newIndex: cfg.newIndex,
+		wal:      cfg.wal,
 	}
-	for i := range db.shards {
-		db.shards[i].idx = cfg.newIndex()
-		db.shards[i].items, _ = db.shards[i].idx.(spatial.ItemIndex)
-		db.shards[i].byID = make(map[core.OID]*sightingEntry)
+	g := &shardGen{shards: make([]*sightingShard, cfg.shards)}
+	for i := range g.shards {
+		g.shards[i] = db.newShard()
 	}
+	db.gen.Store(g)
 	return db
 }
 
-// NumShards implements SightingStore.
-func (db *ShardedSightingDB) NumShards() int { return len(db.shards) }
+// newShard builds one empty shard with a fresh sub-index.
+func (db *ShardedSightingDB) newShard() *sightingShard {
+	sh := &sightingShard{
+		idx:  db.newIndex(),
+		byID: make(map[core.OID]*sightingEntry),
+	}
+	sh.items, _ = sh.idx.(spatial.ItemIndex)
+	return sh
+}
 
-// ShardFor implements SightingStore.
+// NumShards implements SightingStore, reporting the current generation's
+// shard count.
+func (db *ShardedSightingDB) NumShards() int { return len(db.gen.Load().shards) }
+
+// Epoch returns the current mapping epoch: 0 at construction, incremented
+// by every completed Resize. Diagnostics only.
+func (db *ShardedSightingDB) Epoch() uint64 { return db.gen.Load().epoch }
+
+// ShardFor implements SightingStore against the current generation. During
+// a live resize the returned index is a routing hint, not an authority
+// claim — mutations internally re-resolve the owning shard.
 func (db *ShardedSightingDB) ShardFor(id core.OID) int {
-	return spatial.ShardFor(id, len(db.shards))
+	return spatial.ShardFor(id, len(db.gen.Load().shards))
 }
 
-func (db *ShardedSightingDB) shard(id core.OID) *sightingShard {
-	return &db.shards[db.ShardFor(id)]
+// lockOwner returns id's authoritative shard, write-locked, together with
+// the generation it belongs to and its index there. The authority rule: the
+// previous generation's shard while a migration is in flight and that shard
+// has not been handed off, the current generation's shard otherwise. The
+// moved re-check after acquiring the lock closes the race with a handoff
+// that completed while this goroutine waited.
+func (db *ShardedSightingDB) lockOwner(id core.OID) (*sightingShard, *shardGen, int) {
+	for {
+		g := db.gen.Load()
+		if p := g.prev; p != nil {
+			i := spatial.ShardFor(id, len(p.shards))
+			sh := p.shards[i]
+			sh.lockWrite()
+			if !sh.moved {
+				return sh, p, i
+			}
+			sh.mu.Unlock()
+		}
+		i := spatial.ShardFor(id, len(g.shards))
+		sh := g.shards[i]
+		sh.lockWrite()
+		if !sh.moved {
+			return sh, g, i
+		}
+		sh.mu.Unlock()
+		// The shard we reached was drained by a later resize; the release
+		// of its lock made the newer generation pointer visible. Retry.
+	}
 }
 
-// Len implements SightingStore.
+// rlockOwner is lockOwner for readers (no contention sampling).
+func (db *ShardedSightingDB) rlockOwner(id core.OID) *sightingShard {
+	for {
+		g := db.gen.Load()
+		if p := g.prev; p != nil {
+			sh := p.shards[spatial.ShardFor(id, len(p.shards))]
+			sh.mu.RLock()
+			if !sh.moved {
+				return sh
+			}
+			sh.mu.RUnlock()
+		}
+		sh := g.shards[spatial.ShardFor(id, len(g.shards))]
+		sh.mu.RLock()
+		if !sh.moved {
+			return sh
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Len implements SightingStore. While a migration is in flight the count is
+// a best-effort snapshot (a record mid-handoff can be counted in both
+// generations), exact whenever the store is quiescent — the same contract
+// every cross-shard read has.
 func (db *ShardedSightingDB) Len() int {
 	n := 0
-	for i := range db.shards {
-		sh := &db.shards[i]
+	for _, sh := range db.liveShards() {
 		sh.mu.RLock()
-		n += len(sh.byID)
+		if !sh.moved {
+			n += len(sh.byID)
+		}
 		sh.mu.RUnlock()
 	}
 	return n
 }
 
+// liveShards returns the shards a cross-shard scan must visit: the previous
+// generation's first (so an entry handed off between the two scans is seen
+// in the current one — scanning source before destination makes misses
+// impossible), then the current generation's.
+func (db *ShardedSightingDB) liveShards() []*sightingShard {
+	g := db.gen.Load()
+	if g.prev == nil {
+		return g.shards
+	}
+	out := make([]*sightingShard, 0, len(g.prev.shards)+len(g.shards))
+	out = append(out, g.prev.shards...)
+	out = append(out, g.shards...)
+	return out
+}
+
 // Put implements SightingStore.
 func (db *ShardedSightingDB) Put(s core.Sighting) {
-	i := db.ShardFor(s.OID)
-	sh := &db.shards[i]
-	sh.mu.Lock()
+	sh, g, i := db.lockOwner(s.OID)
 	if db.wal != nil {
-		_ = db.wal.AppendPut(i, s)
+		_ = db.wal.AppendPut(i, len(g.shards), s)
 	}
 	db.putLocked(sh, s)
 	sh.mu.Unlock()
@@ -180,7 +331,8 @@ func (db *ShardedSightingDB) Put(s core.Sighting) {
 // group applied under a single lock acquisition. Within a group, updates to
 // the same object are coalesced — only the last sighting per object touches
 // the spatial index, fusing its Remove+Insert pair once instead of once per
-// superseded update.
+// superseded update. While a resize migration is in flight the batch falls
+// back to per-object authority resolution.
 func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 	switch len(batch) {
 	case 0:
@@ -189,33 +341,44 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 		db.Put(batch[0])
 		return
 	}
-	if len(db.shards) == 1 {
-		db.putGroup(0, batch)
+	g := db.gen.Load()
+	if g.prev != nil {
+		// A migration is draining the previous generation: authority is
+		// per object, so group commit degrades to per-object puts for the
+		// duration of the handoff walk.
+		for _, s := range batch {
+			db.Put(s)
+		}
+		return
+	}
+	n := len(g.shards)
+	if n == 1 {
+		db.putGroup(g, 0, batch)
 		return
 	}
 	// Fast path: batches assembled by a per-shard pipeline lane are
 	// single-shard by construction; detect that without allocating the
 	// per-shard grouping.
-	first := db.ShardFor(batch[0].OID)
+	first := spatial.ShardFor(batch[0].OID, n)
 	same := true
 	for _, s := range batch[1:] {
-		if db.ShardFor(s.OID) != first {
+		if spatial.ShardFor(s.OID, n) != first {
 			same = false
 			break
 		}
 	}
 	if same {
-		db.putGroup(first, batch)
+		db.putGroup(g, first, batch)
 		return
 	}
-	groups := make([][]core.Sighting, len(db.shards))
+	groups := make([][]core.Sighting, n)
 	for _, s := range batch {
-		i := db.ShardFor(s.OID)
+		i := spatial.ShardFor(s.OID, n)
 		groups[i] = append(groups[i], s)
 	}
-	for i, g := range groups {
-		if len(g) > 0 {
-			db.putGroup(i, g)
+	for i, grp := range groups {
+		if len(grp) > 0 {
+			db.putGroup(g, i, grp)
 		}
 	}
 }
@@ -224,13 +387,22 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 // coalescing superseded updates to the same object. With a WAL attached the
 // whole group becomes a single write-ahead append — the batch is the
 // durability unit, amortizing marshal and flush cost the same way the
-// pipeline's combining lane amortizes lock cost.
-func (db *ShardedSightingDB) putGroup(shard int, group []core.Sighting) {
-	sh := &db.shards[shard]
-	sh.mu.Lock()
+// pipeline's combining lane amortizes lock cost. If the shard was handed
+// off to a newer generation while this call waited for its lock, the group
+// re-routes per object.
+func (db *ShardedSightingDB) putGroup(g *shardGen, shard int, group []core.Sighting) {
+	sh := g.shards[shard]
+	sh.lockWrite()
+	if sh.moved {
+		sh.mu.Unlock()
+		for _, s := range group {
+			db.Put(s)
+		}
+		return
+	}
 	defer sh.mu.Unlock()
 	if db.wal != nil {
-		db.logBatch(shard, group)
+		_ = db.wal.AppendBatch(shard, len(g.shards), group)
 	}
 	if len(group) > 1 {
 		// Keep only the last update per object; earlier ones are
@@ -273,8 +445,7 @@ func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) {
 
 // Get implements SightingStore.
 func (db *ShardedSightingDB) Get(id core.OID) (core.Sighting, bool) {
-	sh := db.shard(id)
-	sh.mu.RLock()
+	sh := db.rlockOwner(id)
 	defer sh.mu.RUnlock()
 	e, ok := sh.byID[id]
 	if !ok {
@@ -285,15 +456,13 @@ func (db *ShardedSightingDB) Get(id core.OID) (core.Sighting, bool) {
 
 // Remove implements SightingStore.
 func (db *ShardedSightingDB) Remove(id core.OID) bool {
-	i := db.ShardFor(id)
-	sh := &db.shards[i]
-	sh.mu.Lock()
+	sh, g, i := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok {
 		return false
 	}
-	db.logRemove(i, id)
+	db.logRemove(i, len(g.shards), id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
 	sh.noteRemove()
@@ -304,15 +473,13 @@ func (db *ShardedSightingDB) Remove(id core.OID) bool {
 // its TTL has passed at the time the shard lock is held, so a record
 // refreshed since an expiry observation survives.
 func (db *ShardedSightingDB) RemoveExpired(id core.OID) bool {
-	i := db.ShardFor(id)
-	sh := &db.shards[i]
-	sh.mu.Lock()
+	sh, g, i := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok || db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
 		return false
 	}
-	db.logRemove(i, id)
+	db.logRemove(i, len(g.shards), id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
 	sh.noteRemove()
@@ -321,8 +488,7 @@ func (db *ShardedSightingDB) RemoveExpired(id core.OID) bool {
 
 // Touch implements SightingStore.
 func (db *ShardedSightingDB) Touch(id core.OID) bool {
-	sh := db.shard(id)
-	sh.mu.Lock()
+	sh, _, _ := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok {
@@ -334,19 +500,23 @@ func (db *ShardedSightingDB) Touch(id core.OID) bool {
 	return true
 }
 
-// Expired implements SightingStore with a full scan, shard by shard.
+// Expired implements SightingStore with a full scan, shard by shard. Both
+// generations are visited while a migration is in flight; a record seen in
+// both yields a duplicate id, which the caller's conditional RemoveExpired
+// makes harmless.
 func (db *ShardedSightingDB) Expired() []core.OID {
 	if db.ttl <= 0 {
 		return nil
 	}
 	var out []core.OID
-	for i := range db.shards {
-		sh := &db.shards[i]
+	for _, sh := range db.liveShards() {
 		now := db.clock()
 		sh.mu.RLock()
-		for id, e := range sh.byID {
-			if !e.expires.IsZero() && now.After(e.expires) {
-				out = append(out, id)
+		if !sh.moved {
+			for id, e := range sh.byID {
+				if !e.expires.IsZero() && now.After(e.expires) {
+					out = append(out, id)
+				}
 			}
 		}
 		sh.mu.RUnlock()
@@ -362,12 +532,13 @@ func (db *ShardedSightingDB) SweepExpired(max int) []core.OID {
 	if max <= 0 || db.ttl <= 0 {
 		return nil
 	}
-	n := len(db.shards)
+	shards := db.liveShards()
+	n := len(shards)
 	start := int(db.sweepShardCursor.Add(1)-1) % n
 	var out []core.OID
 	remaining := max
 	for i := 0; i < n && remaining > 0; i++ {
-		ids, examined := db.sweepShard(&db.shards[(start+i)%n], remaining)
+		ids, examined := db.sweepShard(shards[(start+i)%n], remaining)
 		out = append(out, ids...)
 		remaining -= examined
 	}
@@ -379,9 +550,9 @@ func (db *ShardedSightingDB) SweepExpired(max int) []core.OID {
 // it examined. The cursor's key snapshot is refilled only at the start of
 // a call, never mid-call, so a call cannot wrap and report an id twice.
 func (db *ShardedSightingDB) sweepShard(sh *sightingShard, max int) ([]core.OID, int) {
-	sh.mu.Lock()
+	sh.lockWrite()
 	defer sh.mu.Unlock()
-	if len(sh.byID) == 0 {
+	if sh.moved || len(sh.byID) == 0 {
 		return nil, 0
 	}
 	now := db.clock()
@@ -410,7 +581,99 @@ func (db *ShardedSightingDB) sweepShard(sh *sightingShard, max int) ([]core.OID,
 // SearchArea implements SightingStore by fanning the rectangle across the
 // shards whose bounding rectangle intersects it. Each shard is visited
 // under its read lock; the search is a consistent snapshot per shard.
+// During a live resize both generations are scanned — the draining one
+// first — and results are deduped by object id.
 func (db *ShardedSightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) bool) {
+	g := db.gen.Load()
+	if g.prev == nil {
+		db.searchShards(g.shards, r, visit)
+		return
+	}
+	seen := make(map[core.OID]bool)
+	dedup := func(s core.Sighting) bool {
+		if seen[s.OID] {
+			return true
+		}
+		seen[s.OID] = true
+		return visit(s)
+	}
+	if db.searchPrevShards(g.prev.shards, r, dedup) {
+		db.searchShards(g.shards, r, dedup)
+	}
+}
+
+// scanPrevShards visits the draining generation's shards, with enumerate
+// producing each shard's candidate records (called under that shard's
+// read lock). An unmoved shard is still its objects' authority, so its
+// hits are delivered directly, under its lock, like any other shard. A
+// moved shard's hits come from its preserved pre-handoff snapshot and may
+// have been superseded in the current generation since — they are
+// buffered and re-validated against current authority only after the
+// shard lock is released (Get locks the owning shard, which must never be
+// attempted while a read lock on this one is held): a hit whose record
+// mutated since the handoff is dropped here and the current generation's
+// scan reports its fresh state instead. Reports whether the enumeration
+// ran to completion.
+func (db *ShardedSightingDB) scanPrevShards(shards []*sightingShard, enumerate func(sh *sightingShard, emit func(s core.Sighting) bool), visit func(s core.Sighting) bool) bool {
+	var stale []core.Sighting
+	for _, sh := range shards {
+		stale = stale[:0]
+		stopped := false
+		sh.mu.RLock()
+		moved := sh.moved
+		enumerate(sh, func(s core.Sighting) bool {
+			if moved {
+				stale = append(stale, s)
+				return true
+			}
+			if !visit(s) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if stopped {
+			return false
+		}
+		for _, s := range stale {
+			if cur, ok := db.Get(s.OID); !ok || cur != s {
+				continue
+			}
+			if !visit(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// searchPrevShards is scanPrevShards with the rectangle-search enumerator.
+func (db *ShardedSightingDB) searchPrevShards(shards []*sightingShard, r geo.Rect, visit func(s core.Sighting) bool) bool {
+	return db.scanPrevShards(shards, func(sh *sightingShard, emit func(s core.Sighting) bool) {
+		if !sh.nonempty || !sh.bound.IntersectsClosed(r) {
+			return
+		}
+		if sh.items != nil {
+			sh.items.SearchItems(r, func(it spatial.Item) bool {
+				e, ok := it.Ref.(*sightingEntry)
+				if !ok {
+					e = sh.byID[it.ID]
+				}
+				return emit(e.s)
+			})
+			return
+		}
+		sh.idx.Search(r, func(id core.OID, _ geo.Point) bool {
+			return emit(sh.byID[id].s)
+		})
+	}, visit)
+}
+
+// searchShards runs the rectangle search over one generation's shards and
+// reports whether the enumeration ran to completion (false once the visitor
+// stopped it).
+func (db *ShardedSightingDB) searchShards(shards []*sightingShard, r geo.Rect, visit func(s core.Sighting) bool) bool {
 	stopped := false
 	var sh *sightingShard
 	// One inner closure pair for all shards; sh is rebound per iteration.
@@ -434,9 +697,13 @@ func (db *ShardedSightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) 
 		}
 		return true
 	}
-	for i := range db.shards {
-		sh = &db.shards[i]
+	for _, cur := range shards {
+		sh = cur
 		sh.mu.RLock()
+		// A moved shard is scanned too: its content is the immutable
+		// pre-handoff snapshot, which is what keeps a query that loaded
+		// this generation before a resize completed from missing records
+		// (callers running against two generations dedupe by id).
 		if sh.nonempty && sh.bound.IntersectsClosed(r) {
 			if sh.items != nil {
 				sh.items.SearchItems(r, innerItems)
@@ -446,9 +713,10 @@ func (db *ShardedSightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) 
 		}
 		sh.mu.RUnlock()
 		if stopped {
-			return
+			return false
 		}
 	}
+	return true
 }
 
 // NearestFunc implements SightingStore by merging resumable per-shard
@@ -456,11 +724,18 @@ func (db *ShardedSightingDB) SearchArea(r geo.Rect, visit func(s core.Sighting) 
 // only for the duration of one cursor advance, so writers are not starved
 // by a long enumeration, and a shard whose bounding rectangle lies beyond
 // the distance at which the consumer stops is never opened at all. An
-// entry removed between the advance and the visit is skipped.
+// entry removed between the advance and the visit is skipped. During a
+// live resize the merge spans both generations and dedupes by object id
+// (an entry observed in its pre-handoff and post-handoff shard is visited
+// once).
 func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting, dist float64) bool) {
-	if len(db.shards) == 1 {
-		// Nothing to merge: stream straight off the sub-index.
-		sh := &db.shards[0]
+	g := db.gen.Load()
+	if g.prev == nil && len(g.shards) == 1 {
+		// Nothing to merge: stream straight off the sub-index. A moved
+		// shard streams its immutable pre-handoff snapshot, like any
+		// query holding a generation a resize has since drained; the
+		// Get re-resolution below keeps delivered records current.
+		sh := g.shards[0]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		sh.idx.NearestFunc(p, func(id core.OID, _ geo.Point, dist float64) bool {
@@ -468,22 +743,34 @@ func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting
 		})
 		return
 	}
-	srcs := make([]spatial.CursorSource, 0, len(db.shards))
-	for i := range db.shards {
-		sh := &db.shards[i]
+	shards := g.shards
+	var seen map[core.OID]bool
+	if g.prev != nil {
+		shards = db.liveShards()
+		seen = make(map[core.OID]bool)
+	}
+	srcs := make([]spatial.CursorSource, 0, len(shards))
+	for _, sh := range shards {
+		sh := sh
 		sh.mu.RLock()
-		nonempty := sh.nonempty
+		usable := sh.nonempty
+		// Capture the sub-index now, under the lock: a handoff never
+		// mutates a drained tree, so a cursor opened later on this
+		// snapshot stays valid even if the shard is drained
+		// mid-enumeration — its entries are re-validated per visit
+		// through Get, like any concurrently mutated entry.
+		idx := sh.idx
 		minDist := 0.0
-		if nonempty {
+		if usable {
 			minDist = sh.bound.DistToPoint(p)
 		}
 		sh.mu.RUnlock()
-		if !nonempty {
+		if !usable {
 			continue
 		}
 		srcs = append(srcs, spatial.CursorSource{MinDist: minDist, Open: func() spatial.Cursor {
 			sh.mu.RLock()
-			inner := sh.idx.NearestCursor(p)
+			inner := idx.NearestCursor(p)
 			sh.mu.RUnlock()
 			return spatial.LockCursor(&sh.mu, inner)
 		}})
@@ -495,6 +782,12 @@ func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting
 		if !ok {
 			return
 		}
+		if seen != nil {
+			if seen[n.ID] {
+				continue
+			}
+			seen[n.ID] = true
+		}
 		s, found := db.Get(n.ID)
 		if !found {
 			continue
@@ -505,10 +798,41 @@ func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting
 	}
 }
 
-// ForEach implements SightingStore.
+// ForEach implements SightingStore. Both generations are visited during a
+// live resize, deduped by object id; hits from the draining generation
+// are re-validated against current authority (see SearchArea) so a
+// preserved pre-handoff snapshot cannot suppress a fresher record.
 func (db *ShardedSightingDB) ForEach(visit func(s core.Sighting) bool) {
-	for i := range db.shards {
-		sh := &db.shards[i]
+	g := db.gen.Load()
+	if g.prev == nil {
+		db.forEachShards(g.shards, visit)
+		return
+	}
+	seen := make(map[core.OID]bool)
+	dedup := func(s core.Sighting) bool {
+		if seen[s.OID] {
+			return true
+		}
+		seen[s.OID] = true
+		return visit(s)
+	}
+	// Draining generation first, through the shared moved-shard
+	// buffer-and-revalidate scanner; then the current generation.
+	if db.scanPrevShards(g.prev.shards, func(sh *sightingShard, emit func(s core.Sighting) bool) {
+		for _, e := range sh.byID {
+			if !emit(e.s) {
+				return
+			}
+		}
+	}, dedup) {
+		db.forEachShards(g.shards, dedup)
+	}
+}
+
+// forEachShards visits one generation's shards, reporting whether the
+// enumeration ran to completion.
+func (db *ShardedSightingDB) forEachShards(shards []*sightingShard, visit func(s core.Sighting) bool) bool {
+	for _, sh := range shards {
 		stopped := false
 		sh.mu.RLock()
 		for _, e := range sh.byID {
@@ -519,31 +843,24 @@ func (db *ShardedSightingDB) ForEach(visit func(s core.Sighting) bool) {
 		}
 		sh.mu.RUnlock()
 		if stopped {
-			return
+			return false
 		}
 	}
+	return true
 }
 
 // String implements fmt.Stringer for diagnostics.
 func (db *ShardedSightingDB) String() string {
-	return fmt.Sprintf("ShardedSightingDB(%d shards, %d records)", len(db.shards), db.Len())
-}
-
-// logBatch write-ahead-logs one shard group. Caller holds the shard's write
-// lock, which makes the segment's append order the shard's commit order.
-// Append errors are sticky inside the WAL (see ShardedWAL) and surfaced
-// through WALErr; the store keeps serving.
-func (db *ShardedSightingDB) logBatch(shard int, batch []core.Sighting) {
-	_ = db.wal.AppendBatch(shard, batch)
+	return fmt.Sprintf("ShardedSightingDB(%d shards, %d records)", db.NumShards(), db.Len())
 }
 
 // logRemove write-ahead-logs one removal. Caller holds the shard's write
 // lock.
-func (db *ShardedSightingDB) logRemove(shard int, id core.OID) {
+func (db *ShardedSightingDB) logRemove(shard, count int, id core.OID) {
 	if db.wal == nil {
 		return
 	}
-	_ = db.wal.AppendRemove(shard, id)
+	_ = db.wal.AppendRemove(shard, count, id)
 }
 
 // WALErr returns the sticky error of the first failed WAL append, or nil
@@ -569,18 +886,21 @@ func (db *ShardedSightingDB) WALErr() error {
 // be empty and takes each shard's lock for the whole rebuild. Replayed
 // records get a fresh soft-state TTL lease — the paper's expiry semantics
 // re-age them if their objects stay silent after the restart. Without an
-// attached WAL, Recover is a no-op.
+// attached WAL, Recover is a no-op. A log left mid-resize by a crash was
+// already folded across the epoch boundary by OpenShardedWAL, so the store
+// recovers at the epoch the resize was moving to.
 func (db *ShardedSightingDB) Recover() error {
 	if db.wal == nil {
 		return nil
 	}
-	errs := make([]error, len(db.shards))
+	g := db.gen.Load()
+	errs := make([]error, len(g.shards))
 	var wg sync.WaitGroup
-	for i := range db.shards {
+	for i := range g.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = db.recoverShard(i)
+			errs[i] = db.recoverShard(g, i)
 		}(i)
 	}
 	wg.Wait()
@@ -588,8 +908,8 @@ func (db *ShardedSightingDB) Recover() error {
 }
 
 // recoverShard replays one shard's segment and bulk-loads the shard.
-func (db *ShardedSightingDB) recoverShard(shard int) error {
-	sh := &db.shards[shard]
+func (db *ShardedSightingDB) recoverShard(g *shardGen, shard int) error {
+	sh := g.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if len(sh.byID) != 0 {
@@ -657,14 +977,24 @@ func (db *ShardedSightingDB) recoverShard(shard int) error {
 // between the snapshot and the rewrite). Call it to keep replay time
 // proportional to the live set instead of the update history; the server's
 // janitor drives the grow-triggered variant, CompactWALIfGrown. Without an
-// attached WAL it is a no-op.
+// attached WAL it is a no-op. Compaction serializes with Resize.
 func (db *ShardedSightingDB) CompactWAL() error {
 	if db.wal == nil {
 		return nil
 	}
+	if err := db.wal.Err(); err != nil {
+		// A down WAL has stopped logging — and after a resize whose epoch
+		// switch failed, its segment layout no longer matches the store's
+		// shard count, so compaction must not index into it. The sticky
+		// error is the answer.
+		return err
+	}
+	db.resizeMu.Lock()
+	defer db.resizeMu.Unlock()
+	g := db.gen.Load()
 	var errs []error
-	for i := range db.shards {
-		if err := db.compactShard(i); err != nil {
+	for i := range g.shards {
+		if err := db.compactShard(g, i); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -676,26 +1006,33 @@ func (db *ShardedSightingDB) CompactWAL() error {
 // classic log-structured policy: amortized rewrite cost stays a constant
 // fraction of append work, and an idle or freshly compacted shard is never
 // rewritten. Cheap when nothing grew; safe to call on every janitor tick.
+// While a Resize is in flight the pass is skipped (the resize itself
+// rewrites every segment under the new mapping).
 func (db *ShardedSightingDB) CompactWALIfGrown() error {
 	if db.wal == nil || db.wal.Err() != nil {
 		// A down WAL has stopped logging; there is nothing worth
 		// rewriting and the sticky error is surfaced through WALErr.
 		return nil
 	}
+	if !db.resizeMu.TryLock() {
+		return nil
+	}
+	defer db.resizeMu.Unlock()
+	g := db.gen.Load()
 	var errs []error
-	for i := range db.shards {
+	for i := range g.shards {
 		appended := db.wal.AppendedSince(i)
 		if appended == 0 {
 			continue
 		}
-		sh := &db.shards[i]
+		sh := g.shards[i]
 		sh.mu.RLock()
 		grown := appended > int64(len(sh.byID))+walCompactSlack
 		sh.mu.RUnlock()
 		if !grown {
 			continue
 		}
-		if err := db.compactShard(i); err != nil {
+		if err := db.compactShard(g, i); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -707,18 +1044,16 @@ func (db *ShardedSightingDB) CompactWALIfGrown() error {
 // outside the shard lock — updates only stall for the queue drain and the
 // in-memory snapshot, while records appended during the rewrite wait in
 // the buffer and land after the snapshot (BeginCompact/FinishCompact).
-func (db *ShardedSightingDB) compactShard(i int) error {
-	sh := &db.shards[i]
+// Caller holds resizeMu, so the generation and the WAL layout are stable.
+func (db *ShardedSightingDB) compactShard(g *shardGen, i int) error {
+	sh := g.shards[i]
 	if db.wal.Asynchronous() {
 		sh.mu.Lock()
 		if err := db.wal.BeginCompact(i); err != nil {
 			sh.mu.Unlock()
 			return err
 		}
-		live := make([]core.Sighting, 0, len(sh.byID))
-		for _, e := range sh.byID {
-			live = append(live, e.s)
-		}
+		live := sh.liveSnapshot()
 		sh.mu.Unlock()
 		return db.wal.FinishCompact(i, live)
 	}
@@ -726,9 +1061,15 @@ func (db *ShardedSightingDB) compactShard(i int) error {
 	// lock, so the rewrite must hold it too.
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return db.wal.CompactShard(i, sh.liveSnapshot())
+}
+
+// liveSnapshot copies the shard's live sightings. Caller holds the shard's
+// lock.
+func (sh *sightingShard) liveSnapshot() []core.Sighting {
 	live := make([]core.Sighting, 0, len(sh.byID))
 	for _, e := range sh.byID {
 		live = append(live, e.s)
 	}
-	return db.wal.CompactShard(i, live)
+	return live
 }

@@ -442,3 +442,57 @@ func TestShardedBoundPruningStaysExact(t *testing.T) {
 		t.Fatalf("nearest on empty store returned %d entries", len(got))
 	}
 }
+
+// TestSweepExpiredShardRotationFairness: successive small-budget sweeps
+// must visit every shard before revisiting one — the rotating start cursor
+// is what keeps a budget smaller than the shard count from starving the
+// tail shards. One expired record per shard, budget 1: each of the first N
+// calls must surface a new shard's record.
+func TestSweepExpiredShardRotationFairness(t *testing.T) {
+	now := time.Date(2026, 7, 28, 10, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	const shards = 8
+	db := NewShardedSightingDB(WithShards(shards), WithTTL(time.Second), WithClock(clock))
+
+	// Exactly one record per shard, found by probing ids.
+	perShard := make(map[int]core.OID)
+	for i := 0; len(perShard) < shards; i++ {
+		id := core.OID(fmt.Sprintf("f%d", i))
+		sh := db.ShardFor(id)
+		if _, ok := perShard[sh]; ok {
+			continue
+		}
+		perShard[sh] = id
+		db.Put(sighting(string(id), float64(sh), 0))
+	}
+	mu.Lock()
+	now = now.Add(time.Minute)
+	mu.Unlock()
+
+	seen := map[core.OID]int{}
+	for call := 1; call <= shards; call++ {
+		ids := db.SweepExpired(1)
+		if len(ids) != 1 {
+			t.Fatalf("call %d: SweepExpired(1) returned %d ids, want 1", call, len(ids))
+		}
+		seen[ids[0]]++
+		if len(seen) != call {
+			t.Fatalf("call %d revisited a shard before covering all: %d distinct ids so far (%v)", call, len(seen), seen)
+		}
+	}
+	if len(seen) != shards {
+		t.Fatalf("after %d unit-budget sweeps, %d shards covered", shards, len(seen))
+	}
+	// The next full rotation revisits each exactly once more.
+	for call := 0; call < shards; call++ {
+		for _, id := range db.SweepExpired(1) {
+			seen[id]++
+		}
+	}
+	for id, n := range seen {
+		if n != 2 {
+			t.Errorf("shard of %s swept %d times over two rotations, want 2", id, n)
+		}
+	}
+}

@@ -1,15 +1,21 @@
 package store
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"locsvc/internal/core"
+	"locsvc/internal/spatial"
 )
 
 // ShardedWAL persists a sharded sighting store through one FileWAL segment
@@ -23,6 +29,30 @@ import (
 // WALSightingBatch record per PutBatch shard group, so the marshal and
 // flush cost of durability is amortized over the batch exactly as the
 // combining lane amortizes lock cost.
+//
+// # Epochs
+//
+// The segment layout is epoch-stamped so it can follow the store through a
+// live Resize. Epoch 0 is the layout a directory starts with (segments
+// named shard-NNNN.wal, no in-file marker, for compatibility with logs
+// written before epochs existed); every resize moves the log to the next
+// epoch: each new shard's segment is created atomically as an epoch header
+// record (WALEpoch, carrying the epoch number and the new shard count)
+// followed by one snapshot batch of the shard's live set, written while
+// the store briefly quiesces that shard (SwitchShard). Once every shard of
+// the new epoch has switched, the old epoch's files are deleted
+// (FinishEpoch).
+//
+// The epoch invariant recovery relies on: a valid epoch-e segment for
+// shard j begins with a full live-set snapshot of every object hashing to
+// j under epoch e's mapping, so the existence of that segment makes every
+// older-epoch record for those objects obsolete. OpenShardedWAL uses it to
+// replay across an epoch boundary left by a crash mid-resize: shards of
+// the newest epoch that have segments replay them alone; shards that never
+// switched recover their objects by folding all older-epoch segments and
+// filtering by the new mapping, and the fold is then materialized as the
+// missing epoch segments so the directory is single-epoch again before the
+// store attaches.
 //
 // # Append modes
 //
@@ -44,20 +74,23 @@ import (
 // A failed append or encode marks the WAL down: logging stops (keeping
 // every segment a clean prefix rather than writing past a gap) and the
 // sticky error is reported by Err, Flush and Close.
-//
-// The segment count is a property of the persistent log, not of the
-// process: it determines which segment holds each object's records, so
-// reopening a directory with a different shard count is refused rather
-// than silently splitting an object's history across unordered segments.
 type ShardedWAL struct {
 	dir  string
-	segs []*FileWAL
-	bufs []walShardBuf // nil in synchronous (WithSync) mode
-	wg   sync.WaitGroup
+	sync bool
+	opts []FileWALOption
 
-	// appended counts records logged per shard since that segment's last
-	// compaction, feeding the store's grow-triggered compaction policy.
-	appended []atomic.Int64
+	// genMu guards the generation pointers and the transition state. The
+	// append path holds the read lock across routing and enqueue, so a
+	// shard switch (write lock) is ordered against every in-flight
+	// append.
+	genMu sync.RWMutex
+	cur   *walGen
+	// next and switched are non-nil only between StartEpoch and
+	// FinishEpoch: next is the layout being switched to, switched[j]
+	// marks the new shards whose segment already exists and receives
+	// their appends.
+	next     *walGen
+	switched []bool
 
 	down  atomic.Bool
 	errMu sync.Mutex
@@ -65,6 +98,20 @@ type ShardedWAL struct {
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// walGen is one epoch of the segment layout.
+type walGen struct {
+	epoch int64
+	count int
+	segs  []*FileWAL
+	bufs  []walShardBuf // nil in synchronous (WithSync) mode
+
+	// appended counts records logged per shard since that segment's last
+	// compaction, feeding the store's grow-triggered compaction policy.
+	appended []atomic.Int64
+
+	wg sync.WaitGroup // writer goroutines of this generation
 }
 
 // walShardBuf is one shard's pending append list, double-buffered with its
@@ -85,6 +132,12 @@ type walShardBuf struct {
 	// the steady state — garbage here would turn into GC scan pressure on
 	// the store's large pointer-rich heap.
 	free [][]core.Sighting
+}
+
+// initCond lazily wires the buffer's condition variables.
+func (sb *walShardBuf) initCond() {
+	sb.data = sync.NewCond(&sb.mu)
+	sb.space = sync.NewCond(&sb.mu)
 }
 
 // waitSpace blocks until the pending list is below the cap (or shutdown).
@@ -131,153 +184,490 @@ const walCoalesceDelay = time.Millisecond
 // auto-compaction, so both fire at the same point.
 const walCompactSlack = 1024
 
-// segmentPath names shard i's log inside dir.
-func segmentPath(dir string, i int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i))
+// segmentPath names shard i's log inside dir at epoch e. Epoch 0 keeps the
+// pre-epoch naming so existing directories open unchanged.
+func segmentPath(dir string, i int, epoch int64) string {
+	if epoch == 0 {
+		return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i))
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d-e%06d.wal", i, epoch))
+}
+
+// parseSegmentName inverts segmentPath for directory scans.
+func parseSegmentName(name string) (shard int, epoch int64, ok bool) {
+	var i int
+	var e int64
+	if n, err := fmt.Sscanf(name, "shard-%d-e%d.wal", &i, &e); n == 2 && err == nil && name == fmt.Sprintf("shard-%04d-e%06d.wal", i, e) {
+		return i, e, true
+	}
+	if n, err := fmt.Sscanf(name, "shard-%d.wal", &i); n == 1 && err == nil && name == fmt.Sprintf("shard-%04d.wal", i) {
+		return i, 0, true
+	}
+	return 0, 0, false
 }
 
 // OpenShardedWAL opens (creating if needed) a sharded sighting log under
-// dir with the given shard count (minimum 1). If dir already holds
-// segments, their count must equal shards; see the type comment for why a
-// mismatch is an error rather than a migration. Passing WithSync selects
-// the synchronous fsync-per-append mode; otherwise appends are
-// asynchronous (see the type comment).
+// dir. For a fresh directory, shards fixes the initial segment count
+// (normalized through NormalizeShards: negative is an error, zero means
+// one). A directory that already holds history opens at the count of its
+// newest epoch — the persistent log, not the flag, remembers the layout a
+// resize moved to — and a transition a crash left half-finished is folded
+// forward first (see the type comment). Passing WithSync selects the
+// synchronous fsync-per-append mode; otherwise appends are asynchronous.
 func OpenShardedWAL(dir string, shards int, opts ...FileWALOption) (*ShardedWAL, error) {
-	if shards < 1 {
-		shards = 1
+	shards, err := NormalizeShards(shards)
+	if err != nil {
+		return nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating sighting WAL dir %s: %w", dir, err)
 	}
-	existing, nonempty := 0, false
-	for {
-		st, err := os.Stat(segmentPath(dir, existing))
-		if err != nil {
-			break
-		}
-		if st.Size() > 0 {
-			nonempty = true
-		}
-		existing++
+	var probe FileWAL
+	for _, opt := range opts {
+		opt(&probe)
 	}
-	if existing > 0 && existing != shards {
-		// Only segments with history pin the count: a record's segment is
-		// its id-hash shard, so resharding nonempty logs would scatter an
-		// object's ordered history. All-empty segments carry none — they
-		// are what a crashed first open or an idle run leaves — so adopt
-		// the requested count and clear the extras.
-		if nonempty {
-			return nil, fmt.Errorf("store: sighting WAL %s has %d shard segments, want %d (the shard count is fixed by the persistent log)",
-				dir, existing, shards)
-		}
-		for i := shards; i < existing; i++ {
-			if err := os.Remove(segmentPath(dir, i)); err != nil {
-				return nil, fmt.Errorf("store: clearing stale empty segment: %w", err)
-			}
-		}
+	w := &ShardedWAL{dir: dir, sync: probe.sync, opts: opts}
+
+	count, epoch, err := w.settleLayout(shards)
+	if err != nil {
+		return nil, err
 	}
-	w := &ShardedWAL{dir: dir, segs: make([]*FileWAL, shards), appended: make([]atomic.Int64, shards)}
-	for i := range w.segs {
-		seg, err := OpenFileWAL(segmentPath(dir, i), opts...)
+	g := &walGen{epoch: epoch, count: count, segs: make([]*FileWAL, count), appended: make([]atomic.Int64, count)}
+	for i := range g.segs {
+		seg, err := OpenFileWAL(segmentPath(dir, i, epoch), opts...)
 		if err != nil {
+			w.cur = g
 			w.Close()
 			return nil, err
 		}
-		w.segs[i] = seg
+		g.segs[i] = seg
 	}
-	if !w.segs[0].sync {
-		w.bufs = make([]walShardBuf, shards)
-		for i := range w.bufs {
-			sb := &w.bufs[i]
-			sb.data = sync.NewCond(&sb.mu)
-			sb.space = sync.NewCond(&sb.mu)
-			w.wg.Add(1)
-			go w.writer(i)
+	if !w.sync {
+		g.bufs = make([]walShardBuf, count)
+		for i := range g.bufs {
+			g.bufs[i].initCond()
+			g.wg.Add(1)
+			go w.writer(g, i)
 		}
 	}
+	w.cur = g
 	return w, nil
 }
 
-// NumShards returns the number of log segments.
-func (w *ShardedWAL) NumShards() int { return len(w.segs) }
+// settleLayout scans dir, folds any half-finished epoch transition forward
+// and returns the (count, epoch) the WAL operates at. After it returns the
+// directory is single-epoch: every shard of the returned epoch has a
+// segment file and no older-epoch files remain.
+func (w *ShardedWAL) settleLayout(requested int) (count int, epoch int64, err error) {
+	files, err := os.ReadDir(w.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: scanning sighting WAL dir %s: %w", w.dir, err)
+	}
+	byEpoch := make(map[int64]map[int]string)
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		shard, e, ok := parseSegmentName(f.Name())
+		if !ok {
+			// Sweep temporaries a crashed rewrite left behind; they were
+			// never renamed into place, so they carry no authority, and
+			// nothing else owns the directory while it is being opened.
+			if matched, _ := filepath.Match(walTempGlob, f.Name()); matched {
+				os.Remove(filepath.Join(w.dir, f.Name()))
+			}
+			continue
+		}
+		if byEpoch[e] == nil {
+			byEpoch[e] = make(map[int]string)
+		}
+		byEpoch[e][shard] = filepath.Join(w.dir, f.Name())
+	}
+	// Validate epoch-stamped segments: a valid one starts with a matching
+	// header record. Anything else (an empty or truncated file a crashed
+	// SwitchShard left before its snapshot rename committed) is discarded
+	// — it never carried authority.
+	counts := make(map[int64]int)
+	for e, segs := range byEpoch {
+		if e == 0 {
+			continue
+		}
+		var ecount int
+		for shard, path := range segs {
+			hdr, invalid, herr := readEpochHeader(path)
+			if herr != nil {
+				// An I/O failure says nothing about the segment's
+				// content; discarding it here would silently replace the
+				// shard's data with a fold of absent older epochs. Fail
+				// the open instead and let the operator retry.
+				return 0, 0, herr
+			}
+			if invalid || hdr.Epoch != e || hdr.ShardCount <= 0 || shard >= hdr.ShardCount {
+				// Structurally not an epoch segment: the leftover of a
+				// SwitchShard that crashed before its atomic rename
+				// committed a complete snapshot. It never carried
+				// authority.
+				os.Remove(path)
+				delete(segs, shard)
+				continue
+			}
+			if ecount == 0 {
+				ecount = hdr.ShardCount
+			} else if ecount != hdr.ShardCount {
+				return 0, 0, fmt.Errorf("store: sighting WAL %s epoch %d segments disagree on shard count (%d vs %d)",
+					w.dir, e, ecount, hdr.ShardCount)
+			}
+		}
+		if len(segs) == 0 {
+			delete(byEpoch, e)
+			continue
+		}
+		counts[e] = ecount
+	}
+	// Epoch 0's count is the contiguous run of base segment files.
+	if segs := byEpoch[0]; len(segs) > 0 {
+		n := 0
+		for ; segs[n] != ""; n++ {
+		}
+		for shard, path := range segs {
+			if shard >= n {
+				// A gap precedes this file: it cannot be part of the
+				// epoch-0 layout (the layout writes 0..n-1). Stale.
+				os.Remove(path)
+				delete(segs, shard)
+			}
+		}
+		if n == 0 {
+			delete(byEpoch, 0)
+		} else {
+			counts[0] = n
+		}
+	}
+	if len(byEpoch) == 0 {
+		return requested, 0, nil
+	}
+	maxEpoch := int64(-1)
+	for e := range byEpoch {
+		if e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	count = counts[maxEpoch]
+	if maxEpoch == 0 {
+		// No epoch boundary on disk. Nonempty segments pin the count; a
+		// directory of all-empty segments (a crashed first open, an idle
+		// run) adopts the requested count instead.
+		nonempty := false
+		for _, path := range byEpoch[0] {
+			if st, serr := os.Stat(path); serr == nil && st.Size() > 0 {
+				nonempty = true
+				break
+			}
+		}
+		if !nonempty && count != requested {
+			for i := requested; i < count; i++ {
+				if rerr := os.Remove(segmentPath(w.dir, i, 0)); rerr != nil {
+					return 0, 0, fmt.Errorf("store: clearing stale empty segment: %w", rerr)
+				}
+			}
+			return requested, 0, nil
+		}
+		return count, 0, nil
+	}
+	// A resize moved the log past epoch 0. Finish any transition a crash
+	// interrupted: shards of the newest epoch that never switched recover
+	// their objects from the fold of every older epoch, filtered by the
+	// new mapping, and the result is written as their missing snapshot
+	// segments.
+	missing := make([]int, 0)
+	for j := 0; j < count; j++ {
+		if _, ok := byEpoch[maxEpoch][j]; !ok {
+			missing = append(missing, j)
+		}
+	}
+	if len(missing) > 0 {
+		live, ferr := foldEpochs(byEpoch, counts, maxEpoch)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		missingSet := make(map[int]bool, len(missing))
+		for _, j := range missing {
+			missingSet[j] = true
+		}
+		perShard := make(map[int][]core.Sighting, len(missing))
+		for id, s := range live {
+			if j := spatial.ShardFor(id, count); missingSet[j] {
+				perShard[j] = append(perShard[j], s)
+			}
+		}
+		for _, j := range missing {
+			if cerr := writeEpochSegment(w.dir, j, maxEpoch, count, perShard[j], w.sync); cerr != nil {
+				return 0, 0, cerr
+			}
+		}
+	}
+	// The newest epoch is now complete; older files carry no authority.
+	for e, segs := range byEpoch {
+		if e == maxEpoch {
+			continue
+		}
+		for _, path := range segs {
+			os.Remove(path)
+		}
+	}
+	return count, maxEpoch, nil
+}
+
+// foldEpochs replays every epoch older than top in ascending order into a
+// single per-object live map, honoring the epoch invariant: an epoch-e
+// segment for shard j supersedes all earlier state of the objects hashing
+// to j under epoch e's mapping (its head snapshot is their complete live
+// set), so those keys are cleared before the segment replays.
+func foldEpochs(byEpoch map[int64]map[int]string, counts map[int64]int, top int64) (map[core.OID]core.Sighting, error) {
+	epochs := make([]int64, 0, len(byEpoch))
+	for e := range byEpoch {
+		if e < top {
+			epochs = append(epochs, e)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	live := make(map[core.OID]core.Sighting)
+	for _, e := range epochs {
+		count := counts[e]
+		shards := make([]int, 0, len(byEpoch[e]))
+		for j := range byEpoch[e] {
+			shards = append(shards, j)
+		}
+		sort.Ints(shards)
+		for _, j := range shards {
+			if e > 0 {
+				for id := range live {
+					if spatial.ShardFor(id, count) == j {
+						delete(live, id)
+					}
+				}
+			}
+			if err := replaySegmentFile(byEpoch[e][j], func(rec WALRecord) error {
+				switch rec.Op {
+				case WALSightingBatch:
+					for _, s := range rec.Sightings {
+						live[s.OID] = s
+					}
+				case WALSightingRemove:
+					delete(live, rec.OID)
+				case WALEpoch:
+					// layout marker, no state
+				default:
+					return fmt.Errorf("store: unexpected WAL op %q folding sighting segment %s", rec.Op, byEpoch[e][j])
+				}
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("store: folding sighting WAL epoch %d shard %d: %w", e, j, err)
+			}
+		}
+	}
+	return live, nil
+}
+
+// replaySegmentFile replays one segment without keeping it open.
+func replaySegmentFile(path string, fn func(WALRecord) error) error {
+	seg, err := OpenFileWAL(path)
+	if err != nil {
+		return err
+	}
+	defer seg.Close()
+	return seg.Replay(fn)
+}
+
+// readEpochHeader reads the first record of an epoch segment. invalid
+// reports content that is structurally not an epoch segment (empty file,
+// unparseable or non-epoch first record — what a crashed switch leaves);
+// err reports I/O failures, which say nothing about the content and must
+// not be treated as invalidity.
+func readEpochHeader(path string) (rec WALRecord, invalid bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return WALRecord{}, false, fmt.Errorf("store: opening epoch segment %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 4096)
+	line, rerr := r.ReadBytes('\n')
+	if rerr != nil && rerr != io.EOF {
+		return WALRecord{}, false, fmt.Errorf("store: reading epoch header of %s: %w", path, rerr)
+	}
+	if len(bytes.TrimSpace(line)) == 0 {
+		return WALRecord{}, true, nil
+	}
+	if uerr := json.Unmarshal(bytes.TrimSuffix(line, []byte{'\n'}), &rec); uerr != nil {
+		return WALRecord{}, true, nil
+	}
+	if rec.Op != WALEpoch {
+		return WALRecord{}, true, nil
+	}
+	return rec, false, nil
+}
+
+// writeEpochSegment atomically creates shard j's segment for epoch e: the
+// header record plus one snapshot batch of live, written to a temporary
+// file, fsynced and renamed into place — so the segment either exists
+// complete (and carries authority for its shard's objects) or not at all.
+// It returns only after the rename committed; opening the segment for
+// appending is the caller's business.
+func writeEpochSegment(dir string, shard int, epoch int64, count int, live []core.Sighting, durable bool) error {
+	f, err := createEpochSegment(dir, shard, epoch, count, live, durable)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// createEpochSegment is writeEpochSegment returning the open FileWAL for
+// the new segment, positioned for appends. The atomic write-temp/fsync/
+// rename protocol is writeRecordsAtomic, shared with compaction.
+func createEpochSegment(dir string, shard int, epoch int64, count int, live []core.Sighting, durable bool) (*FileWAL, error) {
+	recs := []WALRecord{{Op: WALEpoch, Epoch: epoch, ShardCount: count}}
+	if len(live) > 0 {
+		recs = append(recs, WALRecord{Op: WALSightingBatch, Sightings: live})
+	}
+	path := segmentPath(dir, shard, epoch)
+	f, err := writeRecordsAtomic(path, recs)
+	if err != nil {
+		return nil, err
+	}
+	seg := &FileWAL{path: path, f: f, w: bufio.NewWriter(f), sync: durable}
+	if durable {
+		if err := syncDir(path); err != nil {
+			seg.Close()
+			return nil, err
+		}
+	}
+	return seg, nil
+}
+
+// NumShards returns the number of log segments of the current epoch.
+func (w *ShardedWAL) NumShards() int {
+	w.genMu.RLock()
+	defer w.genMu.RUnlock()
+	return w.cur.count
+}
+
+// Epoch returns the current layout epoch, for diagnostics.
+func (w *ShardedWAL) Epoch() int64 {
+	w.genMu.RLock()
+	defer w.genMu.RUnlock()
+	return w.cur.epoch
+}
 
 // Dir returns the directory holding the segments, for diagnostics.
 func (w *ShardedWAL) Dir() string { return w.dir }
 
-// AppendBatch logs one group-commit batch of sighting puts to shard's
-// segment — asynchronously in the default mode, durably before returning
-// with WithSync. Later entries for the same object supersede earlier ones,
-// matching SightingStore.PutBatch. The batch is copied; the caller may
-// reuse the slice. After a failed append the WAL is down (see Err) and
-// calls return the sticky error without logging.
-func (w *ShardedWAL) AppendBatch(shard int, batch []core.Sighting) error {
+// route picks the generation and segment for one object. Caller holds
+// genMu (read) for the routing decision only; the decision stays valid
+// after the read lock is released because every append runs under the
+// store lock of the shard that owns the object, and that same store lock
+// is what SwitchShard's caller holds to flip the shard's routing — so
+// neither the switched flag this routing read nor the generation it chose
+// can change until the append's store lock is released (and FinishEpoch,
+// which retires the old generation's writers, cannot run before every
+// shard has flipped). shard and count describe the caller's mapping
+// context (its shard index and shard count); when they match the current
+// layout the index is used as-is — the steady-state fast path, one
+// integer compare — otherwise the segment is recomputed from the id,
+// which is what keeps appends correctly routed while the store's
+// in-memory migration runs ahead of the log's epoch switch.
+func (w *ShardedWAL) route(id core.OID, shard, count int) (*walGen, int) {
+	if w.next != nil {
+		j := spatial.ShardFor(id, w.next.count)
+		if w.switched[j] {
+			return w.next, j
+		}
+		return w.cur, spatial.ShardFor(id, w.cur.count)
+	}
+	if count == w.cur.count {
+		return w.cur, shard
+	}
+	return w.cur, spatial.ShardFor(id, w.cur.count)
+}
+
+// AppendBatch logs one group-commit batch of sighting puts — asynchronously
+// in the default mode, durably before returning with WithSync. shard and
+// count are the caller's routing context (see route). Later entries for
+// the same object supersede earlier ones, matching SightingStore.PutBatch.
+// The batch is copied; the caller may reuse the slice. After a failed
+// append the WAL is down (see Err) and calls return the sticky error
+// without logging.
+func (w *ShardedWAL) AppendBatch(shard, count int, batch []core.Sighting) error {
 	if w.down.Load() {
 		return w.Err()
 	}
-	if w.bufs == nil {
-		err := w.segs[shard].Append(WALRecord{Op: WALSightingBatch, Sightings: batch})
-		if err != nil {
-			w.fail(err)
-			return err
-		}
-		w.appended[shard].Add(int64(len(batch)))
-		return nil
+	w.genMu.RLock()
+	if w.next == nil && count == w.cur.count {
+		g := w.cur
+		w.genMu.RUnlock()
+		return w.appendPutRecord(g, shard, batch, core.Sighting{}, false)
 	}
-	w.enqueue(shard, batch, core.Sighting{}, false)
-	w.appended[shard].Add(int64(len(batch)))
-	return nil
+	// Layouts straddle (an in-flight resize): split the group by the
+	// log's own mapping. Relative order per object is preserved.
+	type dest struct {
+		g   *walGen
+		idx int
+	}
+	groups := make(map[dest][]core.Sighting)
+	order := make([]dest, 0, 2)
+	for _, s := range batch {
+		g, idx := w.route(s.OID, -1, -1)
+		d := dest{g, idx}
+		if _, ok := groups[d]; !ok {
+			order = append(order, d)
+		}
+		groups[d] = append(groups[d], s)
+	}
+	w.genMu.RUnlock()
+	var first error
+	for _, d := range order {
+		if err := w.appendPutRecord(d.g, d.idx, groups[d], core.Sighting{}, false); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // AppendPut logs a single sighting put — the batch-of-one common case,
 // spared the caller-side slice — with the same mode semantics as
 // AppendBatch.
-func (w *ShardedWAL) AppendPut(shard int, s core.Sighting) error {
+func (w *ShardedWAL) AppendPut(shard, count int, s core.Sighting) error {
 	if w.down.Load() {
 		return w.Err()
 	}
-	if w.bufs == nil {
-		err := w.segs[shard].Append(WALRecord{Op: WALSightingBatch, Sightings: []core.Sighting{s}})
-		if err != nil {
+	w.genMu.RLock()
+	g, idx := w.route(s.OID, shard, count)
+	w.genMu.RUnlock()
+	return w.appendPutRecord(g, idx, nil, s, true)
+}
+
+// appendPutRecord commits one put record (batch, or the single sighting
+// when one is true) to g's segment idx. Runs outside genMu — the routing
+// decision is pinned by the caller's store shard lock (see route) — so
+// blocking on the buffer's backpressure cannot stall a concurrent shard
+// switch.
+func (w *ShardedWAL) appendPutRecord(g *walGen, idx int, batch []core.Sighting, s core.Sighting, one bool) error {
+	n := int64(len(batch))
+	if one {
+		n = 1
+	}
+	if g.bufs == nil {
+		rec := WALRecord{Op: WALSightingBatch, Sightings: batch}
+		if one {
+			rec.Sightings = []core.Sighting{s}
+		}
+		if err := g.segs[idx].Append(rec); err != nil {
 			w.fail(err)
 			return err
 		}
-		w.appended[shard].Add(1)
+		g.appended[idx].Add(n)
 		return nil
 	}
-	w.enqueue(shard, nil, s, true)
-	w.appended[shard].Add(1)
-	return nil
-}
-
-// AppendRemove logs the removal of id to shard's segment, with the same
-// mode semantics as AppendBatch.
-func (w *ShardedWAL) AppendRemove(shard int, id core.OID) error {
-	if w.down.Load() {
-		return w.Err()
-	}
-	if w.bufs == nil {
-		err := w.segs[shard].Append(WALRecord{Op: WALSightingRemove, OID: id})
-		if err != nil {
-			w.fail(err)
-			return err
-		}
-		w.appended[shard].Add(1)
-		return nil
-	}
-	sb := &w.bufs[shard]
-	sb.mu.Lock()
-	sb.waitSpace()
-	sb.push(WALRecord{Op: WALSightingRemove, OID: id})
-	sb.mu.Unlock()
-	w.appended[shard].Add(1)
-	return nil
-}
-
-// enqueue copies a put (batch, or the single sighting when one is true)
-// into a recycled buffer and puts the record on shard's pending list,
-// blocking on the cap.
-func (w *ShardedWAL) enqueue(shard int, batch []core.Sighting, s core.Sighting, one bool) {
-	sb := &w.bufs[shard]
+	sb := &g.bufs[idx]
 	sb.mu.Lock()
 	sb.waitSpace()
 	cp := sb.takeBatchBuf()
@@ -288,16 +678,44 @@ func (w *ShardedWAL) enqueue(shard int, batch []core.Sighting, s core.Sighting, 
 	}
 	sb.push(WALRecord{Op: WALSightingBatch, Sightings: cp})
 	sb.mu.Unlock()
+	g.appended[idx].Add(n)
+	return nil
 }
 
-// writer is shard i's commit goroutine: it lingers for the coalescing
+// AppendRemove logs the removal of id, with the same mode and routing
+// semantics as AppendBatch.
+func (w *ShardedWAL) AppendRemove(shard, count int, id core.OID) error {
+	if w.down.Load() {
+		return w.Err()
+	}
+	w.genMu.RLock()
+	g, idx := w.route(id, shard, count)
+	w.genMu.RUnlock()
+	if g.bufs == nil {
+		if err := g.segs[idx].Append(WALRecord{Op: WALSightingRemove, OID: id}); err != nil {
+			w.fail(err)
+			return err
+		}
+		g.appended[idx].Add(1)
+		return nil
+	}
+	sb := &g.bufs[idx]
+	sb.mu.Lock()
+	sb.waitSpace()
+	sb.push(WALRecord{Op: WALSightingRemove, OID: id})
+	sb.mu.Unlock()
+	g.appended[idx].Add(1)
+	return nil
+}
+
+// writer is one segment's commit goroutine: it lingers for the coalescing
 // window once records are pending, swaps the shard's list out, encodes it
 // (timestamps memoized across the drain — group-commit records cluster in
 // time) and hands the whole drain to the segment as one write+flush.
-func (w *ShardedWAL) writer(shard int) {
-	defer w.wg.Done()
-	sb := &w.bufs[shard]
-	seg := w.segs[shard]
+func (w *ShardedWAL) writer(g *walGen, shard int) {
+	defer g.wg.Done()
+	sb := &g.bufs[shard]
+	seg := g.segs[shard]
 	var local []WALRecord
 	var out []byte
 	var memo walTimeMemo
@@ -350,27 +768,214 @@ func (w *ShardedWAL) writer(shard int) {
 	}
 }
 
+// StartEpoch opens an epoch transition to newCount shards. No segment
+// exists yet and no append routes to the new layout until its shard is
+// switched; the store calls SwitchShard once per new shard (under that
+// shard's lock) and FinishEpoch when all have switched. Only one
+// transition can be in flight.
+func (w *ShardedWAL) StartEpoch(newCount int) error {
+	newCount, err := NormalizeShards(newCount)
+	if err != nil {
+		return err
+	}
+	if w.down.Load() {
+		return w.Err()
+	}
+	w.genMu.Lock()
+	defer w.genMu.Unlock()
+	if w.next != nil {
+		return fmt.Errorf("store: sighting WAL epoch transition already in flight")
+	}
+	ng := &walGen{
+		epoch:    w.cur.epoch + 1,
+		count:    newCount,
+		segs:     make([]*FileWAL, newCount),
+		appended: make([]atomic.Int64, newCount),
+	}
+	if !w.sync {
+		ng.bufs = make([]walShardBuf, newCount)
+	}
+	w.next = ng
+	w.switched = make([]bool, newCount)
+	return nil
+}
+
+// SwitchShard moves one shard of the pending epoch onto its new segment:
+// the segment is created atomically as epoch header + live-set snapshot,
+// and from the moment SwitchShard returns, appends for objects hashing to
+// shard under the new mapping land in it. The caller must hold the store
+// lock that quiesces exactly those objects for the duration of the call —
+// that lock is what makes the snapshot complete (nothing newer exists) and
+// the routing flip race-free. Pre-snapshot records for these objects in
+// older segments lose authority to the snapshot, per the epoch invariant.
+//
+// SwitchShard performs the segment write (including an fsync) inline, so
+// the caller's shard stays quiesced for the disk work — the right trade
+// in the synchronous (WithSync) mode, whose appends fsync under that lock
+// anyway. The asynchronous mode uses the BeginSwitchShard/
+// FinishSwitchShard pair instead, which moves the disk work off the lock.
+func (w *ShardedWAL) SwitchShard(shard int, live []core.Sighting) error {
+	if err := w.BeginSwitchShard(shard); err != nil {
+		return err
+	}
+	return w.FinishSwitchShard(shard, live)
+}
+
+// BeginSwitchShard flips one shard of the pending epoch onto the new
+// routing: from here on, appends for objects hashing to shard under the
+// new mapping accumulate in the new generation's buffer (asynchronous
+// mode) instead of reaching any old segment. The caller must hold the
+// store lock quiescing those objects across BeginSwitchShard and the
+// live-set snapshot it takes before releasing that lock, and must then
+// call FinishSwitchShard with the snapshot. Between the two calls the
+// records are buffered in memory only — the same bounded process-crash
+// loss window every asynchronous append has; a crash in the window leaves
+// no (valid) epoch segment for the shard, so recovery folds its objects
+// from the older epochs, a consistent prefix.
+func (w *ShardedWAL) BeginSwitchShard(shard int) error {
+	if w.down.Load() {
+		return w.Err()
+	}
+	w.genMu.Lock()
+	defer w.genMu.Unlock()
+	if w.next == nil {
+		return fmt.Errorf("store: SwitchShard without StartEpoch")
+	}
+	if w.next.bufs != nil && w.next.bufs[shard].data == nil {
+		w.next.bufs[shard].initCond()
+	}
+	w.switched[shard] = true
+	return nil
+}
+
+// FinishSwitchShard writes the shard's epoch segment (header + the
+// snapshot taken under the store lock, atomically via temp+rename) and
+// starts the shard's writer, which then drains whatever buffered since
+// BeginSwitchShard — landing after the snapshot, exactly the replay order
+// that reproduces the store. Called without the store's shard lock: the
+// segment write and its fsync stall no one.
+func (w *ShardedWAL) FinishSwitchShard(shard int, live []core.Sighting) error {
+	w.genMu.RLock()
+	ng := w.next
+	w.genMu.RUnlock()
+	if ng == nil {
+		return fmt.Errorf("store: FinishSwitchShard without StartEpoch")
+	}
+	seg, err := createEpochSegment(w.dir, shard, ng.epoch, ng.count, live, w.sync)
+	if err != nil {
+		w.fail(err)
+		if ng.bufs != nil {
+			// The shard's writer will never start: release anyone parked
+			// on the buffer (producers at the cap, flush barriers) so the
+			// sticky error surfaces instead of a hang.
+			sb := &ng.bufs[shard]
+			sb.mu.Lock()
+			sb.stop = true
+			for _, ack := range sb.acks {
+				close(ack)
+			}
+			sb.acks = nil
+			if sb.space != nil {
+				sb.space.Broadcast()
+			}
+			sb.mu.Unlock()
+		}
+		return err
+	}
+	w.genMu.Lock()
+	ng.segs[shard] = seg
+	if ng.bufs != nil {
+		ng.wg.Add(1)
+		go w.writer(ng, shard)
+	}
+	w.genMu.Unlock()
+	return nil
+}
+
+// FinishEpoch completes the transition: the new generation becomes
+// current, the old generation's writers drain and stop, and its files are
+// deleted (they carry no authority once every new shard has its snapshot
+// segment — leftovers from a crash here are cleaned up by the next open).
+func (w *ShardedWAL) FinishEpoch() {
+	w.genMu.Lock()
+	old := w.cur
+	if w.next == nil {
+		w.genMu.Unlock()
+		return
+	}
+	for _, sw := range w.switched {
+		if !sw {
+			w.genMu.Unlock()
+			// Unswitched shards keep routing to the old layout; finishing
+			// now would strand their appends. The caller drives every
+			// shard through SwitchShard first.
+			return
+		}
+	}
+	w.cur = w.next
+	w.next = nil
+	w.switched = nil
+	w.genMu.Unlock()
+
+	w.stopGen(old)
+	for i, seg := range old.segs {
+		if seg != nil {
+			seg.Close()
+		}
+		os.Remove(segmentPath(w.dir, i, old.epoch))
+	}
+}
+
+// stopGen drains and stops one generation's writer goroutines.
+func (w *ShardedWAL) stopGen(g *walGen) {
+	if g.bufs == nil {
+		return
+	}
+	for i := range g.bufs {
+		sb := &g.bufs[i]
+		sb.mu.Lock()
+		if sb.data != nil {
+			sb.stop = true
+			sb.data.Signal()
+			sb.space.Broadcast()
+		}
+		sb.mu.Unlock()
+	}
+	g.wg.Wait()
+}
+
 // Flush blocks until every record appended before the call has been handed
 // to the OS, and returns the sticky append error, if any. It is the
 // durability barrier of the asynchronous mode (a no-op barrier with
 // WithSync, where appends are already synchronous).
 func (w *ShardedWAL) Flush() error {
-	if w.bufs != nil {
-		acks := make([]chan struct{}, len(w.bufs))
-		for i := range w.bufs {
-			acks[i] = w.barrier(i)
+	w.genMu.RLock()
+	gens := []*walGen{w.cur}
+	if w.next != nil {
+		gens = append(gens, w.next)
+	}
+	var acks []chan struct{}
+	for _, g := range gens {
+		if g.bufs == nil {
+			continue
 		}
-		for _, ack := range acks {
-			<-ack
+		for i := range g.bufs {
+			if g.bufs[i].data == nil {
+				continue // not yet switched
+			}
+			acks = append(acks, barrier(&g.bufs[i]))
 		}
+	}
+	w.genMu.RUnlock()
+	for _, ack := range acks {
+		<-ack
 	}
 	return w.Err()
 }
 
-// barrier registers a flush barrier on shard's buffer and returns the
+// barrier registers a flush barrier on a shard buffer and returns the
 // channel closed once everything currently buffered is committed.
-func (w *ShardedWAL) barrier(shard int) chan struct{} {
-	sb := &w.bufs[shard]
+func barrier(sb *walShardBuf) chan struct{} {
 	ack := make(chan struct{})
 	sb.mu.Lock()
 	if sb.stop {
@@ -384,10 +989,16 @@ func (w *ShardedWAL) barrier(shard int) chan struct{} {
 	return ack
 }
 
-// flushShard is Flush for a single shard's buffer.
+// flushShard is Flush for a single current-epoch shard buffer.
 func (w *ShardedWAL) flushShard(shard int) error {
-	if w.bufs != nil {
-		<-w.barrier(shard)
+	w.genMu.RLock()
+	var ack chan struct{}
+	if w.cur.bufs != nil {
+		ack = barrier(&w.cur.bufs[shard])
+	}
+	w.genMu.RUnlock()
+	if ack != nil {
+		<-ack
 	}
 	return w.Err()
 }
@@ -416,9 +1027,18 @@ func (w *ShardedWAL) fail(err error) {
 
 // ReplayShard streams shard's records oldest first, with FileWAL.Replay's
 // recovery guarantees (torn tail tolerated, mid-file corruption surfaced
-// with its offset).
+// with its offset). Epoch layout markers are consumed internally; callers
+// see only state-bearing records.
 func (w *ShardedWAL) ReplayShard(shard int, fn func(WALRecord) error) error {
-	return w.segs[shard].Replay(fn)
+	w.genMu.RLock()
+	seg := w.cur.segs[shard]
+	w.genMu.RUnlock()
+	return seg.Replay(func(rec WALRecord) error {
+		if rec.Op == WALEpoch {
+			return nil
+		}
+		return fn(rec)
+	})
 }
 
 // AppendedSince reports how many sightings and removals were logged to
@@ -426,7 +1046,9 @@ func (w *ShardedWAL) ReplayShard(shard int, fn func(WALRecord) error) error {
 // the grow signal for compaction policies, commensurable with a live-set
 // size.
 func (w *ShardedWAL) AppendedSince(shard int) int64 {
-	return w.appended[shard].Load()
+	w.genMu.RLock()
+	defer w.genMu.RUnlock()
+	return w.cur.appended[shard].Load()
 }
 
 // CompactShard atomically rewrites shard's segment to one batch record
@@ -434,8 +1056,9 @@ func (w *ShardedWAL) AppendedSince(shard int) int64 {
 // buffer (a buffered pre-snapshot record written after the snapshot would
 // un-supersede it on replay). The caller must guarantee no concurrent
 // appends to the same shard for the whole call (the store holds the shard
+// lock) and no concurrent epoch transition (the store holds its resize
 // lock); in asynchronous mode the BeginCompact/FinishCompact pair lets the
-// disk work happen outside that lock instead.
+// disk work happen outside the shard lock instead.
 func (w *ShardedWAL) CompactShard(shard int, live []core.Sighting) error {
 	if err := w.flushShard(shard); err != nil {
 		return err
@@ -445,7 +1068,7 @@ func (w *ShardedWAL) CompactShard(shard int, live []core.Sighting) error {
 
 // Asynchronous reports whether appends run through per-shard writer
 // goroutines (the default) rather than synchronously (WithSync).
-func (w *ShardedWAL) Asynchronous() bool { return w.bufs != nil }
+func (w *ShardedWAL) Asynchronous() bool { return !w.sync }
 
 // BeginCompact prepares shard for a low-stall compaction (asynchronous
 // mode only): it drains the shard's pending records to the current segment
@@ -460,7 +1083,9 @@ func (w *ShardedWAL) BeginCompact(shard int) error {
 	if err := w.flushShard(shard); err != nil {
 		return err
 	}
-	sb := &w.bufs[shard]
+	w.genMu.RLock()
+	sb := &w.cur.bufs[shard]
+	w.genMu.RUnlock()
 	sb.mu.Lock()
 	sb.compacting = true
 	sb.mu.Unlock()
@@ -472,7 +1097,9 @@ func (w *ShardedWAL) BeginCompact(shard int) error {
 // rewrite into the new segment. Called without the store's shard lock.
 func (w *ShardedWAL) FinishCompact(shard int, live []core.Sighting) error {
 	err := w.rewriteSegment(shard, live)
-	sb := &w.bufs[shard]
+	w.genMu.RLock()
+	sb := &w.cur.bufs[shard]
+	w.genMu.RUnlock()
 	sb.mu.Lock()
 	sb.compacting = false
 	sb.data.Signal()
@@ -480,44 +1107,53 @@ func (w *ShardedWAL) FinishCompact(shard int, live []core.Sighting) error {
 	return err
 }
 
-// rewriteSegment replaces shard's segment contents with one live-set batch
-// record and resets the growth counter.
+// rewriteSegment replaces shard's segment contents with its epoch header
+// (outside epoch 0, where no header exists) plus one live-set batch record,
+// and resets the growth counter.
 func (w *ShardedWAL) rewriteSegment(shard int, live []core.Sighting) error {
+	w.genMu.RLock()
+	g := w.cur
+	w.genMu.RUnlock()
 	var recs []WALRecord
-	if len(live) > 0 {
-		recs = []WALRecord{{Op: WALSightingBatch, Sightings: live}}
+	if g.epoch > 0 {
+		recs = append(recs, WALRecord{Op: WALEpoch, Epoch: g.epoch, ShardCount: g.count})
 	}
-	if err := w.segs[shard].CompactRecords(recs); err != nil {
+	if len(live) > 0 {
+		recs = append(recs, WALRecord{Op: WALSightingBatch, Sightings: live})
+	}
+	if err := g.segs[shard].CompactRecords(recs); err != nil {
 		return err
 	}
-	w.appended[shard].Store(0)
+	g.appended[shard].Store(0)
 	return nil
 }
 
 // Close drains the append buffers, stops the writers and closes every
-// segment. It is idempotent. The caller should have stopped appending (as
-// with FileWAL.Close); an append racing Close is dropped — the stop flag
-// under each shard's mutex keeps it a clean drop, never a reorder or a
-// race — and appends after Close park on the stopped buffer without
-// touching the closed segments.
+// segment — of the current epoch and, if a transition is in flight, of the
+// partially switched next epoch. It is idempotent. The caller should have
+// stopped appending (as with FileWAL.Close); an append racing Close is
+// dropped — the stop flag under each shard's mutex keeps it a clean drop,
+// never a reorder or a race — and appends after Close park on the stopped
+// buffer without touching the closed segments.
 func (w *ShardedWAL) Close() error {
 	w.closeOnce.Do(func() {
-		if w.bufs != nil {
-			for i := range w.bufs {
-				sb := &w.bufs[i]
-				sb.mu.Lock()
-				sb.stop = true
-				sb.data.Signal()
-				sb.space.Broadcast()
-				sb.mu.Unlock()
-			}
-			w.wg.Wait()
+		w.genMu.Lock()
+		gens := []*walGen{}
+		if w.cur != nil {
+			gens = append(gens, w.cur)
 		}
+		if w.next != nil {
+			gens = append(gens, w.next)
+		}
+		w.genMu.Unlock()
 		errs := []error{w.Err()}
-		for _, seg := range w.segs {
-			if seg != nil {
-				if err := seg.Close(); err != nil {
-					errs = append(errs, err)
+		for _, g := range gens {
+			w.stopGen(g)
+			for _, seg := range g.segs {
+				if seg != nil {
+					if err := seg.Close(); err != nil {
+						errs = append(errs, err)
+					}
 				}
 			}
 		}

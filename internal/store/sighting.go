@@ -7,7 +7,11 @@
 //     position queries). Records carry soft-state expiration dates. The
 //     sharded variant (ShardedSightingDB) partitions the database by object
 //     id so updates scale across cores; UpdatePipeline batches concurrent
-//     updates per shard (group commit under one lock acquisition).
+//     updates per shard (group commit under one lock acquisition). The
+//     shard count adapts at runtime: Resize migrates the store to a new
+//     count behind an epoch-versioned mapping without quiescing it, and
+//     the AutoShard policy decides when, from write-lock contention
+//     sampled on the shard mutexes and the pipeline lanes.
 //   - VisitorDB — the per-server database of visitor records, persisted via
 //     an append-only log so that forwarding paths survive crashes. The paper
 //     used DB2 over JDBC; the log-plus-snapshot store here preserves the

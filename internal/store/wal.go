@@ -14,7 +14,11 @@
 //     object id. These are appended by ShardedSightingDB through a
 //     ShardedWAL, one log segment per shard; batch framing amortizes the
 //     marshal and flush cost across the batch exactly as the update
-//     pipeline's combining lane amortizes lock cost.
+//     pipeline's combining lane amortizes lock cost. Segments written
+//     after a live resize start with an Op "epoch" layout marker (the
+//     resize epoch and the shard count ids are hashed across from that
+//     record on); see ShardedWAL for the epoch invariant recovery relies
+//     on.
 //
 // # Durability modes
 //
@@ -43,7 +47,8 @@
 // Compact rewrites a log to its live set via a temporary file in the same
 // directory followed by an atomic rename. A crash (or any failure) before
 // the rename leaves the original log untouched and the WAL usable; leftover
-// ".wal-compact-*" temporaries are never read back.
+// ".wal-rewrite-*" temporaries are never read back, and OpenShardedWAL
+// sweeps them from sharded-log directories.
 package store
 
 import (
@@ -73,6 +78,12 @@ const (
 	// soft-state expiry).
 	WALSightingBatch  WALOp = "sbatch"
 	WALSightingRemove WALOp = "sremove"
+	// WALEpoch is the layout marker heading every sighting segment written
+	// at epoch > 0: it records the epoch number and the shard count of the
+	// id→segment mapping the rest of the segment was written under, which
+	// is what lets recovery replay across the epoch boundary a live resize
+	// (or a crash mid-resize) leaves behind. It carries no object state.
+	WALEpoch WALOp = "epoch"
 )
 
 // ErrCorruptWAL marks an unparseable record before the final line of a log:
@@ -92,6 +103,11 @@ type WALRecord struct {
 	Sightings []core.Sighting `json:"sightings,omitempty"`
 	// OID is the removed object of a WALSightingRemove record.
 	OID core.OID `json:"oid,omitempty"`
+	// Epoch and ShardCount describe the segment layout of a WALEpoch
+	// record: the resize epoch and the number of shards ids are hashed
+	// across from this record on.
+	Epoch      int64 `json:"epoch,omitempty"`
+	ShardCount int   `json:"shards,omitempty"`
 }
 
 // WAL is the persistence backend of a VisitorDB. Implementations must allow
@@ -315,45 +331,65 @@ func (w *FileWAL) Compact(live []VisitorRecord) error {
 	return w.CompactRecords(recs)
 }
 
-// CompactRecords atomically replaces the log's contents with recs, in
-// order. The temporary file is written and fsynced first, then renamed over
-// the log; the temporary's file handle becomes the new append handle, so no
-// reopen can fail after the swap. Every failure path leaves the original
-// log untouched, open and usable for further appends — a crash anywhere
-// before the rename loses nothing but the compaction.
-func (w *FileWAL) CompactRecords(recs []WALRecord) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	dir := filepath.Dir(w.path)
-	tmp, err := os.CreateTemp(dir, ".wal-compact-*")
+// walTempPattern names the temporaries of every atomic segment rewrite
+// (compaction and epoch-segment creation). They are never read back;
+// OpenShardedWAL sweeps crash leftovers matching walTempGlob.
+const (
+	walTempPattern = ".wal-rewrite-*"
+	walTempGlob    = ".wal-*"
+)
+
+// writeRecordsAtomic marshals recs as JSON lines into a temporary file
+// beside path, flushes and fsyncs it, and renames it over path — the one
+// shared implementation of the write-temp/fsync/rename protocol behind
+// compaction and epoch-segment creation. It returns the temporary's
+// handle, which after the rename refers to path and is positioned at the
+// end, ready for the caller to adopt for appends. Every failure path
+// removes the temporary and leaves path untouched. Making the rename
+// itself durable (directory fsync) is the caller's policy.
+func writeRecordsAtomic(path string, recs []WALRecord) (*os.File, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), walTempPattern)
 	if err != nil {
-		return fmt.Errorf("store: creating compaction file: %w", err)
+		return nil, fmt.Errorf("store: creating segment rewrite file: %w", err)
 	}
-	// Until the rename succeeds, the temporary is discarded on every exit
-	// path and the original log stays authoritative.
-	abort := func(err error) error {
+	abort := func(err error) (*os.File, error) {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return nil, err
 	}
 	bw := bufio.NewWriter(tmp)
 	for _, rec := range recs {
 		data, err := json.Marshal(rec)
 		if err != nil {
-			return abort(fmt.Errorf("store: marshaling compaction record: %w", err))
+			return abort(fmt.Errorf("store: marshaling segment record: %w", err))
 		}
 		if _, err := bw.Write(append(data, '\n')); err != nil {
-			return abort(fmt.Errorf("store: writing compaction record: %w", err))
+			return abort(fmt.Errorf("store: writing segment rewrite: %w", err))
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return abort(fmt.Errorf("store: flushing compaction file: %w", err))
+		return abort(fmt.Errorf("store: flushing segment rewrite: %w", err))
 	}
 	if err := tmp.Sync(); err != nil {
-		return abort(fmt.Errorf("store: syncing compaction file: %w", err))
+		return abort(fmt.Errorf("store: syncing segment rewrite: %w", err))
 	}
-	if err := os.Rename(tmp.Name(), w.path); err != nil {
-		return abort(fmt.Errorf("store: renaming compacted WAL: %w", err))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return abort(fmt.Errorf("store: renaming rewritten segment: %w", err))
+	}
+	return tmp, nil
+}
+
+// CompactRecords atomically replaces the log's contents with recs, in
+// order (writeRecordsAtomic). The temporary's file handle becomes the new
+// append handle, so no reopen can fail after the swap. Every failure path
+// leaves the original log untouched, open and usable for further appends —
+// a crash anywhere before the rename loses nothing but the compaction.
+func (w *FileWAL) CompactRecords(recs []WALRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tmp, err := writeRecordsAtomic(w.path, recs)
+	if err != nil {
+		return err
 	}
 	// The rename is the commit point: the temporary's handle now refers to
 	// the log, so adopt it and retire the old handle. Errors past this

@@ -279,30 +279,41 @@ func TestCompactFailureLeavesWALUsable(t *testing.T) {
 	}
 }
 
-// Reopening a sharded log with a different shard count must be refused
-// once any segment holds history (the id→segment mapping is a property of
-// the persistent log) — but all-empty segments, as left by a crashed first
-// open or an idle run, must not pin the count.
+// Reopening a sharded log with a different shard count adopts the count
+// persisted in the log once any segment holds history (the id→segment
+// mapping is a property of the persistent log; changing it takes a resize,
+// which stamps a new epoch) — while all-empty segments, as left by a
+// crashed first open or an idle run, must not pin the count.
 func TestShardedWALShardCountMismatch(t *testing.T) {
 	dir := t.TempDir()
 	w, err := OpenShardedWAL(dir, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.AppendRemove(2, "x"); err != nil {
+	if err := w.AppendRemove(2, 4, "x"); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenShardedWAL(dir, 8); err == nil {
-		t.Fatal("reopening a 4-segment log with history with 8 shards succeeded")
+	w, err = OpenShardedWAL(dir, 8)
+	if err != nil {
+		t.Fatalf("reopening a 4-segment log with history with 8 shards: %v", err)
 	}
+	if w.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want the persisted 4 (the log remembers its layout)", w.NumShards())
+	}
+	w.Close()
 	w, err = OpenShardedWAL(dir, 4)
 	if err != nil {
 		t.Fatalf("reopening with matching count: %v", err)
 	}
 	w.Close()
+
+	// Negative counts are rejected by the central validation.
+	if _, err := OpenShardedWAL(t.TempDir(), -3); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
 
 	// Empty segments adopt the requested count instead.
 	empty := t.TempDir()
@@ -323,7 +334,7 @@ func TestShardedWALShardCountMismatch(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(segmentPath(empty, 2)); err == nil {
+	if _, err := os.Stat(segmentPath(empty, 2, 0)); err == nil {
 		t.Fatal("stale empty segment survived the count change")
 	}
 }
@@ -780,7 +791,7 @@ func TestRecoverSurfacesShardCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt the middle of shard 0's segment.
-	seg := segmentPath(dir, 0)
+	seg := segmentPath(dir, 0, 0)
 	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)

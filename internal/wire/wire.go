@@ -47,6 +47,8 @@ func registerTypes() {
 	gob.Register(msg.EventUnsubscribe{})
 	gob.Register(msg.EventCount{})
 	gob.Register(msg.EventNotify{})
+	gob.Register(msg.DiagReq{})
+	gob.Register(msg.DiagRes{})
 	gob.Register(msg.Ack{})
 	gob.Register(msg.ErrorRes{})
 }

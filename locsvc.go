@@ -111,6 +111,11 @@ func AreaFromPoints(points ...Point) Area { return core.AreaFromPoints(points) }
 // IndexKind selects a spatial index implementation.
 type IndexKind = spatial.Kind
 
+// AutoShardConfig bounds and tunes adaptive shard resizing
+// (LocalConfig.AutoShard); see store.AutoShardConfig for the decision
+// rule and field defaults.
+type AutoShardConfig = store.AutoShardConfig
+
 // Spatial index kinds for LocalConfig.Index.
 const (
 	IndexQuadtree = spatial.KindQuadtree
@@ -133,12 +138,26 @@ type LocalConfig struct {
 	AchievableAcc float64
 	// SightingTTL enables soft-state expiry of silent objects.
 	SightingTTL time.Duration
+	// JanitorInterval overrides the leaves' janitor cadence — the tick
+	// that collects expired visitors, observes contention for AutoShard
+	// and compacts grown WAL segments. Zero picks a default from the
+	// enabled features (SightingTTL/4; else 5s with AutoShard; else 1m
+	// with a sighting WAL).
+	JanitorInterval time.Duration
 	// Index selects the sightingDB spatial index (default quadtree).
 	Index IndexKind
 	// Shards partitions each leaf's sighting store into that many
 	// independently locked shards keyed by object id, so concurrent
-	// updates scale across cores; 0 or 1 keeps the single-lock store.
+	// updates scale across cores; 0 or 1 keeps the single-lock store,
+	// negative counts are rejected. With AutoShard this is only the
+	// starting count.
 	Shards int
+	// AutoShard enables contention-driven live resizing of each leaf's
+	// sighting store: the shard count grows and shrinks between the
+	// configured bounds from observed lock contention, with queries and
+	// updates served throughout the migration. Zero fields take the
+	// documented defaults.
+	AutoShard *AutoShardConfig
 	// WALDir enables durable server state. Every server persists its
 	// visitorDB (the forwarding paths of paper Section 5) to
 	// <dir>/<id>-visitors.wal, and every leaf additionally keeps one
@@ -174,23 +193,25 @@ func NewLocal(cfg LocalConfig) (*Service, error) {
 	if cfg.HopLatency > 0 {
 		opts.Latency = func(_, _ msg.NodeID) time.Duration { return cfg.HopLatency }
 	}
+	shards, err := store.NormalizeShards(cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+	}
 	net := transport.NewInproc(opts)
 	spec := hierarchy.Spec{RootArea: cfg.Area, Levels: cfg.Levels, RootPartitions: cfg.RootPartitions}
 	base := server.Options{
 		AchievableAcc:    cfg.AchievableAcc,
 		SightingTTL:      cfg.SightingTTL,
+		JanitorInterval:  cfg.JanitorInterval,
 		Index:            cfg.Index,
-		Shards:           cfg.Shards,
+		Shards:           shards,
+		AutoShard:        cfg.AutoShard,
 		EnableAreaCache:  cfg.EnableCaches,
 		EnableAgentCache: cfg.EnableCaches,
 		EnablePosCache:   cfg.EnableCaches,
 	}
 	var customize func(store.ConfigRecord, server.Options) (server.Options, error)
 	if cfg.WALDir != "" {
-		shards := cfg.Shards
-		if shards < 1 {
-			shards = 1
-		}
 		var walOpts []store.FileWALOption
 		if cfg.WALSync {
 			walOpts = append(walOpts, store.WithSync())
