@@ -11,6 +11,7 @@
 //	lsbench -table A4     # update-protocol comparison
 //	lsbench -table A5     # query-locality sweep
 //	lsbench -table A8     # live shard-resize cost (epoch map overhead, stall bounds)
+//	lsbench -table W      # wire codec: binary vs gob envelope round trips
 //	lsbench -table all    # everything
 //	lsbench -quick        # smaller populations, faster runs
 //
@@ -42,10 +43,11 @@ import (
 	"locsvc/internal/spatial"
 	"locsvc/internal/store"
 	"locsvc/internal/transport"
+	"locsvc/internal/wire"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 1, 2, A1 … A7 or all")
+	table := flag.String("table", "all", "which table to run: 1, 2, A1 … A8, W or all")
 	quick := flag.Bool("quick", false, "reduced populations for a fast smoke run")
 	flag.Parse()
 
@@ -64,9 +66,10 @@ func main() {
 	run("A6", ablationRootPartitions)
 	run("A7", ablationShardedStore)
 	run("A8", ablationResize)
+	run("W", tableWire)
 
 	switch *table {
-	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "all":
+	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(1)
@@ -893,6 +896,94 @@ func ablationResize(quick bool) {
 	}
 	measure("4 -> 8", 8)
 	measure("8 -> 4", 4)
+}
+
+// ---------------------------------------------------------------------------
+// Table W: wire codec. The hand-rolled binary codec vs the retired gob
+// format on the datagrams that dominate steady-state traffic: every remote
+// operation pays the codec twice (request + response), so round-trip
+// encode+decode throughput is the number that matters. Recorded runs live
+// in BENCH_wire.json.
+
+func tableWire(quick bool) {
+	binOps := 2_000_000
+	gobOps := 40_000
+	if quick {
+		binOps, gobOps = 200_000, 5_000
+	}
+	fmt.Printf("\nTable W: wire codec round trips (binary vs gob baseline)\n\n")
+	fmt.Printf("%-20s %10s %10s %14s %14s %9s\n",
+		"message", "bin bytes", "gob bytes", "binary rt/s", "gob rt/s", "speedup")
+
+	subObjs := make([]core.Entry, 16)
+	for i := range subObjs {
+		subObjs[i] = core.Entry{
+			OID: core.OID(fmt.Sprintf("obj-%04d", i)),
+			LD:  core.LocationDescriptor{Pos: geo.Pt(float64(i)*10, 500), Acc: 10},
+		}
+	}
+	envelopes := []struct {
+		name string
+		env  msg.Envelope
+	}{
+		{"UpdateReq", msg.Envelope{From: "obj-node-17", CorrID: 421, Msg: msg.UpdateReq{S: core.Sighting{
+			OID: "truck-7", T: time.Unix(1_700_000_000, 250_000_000).UTC(),
+			Pos: geo.Pt(1234.5, 987.25), SensAcc: 10,
+		}}}},
+		{"PosQueryRes", msg.Envelope{From: "r.2", CorrID: 99, Reply: true, Msg: msg.PosQueryRes{
+			OpID: 7, Found: true,
+			LD:    core.LocationDescriptor{Pos: geo.Pt(431.25, 1102.5), Acc: 12.5},
+			Agent: "r.2",
+			AgentInfo: msg.LeafInfo{
+				ID:   "r.2",
+				Area: core.AreaFromRect(geo.R(0, 750, 750, 1500)),
+			},
+			MaxSpeed: 15, Hops: 3,
+		}}},
+		{"RangeQuerySubRes(16)", msg.Envelope{From: "r.1", Msg: msg.RangeQuerySubRes{
+			OpID: 99, Objs: subObjs, CoveredSize: 2500,
+			Leaf: msg.LeafInfo{ID: "r.1", Area: core.AreaFromRect(geo.R(0, 0, 750, 750))},
+		}}},
+	}
+
+	for _, e := range envelopes {
+		binData, err := wire.Encode(e.env)
+		if err != nil {
+			fatal(err)
+		}
+		gobData, err := wire.EncodeGob(e.env)
+		if err != nil {
+			fatal(err)
+		}
+
+		buf := make([]byte, 0, len(binData))
+		start := time.Now()
+		for i := 0; i < binOps; i++ {
+			buf, err = wire.AppendEncode(buf[:0], e.env)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := wire.Decode(buf); err != nil {
+				fatal(err)
+			}
+		}
+		binRate := float64(binOps) / time.Since(start).Seconds()
+
+		start = time.Now()
+		for i := 0; i < gobOps; i++ {
+			data, gerr := wire.EncodeGob(e.env)
+			if gerr != nil {
+				fatal(gerr)
+			}
+			if _, gerr := wire.DecodeGob(data); gerr != nil {
+				fatal(gerr)
+			}
+		}
+		gobRate := float64(gobOps) / time.Since(start).Seconds()
+
+		fmt.Printf("%-20s %10d %10d %14.0f %14.0f %8.1fx\n",
+			e.name, len(binData), len(gobData), binRate, gobRate, binRate/gobRate)
+	}
 }
 
 func fatal(err error) {

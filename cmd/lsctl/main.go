@@ -12,7 +12,10 @@
 // stats prints the entry server's diagnostic snapshot: visitor and
 // sighting counts, the sighting store's shard layout (occupancy and
 // lock-contention counters per shard, resize epoch — what the -autoshard
-// policy feeds on) and the metrics registry.
+// policy feeds on) and the metrics registry. Servers started by lsd share
+// one registry between the server and its UDP transport, so the snapshot
+// includes the wire-level series (wire_bytes_in/out, wire_datagrams_in/out,
+// wire_decode_errors, wire_oversize_dropped) next to the protocol counters.
 //
 // register keeps the process alive with -keep to continue serving accuracy
 // notifications and recovery update requests; otherwise it exits after the

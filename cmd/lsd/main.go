@@ -35,6 +35,7 @@ import (
 	"locsvc/internal/core"
 	"locsvc/internal/geo"
 	"locsvc/internal/hierarchy"
+	"locsvc/internal/metrics"
 	"locsvc/internal/msg"
 	"locsvc/internal/server"
 	"locsvc/internal/store"
@@ -112,7 +113,12 @@ func main() {
 		fatal(fmt.Errorf("no address for %q in topology", *id))
 	}
 
-	network := transport.NewUDP()
+	// One registry shared by the server and its UDP network: the
+	// transport's wire_bytes_in/out and decode-error counters ride along
+	// in the server's DiagRes snapshot, so lsctl stats shows wire-level
+	// traffic next to the protocol counters.
+	reg := metrics.NewRegistry()
+	network := transport.NewUDPWithMetrics(reg)
 	for nid, addr := range topo.Nodes {
 		if nid == *id {
 			continue
@@ -127,6 +133,7 @@ func main() {
 		fatal(err)
 	}
 	opts := server.Options{
+		Metrics:          reg,
 		AchievableAcc:    *acc,
 		SightingTTL:      *ttl,
 		Shards:           nshards,

@@ -7,36 +7,91 @@ import (
 	"net"
 	"sync"
 
+	"locsvc/internal/metrics"
 	"locsvc/internal/msg"
 	"locsvc/internal/wire"
 )
 
-// maxDatagram bounds encoded envelope size. Range query results for large
-// areas can carry thousands of entries, so this is generous; the paper's
-// prototype likewise ran over a LAN with large UDP datagrams.
-const maxDatagram = 512 * 1024
+// maxDatagram bounds encoded envelope size: the largest payload a UDP
+// datagram can physically carry (65,535-byte 16-bit length field minus
+// the 8-byte UDP and 20-byte IP headers). Anything larger fails at encode
+// time with the message type and encoded size — the kernel would only
+// ever answer EMSGSIZE. Room for ~1,600 range-query entries per
+// datagram; the paper's prototype likewise ran over a LAN with large UDP
+// datagrams.
+const maxDatagram = 65507
 
 // UDP is a datagram Network. Node addresses are resolved through a static
 // Directory (the deployment knows every server's address; clients and
 // objects register themselves when attaching). It mirrors the paper's
 // prototype, whose communication protocols are implemented on top of UDP.
+//
+// The hot path is allocation-lean: receive buffers are pooled and handed
+// back as soon as the binary codec has decoded out of them (decoded
+// envelopes share no memory with the datagram), and sends encode into
+// pooled buffers with the size guard applied before the socket write.
 type UDP struct {
 	mu     sync.RWMutex
 	dir    map[msg.NodeID]*net.UDPAddr
 	nodes  map[msg.NodeID]*udpNode
 	closed bool
 	wg     sync.WaitGroup
+
+	// recvBufs recycles maxDatagram-sized receive buffers across all of
+	// the network's read loops.
+	recvBufs sync.Pool
+
+	// met and the resolved counters below record wire-level traffic.
+	// The registry is shared with the co-located server in lsd, so the
+	// counters surface through DiagRes and lsctl stats.
+	met          *metrics.Registry
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	datagramsIn  *metrics.Counter
+	datagramsOut *metrics.Counter
+	decodeErrors *metrics.Counter
+	oversize     *metrics.Counter
 }
 
 var _ Network = (*UDP)(nil)
 
-// NewUDP creates a UDP network with an initially empty directory.
+// NewUDP creates a UDP network with an initially empty directory and a
+// private metrics registry (see NewUDPWithMetrics).
 func NewUDP() *UDP {
-	return &UDP{
-		dir:   make(map[msg.NodeID]*net.UDPAddr),
-		nodes: make(map[msg.NodeID]*udpNode),
-	}
+	return NewUDPWithMetrics(nil)
 }
+
+// NewUDPWithMetrics creates a UDP network whose wire-level counters —
+// wire_bytes_in, wire_bytes_out, wire_datagrams_in, wire_datagrams_out,
+// wire_decode_errors, wire_oversize_dropped — are registered in reg. A
+// process that runs one server per network (lsd, the paper's deployment
+// shape) passes the server's registry so the counters ride along in
+// diagnostic snapshots. A nil reg gets a private registry, retrievable
+// via Metrics.
+func NewUDPWithMetrics(reg *metrics.Registry) *UDP {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	u := &UDP{
+		dir:          make(map[msg.NodeID]*net.UDPAddr),
+		nodes:        make(map[msg.NodeID]*udpNode),
+		met:          reg,
+		bytesIn:      reg.Counter("wire_bytes_in"),
+		bytesOut:     reg.Counter("wire_bytes_out"),
+		datagramsIn:  reg.Counter("wire_datagrams_in"),
+		datagramsOut: reg.Counter("wire_datagrams_out"),
+		decodeErrors: reg.Counter("wire_decode_errors"),
+		oversize:     reg.Counter("wire_oversize_dropped"),
+	}
+	u.recvBufs.New = func() any {
+		b := make([]byte, maxDatagram)
+		return &b
+	}
+	return u
+}
+
+// Metrics returns the registry holding the network's wire-level counters.
+func (u *UDP) Metrics() *metrics.Registry { return u.met }
 
 // AddRoute maps a node id to a UDP address ("host:port"). Servers started
 // by cmd/lsd publish their addresses through the deployment config.
@@ -161,33 +216,53 @@ var _ Node = (*udpNode)(nil)
 // ID implements Node.
 func (nd *udpNode) ID() msg.NodeID { return nd.id }
 
-// readLoop receives datagrams until the socket closes.
+// readLoop receives datagrams until the socket closes. Each datagram is
+// read into a pooled buffer that goes straight through wire.Decode and
+// back to the pool — the decoded envelope owns copies of everything it
+// needs, so no per-packet allocation or copy survives the loop body.
 func (nd *udpNode) readLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
-	buf := make([]byte, maxDatagram)
 	for {
-		n, src, err := nd.conn.ReadFromUDP(buf)
+		bp := nd.net.recvBufs.Get().(*[]byte)
+		buf := *bp
+		// ReadFromUDPAddrPort returns the source as a value type, so the
+		// steady-state loop body is allocation-free; ReadFromUDP would
+		// heap-allocate a *net.UDPAddr per packet.
+		n, src, err := nd.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
+			nd.net.recvBufs.Put(bp)
 			if errors.Is(err, net.ErrClosed) {
 				nd.handlerWG.Wait()
 				return
 			}
 			continue
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
-		env, err := wire.Decode(data)
-		if err != nil {
-			continue // malformed datagram: drop, as UDP services must
+		env, derr := wire.Decode(buf[:n])
+		nd.net.recvBufs.Put(bp)
+		nd.net.datagramsIn.Inc()
+		nd.net.bytesIn.Add(int64(n))
+		if derr != nil {
+			// Malformed datagram: drop, as UDP services must, but
+			// leave a trace for the operator.
+			nd.net.decodeErrors.Inc()
+			continue
 		}
 		// Learn the sender's address so replies and later messages to
-		// this node need no static directory entry.
-		if env.From != "" && src != nil {
-			nd.net.mu.Lock()
-			if _, known := nd.net.dir[env.From]; !known {
-				nd.net.dir[env.From] = src
+		// this node need no static directory entry. Known senders — the
+		// steady state — take only the read lock; the exclusive lock and
+		// the *net.UDPAddr conversion are paid once per new peer.
+		if env.From != "" && src.IsValid() {
+			nd.net.mu.RLock()
+			_, known := nd.net.dir[env.From]
+			nd.net.mu.RUnlock()
+			if !known {
+				ua := net.UDPAddrFromAddrPort(src)
+				nd.net.mu.Lock()
+				if _, known := nd.net.dir[env.From]; !known {
+					nd.net.dir[env.From] = ua
+				}
+				nd.net.mu.Unlock()
 			}
-			nd.net.mu.Unlock()
 		}
 		if env.Reply {
 			nd.calls.deliver(env.CorrID, env.Msg)
@@ -221,7 +296,9 @@ func (nd *udpNode) readLoop(wg *sync.WaitGroup) {
 // to that address directly: clients of a UDP deployment use their own
 // socket address as node id, so servers can answer them without any
 // directory entry (the paper's prototype likewise replies to the datagram
-// source).
+// source). Encoding appends into a pooled buffer; an envelope that would
+// exceed maxDatagram fails here, before the socket write, with the message
+// type and encoded size.
 func (nd *udpNode) write(dst msg.NodeID, env msg.Envelope) error {
 	nd.net.mu.RLock()
 	addr, ok := nd.net.dir[dst]
@@ -236,16 +313,27 @@ func (nd *udpNode) write(dst msg.NodeID, env msg.Envelope) error {
 		nd.net.mu.Unlock()
 		addr = ua
 	}
-	data, err := wire.Encode(env)
+	bp := wire.GetBuffer()
+	data, err := wire.AppendEncode((*bp)[:0], env)
 	if err != nil {
+		wire.PutBuffer(bp)
 		return err
 	}
+	*bp = data
 	if len(data) > maxDatagram {
-		return fmt.Errorf("transport: envelope of %d bytes exceeds datagram limit", len(data))
+		nd.net.oversize.Inc()
+		tag, _ := msg.TagOf(env.Msg)
+		wire.PutBuffer(bp)
+		return fmt.Errorf("transport: %s envelope encodes to %d bytes, exceeding the %d-byte datagram limit", tag, len(data), maxDatagram)
 	}
-	if _, err := nd.conn.WriteToUDP(data, addr); err != nil {
-		return fmt.Errorf("transport: sending to %s: %w", dst, err)
+	_, werr := nd.conn.WriteToUDP(data, addr)
+	n := len(data)
+	wire.PutBuffer(bp)
+	if werr != nil {
+		return fmt.Errorf("transport: sending to %s: %w", dst, werr)
 	}
+	nd.net.datagramsOut.Inc()
+	nd.net.bytesOut.Add(int64(n))
 	return nil
 }
 

@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+)
+
+// FuzzDecode proves the decoder total over arbitrary datagrams: malformed,
+// truncated or hostile input must return an error — never panic, never
+// allocate beyond the datagram's own size (the length guards cap every
+// count by the remaining bytes). Anything that does decode must survive a
+// re-encode/re-decode cycle, i.e. Decode's output is always encodable.
+func FuzzDecode(f *testing.F) {
+	seeds := []msg.Envelope{
+		{From: "obj-1", CorrID: 42, Msg: msg.UpdateReq{S: core.Sighting{
+			OID: "truck-7", T: time.Unix(1_700_000_000, 0).UTC(), Pos: geo.Pt(123.5, 456.25), SensAcc: 10,
+		}}},
+		{From: "r.0", Reply: true, CorrID: 7, Msg: msg.PosQueryRes{
+			OpID: 9, Found: true, LD: core.LocationDescriptor{Pos: geo.Pt(1, 2), Acc: 3},
+			Agent: "r.1", MaxSpeed: 4, Hops: 2,
+		}},
+		{From: "r.1", Msg: msg.RangeQuerySubRes{
+			OpID:        99,
+			Objs:        []core.Entry{{OID: "a", LD: core.LocationDescriptor{Pos: geo.Pt(1, 2), Acc: 3}}},
+			CoveredSize: 2500,
+			Leaf:        msg.LeafInfo{ID: "r.1", Area: core.AreaFromRect(geo.R(0, 0, 50, 50))},
+		}},
+		{From: "x", Msg: msg.EventNotify{SubID: "s", Fired: true, Total: 3, Objs: []core.OID{"a", "b"}}},
+		{From: "r", Msg: msg.DiagRes{Server: "r", Shards: []msg.ShardDiag{{Len: 1, Ops: 2, Contended: 3}}, Metrics: "m = 1\n"}},
+		{From: "y", CorrID: 1, Reply: true, Msg: msg.Ack{}},
+	}
+	for _, env := range seeds {
+		data, err := Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Truncations and bit flips seed the interesting failure space.
+		f.Add(data[:len(data)/2])
+		flipped := append([]byte{}, data...)
+		flipped[len(flipped)-1] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion})
+	f.Add([]byte("not an envelope"))
+	// A huge length prefix with no bytes behind it: must fail the length
+	// guard, not attempt the allocation.
+	f.Add([]byte{wireVersion, byte(msg.TagEventNotify), 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return // malformed input rejected: the property we want
+		}
+		out, err := Encode(env)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v\nenvelope: %#v", err, env)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v\nenvelope: %#v", err, env)
+		}
+	})
+}

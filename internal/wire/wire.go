@@ -1,74 +1,171 @@
-// Package wire encodes protocol envelopes for datagram transports using
-// encoding/gob. It is only used by the UDP transport; the in-process
-// network passes message values directly.
+// Package wire encodes protocol envelopes for datagram transports with a
+// hand-rolled, versioned, length-delimited binary codec. It replaces the
+// original encoding/gob format (kept as EncodeGob/DecodeGob for comparison
+// benchmarks and cross-checking): gob re-transmits type descriptors on
+// every datagram, reflects over the message structs and allocates a fresh
+// encoder per envelope, all of which this codec avoids — encoding appends
+// into a caller-supplied (typically pooled) buffer with zero allocations,
+// and decoding reads directly out of the receive buffer with no
+// reflection.
+//
+// # Framing
+//
+// Every datagram carries exactly one envelope:
+//
+//	offset 0  version  uint8   — wireVersion; receivers reject others
+//	offset 1  tag      uint8   — msg.Tag of the payload type
+//	          From     string  — sending node id
+//	          CorrID   uint64  — call correlation id, 0 for one-way
+//	          flags    uint8   — bit 0: Reply; bits 1-7 must be zero
+//	          payload  ...     — per-message fields, in struct order
+//
+// Trailing bytes after the payload are an error: a datagram either parses
+// exactly or is dropped.
+//
+// # Primitive encodings
+//
+//   - bool: one byte, 0 or 1 (other values are a decode error)
+//   - int, int64, uint64: fixed 8 bytes little-endian (ints two's
+//     complement)
+//   - float64: IEEE 754 bits, fixed 8 bytes little-endian (NaN and ±Inf
+//     round-trip bit-exactly)
+//   - string: uvarint byte length, then the raw bytes
+//   - slices: uvarint element count, then the elements back to back
+//   - time.Time: int64 Unix seconds + 4-byte little-endian nanoseconds.
+//     Timestamps travel as UTC instants — monotonic readings and zone
+//     identity are not preserved (the paper assumes synchronized GPS
+//     time, so only the instant matters)
+//
+// Composite fields (geo.Point, core.Sighting, core.Area, msg.LeafInfo, …)
+// are their fields in declaration order using the primitives above; they
+// add no framing of their own.
+//
+// # Tag table
+//
+// The payload tag registry lives in package msg (msg.Tag, one constant per
+// message type) so that adding a message is a one-file change next to the
+// type definition. Tag values are frozen forever once assigned; see the
+// registry comment in msg/tags.go.
+//
+// # Versioning rules
+//
+//   - Adding a new message type: assign the next free tag in msg/tags.go
+//     and add its encode/decode pair in payload.go. Old receivers drop
+//     envelopes with unknown tags (a decode error), which is the normal
+//     UDP loss mode — no version bump needed.
+//   - Adding, removing or reordering fields of an existing message, or
+//     changing a primitive encoding: bump wireVersion. Receivers reject
+//     datagrams from other versions outright, so a mixed-version
+//     deployment partitions cleanly instead of mis-parsing.
+//   - Tags and the version byte share the first two octets forever; any
+//     future self-describing format must keep them addressable.
 package wire
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sync"
 
 	"locsvc/internal/msg"
 )
 
-// registerOnce guards the gob type registrations.
-var registerOnce sync.Once
+// wireVersion is the format generation of this codec. Bump it whenever an
+// existing message's field layout or a primitive encoding changes.
+const wireVersion = 1
 
-// registerTypes registers every concrete message type carried inside an
-// Envelope's Msg interface field.
-func registerTypes() {
-	gob.Register(msg.RegisterReq{})
-	gob.Register(msg.RegisterRes{})
-	gob.Register(msg.RegisterFailed{})
-	gob.Register(msg.CreatePath{})
-	gob.Register(msg.RemovePath{})
-	gob.Register(msg.UpdateReq{})
-	gob.Register(msg.UpdateRes{})
-	gob.Register(msg.HandoverReq{})
-	gob.Register(msg.HandoverRes{})
-	gob.Register(msg.DeregisterReq{})
-	gob.Register(msg.DeregisterRes{})
-	gob.Register(msg.ChangeAccReq{})
-	gob.Register(msg.ChangeAccRes{})
-	gob.Register(msg.NotifyAvailAcc{})
-	gob.Register(msg.RequestUpdate{})
-	gob.Register(msg.PosQueryReq{})
-	gob.Register(msg.PosQueryDirect{})
-	gob.Register(msg.PosQueryRes{})
-	gob.Register(msg.PosQueryFwd{})
-	gob.Register(msg.RangeQueryReq{})
-	gob.Register(msg.RangeQueryFwd{})
-	gob.Register(msg.RangeQuerySubRes{})
-	gob.Register(msg.RangeQueryRes{})
-	gob.Register(msg.NeighborQueryReq{})
-	gob.Register(msg.NeighborQueryRes{})
-	gob.Register(msg.EventSubscribe{})
-	gob.Register(msg.EventUnsubscribe{})
-	gob.Register(msg.EventCount{})
-	gob.Register(msg.EventNotify{})
-	gob.Register(msg.DiagReq{})
-	gob.Register(msg.DiagRes{})
-	gob.Register(msg.Ack{})
-	gob.Register(msg.ErrorRes{})
+// maxPooledBuf bounds the capacity of buffers returned to the pool, so a
+// rare huge envelope (an oversize range-query result rejected by the
+// transport's datagram guard still gets fully encoded first) does not pin
+// its buffer for the lifetime of the pool entry.
+const maxPooledBuf = 1 << 20
+
+// bufPool recycles encode buffers — the same recycled-buffer discipline as
+// the WAL encoder's batch buffers. Callers Get a buffer, append an
+// envelope into it, transmit, and Put it back.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// GetBuffer returns a pooled encode buffer of zero length. Pass it (or any
+// other byte slice) to AppendEncode and return it with PutBuffer when the
+// encoded bytes are no longer referenced.
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
 }
 
-// Encode serializes an envelope.
+// PutBuffer recycles a buffer obtained from GetBuffer. Oversized buffers
+// are dropped instead of pooled.
+func PutBuffer(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// envelope flag bits.
+const flagReply = 1 << 0
+
+// Encode serializes an envelope into a fresh buffer. It is the
+// convenience form of AppendEncode for callers without a buffer to reuse.
 func Encode(env msg.Envelope) ([]byte, error) {
-	registerOnce.Do(registerTypes)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
-		return nil, fmt.Errorf("wire: encoding envelope: %w", err)
-	}
-	return buf.Bytes(), nil
+	return AppendEncode(nil, env)
 }
 
-// Decode deserializes an envelope.
-func Decode(data []byte) (msg.Envelope, error) {
-	registerOnce.Do(registerTypes)
-	var env msg.Envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return msg.Envelope{}, fmt.Errorf("wire: decoding envelope: %w", err)
+// AppendEncode appends env's wire encoding to dst and returns the extended
+// slice. It allocates only when dst lacks capacity; with a pooled buffer
+// the steady-state cost is zero allocations. The only error is an
+// unregistered payload type.
+func AppendEncode(dst []byte, env msg.Envelope) ([]byte, error) {
+	mark := len(dst)
+	// The tag byte at mark+1 is patched after the payload type switch
+	// identifies the message; this keeps encoding a single type switch.
+	dst = append(dst, wireVersion, 0)
+	dst = appendString(dst, string(env.From))
+	dst = appendU64(dst, env.CorrID)
+	var flags byte
+	if env.Reply {
+		flags |= flagReply
 	}
+	dst = append(dst, flags)
+	dst, tag, ok := appendPayload(dst, env.Msg)
+	if !ok {
+		return dst[:mark], fmt.Errorf("wire: encoding envelope: unregistered message type %T", env.Msg)
+	}
+	dst[mark+1] = byte(tag)
+	return dst, nil
+}
+
+// Decode deserializes an envelope. The decoded envelope shares no memory
+// with data: strings and slices are copied out, so the receive buffer can
+// be recycled as soon as Decode returns.
+func Decode(data []byte) (msg.Envelope, error) {
+	if len(data) < 2 {
+		return msg.Envelope{}, fmt.Errorf("wire: decoding envelope: %d-byte datagram is shorter than the header", len(data))
+	}
+	if data[0] != wireVersion {
+		return msg.Envelope{}, fmt.Errorf("wire: decoding envelope: unsupported wire version %d (have %d)", data[0], wireVersion)
+	}
+	tag := msg.Tag(data[1])
+	r := reader{data: data, off: 2}
+	var env msg.Envelope
+	env.From = msg.NodeID(r.str())
+	env.CorrID = r.u64()
+	flags := r.u8()
+	if r.err == nil && flags&^byte(flagReply) != 0 {
+		return msg.Envelope{}, fmt.Errorf("wire: decoding envelope: reserved flag bits %#x set", flags)
+	}
+	env.Reply = flags&flagReply != 0
+	m, known := decodePayload(&r, tag)
+	if !known {
+		return msg.Envelope{}, fmt.Errorf("wire: decoding envelope: unknown message tag %d", byte(tag))
+	}
+	if r.err != nil {
+		return msg.Envelope{}, fmt.Errorf("wire: decoding %s envelope: %w", tag, r.err)
+	}
+	if r.off != len(data) {
+		return msg.Envelope{}, fmt.Errorf("wire: decoding %s envelope: %d trailing bytes", tag, len(data)-r.off)
+	}
+	env.Msg = m
 	return env, nil
 }
