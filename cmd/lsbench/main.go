@@ -12,6 +12,7 @@
 //	lsbench -table A5     # query-locality sweep
 //	lsbench -table A8     # live shard-resize cost (epoch map overhead, stall bounds)
 //	lsbench -table W      # wire codec: binary vs gob envelope round trips
+//	lsbench -table B      # datagram batching + async client over real UDP
 //	lsbench -table all    # everything
 //	lsbench -quick        # smaller populations, faster runs
 //
@@ -35,6 +36,7 @@ import (
 	"locsvc/internal/core"
 	"locsvc/internal/geo"
 	"locsvc/internal/hierarchy"
+	"locsvc/internal/metrics"
 	"locsvc/internal/mobility"
 	"locsvc/internal/msg"
 	"locsvc/internal/object"
@@ -67,9 +69,10 @@ func main() {
 	run("A7", ablationShardedStore)
 	run("A8", ablationResize)
 	run("W", tableWire)
+	run("B", tableBatch)
 
 	switch *table {
-	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W", "all":
+	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W", "B", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(1)
@@ -984,6 +987,118 @@ func tableWire(quick bool) {
 		fmt.Printf("%-20s %10d %10d %14.0f %14.0f %8.1fx\n",
 			e.name, len(binData), len(gobData), binRate, gobRate, binRate/gobRate)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Table B: datagram batching and the multiplexed async client over real UDP
+// sockets. An update-heavy fan-out workload — one client node keeping a
+// fleet of objects fresh with UpdateAsync — runs once with the batcher off
+// (every envelope its own datagram, the pre-batching transport) and once
+// with coalescing on. Throughput, fan-out round latency and the
+// envelopes-per-datagram ratio come from the same shared metrics registry
+// the servers report through. Recorded runs live in BENCH_batch.json.
+
+func tableBatch(quick bool) {
+	fleet := 192
+	rounds := 25
+	if quick {
+		fleet, rounds = 48, 5
+	}
+	fmt.Printf("\nTable B: datagram batching + multiplexed async client (real UDP, %d objects x %d update rounds)\n\n", fleet, rounds)
+	fmt.Printf("%-18s %12s %14s %14s %12s %12s\n",
+		"config", "updates/s", "fan-out ms", "envs/datagram", "datagrams", "envelopes")
+
+	type result struct {
+		updatesPerSec float64
+		fanoutMs      float64
+		ratio         float64
+	}
+	runCfg := func(label string, batchMax int) result {
+		reg := metrics.NewRegistry()
+		net := transport.NewUDPWithOptions(transport.UDPOptions{
+			Metrics:     reg,
+			BatchMax:    batchMax,
+			BatchLinger: time.Millisecond,
+			CallTimeout: 10 * time.Second,
+			MaxInFlight: 512,
+		})
+		defer net.Close()
+		dep, err := hierarchy.Deploy(net, hierarchy.Spec{
+			RootArea: geo.R(0, 0, 1500, 1500),
+			Levels:   []hierarchy.Level{{Rows: 2, Cols: 2}},
+		}, server.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer dep.Close()
+
+		ctx := context.Background()
+		entry, _ := dep.LeafFor(geo.Pt(100, 100))
+		cl, err := client.New(net, "bench-client", entry, client.Options{Timeout: 10 * time.Second})
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+
+		// Spread the fleet over all four leaves so the coalescer batches
+		// per destination, then jitter updates inside each quadrant so no
+		// round triggers handovers.
+		quadrant := func(i int) geo.Point {
+			qx, qy := float64(i%2), float64((i/2)%2)
+			return geo.Pt(100+qx*750+float64(i%30), 100+qy*750+float64((i/30)%30))
+		}
+		objs := make([]*client.TrackedObject, fleet)
+		for i := range objs {
+			obj, err := cl.Register(ctx, core.Sighting{
+				OID: core.OID(fmt.Sprintf("b-%d", i)), T: time.Now(),
+				Pos: quadrant(i), SensAcc: 10,
+			}, 10, 100, 3)
+			if err != nil {
+				fatal(err)
+			}
+			objs[i] = obj
+		}
+
+		envBefore := reg.Counter("wire_envelopes_out").Value()
+		dgBefore := reg.Counter("wire_datagrams_out").Value()
+		pending := make([]*client.PendingUpdate, fleet)
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for i, obj := range objs {
+				p := quadrant(i)
+				p.X += float64(r%5) * 2
+				pu, err := obj.UpdateAsync(ctx, core.Sighting{
+					OID: core.OID(fmt.Sprintf("b-%d", i)), T: time.Now(), Pos: p, SensAcc: 10,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				pending[i] = pu
+			}
+			for _, pu := range pending {
+				if err := pu.Wait(ctx); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		envs := reg.Counter("wire_envelopes_out").Value() - envBefore
+		dgs := reg.Counter("wire_datagrams_out").Value() - dgBefore
+
+		res := result{
+			updatesPerSec: float64(fleet*rounds) / elapsed.Seconds(),
+			fanoutMs:      elapsed.Seconds() * 1000 / float64(rounds),
+			ratio:         float64(envs) / float64(dgs),
+		}
+		fmt.Printf("%-18s %12.0f %14.2f %14.2f %12d %12d\n",
+			label, res.updatesPerSec, res.fanoutMs, res.ratio, dgs, envs)
+		return res
+	}
+
+	unbatched := runCfg("unbatched", 1)
+	batched := runCfg("batched (16)", 16)
+	fmt.Printf("\ndatagram reduction: %.1fx fewer datagrams per envelope; fan-out %.2fx faster\n",
+		batched.ratio/unbatched.ratio, unbatched.fanoutMs/batched.fanoutMs)
 }
 
 func fatal(err error) {

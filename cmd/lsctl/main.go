@@ -40,10 +40,12 @@ import (
 
 func main() {
 	var (
-		topoPath = flag.String("topology", "ls.json", "topology file of the deployment")
-		entry    = flag.String("entry", "", "entry server id (e.g. r.0)")
-		host     = flag.String("host", "127.0.0.1", "local host to bind the client socket on")
-		timeout  = flag.Duration("timeout", 5*time.Second, "operation timeout")
+		topoPath    = flag.String("topology", "ls.json", "topology file of the deployment")
+		entry       = flag.String("entry", "", "entry server id (e.g. r.0)")
+		host        = flag.String("host", "127.0.0.1", "local host to bind the client socket on")
+		timeout     = flag.Duration("timeout", 5*time.Second, "operation timeout")
+		batchMax    = flag.Int("batch-max", 1, "coalesce up to this many outbound envelopes per destination into one datagram (≥ 2 enables batching)")
+		batchLinger = flag.Duration("batch-linger", time.Millisecond, "how long a lone envelope waits for batch company before it is flushed (with -batch-max ≥ 2)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -57,7 +59,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	network := transport.NewUDP()
+	network := transport.NewUDPWithOptions(transport.UDPOptions{
+		BatchMax:    *batchMax,
+		BatchLinger: *batchLinger,
+		CallTimeout: *timeout,
+	})
 	defer network.Close()
 	for nid, addr := range nodes {
 		if err := network.AddRoute(msg.NodeID(nid), addr); err != nil {

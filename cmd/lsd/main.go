@@ -21,6 +21,14 @@
 // are replayed in parallel at startup (and re-cut under the new mapping
 // when a resize moves the layout to its next epoch), and -fsync upgrades
 // both WALs to machine-crash durability.
+//
+// -batch-max ≥ 2 turns on outbound datagram batching: up to that many
+// envelopes headed for the same peer ride one UDP datagram, flushed when
+// the batch fills, would exceed the 65,507-byte datagram cap, or has
+// waited -batch-linger (default 1ms) for company. A batch of one is the
+// legacy wire frame byte-for-byte, so batching and non-batching servers
+// interoperate freely; batch traffic shows up in the wire_batches_in/out
+// and wire_envelopes_per_batch metrics.
 package main
 
 import (
@@ -71,6 +79,8 @@ func main() {
 		ttl          = flag.Duration("ttl", 5*time.Minute, "soft-state TTL for sighting records (0 disables)")
 		caches       = flag.Bool("caches", true, "enable the Section 6.5 leaf caches")
 		restore      = flag.Bool("restore", false, "request updates from persisted visitors at startup")
+		batchMax     = flag.Int("batch-max", 1, "coalesce up to this many outbound envelopes per destination into one datagram (≥ 2 enables batching; 1 sends each envelope alone)")
+		batchLinger  = flag.Duration("batch-linger", time.Millisecond, "how long a lone envelope waits for batch company before it is flushed (with -batch-max ≥ 2)")
 	)
 	flag.Parse()
 
@@ -118,7 +128,11 @@ func main() {
 	// in the server's DiagRes snapshot, so lsctl stats shows wire-level
 	// traffic next to the protocol counters.
 	reg := metrics.NewRegistry()
-	network := transport.NewUDPWithMetrics(reg)
+	network := transport.NewUDPWithOptions(transport.UDPOptions{
+		Metrics:     reg,
+		BatchMax:    *batchMax,
+		BatchLinger: *batchLinger,
+	})
 	for nid, addr := range topo.Nodes {
 		if nid == *id {
 			continue

@@ -229,29 +229,16 @@ func (t *TrackedObject) LastSent() core.Sighting {
 
 // Update sends a position update to the object's agent (Section 3.1). On a
 // handover the handle rebinds to the new agent transparently, as the paper's
-// old agent "informs the tracked object of its new agent".
+// old agent "informs the tracked object of its new agent". It is the
+// lockstep form of UpdateAsync: issue, then wait — the request still rides
+// the transport's in-flight tracker, whose timeout sweeper resolves it if
+// the reply is lost.
 func (t *TrackedObject) Update(ctx context.Context, s core.Sighting) error {
-	if s.OID != t.oid {
-		return fmt.Errorf("%w: sighting for %s on handle of %s", core.ErrBadRequest, s.OID, t.oid)
-	}
-	cctx, cancel := context.WithTimeout(ctx, t.c.opts.Timeout)
-	defer cancel()
-	resp, err := t.c.node.Call(cctx, t.Agent(), msg.UpdateReq{S: s})
+	u, err := t.UpdateAsync(ctx, s)
 	if err != nil {
 		return err
 	}
-	res, ok := resp.(msg.UpdateRes)
-	if !ok {
-		return core.ErrBadRequest
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.lastSent = s
-	t.offeredAcc = res.OfferedAcc
-	if res.Moved {
-		t.agent = res.NewAgent
-	}
-	return nil
+	return u.Wait(ctx)
 }
 
 // MaybeUpdate implements the paper's distance-based update protocol

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -132,4 +133,9 @@ var (
 	ErrOutOfArea = errors.New("core: position outside service area")
 	// ErrBadRequest indicates malformed query or registration parameters.
 	ErrBadRequest = errors.New("core: bad request")
+	// ErrTimeout indicates an operation expired before its reply arrived
+	// (a swept in-flight call or a dropped datagram). It wraps
+	// context.DeadlineExceeded so errors.Is treats a remotely-resolved
+	// timeout frame and a locally-expired context identically.
+	ErrTimeout = fmt.Errorf("core: operation timed out: %w", context.DeadlineExceeded)
 )

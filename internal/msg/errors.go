@@ -13,6 +13,7 @@ const (
 	CodeAccuracy   = "accuracy"
 	CodeOutOfArea  = "out_of_area"
 	CodeBadRequest = "bad_request"
+	CodeTimeout    = "timeout"
 	CodeInternal   = "internal"
 )
 
@@ -29,6 +30,8 @@ func ErrorResFrom(err error) ErrorRes {
 		code = CodeOutOfArea
 	case errors.Is(err, core.ErrBadRequest):
 		code = CodeBadRequest
+	case errors.Is(err, core.ErrTimeout):
+		code = CodeTimeout
 	}
 	return ErrorRes{Code: code, Text: err.Error()}
 }
@@ -46,6 +49,8 @@ func (e ErrorRes) Err() error {
 		base = core.ErrOutOfArea
 	case CodeBadRequest:
 		base = core.ErrBadRequest
+	case CodeTimeout:
+		base = core.ErrTimeout
 	default:
 		return fmt.Errorf("msg: remote error: %s", e.Text)
 	}

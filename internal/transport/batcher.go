@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"locsvc/internal/msg"
+	"locsvc/internal/wire"
+)
+
+// defaultBatchLinger bounds how long a lone envelope waits for company
+// before its batch is flushed anyway. Small enough to be invisible next to
+// even a LAN round trip, large enough for a burst of updates to coalesce.
+const defaultBatchLinger = time.Millisecond
+
+// batcher is the size-aware outbound coalescer of a UDP node: envelopes
+// headed for the same destination are folded into one batch frame (one
+// datagram), flushed when the batch would exceed maxDatagram, when it
+// reaches the count cap, or when the linger timer fires. The wire format
+// lives in wire.BatchBuilder; the batcher only holds flush policy.
+type batcher struct {
+	nd     *udpNode
+	max    int // count cap, ≥ 2
+	linger time.Duration
+
+	mu      sync.Mutex
+	pending map[msg.NodeID]*pendingBatch
+	closed  bool
+}
+
+// pendingBatch is the open batch for one destination. Its timer fires the
+// linger flush; identity (pointer equality) guards against flushing a
+// successor batch for the same destination.
+type pendingBatch struct {
+	bb    wire.BatchBuilder
+	addr  *net.UDPAddr
+	timer *time.Timer
+}
+
+func newBatcher(nd *udpNode, max int, linger time.Duration) *batcher {
+	if linger <= 0 {
+		linger = defaultBatchLinger
+	}
+	return &batcher{nd: nd, max: max, linger: linger, pending: make(map[msg.NodeID]*pendingBatch)}
+}
+
+// add enqueues one encoded envelope frame for dst. The frame is copied, so
+// the caller may recycle its buffer immediately. Flushes triggered by the
+// size or count caps run after the lock is released.
+func (b *batcher) add(dst msg.NodeID, addr *net.UDPAddr, frame []byte) {
+	var flush []*pendingBatch
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.nd.transmit(addr, frame, 1)
+		return
+	}
+	pb := b.pending[dst]
+	if pb == nil {
+		pb = &pendingBatch{addr: addr}
+		b.pending[dst] = pb
+	}
+	if pb.bb.Count() > 0 && pb.bb.SizeWith(len(frame)) > maxDatagram {
+		flush = append(flush, b.detachLocked(dst, pb))
+		pb = &pendingBatch{addr: addr}
+		b.pending[dst] = pb
+	}
+	pb.bb.Add(frame)
+	switch {
+	case pb.bb.Count() >= b.max:
+		flush = append(flush, b.detachLocked(dst, pb))
+	case pb.bb.Count() == 1:
+		pb.timer = time.AfterFunc(b.linger, func() { b.lingerFlush(dst, pb) })
+	}
+	b.mu.Unlock()
+	for _, pb := range flush {
+		b.send(pb)
+	}
+}
+
+// detachLocked removes pb from the pending table and disarms its timer.
+// Callers hold b.mu.
+func (b *batcher) detachLocked(dst msg.NodeID, pb *pendingBatch) *pendingBatch {
+	if b.pending[dst] == pb {
+		delete(b.pending, dst)
+	}
+	if pb.timer != nil {
+		pb.timer.Stop()
+	}
+	return pb
+}
+
+// lingerFlush is the timer callback. The identity check makes it a no-op
+// when pb was already flushed (and possibly replaced) by a cap.
+func (b *batcher) lingerFlush(dst msg.NodeID, pb *pendingBatch) {
+	b.mu.Lock()
+	if b.pending[dst] != pb {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.pending, dst)
+	b.mu.Unlock()
+	b.send(pb)
+}
+
+// send assembles pb into one datagram and transmits it.
+func (b *batcher) send(pb *pendingBatch) {
+	n := pb.bb.Count()
+	if n == 0 {
+		return
+	}
+	bp := wire.GetBuffer()
+	data := pb.bb.AppendTo((*bp)[:0])
+	*bp = data
+	b.nd.transmit(pb.addr, data, n)
+	wire.PutBuffer(bp)
+}
+
+// closeFlush flushes every open batch and routes subsequent adds straight
+// to the socket. Called when the node detaches.
+func (b *batcher) closeFlush() {
+	b.mu.Lock()
+	b.closed = true
+	rest := make([]*pendingBatch, 0, len(b.pending))
+	for dst, pb := range b.pending {
+		rest = append(rest, b.detachLocked(dst, pb))
+	}
+	b.mu.Unlock()
+	for _, pb := range rest {
+		b.send(pb)
+	}
+}

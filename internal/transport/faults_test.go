@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/msg"
+)
+
+// valueEchoHandler answers ChangeAccReq{DesAcc: x} with ChangeAccRes{OfferedAcc:
+// x}: the reply carries its request's value, so correlation mistakes are
+// visible as value mismatches, not just as errors.
+func valueEchoHandler(_ context.Context, _ msg.NodeID, m msg.Message) (msg.Message, error) {
+	req, ok := m.(msg.ChangeAccReq)
+	if !ok {
+		return msg.Ack{}, nil
+	}
+	return msg.ChangeAccRes{OK: true, OfferedAcc: req.DesAcc}, nil
+}
+
+// waitQuiesced polls until the node's in-flight table is empty, failing
+// the test after two seconds — the leak check every fault test ends with.
+func waitQuiesced(t *testing.T, nd Node) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if nd.PendingCalls() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("in-flight table not empty at quiesce: %d entries leaked", nd.PendingCalls())
+}
+
+// TestLateReplyAfterTimeoutDropped pins the tracker's central safety
+// property: a reply that arrives after its call timed out is dropped, not
+// crossed onto the next call. The fault plan delays the first call's reply
+// past the deadline; the second call must receive its own echoed value.
+func TestLateReplyAfterTimeoutDropped(t *testing.T) {
+	var delayed atomic.Bool
+	net := NewInproc(InprocOptions{
+		SweepInterval: 5 * time.Millisecond,
+		FaultPlan: func(_, _ msg.NodeID, env msg.Envelope) Fault {
+			if env.Reply && env.CorrID == 1 && delayed.CompareAndSwap(false, true) {
+				return Fault{Delay: 150 * time.Millisecond}
+			}
+			return Fault{}
+		},
+	})
+	defer net.Close()
+	if _, err := net.Attach("srv", valueEchoHandler); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach("cli", valueEchoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel1()
+	_, err = cli.Call(ctx1, "srv", msg.ChangeAccReq{OID: "o", DesAcc: 111})
+	if err == nil {
+		t.Fatal("delayed-reply call succeeded, want timeout")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error = %v, want DeadlineExceeded in chain", err)
+	}
+
+	// The late reply (CorrID 1) is still in flight. The next call must
+	// get its own reply, id-exact, even though the late one arrives in
+	// the same window.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	resp, err := cli.Call(ctx2, "srv", msg.ChangeAccReq{OID: "o", DesAcc: 222})
+	if err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+	res, ok := resp.(msg.ChangeAccRes)
+	if !ok || res.OfferedAcc != 222 {
+		t.Fatalf("second call got %#v, want its own echo 222 (late reply crossed?)", resp)
+	}
+
+	// Let the late reply land; it must be dropped without a trace in the
+	// in-flight table.
+	time.Sleep(200 * time.Millisecond)
+	waitQuiesced(t, cli)
+}
+
+// TestDuplicateRepliesResolveOnce pins exactly-once resolution: a
+// duplicated reply resolves its call a single time, and the extra copy is
+// dropped as late rather than resolving a neighbor.
+func TestDuplicateRepliesResolveOnce(t *testing.T) {
+	net := NewInproc(InprocOptions{
+		FaultPlan: func(_, _ msg.NodeID, env msg.Envelope) Fault {
+			if env.Reply {
+				return Fault{Duplicate: 2} // every reply arrives three times
+			}
+			return Fault{}
+		},
+	})
+	defer net.Close()
+	if _, err := net.Attach("srv", valueEchoHandler); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach("cli", valueEchoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 16; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		resp, err := cli.Call(ctx, "srv", msg.ChangeAccReq{OID: "o", DesAcc: float64(i)})
+		cancel()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if res, ok := resp.(msg.ChangeAccRes); !ok || res.OfferedAcc != float64(i) {
+			t.Fatalf("call %d resolved with %#v (duplicate crossed?)", i, resp)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let duplicate copies land
+	waitQuiesced(t, cli)
+}
+
+// TestOutOfOrderCorrelationIDExact issues a fan of concurrent requests
+// whose replies are forced to arrive in reverse order: every pending call
+// must still resolve with exactly its own echoed value.
+func TestOutOfOrderCorrelationIDExact(t *testing.T) {
+	const fan = 8
+	net := NewInproc(InprocOptions{
+		FaultPlan: func(_, _ msg.NodeID, env msg.Envelope) Fault {
+			if env.Reply {
+				// Higher CorrIDs get shorter delays: reply order is the
+				// reverse of request order.
+				return Fault{Delay: time.Duration(fan-int(env.CorrID)) * 10 * time.Millisecond}
+			}
+			return Fault{}
+		},
+	})
+	defer net.Close()
+	if _, err := net.Attach("srv", valueEchoHandler); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach("cli", valueEchoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	pending := make([]*PendingCall, 0, fan)
+	for i := 1; i <= fan; i++ {
+		p, err := cli.CallAsync(ctx, "srv", msg.ChangeAccReq{OID: "o", DesAcc: float64(i)})
+		if err != nil {
+			t.Fatalf("issuing call %d: %v", i, err)
+		}
+		if p.ID() != uint64(i) {
+			t.Fatalf("call %d got correlation id %d", i, p.ID())
+		}
+		pending = append(pending, p)
+	}
+	for i, p := range pending {
+		resp, err := p.Wait(ctx)
+		if err != nil {
+			t.Fatalf("call %d: %v", i+1, err)
+		}
+		res, ok := resp.(msg.ChangeAccRes)
+		if !ok || res.OfferedAcc != float64(i+1) {
+			t.Fatalf("call %d resolved with %#v, want echo %d", i+1, resp, i+1)
+		}
+	}
+	waitQuiesced(t, cli)
+}
+
+// TestSweeperResolvesAsTimeoutFrame pins the timeout-as-error-frame
+// contract: a call whose reply never comes resolves via the sweeper with
+// an error that is both core.ErrTimeout and context.DeadlineExceeded to
+// errors.Is, leaving no in-flight entry behind.
+func TestSweeperResolvesAsTimeoutFrame(t *testing.T) {
+	net := NewInproc(InprocOptions{
+		CallTimeout:   30 * time.Millisecond,
+		SweepInterval: 5 * time.Millisecond,
+		FaultPlan: func(_, _ msg.NodeID, env msg.Envelope) Fault {
+			return Fault{Drop: env.Reply} // lose every reply
+		},
+	})
+	defer net.Close()
+	if _, err := net.Attach("srv", valueEchoHandler); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach("cli", valueEchoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cli.CallAsync(context.Background(), "srv", msg.ChangeAccReq{OID: "o", DesAcc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, werr := p.Wait(context.Background())
+	if werr == nil {
+		t.Fatal("call with dropped reply succeeded")
+	}
+	if !errors.Is(werr, core.ErrTimeout) {
+		t.Fatalf("error = %v, want core.ErrTimeout in chain", werr)
+	}
+	if !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded in chain", werr)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("sweeper took %v to resolve a 30ms deadline", elapsed)
+	}
+	waitQuiesced(t, cli)
+}
+
+// TestInFlightCapBackpressure pins the bounded in-flight table: with the
+// cap saturated, the next CallAsync blocks until a slot frees (here: until
+// its context expires), instead of growing the table without bound.
+func TestInFlightCapBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	slow := func(_ context.Context, _ msg.NodeID, m msg.Message) (msg.Message, error) {
+		<-release
+		return msg.Ack{}, nil
+	}
+	net := NewInproc(InprocOptions{MaxInFlight: 4})
+	defer net.Close()
+	if _, err := net.Attach("srv", slow); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach("cli", valueEchoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pending := make([]*PendingCall, 0, 4)
+	for i := 0; i < 4; i++ {
+		p, err := cli.CallAsync(context.Background(), "srv", msg.ChangeAccReq{OID: "o", DesAcc: float64(i)})
+		if err != nil {
+			t.Fatalf("filling cap, call %d: %v", i, err)
+		}
+		pending = append(pending, p)
+	}
+	if got := cli.PendingCalls(); got != 4 {
+		t.Fatalf("PendingCalls = %d, want 4", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cli.CallAsync(ctx, "srv", msg.ChangeAccReq{OID: "o", DesAcc: 99}); err == nil {
+		t.Fatal("call beyond the in-flight cap was admitted")
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-cap error = %v, want DeadlineExceeded", err)
+	}
+
+	close(release)
+	wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer wcancel()
+	for i, p := range pending {
+		if _, err := p.Wait(wctx); err != nil {
+			t.Fatalf("released call %d: %v", i, err)
+		}
+	}
+	// A slot is free again: the next call is admitted immediately.
+	resp, err := cli.Call(wctx, "srv", msg.ChangeAccReq{OID: "o", DesAcc: 7})
+	if err != nil {
+		t.Fatalf("post-release call: %v", err)
+	}
+	if _, ok := resp.(msg.Ack); !ok {
+		t.Fatalf("post-release call got %#v", resp)
+	}
+	waitQuiesced(t, cli)
+}
+
+// TestSeededFaultsDeterministic pins the seeded knobs' reproducibility:
+// two networks with the same seed and rates deliver exactly the same
+// number of messages from the same sequential send schedule.
+func TestSeededFaultsDeterministic(t *testing.T) {
+	run := func(seed int64) int64 {
+		var delivered atomic.Int64
+		net := NewInproc(InprocOptions{
+			Seed:        seed,
+			DropRate:    0.2,
+			DupRate:     0.15,
+			ReorderRate: 0.1,
+			DelayJitter: 100 * time.Microsecond,
+			OnDeliver:   func(_, _ msg.NodeID, _ msg.Message) { delivered.Add(1) },
+		})
+		sink := func(_ context.Context, _ msg.NodeID, _ msg.Message) (msg.Message, error) { return nil, nil }
+		if _, err := net.Attach("dst", sink); err != nil {
+			t.Fatal(err)
+		}
+		src, err := net.Attach("src", sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if err := src.Send("dst", msg.NotifyAvailAcc{OID: "o", OfferedAcc: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Close() // waits for in-flight deliveries, including held/delayed ones
+		return delivered.Load()
+	}
+	a1, a2, b := run(42), run(42), run(43)
+	if a1 != a2 {
+		t.Fatalf("same seed delivered %d then %d messages", a1, a2)
+	}
+	if a1 == 0 || a1 == 500 {
+		t.Fatalf("faults had no visible effect: delivered %d/500", a1)
+	}
+	if b == a1 {
+		t.Logf("different seeds delivered the same count %d (possible, but suspicious)", b)
+	}
+}

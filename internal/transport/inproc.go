@@ -9,6 +9,21 @@ import (
 	"locsvc/internal/msg"
 )
 
+// Fault is one scripted delivery fault, returned by a FaultPlan: the
+// envelope is dropped, delivered 1+Duplicate times, and/or delayed by
+// Delay before the pair's normal latency. The zero Fault delivers
+// normally.
+type Fault struct {
+	// Drop loses the envelope entirely (all copies).
+	Drop bool
+	// Duplicate delivers that many extra copies, modelling datagram
+	// duplication.
+	Duplicate int
+	// Delay postpones delivery, modelling queueing or a detour. Combined
+	// with a shorter call deadline it turns a reply into a late reply.
+	Delay time.Duration
+}
+
 // InprocOptions configure the in-process network.
 type InprocOptions struct {
 	// Latency, if non-nil, returns the one-way delivery delay between two
@@ -19,11 +34,65 @@ type InprocOptions struct {
 	// silently lost, modelling UDP loss for failure-injection tests.
 	// Replies to calls are subject to the same loss.
 	DropRate float64
-	// Seed seeds the drop decision; zero uses a fixed default.
+	// DupRate is the probability in [0,1] that a message is delivered
+	// twice, modelling datagram duplication.
+	DupRate float64
+	// ReorderRate is the probability in [0,1] that a message is held back
+	// and released only after the next message on the same (from, to)
+	// pair overtakes it (or after a short safety delay when no successor
+	// shows up), modelling datagram reordering.
+	ReorderRate float64
+	// DelayJitter, if positive, adds a uniform random delay in
+	// [0, DelayJitter) to every delivery.
+	DelayJitter time.Duration
+	// Seed seeds every random fault decision (drop, duplicate, reorder,
+	// jitter); zero uses a fixed default. With a single sending
+	// goroutine the fault sequence is fully deterministic.
 	Seed int64
+	// FaultPlan, if non-nil, scripts a deterministic fault for every
+	// delivery before the seeded knobs draw; tracker tests use it to
+	// target specific envelopes (a reply's CorrID, a particular message
+	// type) with exact drops, duplicates and delays.
+	FaultPlan func(from, to msg.NodeID, env msg.Envelope) Fault
 	// OnDeliver, if non-nil, observes every delivered message; used by
 	// the simulation harness to count messages and hops.
 	OnDeliver func(from, to msg.NodeID, m msg.Message)
+	// BatchMax ≥ 2 coalesces deliveries per (from, to) pair into batches
+	// of at most that many envelopes, modelling the UDP transport's
+	// datagram batching: one latency draw per batch instead of per
+	// envelope. 0 or 1 delivers each envelope on its own.
+	BatchMax int
+	// BatchLinger bounds how long a lone envelope waits to be coalesced;
+	// zero uses a small default. Only meaningful with BatchMax ≥ 2.
+	BatchLinger time.Duration
+	// CallTimeout caps every Call/CallAsync deadline: the effective
+	// deadline is the earlier of the context's and now+CallTimeout.
+	// Zero means calls expire only on their own context's deadline.
+	CallTimeout time.Duration
+	// SweepInterval is the timeout goroutine's scan cadence; zero uses
+	// defaultSweepInterval.
+	SweepInterval time.Duration
+	// MaxInFlight caps outstanding calls per node for backpressure; zero
+	// is unbounded.
+	MaxInFlight int
+}
+
+// pairKey identifies one directed (sender, receiver) link.
+type pairKey struct {
+	from, to msg.NodeID
+}
+
+// heldEnv is an envelope held back by the reorder fault, waiting for a
+// successor to overtake it.
+type heldEnv struct {
+	env msg.Envelope
+}
+
+// inprocBatch is the open delivery batch for one directed link.
+type inprocBatch struct {
+	dst   *inprocNode
+	envs  []msg.Envelope
+	timer *time.Timer
 }
 
 // Inproc is an in-process Network: nodes are handler functions invoked on
@@ -35,8 +104,15 @@ type Inproc struct {
 	wg     sync.WaitGroup
 	closed bool
 
+	// dropMu guards rng (all seeded fault draws) and held (the reorder
+	// hold-back slots).
 	dropMu sync.Mutex
 	rng    *rand.Rand
+	held   map[pairKey]*heldEnv
+
+	// batchMu guards the per-link delivery batches.
+	batchMu sync.Mutex
+	batches map[pairKey]*inprocBatch
 }
 
 var _ Network = (*Inproc)(nil)
@@ -48,9 +124,11 @@ func NewInproc(opts InprocOptions) *Inproc {
 		seed = 1
 	}
 	return &Inproc{
-		nodes: make(map[msg.NodeID]*inprocNode),
-		opts:  opts,
-		rng:   rand.New(rand.NewSource(seed)),
+		nodes:   make(map[msg.NodeID]*inprocNode),
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(seed)),
+		held:    make(map[pairKey]*heldEnv),
+		batches: make(map[pairKey]*inprocBatch),
 	}
 }
 
@@ -73,7 +151,11 @@ func (n *Inproc) Attach(id msg.NodeID, h Handler) (Node, error) {
 	if _, ok := n.nodes[id]; ok {
 		return nil, ErrDuplicateID
 	}
-	node := &inprocNode{id: id, net: n, handler: h, calls: newCalls()}
+	node := &inprocNode{id: id, net: n, handler: h}
+	node.calls = newCalls(trackerConfig{
+		maxInFlight: n.opts.MaxInFlight,
+		sweepEvery:  n.opts.SweepInterval,
+	})
 	n.nodes[id] = node
 	return node, nil
 }
@@ -83,7 +165,15 @@ func (n *Inproc) Attach(id msg.NodeID, h Handler) (Node, error) {
 func (n *Inproc) Close() error {
 	n.mu.Lock()
 	n.closed = true
+	nodes := make([]*inprocNode, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
 	n.mu.Unlock()
+	for _, nd := range nodes {
+		nd.calls.close()
+	}
+	n.flushBatches()
 	done := make(chan struct{})
 	go func() {
 		n.wg.Wait()
@@ -110,56 +200,235 @@ func (n *Inproc) lookup(id msg.NodeID) (*inprocNode, error) {
 	return node, nil
 }
 
-// shouldDrop draws a loss decision.
-func (n *Inproc) shouldDrop() bool {
-	if n.opts.DropRate <= 0 {
+// drawP draws one seeded probability decision.
+func (n *Inproc) drawP(p float64) bool {
+	if p <= 0 {
 		return false
 	}
 	n.dropMu.Lock()
 	defer n.dropMu.Unlock()
-	return n.rng.Float64() < n.opts.DropRate
+	return n.rng.Float64() < p
 }
 
-// deliver runs the full delivery pipeline on a fresh goroutine: latency,
-// loss, observation, then handler dispatch or reply matching.
+// drawJitter draws one seeded jitter delay.
+func (n *Inproc) drawJitter() time.Duration {
+	if n.opts.DelayJitter <= 0 {
+		return 0
+	}
+	n.dropMu.Lock()
+	defer n.dropMu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(n.opts.DelayJitter)))
+}
+
+// drawFault combines the scripted plan and the seeded knobs into one fault
+// decision for a delivery.
+func (n *Inproc) drawFault(from, to msg.NodeID, env msg.Envelope) Fault {
+	var f Fault
+	if plan := n.opts.FaultPlan; plan != nil {
+		f = plan(from, to, env)
+	}
+	if n.drawP(n.opts.DropRate) {
+		f.Drop = true
+	}
+	if n.drawP(n.opts.DupRate) {
+		f.Duplicate++
+	}
+	f.Delay += n.drawJitter()
+	return f
+}
+
+// deliver runs the fault stage for one envelope, then hands the surviving
+// copies to the reorder stage and on to dispatch. Every random draw —
+// drop, duplicate, jitter and reorder — happens here, synchronously on
+// the sender's goroutine, so a sequential send schedule consumes the
+// seeded rng in a deterministic order regardless of timer interleaving.
 func (n *Inproc) deliver(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
+	f := n.drawFault(from, dst.id, env)
+	if f.Drop {
+		return
+	}
+	reorder := n.drawP(n.opts.ReorderRate)
+	for i := 0; i <= f.Duplicate; i++ {
+		if f.Delay > 0 {
+			n.wg.Add(1)
+			time.AfterFunc(f.Delay, func() {
+				defer n.wg.Done()
+				n.enqueue(from, dst, env, reorder)
+			})
+			continue
+		}
+		n.enqueue(from, dst, env, reorder)
+	}
+}
+
+// enqueue applies the reorder hold-back, then dispatches.
+func (n *Inproc) enqueue(from msg.NodeID, dst *inprocNode, env msg.Envelope, reorder bool) {
+	if n.opts.ReorderRate > 0 {
+		key := pairKey{from, dst.id}
+		n.dropMu.Lock()
+		if h, ok := n.held[key]; ok {
+			// A successor arrived: it overtakes, then the held envelope
+			// is released behind it.
+			delete(n.held, key)
+			n.dropMu.Unlock()
+			n.dispatch(from, dst, env)
+			n.dispatch(from, dst, h.env)
+			return
+		}
+		if reorder {
+			h := &heldEnv{env: env}
+			n.held[key] = h
+			n.dropMu.Unlock()
+			// Safety valve: release the held envelope even if no
+			// successor ever overtakes it.
+			n.wg.Add(1)
+			time.AfterFunc(5*time.Millisecond, func() {
+				defer n.wg.Done()
+				n.dropMu.Lock()
+				if n.held[key] != h {
+					n.dropMu.Unlock()
+					return
+				}
+				delete(n.held, key)
+				n.dropMu.Unlock()
+				n.dispatch(from, dst, h.env)
+			})
+			return
+		}
+		n.dropMu.Unlock()
+	}
+	n.dispatch(from, dst, env)
+}
+
+// dispatch delivers one envelope — directly on its own goroutine, or via
+// the per-link batch when batching is enabled.
+func (n *Inproc) dispatch(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
+	if n.opts.BatchMax >= 2 {
+		n.batchAdd(from, dst, env)
+		return
+	}
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		if n.shouldDrop() {
-			return
-		}
-		if lat := n.opts.Latency; lat != nil {
-			if d := lat(from, dst.id); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		if obs := n.opts.OnDeliver; obs != nil {
-			obs(from, dst.id, env.Msg)
-		}
-		if env.Reply {
-			dst.calls.deliver(env.CorrID, env.Msg)
-			return
-		}
-		resp, err := dst.handler(context.Background(), env.From, env.Msg)
-		if env.CorrID == 0 {
-			return // one-way message; response (if any) is discarded
-		}
-		var payload msg.Message
-		switch {
-		case err != nil:
-			payload = msg.ErrorResFrom(err)
-		case resp != nil:
-			payload = resp
-		default:
-			payload = msg.Ack{}
-		}
-		src, lerr := n.lookup(env.From)
-		if lerr != nil {
-			return // caller vanished; nothing to reply to
-		}
-		n.deliver(dst.id, src, msg.Envelope{From: dst.id, CorrID: env.CorrID, Reply: true, Msg: payload})
+		n.sleepLatency(from, dst.id)
+		n.handle(from, dst, env)
 	}()
+}
+
+// batchAdd coalesces env into the open batch for its link, flushing on the
+// count cap or arming the linger timer.
+func (n *Inproc) batchAdd(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
+	key := pairKey{from, dst.id}
+	var flush *inprocBatch
+	n.batchMu.Lock()
+	b := n.batches[key]
+	if b == nil {
+		b = &inprocBatch{dst: dst}
+		n.batches[key] = b
+	}
+	b.envs = append(b.envs, env)
+	switch {
+	case len(b.envs) >= n.opts.BatchMax:
+		delete(n.batches, key)
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		flush = b
+	case len(b.envs) == 1:
+		linger := n.opts.BatchLinger
+		if linger <= 0 {
+			linger = defaultBatchLinger
+		}
+		b.timer = time.AfterFunc(linger, func() {
+			n.batchMu.Lock()
+			if n.batches[key] != b {
+				n.batchMu.Unlock()
+				return
+			}
+			delete(n.batches, key)
+			n.batchMu.Unlock()
+			n.deliverBatch(from, b)
+		})
+	}
+	n.batchMu.Unlock()
+	if flush != nil {
+		n.deliverBatch(from, flush)
+	}
+}
+
+// deliverBatch delivers a flushed batch: one latency draw for the whole
+// batch (it models one datagram), then each envelope handled on its own
+// goroutine, preserving the handlers-may-nest-calls contract.
+func (n *Inproc) deliverBatch(from msg.NodeID, b *inprocBatch) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.sleepLatency(from, b.dst.id)
+		for _, env := range b.envs {
+			env := env
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.handle(from, b.dst, env)
+			}()
+		}
+	}()
+}
+
+// flushBatches delivers every open batch; called on network close.
+func (n *Inproc) flushBatches() {
+	n.batchMu.Lock()
+	rest := make(map[pairKey]*inprocBatch, len(n.batches))
+	for k, b := range n.batches {
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		rest[k] = b
+		delete(n.batches, k)
+	}
+	n.batchMu.Unlock()
+	for k, b := range rest {
+		n.deliverBatch(k.from, b)
+	}
+}
+
+// sleepLatency applies the configured one-way latency for a link.
+func (n *Inproc) sleepLatency(from, to msg.NodeID) {
+	if lat := n.opts.Latency; lat != nil {
+		if d := lat(from, to); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// handle executes one delivered envelope: observation, then reply
+// correlation through the tracker or handler dispatch.
+func (n *Inproc) handle(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
+	if obs := n.opts.OnDeliver; obs != nil {
+		obs(from, dst.id, env.Msg)
+	}
+	if env.Reply {
+		dst.calls.deliver(env.CorrID, env.Msg)
+		return
+	}
+	resp, err := dst.handler(context.Background(), env.From, env.Msg)
+	if env.CorrID == 0 {
+		return // one-way message; response (if any) is discarded
+	}
+	var payload msg.Message
+	switch {
+	case err != nil:
+		payload = msg.ErrorResFrom(err)
+	case resp != nil:
+		payload = resp
+	default:
+		payload = msg.Ack{}
+	}
+	src, lerr := n.lookup(env.From)
+	if lerr != nil {
+		return // caller vanished; nothing to reply to
+	}
+	n.deliver(dst.id, src, msg.Envelope{From: dst.id, CorrID: env.CorrID, Reply: true, Msg: payload})
 }
 
 // ID implements Node.
@@ -175,21 +444,38 @@ func (nd *inprocNode) Send(to msg.NodeID, m msg.Message) error {
 	return nil
 }
 
-// Call implements Node.
+// Call implements Node: CallAsync followed by Wait.
 func (nd *inprocNode) Call(ctx context.Context, to msg.NodeID, m msg.Message) (msg.Message, error) {
+	p, err := nd.CallAsync(ctx, to, m)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait(ctx)
+}
+
+// CallAsync implements Node.
+func (nd *inprocNode) CallAsync(ctx context.Context, to msg.NodeID, m msg.Message) (*PendingCall, error) {
 	dst, err := nd.net.lookup(to)
 	if err != nil {
 		return nil, err
 	}
-	corr, ch := nd.calls.register()
-	nd.net.deliver(nd.id, dst, msg.Envelope{From: nd.id, CorrID: corr, Msg: m})
-	return nd.calls.await(ctx, corr, ch)
+	deadline := callDeadline(ctx, nd.net.opts.CallTimeout)
+	id, ch, rerr := nd.calls.register(ctx, deadline)
+	if rerr != nil {
+		return nil, rerr
+	}
+	nd.net.deliver(nd.id, dst, msg.Envelope{From: nd.id, CorrID: id, Msg: m})
+	return &PendingCall{c: nd.calls, id: id, ch: ch}, nil
 }
+
+// PendingCalls implements Node.
+func (nd *inprocNode) PendingCalls() int { return nd.calls.pending() }
 
 // Close implements Node.
 func (nd *inprocNode) Close() error {
 	nd.net.mu.Lock()
-	defer nd.net.mu.Unlock()
 	delete(nd.net.nodes, nd.id)
+	nd.net.mu.Unlock()
+	nd.calls.close()
 	return nil
 }

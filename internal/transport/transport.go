@@ -9,8 +9,12 @@
 //   - UDP: each node binds a datagram socket, mirroring the paper's choice
 //     of UDP for efficient client/server and server/server interaction.
 //
-// Both support one-way Send and blocking Call with hop-by-hop replies, the
-// two interaction styles of the paper's algorithms.
+// Both support one-way Send, blocking Call and multiplexed CallAsync with
+// hop-by-hop replies. Calls are correlated by request id through a shared
+// in-flight tracker: per-call deadlines are swept by a timeout goroutine
+// that resolves expired entries as timeout error frames, and an optional
+// in-flight cap provides backpressure, so thousands of requests can ride
+// one socket concurrently instead of in lockstep.
 package transport
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"locsvc/internal/msg"
 )
@@ -38,6 +43,15 @@ type Node interface {
 	// Call delivers m and blocks until the destination's handler reply
 	// arrives or ctx is done.
 	Call(ctx context.Context, to msg.NodeID, m msg.Message) (msg.Message, error)
+	// CallAsync delivers m and returns immediately with a PendingCall that
+	// resolves when the reply arrives, the deadline expires (ctx's
+	// deadline, or the network's default call timeout when ctx has none),
+	// or the call is cancelled. When the network caps in-flight calls,
+	// CallAsync blocks until a slot frees or ctx is done.
+	CallAsync(ctx context.Context, to msg.NodeID, m msg.Message) (*PendingCall, error)
+	// PendingCalls returns the number of in-flight calls awaiting replies;
+	// a quiesced node reports zero (no leaked entries).
+	PendingCalls() int
 	// Close detaches the node from the network.
 	Close() error
 }
@@ -57,48 +71,182 @@ var (
 	ErrDuplicateID = errors.New("transport: node id already attached")
 )
 
-// calls tracks in-flight Call invocations awaiting replies. It is shared by
-// the transport implementations.
+// defaultSweepInterval is how often the timeout goroutine scans for
+// expired in-flight calls when no interval is configured. It bounds how
+// late past its deadline a call can resolve.
+const defaultSweepInterval = 25 * time.Millisecond
+
+// trackerConfig tunes a node's in-flight call tracker.
+type trackerConfig struct {
+	// maxInFlight caps concurrently outstanding calls; zero is unbounded.
+	maxInFlight int
+	// sweepEvery is the timeout goroutine's scan interval; zero uses
+	// defaultSweepInterval.
+	sweepEvery time.Duration
+	// onTimeout observes every call resolved by the deadline sweeper.
+	onTimeout func()
+	// onLate observes every reply that found no waiter (late after a
+	// timeout, a duplicate, or a cancellation).
+	onLate func()
+}
+
+// calls is the in-flight tracker shared by the transport implementations:
+// a request-id-correlated table of waiters with per-call deadlines. A
+// reply resolves its entry exactly once (duplicates and late replies are
+// counted and dropped); a sweeper goroutine resolves expired entries with
+// a timeout error frame; an optional semaphore bounds the table size for
+// backpressure.
 type calls struct {
-	mu      sync.Mutex
-	waiters map[uint64]chan msg.Message
-	next    atomic.Uint64
+	cfg  trackerConfig
+	next atomic.Uint64
+
+	// slots, when non-nil, is the in-flight semaphore: register acquires,
+	// resolution releases. Sized to cfg.maxInFlight.
+	slots chan struct{}
+
+	mu       sync.Mutex
+	waiters  map[uint64]*callWaiter
+	sweeping bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
-func newCalls() *calls {
-	return &calls{waiters: make(map[uint64]chan msg.Message)}
+// callWaiter is one in-flight call: its reply channel (buffered so no
+// resolver ever blocks) and its deadline (zero = none).
+type callWaiter struct {
+	ch       chan msg.Message
+	deadline time.Time
 }
 
-// register allocates a correlation id and its reply channel.
-func (c *calls) register() (uint64, chan msg.Message) {
+func newCalls(cfg trackerConfig) *calls {
+	if cfg.sweepEvery <= 0 {
+		cfg.sweepEvery = defaultSweepInterval
+	}
+	c := &calls{
+		cfg:     cfg,
+		waiters: make(map[uint64]*callWaiter),
+		stop:    make(chan struct{}),
+	}
+	if cfg.maxInFlight > 0 {
+		c.slots = make(chan struct{}, cfg.maxInFlight)
+	}
+	return c
+}
+
+// register allocates a correlation id and its reply channel, blocking for
+// an in-flight slot when the tracker is bounded. A non-zero deadline arms
+// the sweeper for this entry.
+func (c *calls) register(ctx context.Context, deadline time.Time) (uint64, chan msg.Message, error) {
+	if c.slots != nil {
+		select {
+		case c.slots <- struct{}{}:
+		case <-ctx.Done():
+			return 0, nil, fmt.Errorf("transport: awaiting in-flight slot: %w", ctx.Err())
+		case <-c.stop:
+			return 0, nil, ErrClosed
+		}
+	}
 	id := c.next.Add(1)
 	ch := make(chan msg.Message, 1)
 	c.mu.Lock()
-	c.waiters[id] = ch
+	c.waiters[id] = &callWaiter{ch: ch, deadline: deadline}
+	startSweeper := !deadline.IsZero() && !c.sweeping
+	if startSweeper {
+		c.sweeping = true
+	}
 	c.mu.Unlock()
-	return id, ch
+	if startSweeper {
+		go c.sweepLoop()
+	}
+	return id, ch, nil
 }
 
-// cancel drops a waiter that will no longer be serviced.
-func (c *calls) cancel(id uint64) {
+// take removes and returns the waiter for id, releasing its in-flight
+// slot. It is the single point of entry removal, so the slot is released
+// exactly once per registered call.
+func (c *calls) take(id uint64) *callWaiter {
 	c.mu.Lock()
-	delete(c.waiters, id)
-	c.mu.Unlock()
-}
-
-// deliver routes a reply to its waiter; it reports whether one was waiting.
-func (c *calls) deliver(id uint64, m msg.Message) bool {
-	c.mu.Lock()
-	ch, ok := c.waiters[id]
+	w, ok := c.waiters[id]
 	if ok {
 		delete(c.waiters, id)
 	}
 	c.mu.Unlock()
 	if !ok {
+		return nil
+	}
+	if c.slots != nil {
+		<-c.slots
+	}
+	return w
+}
+
+// cancel drops a waiter that will no longer be serviced.
+func (c *calls) cancel(id uint64) {
+	c.take(id)
+}
+
+// deliver routes a reply to its waiter; it reports whether one was
+// waiting. A late or duplicate reply finds no entry — resolved calls are
+// removed from the table — so it cannot cross onto another call; it is
+// only counted.
+func (c *calls) deliver(id uint64, m msg.Message) bool {
+	w := c.take(id)
+	if w == nil {
+		if c.cfg.onLate != nil {
+			c.cfg.onLate()
+		}
 		return false
 	}
-	ch <- m
+	w.ch <- m
 	return true
+}
+
+// sweepLoop is the timeout goroutine: every sweep interval it resolves
+// expired entries with a timeout error frame, exactly as if the remote had
+// answered "timed out". It runs from the first deadline-bearing call until
+// the tracker closes.
+func (c *calls) sweepLoop() {
+	ticker := time.NewTicker(c.cfg.sweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-ticker.C:
+			var expired []*callWaiter
+			c.mu.Lock()
+			for id, w := range c.waiters {
+				if !w.deadline.IsZero() && now.After(w.deadline) {
+					delete(c.waiters, id)
+					expired = append(expired, w)
+				}
+			}
+			c.mu.Unlock()
+			for _, w := range expired {
+				if c.slots != nil {
+					<-c.slots
+				}
+				w.ch <- msg.ErrorRes{Code: msg.CodeTimeout, Text: "in-flight call expired before its reply arrived"}
+				if c.cfg.onTimeout != nil {
+					c.cfg.onTimeout()
+				}
+			}
+		}
+	}
+}
+
+// pending returns the number of in-flight entries.
+func (c *calls) pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// close stops the sweeper and unblocks registrations waiting on a slot.
+// In-flight waiters are left to their callers' contexts.
+func (c *calls) close() {
+	c.stopOnce.Do(func() { close(c.stop) })
 }
 
 // await blocks until the reply for id arrives or ctx is done.
@@ -113,4 +261,46 @@ func (c *calls) await(ctx context.Context, id uint64, ch chan msg.Message) (msg.
 		c.cancel(id)
 		return nil, fmt.Errorf("transport: call: %w", ctx.Err())
 	}
+}
+
+// callDeadline resolves the deadline for a new call: the earlier of the
+// context's deadline and now+def. The configured default is a cap, not a
+// fallback — a call under a generous context still expires on the
+// network's timeout, so the sweeper (not the caller's context) resolves
+// lost replies and the timeout is observable in the wire metrics.
+func callDeadline(ctx context.Context, def time.Duration) time.Time {
+	var dl time.Time
+	if d, ok := ctx.Deadline(); ok {
+		dl = d
+	}
+	if def > 0 {
+		if capped := time.Now().Add(def); dl.IsZero() || capped.Before(dl) {
+			dl = capped
+		}
+	}
+	return dl
+}
+
+// PendingCall is one multiplexed in-flight request. It resolves exactly
+// once: with the reply, with a timeout error frame from the deadline
+// sweeper, or with the Wait context's error.
+type PendingCall struct {
+	c  *calls
+	id uint64
+	ch chan msg.Message
+}
+
+// ID returns the call's correlation id.
+func (p *PendingCall) ID() uint64 { return p.id }
+
+// Done exposes the resolution channel for select loops. The received
+// message may be an error frame; run it through msg.AsError. Most callers
+// want Wait.
+func (p *PendingCall) Done() <-chan msg.Message { return p.ch }
+
+// Wait blocks until the call resolves or ctx is done. Cancelling via ctx
+// removes the in-flight entry, so a reply arriving later is counted as
+// late and dropped.
+func (p *PendingCall) Wait(ctx context.Context) (msg.Message, error) {
+	return p.c.await(ctx, p.id, p.ch)
 }

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
+	"time"
 
 	"locsvc/internal/metrics"
 	"locsvc/internal/msg"
@@ -21,6 +24,32 @@ import (
 // datagrams.
 const maxDatagram = 65507
 
+// UDPOptions configure a UDP network.
+type UDPOptions struct {
+	// Metrics receives the network's wire-level counters; nil gets a
+	// private registry (see NewUDPWithMetrics).
+	Metrics *metrics.Registry
+	// BatchMax ≥ 2 enables outbound batching with that many envelopes per
+	// datagram at most; 0 or 1 sends one envelope per datagram (the
+	// compatible default — a batch of one is a legacy frame anyway).
+	BatchMax int
+	// BatchLinger bounds how long a lone envelope waits to be coalesced;
+	// zero uses a small default (defaultBatchLinger). Only meaningful
+	// with BatchMax ≥ 2.
+	BatchLinger time.Duration
+	// CallTimeout caps every Call/CallAsync deadline: the effective
+	// deadline is the earlier of the context's and now+CallTimeout.
+	// Zero means calls expire only on their own context's deadline
+	// (pre-tracker behavior).
+	CallTimeout time.Duration
+	// SweepInterval is the timeout goroutine's scan cadence; zero uses
+	// defaultSweepInterval.
+	SweepInterval time.Duration
+	// MaxInFlight caps outstanding calls per node for backpressure; zero
+	// is unbounded.
+	MaxInFlight int
+}
+
 // UDP is a datagram Network. Node addresses are resolved through a static
 // Directory (the deployment knows every server's address; clients and
 // objects register themselves when attaching). It mirrors the paper's
@@ -30,7 +59,12 @@ const maxDatagram = 65507
 // back as soon as the binary codec has decoded out of them (decoded
 // envelopes share no memory with the datagram), and sends encode into
 // pooled buffers with the size guard applied before the socket write.
+// With BatchMax ≥ 2 outbound envelopes per destination are coalesced into
+// batch frames (see the batcher); receive is always batch-aware, so a
+// non-batching network interoperates with a batching peer.
 type UDP struct {
+	opts UDPOptions
+
 	mu     sync.RWMutex
 	dir    map[msg.NodeID]*net.UDPAddr
 	nodes  map[msg.NodeID]*udpNode
@@ -40,6 +74,11 @@ type UDP struct {
 	// recvBufs recycles maxDatagram-sized receive buffers across all of
 	// the network's read loops.
 	recvBufs sync.Pool
+
+	// lossMu guards the injected receive-loss state (tests only).
+	lossMu   sync.Mutex
+	lossRate float64
+	lossRng  *rand.Rand
 
 	// met and the resolved counters below record wire-level traffic.
 	// The registry is shared with the co-located server in lsd, so the
@@ -51,6 +90,14 @@ type UDP struct {
 	datagramsOut *metrics.Counter
 	decodeErrors *metrics.Counter
 	oversize     *metrics.Counter
+	batchesIn    *metrics.Counter
+	batchesOut   *metrics.Counter
+	envelopesIn  *metrics.Counter
+	envelopesOut *metrics.Counter
+	envsPerBatch *metrics.Histogram
+	callTimeouts *metrics.Counter
+	lateReplies  *metrics.Counter
+	lossInjected *metrics.Counter
 }
 
 var _ Network = (*UDP)(nil)
@@ -58,21 +105,30 @@ var _ Network = (*UDP)(nil)
 // NewUDP creates a UDP network with an initially empty directory and a
 // private metrics registry (see NewUDPWithMetrics).
 func NewUDP() *UDP {
-	return NewUDPWithMetrics(nil)
+	return NewUDPWithOptions(UDPOptions{})
 }
 
-// NewUDPWithMetrics creates a UDP network whose wire-level counters —
-// wire_bytes_in, wire_bytes_out, wire_datagrams_in, wire_datagrams_out,
-// wire_decode_errors, wire_oversize_dropped — are registered in reg. A
-// process that runs one server per network (lsd, the paper's deployment
-// shape) passes the server's registry so the counters ride along in
-// diagnostic snapshots. A nil reg gets a private registry, retrievable
-// via Metrics.
+// NewUDPWithMetrics creates a UDP network whose wire-level counters are
+// registered in reg; see NewUDPWithOptions.
 func NewUDPWithMetrics(reg *metrics.Registry) *UDP {
+	return NewUDPWithOptions(UDPOptions{Metrics: reg})
+}
+
+// NewUDPWithOptions creates a UDP network. Its wire-level instruments —
+// wire_bytes_in/out, wire_datagrams_in/out, wire_decode_errors,
+// wire_oversize_dropped, wire_batches_in/out, wire_envelopes_in/out, the
+// wire_envelopes_per_batch histogram, wire_call_timeouts and
+// wire_late_replies — are registered in opts.Metrics. A process that runs
+// one server per network (lsd, the paper's deployment shape) passes the
+// server's registry so the counters ride along in diagnostic snapshots. A
+// nil registry gets a private one, retrievable via Metrics.
+func NewUDPWithOptions(opts UDPOptions) *UDP {
+	reg := opts.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	u := &UDP{
+		opts:         opts,
 		dir:          make(map[msg.NodeID]*net.UDPAddr),
 		nodes:        make(map[msg.NodeID]*udpNode),
 		met:          reg,
@@ -82,6 +138,14 @@ func NewUDPWithMetrics(reg *metrics.Registry) *UDP {
 		datagramsOut: reg.Counter("wire_datagrams_out"),
 		decodeErrors: reg.Counter("wire_decode_errors"),
 		oversize:     reg.Counter("wire_oversize_dropped"),
+		batchesIn:    reg.Counter("wire_batches_in"),
+		batchesOut:   reg.Counter("wire_batches_out"),
+		envelopesIn:  reg.Counter("wire_envelopes_in"),
+		envelopesOut: reg.Counter("wire_envelopes_out"),
+		envsPerBatch: reg.Histogram("wire_envelopes_per_batch"),
+		callTimeouts: reg.Counter("wire_call_timeouts"),
+		lateReplies:  reg.Counter("wire_late_replies"),
+		lossInjected: reg.Counter("wire_loss_injected"),
 	}
 	u.recvBufs.New = func() any {
 		b := make([]byte, maxDatagram)
@@ -92,6 +156,27 @@ func NewUDPWithMetrics(reg *metrics.Registry) *UDP {
 
 // Metrics returns the registry holding the network's wire-level counters.
 func (u *UDP) Metrics() *metrics.Registry { return u.met }
+
+// SetLoss injects seeded random receive loss: each incoming datagram is
+// dropped with probability rate, after the datagram counters but before
+// decoding — as if the kernel had lost it. Fault-injection soaks use it
+// to exercise the tracker's timeout path against a real socket.
+func (u *UDP) SetLoss(rate float64, seed int64) {
+	u.lossMu.Lock()
+	defer u.lossMu.Unlock()
+	u.lossRate = rate
+	u.lossRng = rand.New(rand.NewSource(seed))
+}
+
+// dropIncoming draws one injected-loss decision.
+func (u *UDP) dropIncoming() bool {
+	u.lossMu.Lock()
+	defer u.lossMu.Unlock()
+	if u.lossRate <= 0 || u.lossRng == nil {
+		return false
+	}
+	return u.lossRng.Float64() < u.lossRate
+}
 
 // AddRoute maps a node id to a UDP address ("host:port"). Servers started
 // by cmd/lsd publish their addresses through the deployment config.
@@ -115,6 +200,21 @@ func (u *UDP) Route(id msg.NodeID) (string, bool) {
 		return "", false
 	}
 	return ua.String(), true
+}
+
+// newNode builds a node with its tracker and (if configured) batcher.
+func (u *UDP) newNode(id msg.NodeID, conn *net.UDPConn, h Handler) *udpNode {
+	nd := &udpNode{id: id, net: u, conn: conn, handler: h}
+	nd.calls = newCalls(trackerConfig{
+		maxInFlight: u.opts.MaxInFlight,
+		sweepEvery:  u.opts.SweepInterval,
+		onTimeout:   u.callTimeouts.Inc,
+		onLate:      u.lateReplies.Inc,
+	})
+	if u.opts.BatchMax >= 2 {
+		nd.batch = newBatcher(nd, u.opts.BatchMax, u.opts.BatchLinger)
+	}
+	return nd
 }
 
 // Attach implements Network, binding a fresh socket on 127.0.0.1. The
@@ -147,7 +247,7 @@ func (u *UDP) AttachAuto(host string, h Handler) (Node, error) {
 		conn.Close()
 		return nil, ErrDuplicateID
 	}
-	node := &udpNode{id: id, net: u, conn: conn, handler: h, calls: newCalls()}
+	node := u.newNode(id, conn, h)
 	u.nodes[id] = node
 	u.dir[id] = conn.LocalAddr().(*net.UDPAddr)
 	u.wg.Add(1)
@@ -173,7 +273,7 @@ func (u *UDP) AttachAddr(id msg.NodeID, bind string, h Handler) (Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: binding %s: %w", bind, err)
 	}
-	node := &udpNode{id: id, net: u, conn: conn, handler: h, calls: newCalls()}
+	node := u.newNode(id, conn, h)
 	u.nodes[id] = node
 	u.dir[id] = conn.LocalAddr().(*net.UDPAddr)
 	u.wg.Add(1)
@@ -195,6 +295,10 @@ func (u *UDP) Close() error {
 	}
 	u.mu.Unlock()
 	for _, n := range nodes {
+		n.calls.close()
+		if n.batch != nil {
+			n.batch.closeFlush()
+		}
 		n.conn.Close()
 	}
 	u.wg.Wait()
@@ -207,6 +311,7 @@ type udpNode struct {
 	conn    *net.UDPConn
 	handler Handler
 	calls   *calls
+	batch   *batcher // nil when batching is off
 
 	handlerWG sync.WaitGroup
 }
@@ -217,9 +322,10 @@ var _ Node = (*udpNode)(nil)
 func (nd *udpNode) ID() msg.NodeID { return nd.id }
 
 // readLoop receives datagrams until the socket closes. Each datagram is
-// read into a pooled buffer that goes straight through wire.Decode and
-// back to the pool — the decoded envelope owns copies of everything it
-// needs, so no per-packet allocation or copy survives the loop body.
+// read into a pooled buffer that goes straight through the batch-aware
+// decode and back to the pool — the decoded envelopes own copies of
+// everything they need, so no per-packet allocation or copy survives the
+// loop body.
 func (nd *udpNode) readLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
@@ -237,57 +343,108 @@ func (nd *udpNode) readLoop(wg *sync.WaitGroup) {
 			}
 			continue
 		}
-		env, derr := wire.Decode(buf[:n])
-		nd.net.recvBufs.Put(bp)
 		nd.net.datagramsIn.Inc()
 		nd.net.bytesIn.Add(int64(n))
+		if nd.net.dropIncoming() {
+			nd.net.recvBufs.Put(bp)
+			nd.net.lossInjected.Inc()
+			continue
+		}
+		// The single-envelope fast path avoids DecodeBatch's slice
+		// allocation; batch frames take the slice once per datagram, not
+		// per envelope.
+		if wire.IsBatch(buf[:n]) {
+			envs, derr := wire.DecodeBatch(buf[:n])
+			nd.net.recvBufs.Put(bp)
+			if derr != nil {
+				nd.net.decodeErrors.Inc()
+				continue
+			}
+			nd.net.batchesIn.Inc()
+			nd.net.envelopesIn.Add(int64(len(envs)))
+			for _, env := range envs {
+				nd.process(env, src)
+			}
+			continue
+		}
+		env, derr := wire.Decode(buf[:n])
+		nd.net.recvBufs.Put(bp)
 		if derr != nil {
 			// Malformed datagram: drop, as UDP services must, but
 			// leave a trace for the operator.
 			nd.net.decodeErrors.Inc()
 			continue
 		}
-		// Learn the sender's address so replies and later messages to
-		// this node need no static directory entry. Known senders — the
-		// steady state — take only the read lock; the exclusive lock and
-		// the *net.UDPAddr conversion are paid once per new peer.
-		if env.From != "" && src.IsValid() {
-			nd.net.mu.RLock()
-			_, known := nd.net.dir[env.From]
-			nd.net.mu.RUnlock()
-			if !known {
-				ua := net.UDPAddrFromAddrPort(src)
-				nd.net.mu.Lock()
-				if _, known := nd.net.dir[env.From]; !known {
-					nd.net.dir[env.From] = ua
-				}
-				nd.net.mu.Unlock()
+		nd.net.envelopesIn.Inc()
+		nd.process(env, src)
+	}
+}
+
+// process routes one received envelope: reply correlation through the
+// tracker, or handler dispatch on its own goroutine.
+func (nd *udpNode) process(env msg.Envelope, src netip.AddrPort) {
+	// Learn the sender's address so replies and later messages to
+	// this node need no static directory entry. Known senders — the
+	// steady state — take only the read lock; the exclusive lock and
+	// the *net.UDPAddr conversion are paid once per new peer.
+	if env.From != "" && src.IsValid() {
+		nd.net.mu.RLock()
+		_, known := nd.net.dir[env.From]
+		nd.net.mu.RUnlock()
+		if !known {
+			ua := net.UDPAddrFromAddrPort(src)
+			nd.net.mu.Lock()
+			if _, known := nd.net.dir[env.From]; !known {
+				nd.net.dir[env.From] = ua
 			}
+			nd.net.mu.Unlock()
 		}
-		if env.Reply {
-			nd.calls.deliver(env.CorrID, env.Msg)
-			continue
+	}
+	if env.Reply {
+		nd.calls.deliver(env.CorrID, env.Msg)
+		return
+	}
+	if nd.handler == nil {
+		return
+	}
+	nd.handlerWG.Add(1)
+	go func(env msg.Envelope) {
+		defer nd.handlerWG.Done()
+		resp, herr := nd.handler(context.Background(), env.From, env.Msg)
+		if env.CorrID == 0 {
+			return
 		}
-		nd.handlerWG.Add(1)
-		go func(env msg.Envelope) {
-			defer nd.handlerWG.Done()
-			resp, herr := nd.handler(context.Background(), env.From, env.Msg)
-			if env.CorrID == 0 {
-				return
-			}
-			var payload msg.Message
-			switch {
-			case herr != nil:
-				payload = msg.ErrorResFrom(herr)
-			case resp != nil:
-				payload = resp
-			default:
-				payload = msg.Ack{}
-			}
-			reply := msg.Envelope{From: nd.id, CorrID: env.CorrID, Reply: true, Msg: payload}
-			// Best effort: UDP replies may be lost like any datagram.
-			_ = nd.write(env.From, reply)
-		}(env)
+		var payload msg.Message
+		switch {
+		case herr != nil:
+			payload = msg.ErrorResFrom(herr)
+		case resp != nil:
+			payload = resp
+		default:
+			payload = msg.Ack{}
+		}
+		reply := msg.Envelope{From: nd.id, CorrID: env.CorrID, Reply: true, Msg: payload}
+		// Best effort: UDP replies may be lost like any datagram.
+		_ = nd.write(env.From, reply)
+	}(env)
+}
+
+// transmit sends one assembled datagram carrying count envelopes and
+// records the wire counters. Send errors are best-effort-dropped for
+// batched flushes (the batcher has no caller to report to), matching UDP
+// loss semantics.
+func (nd *udpNode) transmit(addr *net.UDPAddr, data []byte, count int) {
+	_, err := nd.conn.WriteToUDP(data, addr)
+	if err != nil {
+		return
+	}
+	nd.net.datagramsOut.Inc()
+	nd.net.bytesOut.Add(int64(len(data)))
+	if count >= 2 {
+		nd.net.batchesOut.Inc()
+	}
+	if nd.batch != nil {
+		nd.net.envsPerBatch.Observe(float64(count))
 	}
 }
 
@@ -298,7 +455,8 @@ func (nd *udpNode) readLoop(wg *sync.WaitGroup) {
 // directory entry (the paper's prototype likewise replies to the datagram
 // source). Encoding appends into a pooled buffer; an envelope that would
 // exceed maxDatagram fails here, before the socket write, with the message
-// type and encoded size.
+// type and encoded size. With batching enabled the encoded frame is handed
+// to the coalescer instead of the socket; it rides the next flushed batch.
 func (nd *udpNode) write(dst msg.NodeID, env msg.Envelope) error {
 	nd.net.mu.RLock()
 	addr, ok := nd.net.dir[dst]
@@ -326,6 +484,12 @@ func (nd *udpNode) write(dst msg.NodeID, env msg.Envelope) error {
 		wire.PutBuffer(bp)
 		return fmt.Errorf("transport: %s envelope encodes to %d bytes, exceeding the %d-byte datagram limit", tag, len(data), maxDatagram)
 	}
+	nd.net.envelopesOut.Inc()
+	if nd.batch != nil {
+		nd.batch.add(dst, addr, data)
+		wire.PutBuffer(bp)
+		return nil
+	}
 	_, werr := nd.conn.WriteToUDP(data, addr)
 	n := len(data)
 	wire.PutBuffer(bp)
@@ -342,20 +506,41 @@ func (nd *udpNode) Send(to msg.NodeID, m msg.Message) error {
 	return nd.write(to, msg.Envelope{From: nd.id, Msg: m})
 }
 
-// Call implements Node.
+// Call implements Node: CallAsync followed by Wait, the lockstep special
+// case of the multiplexed path.
 func (nd *udpNode) Call(ctx context.Context, to msg.NodeID, m msg.Message) (msg.Message, error) {
-	corr, ch := nd.calls.register()
-	if err := nd.write(to, msg.Envelope{From: nd.id, CorrID: corr, Msg: m}); err != nil {
-		nd.calls.cancel(corr)
+	p, err := nd.CallAsync(ctx, to, m)
+	if err != nil {
 		return nil, err
 	}
-	return nd.calls.await(ctx, corr, ch)
+	return p.Wait(ctx)
 }
+
+// CallAsync implements Node.
+func (nd *udpNode) CallAsync(ctx context.Context, to msg.NodeID, m msg.Message) (*PendingCall, error) {
+	deadline := callDeadline(ctx, nd.net.opts.CallTimeout)
+	id, ch, err := nd.calls.register(ctx, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if err := nd.write(to, msg.Envelope{From: nd.id, CorrID: id, Msg: m}); err != nil {
+		nd.calls.cancel(id)
+		return nil, err
+	}
+	return &PendingCall{c: nd.calls, id: id, ch: ch}, nil
+}
+
+// PendingCalls implements Node.
+func (nd *udpNode) PendingCalls() int { return nd.calls.pending() }
 
 // Close implements Node.
 func (nd *udpNode) Close() error {
 	nd.net.mu.Lock()
 	delete(nd.net.nodes, nd.id)
 	nd.net.mu.Unlock()
+	nd.calls.close()
+	if nd.batch != nil {
+		nd.batch.closeFlush()
+	}
 	return nd.conn.Close()
 }

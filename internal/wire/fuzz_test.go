@@ -66,3 +66,56 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch extends the decoder-totality property to batch
+// datagrams: any malformed batch frame — bad magic, bad version, bad
+// count, truncated or corrupted envelope stream, trailing bytes — must
+// error without panicking, and anything that decodes must re-encode and
+// re-decode to the same number of envelopes.
+func FuzzDecodeBatch(f *testing.F) {
+	envs := []msg.Envelope{
+		{From: "obj-1", CorrID: 42, Msg: msg.UpdateReq{S: core.Sighting{
+			OID: "truck-7", T: time.Unix(1_700_000_000, 0).UTC(), Pos: geo.Pt(123.5, 456.25), SensAcc: 10,
+		}}},
+		{From: "r.0", Reply: true, CorrID: 7, Msg: msg.UpdateRes{Moved: true, NewAgent: "r.1", OfferedAcc: 25}},
+		{From: "x", Msg: msg.EventNotify{SubID: "s", Fired: true, Total: 3, Objs: []core.OID{"a", "b"}}},
+		{From: "y", CorrID: 1, Reply: true, Msg: msg.Ack{}},
+	}
+	for n := 1; n <= len(envs); n++ {
+		data, err := EncodeBatch(envs[:n])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		flipped := append([]byte{}, data...)
+		flipped[len(flipped)/2] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{batchMagic})
+	f.Add([]byte{batchMagic, wireVersion})
+	f.Add([]byte{batchMagic, wireVersion, 0x00})
+	f.Add([]byte{batchMagic, wireVersion, 0x01})
+	// Huge count with no bytes behind it: the count guard must reject it
+	// before any allocation.
+	f.Add([]byte{batchMagic, wireVersion, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeBatch(data)
+		if err != nil {
+			return // malformed input rejected: the property we want
+		}
+		out, err := EncodeBatch(decoded)
+		if err != nil {
+			t.Fatalf("decoded batch failed to re-encode: %v\nbatch: %#v", err, decoded)
+		}
+		again, err := DecodeBatch(out)
+		if err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v\nbatch: %#v", err, decoded)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("batch size changed across re-encode: %d -> %d", len(decoded), len(again))
+		}
+	})
+}

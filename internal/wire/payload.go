@@ -208,7 +208,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 	case msg.TagRegisterRes:
 		return msg.RegisterRes{
 			OpID:       r.u64(),
-			Agent:      msg.NodeID(r.str()),
+			Agent:      r.nodeID(),
 			AgentInfo:  r.leafInfo(),
 			OfferedAcc: r.f64(),
 			Hops:       r.integer(),
@@ -216,18 +216,18 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 	case msg.TagRegisterFailed:
 		return msg.RegisterFailed{
 			OpID:       r.u64(),
-			Server:     msg.NodeID(r.str()),
+			Server:     r.nodeID(),
 			Achievable: r.f64(),
 		}, true
 	case msg.TagCreatePath:
 		return msg.CreatePath{
-			OID:       core.OID(r.str()),
+			OID:       r.oid(),
 			Leaf:      r.leafInfo(),
 			SightingT: r.timestamp(),
 		}, true
 	case msg.TagRemovePath:
 		return msg.RemovePath{
-			OID:       core.OID(r.str()),
+			OID:       r.oid(),
 			SightingT: r.timestamp(),
 			HasNewPos: r.boolean(),
 			NewPos:    r.point(),
@@ -237,7 +237,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 	case msg.TagUpdateRes:
 		return msg.UpdateRes{
 			Moved:      r.boolean(),
-			NewAgent:   msg.NodeID(r.str()),
+			NewAgent:   r.nodeID(),
 			AgentInfo:  r.leafInfo(),
 			OfferedAcc: r.f64(),
 		}, true
@@ -245,50 +245,50 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 		return msg.HandoverReq{
 			S:        r.sighting(),
 			RegInfo:  r.regInfo(),
-			OldAgent: msg.NodeID(r.str()),
+			OldAgent: r.nodeID(),
 			Direct:   r.boolean(),
 			Hops:     r.integer(),
 		}, true
 	case msg.TagHandoverRes:
 		return msg.HandoverRes{
-			NewAgent:   msg.NodeID(r.str()),
+			NewAgent:   r.nodeID(),
 			AgentInfo:  r.leafInfo(),
 			OfferedAcc: r.f64(),
 			Hops:       r.integer(),
 		}, true
 	case msg.TagDeregisterReq:
-		return msg.DeregisterReq{OID: core.OID(r.str())}, true
+		return msg.DeregisterReq{OID: r.oid()}, true
 	case msg.TagDeregisterRes:
 		return msg.DeregisterRes{}, true
 	case msg.TagChangeAccReq:
 		return msg.ChangeAccReq{
-			OID:    core.OID(r.str()),
+			OID:    r.oid(),
 			DesAcc: r.f64(),
 			MinAcc: r.f64(),
 		}, true
 	case msg.TagChangeAccRes:
 		return msg.ChangeAccRes{OK: r.boolean(), OfferedAcc: r.f64()}, true
 	case msg.TagNotifyAvailAcc:
-		return msg.NotifyAvailAcc{OID: core.OID(r.str()), OfferedAcc: r.f64()}, true
+		return msg.NotifyAvailAcc{OID: r.oid(), OfferedAcc: r.f64()}, true
 	case msg.TagRequestUpdate:
-		return msg.RequestUpdate{OID: core.OID(r.str())}, true
+		return msg.RequestUpdate{OID: r.oid()}, true
 	case msg.TagPosQueryReq:
-		return msg.PosQueryReq{OID: core.OID(r.str()), AccBound: r.f64()}, true
+		return msg.PosQueryReq{OID: r.oid(), AccBound: r.f64()}, true
 	case msg.TagPosQueryDirect:
-		return msg.PosQueryDirect{OID: core.OID(r.str())}, true
+		return msg.PosQueryDirect{OID: r.oid()}, true
 	case msg.TagPosQueryRes:
 		return msg.PosQueryRes{
 			OpID:      r.u64(),
 			Found:     r.boolean(),
 			LD:        r.ld(),
-			Agent:     msg.NodeID(r.str()),
+			Agent:     r.nodeID(),
 			AgentInfo: r.leafInfo(),
 			MaxSpeed:  r.f64(),
 			Hops:      r.integer(),
 		}, true
 	case msg.TagPosQueryFwd:
 		return msg.PosQueryFwd{
-			OID:    core.OID(r.str()),
+			OID:    r.oid(),
 			Origin: r.origin(),
 			Hops:   r.integer(),
 		}, true
@@ -341,15 +341,15 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			ReqAcc:      r.f64(),
 			Threshold:   r.integer(),
 			Distance:    r.f64(),
-			Coordinator: msg.NodeID(r.str()),
-			Subscriber:  msg.NodeID(r.str()),
+			Coordinator: r.nodeID(),
+			Subscriber:  r.nodeID(),
 		}, true
 	case msg.TagEventUnsubscribe:
 		return msg.EventUnsubscribe{SubID: r.str(), Area: r.area()}, true
 	case msg.TagEventCount:
 		return msg.EventCount{
 			SubID: r.str(),
-			Leaf:  msg.NodeID(r.str()),
+			Leaf:  r.nodeID(),
 			Count: r.integer(),
 			Seq:   r.u64(),
 		}, true
@@ -364,7 +364,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 		return msg.DiagReq{}, true
 	case msg.TagDiagRes:
 		return msg.DiagRes{
-			Server:           msg.NodeID(r.str()),
+			Server:           r.nodeID(),
 			IsLeaf:           r.boolean(),
 			Visitors:         r.integer(),
 			Sightings:        r.integer(),
@@ -404,7 +404,7 @@ func appendSighting(dst []byte, s core.Sighting) []byte {
 
 func (r *reader) sighting() core.Sighting {
 	return core.Sighting{
-		OID:     core.OID(r.str()),
+		OID:     r.oid(),
 		T:       r.timestamp(),
 		Pos:     r.point(),
 		SensAcc: r.f64(),
@@ -442,7 +442,7 @@ func appendEntry(dst []byte, e core.Entry) []byte {
 }
 
 func (r *reader) entry() core.Entry {
-	return core.Entry{OID: core.OID(r.str()), LD: r.ld()}
+	return core.Entry{OID: r.oid(), LD: r.ld()}
 }
 
 // entryMinSize is the smallest wire footprint of one core.Entry: an empty
@@ -485,7 +485,7 @@ func (r *reader) oids() []core.OID {
 	}
 	ids := make([]core.OID, n)
 	for i := range ids {
-		ids[i] = core.OID(r.str())
+		ids[i] = r.oid()
 	}
 	return ids
 }
@@ -516,7 +516,7 @@ func appendOrigin(dst []byte, o msg.Origin) []byte {
 }
 
 func (r *reader) origin() msg.Origin {
-	return msg.Origin{Node: msg.NodeID(r.str()), OpID: r.u64()}
+	return msg.Origin{Node: r.nodeID(), OpID: r.u64()}
 }
 
 func appendLeafInfo(dst []byte, li msg.LeafInfo) []byte {
@@ -525,7 +525,7 @@ func appendLeafInfo(dst []byte, li msg.LeafInfo) []byte {
 }
 
 func (r *reader) leafInfo() msg.LeafInfo {
-	return msg.LeafInfo{ID: msg.NodeID(r.str()), Area: r.area()}
+	return msg.LeafInfo{ID: r.nodeID(), Area: r.area()}
 }
 
 // shardDiagSize is the fixed wire footprint of one msg.ShardDiag.

@@ -10,7 +10,8 @@
 //
 // # Framing
 //
-// Every datagram carries exactly one envelope:
+// A datagram carries either one envelope (the legacy frame) or a batch of
+// envelopes. The legacy frame:
 //
 //	offset 0  version  uint8   — wireVersion; receivers reject others
 //	offset 1  tag      uint8   — msg.Tag of the payload type
@@ -21,6 +22,31 @@
 //
 // Trailing bytes after the payload are an error: a datagram either parses
 // exactly or is dropped.
+//
+// # Batch frame
+//
+// A batch coalesces N ≥ 2 envelopes into one datagram:
+//
+//	offset 0  magic    uint8   — batchMagic (0xB7), distinguishes batch
+//	                             from legacy frames by the first octet
+//	offset 1  version  uint8   — wireVersion; receivers reject others
+//	          count    uvarint — number of envelopes, at least 2
+//	          N ×     (uvarint byte length, then one full legacy frame)
+//
+// A batch of exactly one envelope is, by rule, encoded as a plain legacy
+// frame — batching is invisible on the wire until there is something to
+// coalesce, so batching and non-batching peers interoperate without
+// negotiation. Decoding is all-or-nothing like the legacy frame: a bad
+// count, a truncated inner envelope or trailing bytes reject the whole
+// datagram. 0xB7 is reserved forever as the batch magic; wireVersion must
+// never be assigned that value (see the versioning rules).
+//
+// # Interning
+//
+// Node and object identifiers recur on nearly every datagram, so the
+// decoder routes them through a small lock-free intern table (intern.go):
+// repeated ids share one string allocation. This is a decode-side
+// optimization only — it changes nothing on the wire.
 //
 // # Primitive encodings
 //
@@ -56,9 +82,13 @@
 //   - Adding, removing or reordering fields of an existing message, or
 //     changing a primitive encoding: bump wireVersion. Receivers reject
 //     datagrams from other versions outright, so a mixed-version
-//     deployment partitions cleanly instead of mis-parsing.
+//     deployment partitions cleanly instead of mis-parsing. The batch
+//     frame carries the same version byte (at offset 1, after the magic)
+//     and follows the same rule: batch layout changes bump wireVersion.
 //   - Tags and the version byte share the first two octets forever; any
 //     future self-describing format must keep them addressable.
+//   - wireVersion must never be assigned batchMagic (0xB7): the first
+//     octet alone distinguishes legacy frames from batch frames.
 package wire
 
 import (
@@ -149,7 +179,7 @@ func Decode(data []byte) (msg.Envelope, error) {
 	tag := msg.Tag(data[1])
 	r := reader{data: data, off: 2}
 	var env msg.Envelope
-	env.From = msg.NodeID(r.str())
+	env.From = r.nodeID()
 	env.CorrID = r.u64()
 	flags := r.u8()
 	if r.err == nil && flags&^byte(flagReply) != 0 {
