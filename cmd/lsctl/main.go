@@ -20,6 +20,16 @@
 // register keeps the process alive with -keep to continue serving accuracy
 // notifications and recovery update requests; otherwise it exits after the
 // acknowledgement (the soft-state TTL eventually removes silent objects).
+//
+// -retries > 1 arms a client-side retry budget for every operation: a
+// timed-out request is re-sent with exponential backoff and full jitter
+// (seeded by -retry-backoff, capped at -retry-max-backoff), each attempt
+// bounded by -retry-timeout. Registrations and updates carry a per-client
+// sequence number, so a retried duplicate is applied exactly once by the
+// receiving leaf. Range and nearest queries may come back partial when part
+// of the hierarchy is unreachable; lsctl prints the degraded marking and
+// the dark servers so "no results" and "servers were down" stay
+// distinguishable.
 package main
 
 import (
@@ -46,6 +56,10 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Second, "operation timeout")
 		batchMax    = flag.Int("batch-max", 1, "coalesce up to this many outbound envelopes per destination into one datagram (≥ 2 enables batching)")
 		batchLinger = flag.Duration("batch-linger", time.Millisecond, "how long a lone envelope waits for batch company before it is flushed (with -batch-max ≥ 2)")
+		retries     = flag.Int("retries", 1, "total attempts per operation (> 1 enables retries with backoff; duplicates are deduplicated server-side)")
+		retryBase   = flag.Duration("retry-backoff", 20*time.Millisecond, "base of the exponential retry backoff (full jitter)")
+		retryMax    = flag.Duration("retry-max-backoff", time.Second, "cap on one retry backoff draw")
+		retryTry    = flag.Duration("retry-timeout", 0, "per-attempt deadline (0 leaves the operation timeout in charge)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -74,6 +88,12 @@ func main() {
 	// the deployment can answer it without directory distribution.
 	cl, err := client.New(autoNet{network, *host}, "", msg.NodeID(*entry), client.Options{
 		Timeout: *timeout,
+		Retry: transport.RetryPolicy{
+			MaxAttempts:   *retries,
+			BaseBackoff:   *retryBase,
+			MaxBackoff:    *retryMax,
+			PerTryTimeout: *retryTry,
+		},
 		OnAccChange: func(oid core.OID, acc float64) {
 			fmt.Printf("notification: accuracy for %s is now %.1f m\n", oid, acc)
 		},
@@ -138,18 +158,24 @@ func main() {
 		}
 		fmt.Printf("%s: pos=(%.1f, %.1f) acc=%.1f m\n", *oid, ld.Pos.X, ld.Pos.Y, ld.Acc)
 	case "range":
-		objs, err := cl.RangeQueryRect(ctx, geo.R(*x0, *y0, *x1, *y1), *reqAcc, *overlap)
+		res, err := cl.RangeQueryFull(ctx, core.AreaFromRect(geo.R(*x0, *y0, *x1, *y1)), *reqAcc, *overlap)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%d object(s):\n", len(objs))
-		for _, e := range objs {
+		if res.Partial {
+			fmt.Printf("PARTIAL result — unreachable: %v\n", res.Unreachable)
+		}
+		fmt.Printf("%d object(s):\n", len(res.Objs))
+		for _, e := range res.Objs {
 			fmt.Printf("  %s: pos=(%.1f, %.1f) acc=%.1f m\n", e.OID, e.LD.Pos.X, e.LD.Pos.Y, e.LD.Acc)
 		}
 	case "nearest":
 		res, err := cl.NeighborQuery(ctx, geo.Pt(*x, *y), *reqAcc, *nearQual)
 		if err != nil {
 			fatal(err)
+		}
+		if res.Partial {
+			fmt.Printf("PARTIAL result — unreachable: %v\n", res.Unreachable)
 		}
 		fmt.Printf("nearest: %s at (%.1f, %.1f), guaranteed min distance %.1f m\n",
 			res.Nearest.OID, res.Nearest.LD.Pos.X, res.Nearest.LD.Pos.Y, res.GuaranteedMinDist)

@@ -29,6 +29,16 @@
 // legacy wire frame byte-for-byte, so batching and non-batching servers
 // interoperate freely; batch traffic shows up in the wire_batches_in/out
 // and wire_envelopes_per_batch metrics.
+//
+// -breaker-threshold ≥ 1 arms per-peer circuit breakers on this server's
+// outbound calls: after that many consecutive swept timeouts toward one
+// peer the breaker opens and calls to it fail fast (no datagram, no
+// in-flight slot) until -breaker-cooldown elapses, when a single probe
+// call half-opens it; the probe's outcome closes or reopens the breaker.
+// Breaker state is exported as peer_state.<this>-><peer> gauges (0 closed,
+// 1 open, 2 half-open) next to the wire_breaker_open fail-fast counter,
+// and coordinators translate open breakers into degraded partial query
+// answers instead of waiting out timeouts.
 package main
 
 import (
@@ -81,6 +91,8 @@ func main() {
 		restore      = flag.Bool("restore", false, "request updates from persisted visitors at startup")
 		batchMax     = flag.Int("batch-max", 1, "coalesce up to this many outbound envelopes per destination into one datagram (≥ 2 enables batching; 1 sends each envelope alone)")
 		batchLinger  = flag.Duration("batch-linger", time.Millisecond, "how long a lone envelope waits for batch company before it is flushed (with -batch-max ≥ 2)")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive call timeouts toward one peer that open its circuit breaker (0 disables breakers)")
+		brkCooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker refuses calls before one probe call may half-open it")
 	)
 	flag.Parse()
 
@@ -129,9 +141,11 @@ func main() {
 	// traffic next to the protocol counters.
 	reg := metrics.NewRegistry()
 	network := transport.NewUDPWithOptions(transport.UDPOptions{
-		Metrics:     reg,
-		BatchMax:    *batchMax,
-		BatchLinger: *batchLinger,
+		Metrics:          reg,
+		BatchMax:         *batchMax,
+		BatchLinger:      *batchLinger,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
 	})
 	for nid, addr := range topo.Nodes {
 		if nid == *id {

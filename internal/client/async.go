@@ -35,7 +35,7 @@ func (t *TrackedObject) UpdateAsync(ctx context.Context, s core.Sighting) (*Pend
 	}
 	cctx, cancel := context.WithTimeout(ctx, t.c.opts.Timeout)
 	defer cancel()
-	p, err := t.c.node.CallAsync(cctx, t.Agent(), msg.UpdateReq{S: s})
+	p, err := t.c.node.CallAsync(cctx, t.Agent(), msg.UpdateReq{S: s, Seq: t.c.nextSeq()})
 	if err != nil {
 		return nil, err
 	}
@@ -53,13 +53,7 @@ func (u *PendingUpdate) Wait(ctx context.Context) error {
 	if !ok {
 		return core.ErrBadRequest
 	}
-	u.t.mu.Lock()
-	defer u.t.mu.Unlock()
-	u.t.lastSent = u.s
-	u.t.offeredAcc = res.OfferedAcc
-	if res.Moved {
-		u.t.agent = res.NewAgent
-	}
+	u.t.applyUpdateRes(u.s, res)
 	return nil
 }
 
@@ -77,7 +71,7 @@ type PendingPosQuery struct {
 func (c *Client) PosQueryAsync(ctx context.Context, oid core.OID, accBound float64) (*PendingPosQuery, error) {
 	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
 	defer cancel()
-	p, err := c.node.CallAsync(cctx, c.entry, msg.PosQueryReq{OID: oid, AccBound: accBound})
+	p, err := c.node.CallAsync(cctx, c.Entry(), msg.PosQueryReq{OID: oid, AccBound: accBound})
 	if err != nil {
 		return nil, err
 	}

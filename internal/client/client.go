@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locsvc/internal/core"
@@ -24,6 +25,15 @@ import (
 type Options struct {
 	// Timeout bounds every operation; default 5 s.
 	Timeout time.Duration
+	// Retry is the retry budget for idempotent operations (registration,
+	// updates, queries): lost datagrams surface as timeouts, and under a
+	// budget the client simply asks again with exponential backoff and
+	// full jitter. Registrations and updates are stamped with a
+	// per-client sequence number so a retried request is applied exactly
+	// once by the receiving leaf (see the wire package's retry-idempotency
+	// rules). The zero value disables retries — every operation gets one
+	// attempt, the pre-existing behavior.
+	Retry transport.RetryPolicy
 	// OnAccChange is invoked when the service notifies that the offered
 	// accuracy for a registered object changed (notifyAvailAcc,
 	// Section 3.1).
@@ -42,11 +52,15 @@ func (o Options) withDefaults() Options {
 
 // Client is one node using the location service through an entry server.
 type Client struct {
-	node  transport.Node
-	entry msg.NodeID
-	opts  Options
+	node transport.Node
+	opts Options
+
+	// seq stamps side-effecting requests (RegisterReq, UpdateReq) with
+	// one monotonic per-client counter, the dedupe key for retries.
+	seq atomic.Uint64
 
 	mu      sync.Mutex
+	entry   msg.NodeID // guarded: SetEntry may race concurrent operations
 	waiters map[uint64]chan msg.Message
 	nextOp  uint64
 
@@ -75,11 +89,25 @@ func New(network transport.Network, id msg.NodeID, entry msg.NodeID, opts Option
 func (c *Client) ID() msg.NodeID { return c.node.ID() }
 
 // Entry returns the entry server the client uses.
-func (c *Client) Entry() msg.NodeID { return c.entry }
+func (c *Client) Entry() msg.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entry
+}
 
 // SetEntry switches the client to a different entry server (e.g. after
 // moving; remote-query experiments use it to force non-local entries).
-func (c *Client) SetEntry(entry msg.NodeID) { c.entry = entry }
+// Safe against concurrent operations: each in-flight request reads the
+// entry once and completes against the server it started with.
+func (c *Client) SetEntry(entry msg.NodeID) {
+	c.mu.Lock()
+	c.entry = entry
+	c.mu.Unlock()
+}
+
+// nextSeq draws the next request sequence number (never 0 — 0 means
+// unstamped on the wire).
+func (c *Client) nextSeq() uint64 { return c.seq.Add(1) }
 
 // Close detaches the client from the network.
 func (c *Client) Close() error { return c.node.Close() }
@@ -168,39 +196,67 @@ func (c *Client) Register(ctx context.Context, s core.Sighting, desAcc, minAcc, 
 	}
 	opID, ch := c.openOp()
 	defer c.closeOp(opID)
-	err := c.node.Send(c.entry, msg.RegisterReq{
+	// One OpID and one Seq for every attempt: a duplicate delivery makes
+	// the leaf re-send its remembered outcome instead of re-applying, and
+	// a late first reply resolves the same waiter a re-send is parked on.
+	req := msg.RegisterReq{
 		S:       s,
 		RegInfo: ri,
 		Origin:  msg.Origin{Node: c.ID(), OpID: opID},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("client: sending registration: %w", err)
+		Seq:     c.nextSeq(),
 	}
-	select {
-	case m := <-ch:
-		switch res := m.(type) {
-		case msg.RegisterRes:
-			return &TrackedObject{
-				c:          c,
-				oid:        s.OID,
-				agent:      res.Agent,
-				offeredAcc: res.OfferedAcc,
-				lastSent:   s,
-			}, nil
-		case msg.RegisterFailed:
-			return nil, fmt.Errorf("%w: best achievable %.1f m at %s",
-				core.ErrAccuracy, res.Achievable, res.Server)
-		default:
-			if err := msg.AsError(m); err != nil {
-				return nil, err
+	attempts := c.opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	perTry := c.opts.Retry.PerTryTimeout
+	if perTry <= 0 {
+		perTry = c.opts.Timeout
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			transport.CountRetry(c.node)
+			select {
+			case <-time.After(c.opts.Retry.Backoff(i)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
-			return nil, core.ErrBadRequest
 		}
-	case <-time.After(c.opts.Timeout):
-		return nil, fmt.Errorf("client: registration timed out: %w", context.DeadlineExceeded)
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		if err := c.node.Send(c.Entry(), req); err != nil {
+			lastErr = fmt.Errorf("client: sending registration: %w", err)
+			if !transport.Retryable(err) {
+				return nil, lastErr
+			}
+			continue
+		}
+		select {
+		case m := <-ch:
+			switch res := m.(type) {
+			case msg.RegisterRes:
+				return &TrackedObject{
+					c:          c,
+					oid:        s.OID,
+					agent:      res.Agent,
+					offeredAcc: res.OfferedAcc,
+					lastSent:   s,
+				}, nil
+			case msg.RegisterFailed:
+				return nil, fmt.Errorf("%w: best achievable %.1f m at %s",
+					core.ErrAccuracy, res.Achievable, res.Server)
+			default:
+				if err := msg.AsError(m); err != nil {
+					return nil, err
+				}
+				return nil, core.ErrBadRequest
+			}
+		case <-time.After(perTry):
+			lastErr = fmt.Errorf("client: registration timed out: %w", context.DeadlineExceeded)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	return nil, lastErr
 }
 
 // OID returns the tracked object's identifier.
@@ -229,16 +285,47 @@ func (t *TrackedObject) LastSent() core.Sighting {
 
 // Update sends a position update to the object's agent (Section 3.1). On a
 // handover the handle rebinds to the new agent transparently, as the paper's
-// old agent "informs the tracked object of its new agent". It is the
-// lockstep form of UpdateAsync: issue, then wait — the request still rides
-// the transport's in-flight tracker, whose timeout sweeper resolves it if
-// the reply is lost.
+// old agent "informs the tracked object of its new agent". With a retry
+// budget configured, a timed-out update is re-sent with the same sequence
+// number — the agent applies it exactly once — against the handle's current
+// agent, re-read before every attempt so a rebinding applied in between is
+// honored.
 func (t *TrackedObject) Update(ctx context.Context, s core.Sighting) error {
-	u, err := t.UpdateAsync(ctx, s)
+	if !t.c.opts.Retry.Enabled() {
+		u, err := t.UpdateAsync(ctx, s)
+		if err != nil {
+			return err
+		}
+		return u.Wait(ctx)
+	}
+	if s.OID != t.oid {
+		return fmt.Errorf("%w: sighting for %s on handle of %s", core.ErrBadRequest, s.OID, t.oid)
+	}
+	cctx, cancel := context.WithTimeout(ctx, t.c.opts.Timeout)
+	defer cancel()
+	resp, err := transport.CallWithRetry(cctx, t.c.node, t.Agent,
+		msg.UpdateReq{S: s, Seq: t.c.nextSeq()}, t.c.opts.Retry)
 	if err != nil {
 		return err
 	}
-	return u.Wait(ctx)
+	res, ok := resp.(msg.UpdateRes)
+	if !ok {
+		return core.ErrBadRequest
+	}
+	t.applyUpdateRes(s, res)
+	return nil
+}
+
+// applyUpdateRes folds an accepted update's response into the handle:
+// remember the sighting, adopt the offered accuracy, rebind on handover.
+func (t *TrackedObject) applyUpdateRes(s core.Sighting, res msg.UpdateRes) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastSent = s
+	t.offeredAcc = res.OfferedAcc
+	if res.Moved {
+		t.agent = res.NewAgent
+	}
 }
 
 // MaybeUpdate implements the paper's distance-based update protocol
@@ -294,40 +381,82 @@ func (c *Client) PosQuery(ctx context.Context, oid core.OID) (core.LocationDescr
 // PosQueryBounded is PosQuery with an accuracy bound that permits the entry
 // server to answer from its position cache when the cached descriptor, aged
 // to now, is still at least accBound accurate (Section 6.5).
+//
+// A degraded miss — the entry server could not reach the part of the
+// hierarchy that would know the object — returns core.ErrUnavailable, not
+// core.ErrNotFound: the object may well be tracked behind the dark servers.
 func (c *Client) PosQueryBounded(ctx context.Context, oid core.OID, accBound float64) (core.LocationDescriptor, error) {
 	// Client-side caches first (Section 6.5; enable with EnableCache).
 	if ld, ok := c.posQueryViaCache(ctx, oid, accBound); ok {
 		return ld, nil
 	}
-	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
-	defer cancel()
-	resp, err := c.node.Call(cctx, c.entry, msg.PosQueryReq{OID: oid, AccBound: accBound})
+	resp, err := c.callEntry(ctx, msg.PosQueryReq{OID: oid, AccBound: accBound})
 	if err != nil {
 		return core.LocationDescriptor{}, err
 	}
 	res, ok := resp.(msg.PosQueryRes)
-	if !ok || !res.Found {
+	if !ok {
+		return core.LocationDescriptor{}, core.ErrNotFound
+	}
+	if !res.Found {
+		if res.Partial {
+			return core.LocationDescriptor{}, core.ErrUnavailable
+		}
 		return core.LocationDescriptor{}, core.ErrNotFound
 	}
 	c.cache.remember(oid, res)
 	return res.LD, nil
 }
 
-// RangeQuery returns all tracked objects inside the area whose location
-// areas overlap it by at least reqOverlap and whose accuracy is at least
-// reqAcc (Section 3.2, rangeQuery).
-func (c *Client) RangeQuery(ctx context.Context, area core.Area, reqAcc, reqOverlap float64) ([]core.Entry, error) {
+// callEntry performs one request/response operation against the entry
+// server under the client's timeout and retry budget. The entry is re-read
+// before every attempt so a concurrent SetEntry redirects retries.
+func (c *Client) callEntry(ctx context.Context, m msg.Message) (msg.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
 	defer cancel()
-	resp, err := c.node.Call(cctx, c.entry, msg.RangeQueryReq{Area: area, ReqAcc: reqAcc, ReqOverlap: reqOverlap})
+	return transport.CallWithRetry(cctx, c.node, c.Entry, m, c.opts.Retry)
+}
+
+// RangeResult is the client-side result of a range query. Partial marks a
+// degraded answer: Objs covers only the part of the hierarchy that was
+// reachable (Unreachable names the dark servers the entry server saw), so
+// an empty Objs means "nothing found among the live servers", not "nothing
+// there".
+type RangeResult struct {
+	Objs        []core.Entry
+	Servers     int
+	Hops        int
+	Partial     bool
+	Unreachable []msg.NodeID
+}
+
+// RangeQuery returns all tracked objects inside the area whose location
+// areas overlap it by at least reqOverlap and whose accuracy is at least
+// reqAcc (Section 3.2, rangeQuery). Degraded answers are returned as is;
+// use RangeQueryFull to distinguish them.
+func (c *Client) RangeQuery(ctx context.Context, area core.Area, reqAcc, reqOverlap float64) ([]core.Entry, error) {
+	res, err := c.RangeQueryFull(ctx, area, reqAcc, reqOverlap)
+	return res.Objs, err
+}
+
+// RangeQueryFull is RangeQuery with the full response: contributing-server
+// and hop counts, plus the degraded-answer marking.
+func (c *Client) RangeQueryFull(ctx context.Context, area core.Area, reqAcc, reqOverlap float64) (RangeResult, error) {
+	resp, err := c.callEntry(ctx, msg.RangeQueryReq{Area: area, ReqAcc: reqAcc, ReqOverlap: reqOverlap})
 	if err != nil {
-		return nil, err
+		return RangeResult{}, err
 	}
 	res, ok := resp.(msg.RangeQueryRes)
 	if !ok {
-		return nil, core.ErrBadRequest
+		return RangeResult{}, core.ErrBadRequest
 	}
-	return res.Objs, nil
+	return RangeResult{
+		Objs:        res.Objs,
+		Servers:     res.Servers,
+		Hops:        res.Hops,
+		Partial:     res.Partial,
+		Unreachable: res.Unreachable,
+	}, nil
 }
 
 // RangeQueryRect is RangeQuery for a rectangular area.
@@ -340,9 +469,7 @@ func (c *Client) RangeQueryRect(ctx context.Context, r geo.Rect, reqAcc, reqOver
 // epoch) and the metrics registry. Operator tooling (lsctl stats) uses it
 // to observe what the AutoShard policy observes.
 func (c *Client) Diag(ctx context.Context) (msg.DiagRes, error) {
-	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
-	defer cancel()
-	resp, err := c.node.Call(cctx, c.entry, msg.DiagReq{})
+	resp, err := c.callEntry(ctx, msg.DiagReq{})
 	if err != nil {
 		return msg.DiagRes{}, err
 	}
@@ -354,18 +481,22 @@ func (c *Client) Diag(ctx context.Context) (msg.DiagRes, error) {
 }
 
 // NeighborResult is the client-side result of a nearest-neighbor query.
+// Partial marks a degraded answer: the true nearest object could be agented
+// behind one of the Unreachable servers.
 type NeighborResult struct {
 	Nearest           core.Entry
 	Near              []core.Entry
 	GuaranteedMinDist float64
+	Partial           bool
+	Unreachable       []msg.NodeID
 }
 
 // NeighborQuery returns the tracked object nearest to p together with the
 // nearObjSet within nearQual of its distance (Section 3.2, neighborQuery).
+// A degraded "nothing found" returns core.ErrUnavailable instead of
+// core.ErrNotFound — dark servers may hold the answer.
 func (c *Client) NeighborQuery(ctx context.Context, p geo.Point, reqAcc, nearQual float64) (NeighborResult, error) {
-	cctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
-	defer cancel()
-	resp, err := c.node.Call(cctx, c.entry, msg.NeighborQueryReq{P: p, ReqAcc: reqAcc, NearQual: nearQual})
+	resp, err := c.callEntry(ctx, msg.NeighborQueryReq{P: p, ReqAcc: reqAcc, NearQual: nearQual})
 	if err != nil {
 		return NeighborResult{}, err
 	}
@@ -374,11 +505,16 @@ func (c *Client) NeighborQuery(ctx context.Context, p geo.Point, reqAcc, nearQua
 		return NeighborResult{}, core.ErrBadRequest
 	}
 	if !res.Found {
+		if res.Partial {
+			return NeighborResult{Partial: true, Unreachable: res.Unreachable}, core.ErrUnavailable
+		}
 		return NeighborResult{}, core.ErrNotFound
 	}
 	return NeighborResult{
 		Nearest:           res.Nearest,
 		Near:              res.Near,
 		GuaranteedMinDist: res.GuaranteedMinDist,
+		Partial:           res.Partial,
+		Unreachable:       res.Unreachable,
 	}, nil
 }

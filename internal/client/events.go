@@ -25,13 +25,14 @@ func (c *Client) SubscribeCountAbove(subID string, area core.Area, reqAcc float6
 		return fmt.Errorf("%w: invalid count subscription", core.ErrBadRequest)
 	}
 	c.registerHandler(subID, h)
-	return c.node.Send(c.entry, msg.EventSubscribe{
+	entry := c.Entry()
+	return c.node.Send(entry, msg.EventSubscribe{
 		SubID:       subID,
 		Kind:        msg.EventCountAbove,
 		Area:        area,
 		ReqAcc:      reqAcc,
 		Threshold:   threshold,
-		Coordinator: c.entry,
+		Coordinator: entry,
 		Subscriber:  c.ID(),
 	})
 }
@@ -45,12 +46,13 @@ func (c *Client) SubscribeMeeting(subID string, area core.Area, distance float64
 		return fmt.Errorf("%w: invalid meeting subscription", core.ErrBadRequest)
 	}
 	c.registerHandler(subID, h)
-	return c.node.Send(c.entry, msg.EventSubscribe{
+	entry := c.Entry()
+	return c.node.Send(entry, msg.EventSubscribe{
 		SubID:       subID,
 		Kind:        msg.EventMeeting,
 		Area:        area,
 		Distance:    distance,
-		Coordinator: c.entry,
+		Coordinator: entry,
 		Subscriber:  c.ID(),
 	})
 }
@@ -61,7 +63,7 @@ func (c *Client) Unsubscribe(subID string, area core.Area) error {
 	c.events.mu.Lock()
 	delete(c.events.handlers, subID)
 	c.events.mu.Unlock()
-	return c.node.Send(c.entry, msg.EventUnsubscribe{SubID: subID, Area: area})
+	return c.node.Send(c.Entry(), msg.EventUnsubscribe{SubID: subID, Area: area})
 }
 
 func (c *Client) registerHandler(subID string, h EventHandler) {

@@ -138,4 +138,9 @@ var (
 	// context.DeadlineExceeded so errors.Is treats a remotely-resolved
 	// timeout frame and a locally-expired context identically.
 	ErrTimeout = fmt.Errorf("core: operation timed out: %w", context.DeadlineExceeded)
+	// ErrUnavailable indicates the responsible server (or a partition of
+	// the hierarchy needed to answer) is currently unreachable: the query
+	// was answered in degraded mode and came back without the data rather
+	// than proving its absence. Callers should treat it as retryable.
+	ErrUnavailable = errors.New("core: responsible server unavailable")
 )

@@ -1,0 +1,333 @@
+package hierarchy_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc/internal/client"
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/hierarchy"
+	"locsvc/internal/metrics"
+	"locsvc/internal/msg"
+	"locsvc/internal/server"
+	"locsvc/internal/store"
+	"locsvc/internal/transport"
+)
+
+// TestChaosSoak drives the full resilience stack through a 2×2 hierarchy
+// under 20% datagram loss while two of the four leaves crash and recover
+// from their WALs. It asserts the layered failure story end to end:
+//
+//   - operations against live leaves keep succeeding via the retry budget,
+//   - queries touching a dark leaf come back Partial, never as hard errors,
+//   - the parent's circuit breaker toward a dark leaf opens under timeouts
+//     and closes again within a few probe intervals of recovery,
+//   - no in-flight call entry outlives the soak (the trackers quiesce),
+//   - after full recovery the oracle invariants hold: every object is
+//     found at its last accepted position and a whole-area range query is
+//     complete and no longer partial.
+func TestChaosSoak(t *testing.T) {
+	const (
+		dropRate    = 0.2
+		callTimeout = 200 * time.Millisecond
+		queryTO     = 500 * time.Millisecond
+		cooldown    = 150 * time.Millisecond
+	)
+
+	reg := metrics.NewRegistry()
+	net := transport.NewInproc(transport.InprocOptions{
+		DropRate:         dropRate,
+		Seed:             7,
+		SweepInterval:    10 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  cooldown,
+		Metrics:          reg,
+	})
+	defer net.Close()
+
+	dir := t.TempDir()
+	walPath := func(id msg.NodeID) string { return filepath.Join(dir, string(id)+".wal") }
+	spec := hierarchy.Spec{
+		RootArea: geo.R(0, 0, 1500, 1500),
+		Levels:   []hierarchy.Level{{Rows: 2, Cols: 2}},
+	}
+	base := server.Options{
+		CallTimeout:  callTimeout,
+		QueryTimeout: queryTO,
+	}
+	dep, err := hierarchy.DeployWith(net, spec, base, func(cfg store.ConfigRecord, o server.Options) (server.Options, error) {
+		if cfg.IsLeaf() {
+			wal, werr := store.OpenFileWAL(walPath(msg.NodeID(cfg.ID)))
+			if werr != nil {
+				return o, werr
+			}
+			o.WAL = wal
+		}
+		return o, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	rootArea := core.AreaFromRect(spec.RootArea)
+	configFor := func(id msg.NodeID) store.ConfigRecord {
+		for _, cfg := range dep.Configs {
+			if msg.NodeID(cfg.ID) == id {
+				return cfg
+			}
+		}
+		t.Fatalf("no config for %s", id)
+		return store.ConfigRecord{}
+	}
+
+	// One client and one object per quarter; each client's entry server
+	// is the leaf that owns its quarter. o0/o2 live on the leaves that
+	// will crash; o1/o3 are the "live" population whose operations must
+	// never fail.
+	retry := transport.RetryPolicy{
+		MaxAttempts:   10,
+		BaseBackoff:   20 * time.Millisecond,
+		MaxBackoff:    150 * time.Millisecond,
+		PerTryTimeout: 800 * time.Millisecond,
+	}
+	positions := map[string]geo.Point{
+		"o0": geo.Pt(100, 100),
+		"o1": geo.Pt(1200, 100),
+		"o2": geo.Pt(100, 1200),
+		"o3": geo.Pt(1200, 1200),
+	}
+	clients := map[string]*client.Client{}
+	objects := map[string]*client.TrackedObject{}
+	for oid, p := range positions {
+		entry, ok := dep.LeafFor(p)
+		if !ok {
+			t.Fatalf("no leaf for %v", p)
+		}
+		c, cerr := client.New(net, msg.NodeID("owner-"+oid), entry, client.Options{
+			Timeout: 15 * time.Second,
+			Retry:   retry,
+		})
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		defer c.Close()
+		obj, rerr := c.Register(soakCtx(t), sightingAt(oid, p), 10, 50, 3)
+		if rerr != nil {
+			t.Fatalf("register %s: %v", oid, rerr)
+		}
+		clients[oid] = c
+		objects[oid] = obj
+	}
+
+	liveUpdate := func(oid string, p geo.Point) {
+		t.Helper()
+		if err := objects[oid].Update(soakCtx(t), sightingAt(oid, p)); err != nil {
+			t.Fatalf("live update %s: %v", oid, err)
+		}
+		positions[oid] = p
+	}
+	wholeArea := core.AreaFromRect(geo.R(0, 0, 1500, 1500))
+
+	rounds := 2
+	if testing.Short() {
+		rounds = 1
+	}
+	crashLeaves := []msg.NodeID{"r.0", "r.2"}
+	darkObj := map[msg.NodeID]string{"r.0": "o0", "r.2": "o2"}
+
+	for round := 0; round < rounds; round++ {
+		for _, leaf := range crashLeaves {
+			oid := darkObj[leaf]
+			step := geo.Pt(float64(round+1)*5, 0)
+
+			// Pause the leaf: deliveries in both directions are
+			// dropped while its id stays attached — calls toward
+			// it time out and feed the parent's breaker.
+			net.SetNodeDown(leaf, true)
+
+			// Live-leaf operations must ride the retry budget
+			// through the loss and the dark quarter.
+			liveUpdate("o1", positions["o1"].Add(step))
+			liveUpdate("o3", positions["o3"].Add(step))
+
+			// A query for the dark object degrades to unavailable,
+			// never to not-found or a hard transport error.
+			if _, qerr := clients["o1"].PosQuery(soakCtx(t), core.OID(oid)); !errors.Is(qerr, core.ErrUnavailable) {
+				t.Fatalf("round %d: dark posquery for %s err = %v, want ErrUnavailable", round, oid, qerr)
+			}
+
+			// Whole-area range queries must come back Partial while
+			// the leaf is dark, and the repeated fan-out timeouts
+			// open the parent's breaker toward it.
+			sawPartial := false
+			deadline := time.Now().Add(10 * time.Second)
+			for net.PeerState(dep.Root(), leaf) != transport.PeerOpen || !sawPartial {
+				if time.Now().After(deadline) {
+					t.Fatalf("round %d: breaker %s->%s never opened (partial seen: %v)",
+						round, dep.Root(), leaf, sawPartial)
+				}
+				res, qerr := clients["o3"].RangeQueryFull(soakCtx(t), wholeArea, 100, 0.5)
+				if qerr != nil {
+					t.Fatalf("round %d: degraded range query: %v", round, qerr)
+				}
+				if res.Partial {
+					sawPartial = true
+				}
+			}
+
+			// With the breaker open, fan-out legs toward the dark
+			// leaf are refused without burning a timeout. A lone
+			// query every ~500ms always arrives past the cooldown
+			// and is admitted as the probe, so fire bursts of
+			// concurrent queries: the ones that land while a probe
+			// is in flight (or inside an open window) are refused
+			// and counted.
+			brkBy := time.Now().Add(10 * time.Second)
+			for reg.Counter("wire_breaker_open").Value() == 0 {
+				if time.Now().After(brkBy) {
+					t.Fatalf("round %d: no fail-fast rejection while %s dark", round, leaf)
+				}
+				var wg sync.WaitGroup
+				qErrs := make([]error, 3)
+				for i := range qErrs {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						_, qErrs[i] = clients["o3"].RangeQueryFull(soakCtx(t), wholeArea, 100, 0.5)
+					}(i)
+				}
+				wg.Wait()
+				for _, qerr := range qErrs {
+					if qerr != nil {
+						t.Fatalf("round %d: open-breaker range query: %v", round, qerr)
+					}
+				}
+			}
+
+			// Crash it for real: close the paused server (its WAL
+			// closes with it) and restart from the same log. The
+			// visitorDB survives; the sightingDB starts empty.
+			net.SetNodeDown(leaf, false)
+			if err := dep.Servers[leaf].Close(); err != nil {
+				t.Fatal(err)
+			}
+			wal, werr := store.OpenFileWAL(walPath(leaf))
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			opts := base
+			opts.WAL = wal
+			srv, serr := server.New(configFor(leaf), rootArea, net, opts)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			dep.Servers[leaf] = srv
+
+			// The breaker must close again shortly after recovery:
+			// the cooldown elapses, a probe call goes through, and
+			// the parent resumes normal fan-out. Queries provide
+			// the probe traffic. Loss can eat a probe (reopening
+			// the breaker for another cooldown), so allow a few
+			// probe intervals.
+			closeBy := time.Now().Add(10 * time.Second)
+			for net.PeerState(dep.Root(), leaf) != transport.PeerClosed {
+				if time.Now().After(closeBy) {
+					t.Fatalf("round %d: breaker %s->%s still %v after recovery",
+						round, dep.Root(), leaf, net.PeerState(dep.Root(), leaf))
+				}
+				if _, qerr := clients["o3"].RangeQueryFull(soakCtx(t), wholeArea, 100, 0.5); qerr != nil {
+					t.Fatalf("round %d: post-recovery range query: %v", round, qerr)
+				}
+				time.Sleep(cooldown / 3)
+			}
+
+			// The crashed leaf's object repopulates the rebuilt
+			// sightingDB with its next update (the WAL-restored
+			// visitor record accepts it), and the hierarchy is
+			// whole again: a complete, non-partial answer with all
+			// four objects must reappear.
+			liveUpdate(oid, positions[oid].Add(step))
+			wholeBy := time.Now().Add(10 * time.Second)
+			for {
+				res, qerr := clients["o1"].RangeQueryFull(soakCtx(t), wholeArea, 100, 0.5)
+				if qerr == nil && !res.Partial && len(res.Objs) == len(positions) {
+					break
+				}
+				if time.Now().After(wholeBy) {
+					t.Fatalf("round %d: hierarchy never healed after %s restart (err=%v)", round, leaf, qerr)
+				}
+			}
+		}
+	}
+
+	// No in-flight entry may outlive the soak: every server's call
+	// tracker must drain.
+	quiesceBy := time.Now().Add(5 * time.Second)
+	for id, srv := range dep.Servers {
+		for srv.PendingCalls() != 0 {
+			if time.Now().After(quiesceBy) {
+				t.Fatalf("server %s stuck with %d in-flight calls", id, srv.PendingCalls())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Oracle invariants after full recovery: every object is found at
+	// its last accepted position. The 20% loss is still live, so one
+	// attempt can legitimately degrade (a dropped internal fan-out
+	// datagram reads as a dark subtree); the invariant is eventual
+	// success, bounded by a deadline.
+	for oid, want := range positions {
+		oracleBy := time.Now().Add(10 * time.Second)
+		for {
+			ld, qerr := clients["o1"].PosQuery(soakCtx(t), core.OID(oid))
+			if qerr == nil {
+				if ld.Pos != want {
+					t.Errorf("final position of %s = %v, want %v", oid, ld.Pos, want)
+				}
+				break
+			}
+			if !errors.Is(qerr, core.ErrUnavailable) {
+				for id, srv := range dep.Servers {
+					t.Logf("server %s: visitors=%d sightings=%d", id, srv.VisitorCount(), srv.SightingCount())
+				}
+				t.Fatalf("final posquery %s: %v", oid, qerr)
+			}
+			if time.Now().After(oracleBy) {
+				t.Fatalf("final posquery %s still unavailable after recovery", oid)
+			}
+		}
+	}
+
+	// The soak must actually have exercised the machinery it claims to:
+	// retries fired under loss, fail-fast rejections happened while
+	// breakers were open, and coordinators produced degraded answers.
+	for _, counter := range []string{"wire_retries", "wire_breaker_open"} {
+		if reg.Counter(counter).Value() == 0 {
+			t.Errorf("%s = 0, soak never exercised it", counter)
+		}
+	}
+	degraded := int64(0)
+	for _, srv := range dep.Servers {
+		degraded += srv.Metrics().Counter("wire_degraded_queries").Value()
+	}
+	if degraded == 0 {
+		t.Error("wire_degraded_queries = 0 across all servers")
+	}
+}
+
+func soakCtx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func sightingAt(id string, p geo.Point) core.Sighting {
+	return core.Sighting{OID: core.OID(id), T: time.Now(), Pos: p, SensAcc: 5}
+}

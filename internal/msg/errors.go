@@ -14,7 +14,12 @@ const (
 	CodeOutOfArea  = "out_of_area"
 	CodeBadRequest = "bad_request"
 	CodeTimeout    = "timeout"
-	CodeInternal   = "internal"
+	// CodeUnavailable marks an answer that could not be produced because
+	// the responsible server was unreachable (breaker open, crashed leaf,
+	// partition). Distinct from CodeTimeout: the caller's budget did not
+	// expire, the hierarchy answered fast in degraded mode.
+	CodeUnavailable = "unavailable"
+	CodeInternal    = "internal"
 )
 
 // ErrorResFrom converts an error into a transportable ErrorRes, mapping the
@@ -32,6 +37,8 @@ func ErrorResFrom(err error) ErrorRes {
 		code = CodeBadRequest
 	case errors.Is(err, core.ErrTimeout):
 		code = CodeTimeout
+	case errors.Is(err, core.ErrUnavailable):
+		code = CodeUnavailable
 	}
 	return ErrorRes{Code: code, Text: err.Error()}
 }
@@ -51,6 +58,8 @@ func (e ErrorRes) Err() error {
 		base = core.ErrBadRequest
 	case CodeTimeout:
 		base = core.ErrTimeout
+	case CodeUnavailable:
+		base = core.ErrUnavailable
 	default:
 		return fmt.Errorf("msg: remote error: %s", e.Text)
 	}

@@ -77,6 +77,11 @@ type RegisterReq struct {
 	Origin Origin
 	// Hops counts forwarding steps for metrics.
 	Hops int
+	// Seq is the sender's per-node sequence number (shared counter with
+	// UpdateReq.Seq; see that field). A leaf remembers the last replies
+	// per (Origin.Node, Seq) so a retried registration is applied exactly
+	// once and the original outcome is re-sent. 0 means unstamped.
+	Seq uint64
 }
 
 // RegisterRes reports successful registration: the object's agent and the
@@ -139,6 +144,13 @@ type RemovePath struct {
 // The reply is UpdateRes — the paper's acknowledged update.
 type UpdateReq struct {
 	S core.Sighting
+	// Seq is the sender's per-node sequence number, drawn from one
+	// monotonic counter per client (mirroring EventCount.Seq). The agent
+	// keeps a dedupe window keyed (sender, Seq) and applies a retried
+	// duplicate exactly once, replying with the remembered UpdateRes —
+	// critical when the first attempt triggered a handover and a re-apply
+	// would fail with not_found. 0 means unstamped (no dedupe).
+	Seq uint64
 }
 
 // UpdateRes acknowledges an update. If the update triggered a handover,
@@ -249,6 +261,10 @@ type PosQueryRes struct {
 	// age the descriptor (acc + vmax·Δt, Section 6.5).
 	MaxSpeed float64
 	Hops     int
+	// Partial marks a degraded answer: part of the hierarchy needed to
+	// resolve the query was unreachable (open breaker, crashed server),
+	// so Found=false means "could not determine", not "not tracked".
+	Partial bool
 }
 
 // PosQueryFwd routes a position query through the hierarchy: up until a
@@ -292,6 +308,13 @@ type RangeQuerySubRes struct {
 	CoveredSize float64
 	Leaf        LeafInfo
 	Hops        int
+	// Unreachable lists children this coordinator could not forward to
+	// (open breaker or failed tracked send); UnreachableSize is the
+	// measure of area ∩ their service areas, which the entry server adds
+	// to its dark-cover tally so a degraded query still terminates fast
+	// instead of waiting for the full query timeout.
+	Unreachable     []NodeID
+	UnreachableSize float64
 }
 
 // RangeQueryRes is the entry server's assembled answer to the client.
@@ -300,6 +323,11 @@ type RangeQueryRes struct {
 	// Servers is the number of leaf servers that contributed.
 	Servers int
 	Hops    int
+	// Partial marks a degraded answer: some leaves covering the query
+	// area were unreachable, so Objs may be missing their records.
+	// Unreachable names the dark servers (best effort, deduplicated).
+	Partial     bool
+	Unreachable []NodeID
 }
 
 // ---------------------------------------------------------------------------
@@ -320,6 +348,11 @@ type NeighborQueryRes struct {
 	Nearest           core.Entry
 	Near              []core.Entry
 	GuaranteedMinDist float64
+	// Partial marks a degraded answer: an unreachable leaf overlapped one
+	// of the search rings, so a closer neighbor may exist on a dark
+	// server. Unreachable names the dark servers (deduplicated).
+	Partial     bool
+	Unreachable []NodeID
 }
 
 // ---------------------------------------------------------------------------

@@ -100,6 +100,19 @@ func (c *leafCaches) leavesCovering(area core.Area, enlarged geo.Rect, expected 
 	return ids, true
 }
 
+// areaOf returns the cached service area of one leaf; used by degraded
+// range queries to tally the query share of an unreachable cache-direct
+// destination.
+func (c *leafCaches) areaOf(id msg.NodeID) (core.Area, bool) {
+	if !c.enableArea {
+		return core.Area{}, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.areas[id]
+	return a, ok
+}
+
 // invalidateLeaf drops a stale (leaf → area) entry.
 func (c *leafCaches) invalidateLeaf(id msg.NodeID) {
 	if !c.enableArea {

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"locsvc/internal/msg"
+)
+
+// Retry deduplication. Transports retry idempotent calls on timeout, so a
+// leaf can receive the same UpdateReq or RegisterReq twice when only the
+// reply was lost. Requests stamped with a per-sender Seq are applied
+// exactly once: the first application remembers its reply here, and a
+// duplicate re-sends the remembered reply without touching the stores —
+// critical after a handover, where re-applying the update would fail with
+// not_found against the departed object.
+//
+// The window is bounded two ways: entries expire after a time window
+// (retries arrive within a retry budget, seconds at most) and the table is
+// capped FIFO (per-sender Seqs are monotonic, so insertion order is a fine
+// eviction order). A leaf restart loses the table with the process — which
+// is exactly right: the first post-restart update must be applied, not
+// answered from a stale remembered reply.
+
+// dedupeKey identifies one retryable request: the sending node and its
+// sequence number (one monotonic counter per sender across request types).
+type dedupeKey struct {
+	sender msg.NodeID
+	seq    uint64
+}
+
+// dedupeEntry is one remembered outcome.
+type dedupeEntry struct {
+	reply msg.Message
+	at    time.Time
+}
+
+// Dedupe window defaults: long enough for every attempt of a default
+// retry budget, small enough that the table stays kilobytes per client.
+const (
+	defaultDedupeWindow = 30 * time.Second
+	defaultDedupeCap    = 4096
+)
+
+// dedupe is the bounded (sender, seq) → remembered-reply table.
+type dedupe struct {
+	window time.Duration
+	cap    int
+	clock  func() time.Time
+
+	mu      sync.Mutex
+	entries map[dedupeKey]*dedupeEntry
+	order   []dedupeKey // insertion order for window + cap eviction
+}
+
+func newDedupe(window time.Duration, capacity int, clock func() time.Time) *dedupe {
+	if window <= 0 {
+		window = defaultDedupeWindow
+	}
+	if capacity <= 0 {
+		capacity = defaultDedupeCap
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &dedupe{
+		window:  window,
+		cap:     capacity,
+		clock:   clock,
+		entries: make(map[dedupeKey]*dedupeEntry),
+	}
+}
+
+// lookup returns the remembered reply for (sender, seq), if any. Seq 0 is
+// never remembered (unstamped senders opted out). Entries older than the
+// window are misses — and evicted lazily along the way.
+func (d *dedupe) lookup(sender msg.NodeID, seq uint64) (msg.Message, bool) {
+	if seq == 0 {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.evict(d.clock())
+	e, ok := d.entries[dedupeKey{sender, seq}]
+	if !ok {
+		return nil, false
+	}
+	return e.reply, true
+}
+
+// remember stores the reply for (sender, seq), evicting expired and
+// over-cap entries. Seq 0 is ignored.
+func (d *dedupe) remember(sender msg.NodeID, seq uint64, reply msg.Message) {
+	if seq == 0 {
+		return
+	}
+	now := d.clock()
+	k := dedupeKey{sender, seq}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.evict(now)
+	if _, ok := d.entries[k]; ok {
+		return // first application wins; a racing duplicate changes nothing
+	}
+	d.entries[k] = &dedupeEntry{reply: reply, at: now}
+	d.order = append(d.order, k)
+	for len(d.entries) > d.cap {
+		d.dropOldest()
+	}
+}
+
+// evict drops entries older than the window; called with d.mu held. The
+// order slice is insertion-ordered, so eviction stops at the first live
+// entry.
+func (d *dedupe) evict(now time.Time) {
+	cutoff := now.Add(-d.window)
+	for len(d.order) > 0 {
+		k := d.order[0]
+		e, ok := d.entries[k]
+		if ok && e.at.After(cutoff) {
+			return
+		}
+		d.dropOldest()
+	}
+}
+
+// dropOldest removes the head of the order queue; called with d.mu held.
+func (d *dedupe) dropOldest() {
+	k := d.order[0]
+	d.order = d.order[1:]
+	delete(d.entries, k)
+}
+
+// len returns the live entry count (tests).
+func (d *dedupe) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}

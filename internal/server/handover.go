@@ -19,6 +19,15 @@ func (s *Server) handleUpdate(ctx context.Context, from msg.NodeID, req msg.Upda
 	if err := req.S.Validate(); err != nil {
 		return nil, core.ErrBadRequest
 	}
+	// A transport-level retry whose first attempt was applied — only the
+	// reply was lost — gets the remembered reply without touching the
+	// stores. Critical after a handover: re-applying would fail with
+	// not_found against the departed record and strand the client on the
+	// old agent.
+	if reply, ok := s.dedupe.lookup(from, req.Seq); ok {
+		s.met.Counter("updates_deduped").Inc()
+		return reply, nil
+	}
 	rec, registered := s.visitors.Get(req.S.OID)
 	if !registered {
 		return nil, core.ErrNotFound
@@ -30,7 +39,9 @@ func (s *Server) handleUpdate(ctx context.Context, from msg.NodeID, req msg.Upda
 		s.pipe.Put(req.S)
 		s.notifySightingsChanged()
 		s.met.Counter("updates_local").Inc()
-		return msg.UpdateRes{Moved: false, OfferedAcc: rec.OfferedAcc}, nil
+		res := msg.UpdateRes{Moved: false, OfferedAcc: rec.OfferedAcc}
+		s.dedupe.remember(from, req.Seq, res)
+		return res, nil
 	}
 
 	// Lines 1-6: the object left the service area — hand over.
@@ -49,13 +60,17 @@ func (s *Server) handleUpdate(ctx context.Context, from msg.NodeID, req msg.Upda
 	if _, derr := s.visitors.Remove(req.S.OID); derr != nil {
 		s.met.Counter("visitor_db_errors").Inc()
 	}
-	// Inform the tracked object of its new agent (line 4).
-	return msg.UpdateRes{
+	// Inform the tracked object of its new agent (line 4). Failed
+	// handovers are deliberately not remembered: a retry should attempt
+	// the handover again, not replay the failure.
+	ures := msg.UpdateRes{
 		Moved:      true,
 		NewAgent:   res.NewAgent,
 		AgentInfo:  res.AgentInfo,
 		OfferedAcc: res.OfferedAcc,
-	}, nil
+	}
+	s.dedupe.remember(from, req.Seq, ures)
+	return ures, nil
 }
 
 // forwardHandover starts handover processing: with a warm (leaf → area)
@@ -77,7 +92,7 @@ func (s *Server) forwardHandover(ctx context.Context, req msg.HandoverReq) (msg.
 				// CreatePath from the new agent re-points the
 				// LCA (see handleRemovePath for the guards).
 				if s.parent() != "" {
-					s.sendOrCount(s.parentForOID(req.S.OID), msg.RemovePath{
+					s.forwardPath(s.parentForOID(req.S.OID), msg.RemovePath{
 						OID:       req.S.OID,
 						SightingT: req.S.T,
 						HasNewPos: true,
@@ -130,7 +145,7 @@ func (s *Server) handleHandover(ctx context.Context, from msg.NodeID, req msg.Ha
 		// the root always learns the newest branch even when stale
 		// leftover records exist on the way up.
 		if s.parent() != "" {
-			s.sendOrCount(s.parentForOID(req.S.OID), msg.CreatePath{
+			s.forwardPath(s.parentForOID(req.S.OID), msg.CreatePath{
 				OID: req.S.OID, Leaf: s.leafInfo(), SightingT: req.S.T,
 			})
 		}

@@ -60,15 +60,32 @@ func (s *Server) handleNeighborQuery(ctx context.Context, req msg.NeighborQueryR
 	// position lies inside the window has a positive overlap degree.
 	const anyOverlap = 1e-9
 
+	// Every ring is its own distributed range collection; a degraded ring
+	// taints the whole answer, so partiality and the unreachable set are
+	// unioned across all of them. A partial "found" answer means the true
+	// nearest could hide behind a dark leaf.
+	partial := false
+	var unreachable []msg.NodeID
+	finish := func(res msg.NeighborQueryRes) msg.NeighborQueryRes {
+		res.Partial = partial
+		res.Unreachable = unreachable
+		if partial {
+			s.met.Counter("wire_degraded_queries").Inc()
+		}
+		return res
+	}
+
 	var nearestDist float64
 	found := false
 	for {
 		window := core.AreaFromRect(geo.RectAround(req.P, radius))
-		cands, _, _, err := s.collectRange(ctx, window, req.ReqAcc, anyOverlap)
+		out, err := s.collectRange(ctx, window, req.ReqAcc, anyOverlap)
 		if err != nil {
 			return nil, err
 		}
-		for _, e := range cands {
+		partial = partial || out.partial
+		unreachable = mergeUnreachable(unreachable, out.unreachable...)
+		for _, e := range out.objs {
 			d := e.LD.Pos.Dist(req.P)
 			if d <= radius && (!found || d < nearestDist) {
 				nearestDist = d
@@ -80,7 +97,7 @@ func (s *Server) handleNeighborQuery(ctx context.Context, req msg.NeighborQueryR
 		}
 		if radius >= maxRadius {
 			// The whole service area has been searched.
-			return msg.NeighborQueryRes{Found: false}, nil
+			return finish(msg.NeighborQueryRes{Found: false}), nil
 		}
 		radius = math.Min(radius*2, maxRadius)
 		s.met.Counter("neighbor_query_expand").Inc()
@@ -94,20 +111,22 @@ func (s *Server) handleNeighborQuery(ctx context.Context, req msg.NeighborQueryR
 	// (SelectNearest applies the exact rule to the superset).
 	collectR := nearestDist + req.NearQual + 1
 	window := core.AreaFromRect(geo.RectAround(req.P, collectR))
-	cands, _, _, err := s.collectRange(ctx, window, req.ReqAcc, anyOverlap)
+	out, err := s.collectRange(ctx, window, req.ReqAcc, anyOverlap)
 	if err != nil {
 		return nil, err
 	}
-	res := core.SelectNearest(cands, req.P, req.ReqAcc, req.NearQual)
+	partial = partial || out.partial
+	unreachable = mergeUnreachable(unreachable, out.unreachable...)
+	res := core.SelectNearest(out.objs, req.P, req.ReqAcc, req.NearQual)
 	if !res.Found {
-		return msg.NeighborQueryRes{Found: false}, nil
+		return finish(msg.NeighborQueryRes{Found: false}), nil
 	}
-	return msg.NeighborQueryRes{
+	return finish(msg.NeighborQueryRes{
 		Found:             true,
 		Nearest:           res.Nearest,
 		Near:              res.Near,
 		GuaranteedMinDist: res.GuaranteedMinDist,
-	}, nil
+	}), nil
 }
 
 // neighborQueryLocal resolves a nearest-neighbor query without touching the

@@ -62,11 +62,17 @@ func (s *Server) handlePosQuery(ctx context.Context, req msg.PosQueryReq) (msg.M
 	}
 	opID, ch := s.pend.open()
 	defer s.pend.close(opID)
-	s.sendOrCount(parent, msg.PosQueryFwd{
+	if err := s.forward(parent, msg.PosQueryFwd{
 		OID:    req.OID,
 		Origin: msg.Origin{Node: s.ID(), OpID: opID},
 		Hops:   1,
-	})
+	}); err != nil {
+		// The route into the hierarchy is down (open breaker, dead
+		// address): answer degraded immediately — "can't know right
+		// now", not "object does not exist".
+		s.met.Counter("wire_degraded_queries").Inc()
+		return msg.PosQueryRes{Found: false, Partial: true}, nil
+	}
 	select {
 	case m := <-ch:
 		res, ok := m.(msg.PosQueryRes)
@@ -74,6 +80,12 @@ func (s *Server) handlePosQuery(ctx context.Context, req msg.PosQueryReq) (msg.M
 			return nil, core.ErrBadRequest
 		}
 		if !res.Found {
+			if res.Partial {
+				// Some server on the path could not reach the agent:
+				// the object may well exist behind the dark part.
+				s.met.Counter("wire_degraded_queries").Inc()
+				return res, nil
+			}
 			return nil, core.ErrNotFound
 		}
 		s.met.Counter("pos_query_remote").Inc()
@@ -81,7 +93,10 @@ func (s *Server) handlePosQuery(ctx context.Context, req msg.PosQueryReq) (msg.M
 		return res, nil
 	case <-time.After(s.opts.QueryTimeout):
 		s.met.Counter("pos_query_timeout").Inc()
-		return nil, core.ErrNotFound
+		// Distinguishable from a definitive miss: the query never got an
+		// answer, so the truth is unknown.
+		s.met.Counter("wire_degraded_queries").Inc()
+		return msg.PosQueryRes{Found: false, Partial: true}, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -172,7 +187,7 @@ func (s *Server) handlePosQueryFwd(from msg.NodeID, req msg.PosQueryFwd) {
 				s.respondToOrigin(req.Origin, msg.PosQueryRes{OpID: req.Origin.OpID, Found: false, Hops: req.Hops})
 				return
 			}
-			s.sendOrCount(parent, req)
+			s.forwardPosQueryOr(parent, req)
 			return
 		}
 		if req.Hops > maxFwdHops {
@@ -183,7 +198,7 @@ func (s *Server) handlePosQueryFwd(from msg.NodeID, req msg.PosQueryFwd) {
 			return
 		}
 		// Lines 6-7: follow the forwarding reference downwards.
-		s.sendOrCount(msg.NodeID(rec.ForwardRef), req)
+		s.forwardPosQueryOr(msg.NodeID(rec.ForwardRef), req)
 	default:
 		// Lines 8-9: no record; forward upwards.
 		parent := s.parentForOID(req.OID)
@@ -192,6 +207,20 @@ func (s *Server) handlePosQueryFwd(from msg.NodeID, req msg.PosQueryFwd) {
 			s.respondToOrigin(req.Origin, msg.PosQueryRes{OpID: req.Origin.OpID, Found: false, Hops: req.Hops})
 			return
 		}
-		s.sendOrCount(parent, req)
+		s.forwardPosQueryOr(parent, req)
+	}
+}
+
+// forwardPosQueryOr relays a position query one hop as a tracked one-way.
+// When the next hop is unreachable (open breaker, dead address), the entry
+// server gets an immediate degraded "unknown" — Found false with Partial
+// set — instead of waiting out its query timeout: the object may well exist
+// behind the dark node, so this must stay distinguishable from a definitive
+// not-found.
+func (s *Server) forwardPosQueryOr(to msg.NodeID, req msg.PosQueryFwd) {
+	if err := s.forward(to, req); err != nil {
+		s.respondToOrigin(req.Origin, msg.PosQueryRes{
+			OpID: req.Origin.OpID, Found: false, Partial: true, Hops: req.Hops,
+		})
 	}
 }

@@ -28,17 +28,66 @@ func (s *Server) handleRangeQuery(ctx context.Context, req msg.RangeQueryReq) (m
 	}
 	s.met.Counter("range_query_seen").Inc()
 
-	objs, servers, hops, err := s.collectRange(ctx, req.Area, req.ReqAcc, req.ReqOverlap)
+	out, err := s.collectRange(ctx, req.Area, req.ReqAcc, req.ReqOverlap)
 	if err != nil {
 		return nil, err
 	}
-	return msg.RangeQueryRes{Objs: objs, Servers: servers, Hops: hops}, nil
+	if out.partial {
+		s.met.Counter("wire_degraded_queries").Inc()
+	}
+	return msg.RangeQueryRes{
+		Objs:        out.objs,
+		Servers:     out.servers,
+		Hops:        out.hops,
+		Partial:     out.partial,
+		Unreachable: out.unreachable,
+	}, nil
+}
+
+// rangeOutcome is the result of one distributed range collection. partial
+// marks a degraded answer: some of the query area is owned by servers that
+// were unreachable (or never answered before the query timeout), so the
+// result covers only the live part of the hierarchy — a deliberately
+// different statement than "no objects there".
+type rangeOutcome struct {
+	objs        []core.Entry
+	servers     int
+	hops        int
+	partial     bool
+	unreachable []msg.NodeID
+}
+
+// mergeUnreachable appends ids not already present (fan-out sets are a
+// handful of nodes, so linear dedupe is fine).
+func mergeUnreachable(dst []msg.NodeID, ids ...msg.NodeID) []msg.NodeID {
+	for _, id := range ids {
+		dup := false
+		for _, d := range dst {
+			if d == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, id)
+		}
+	}
+	return dst
 }
 
 // collectRange runs the distributed range query and returns the qualifying
 // objects, the number of contributing leaf servers and the maximum hop
 // count observed. It is shared by range and nearest-neighbor processing.
-func (s *Server) collectRange(ctx context.Context, area core.Area, reqAcc, reqOverlap float64) ([]core.Entry, int, int, error) {
+//
+// Degraded mode: fan-out messages travel as tracked one-ways (forward), so
+// an unreachable destination — open breaker, dead address — is detected
+// immediately instead of waited out. Its share of the query area is tallied
+// as "dark cover": area that can never be covered by a partial result. The
+// collection loop terminates as soon as live cover plus dark cover accounts
+// for the whole query, so a query over a half-dark hierarchy returns the
+// reachable results promptly with partial set, rather than eating the full
+// query timeout.
+func (s *Server) collectRange(ctx context.Context, area core.Area, reqAcc, reqOverlap float64) (rangeOutcome, error) {
 	enlarged := area.Bounds().Enlarge(reqAcc)
 
 	// The expected coverage is the part of the query area inside the
@@ -46,20 +95,19 @@ func (s *Server) collectRange(ctx context.Context, area core.Area, reqAcc, reqOv
 	// be covered by any leaf.
 	expected := area.Vertices.IntersectRectArea(s.rootArea.Bounds())
 
-	var objs []core.Entry
+	var out rangeOutcome
 	covered := 0.0
-	servers := 0
-	maxHops := 0
+	darkCover := 0.0
 
 	// Local contribution (Algorithm 6-5, lines 3-7).
 	if enlarged.Intersects(s.cfg.SA.Bounds()) {
-		objs = append(objs, s.localRangeResult(area, reqAcc, reqOverlap, enlarged)...)
+		out.objs = append(out.objs, s.localRangeResult(area, reqAcc, reqOverlap, enlarged)...)
 		covered += area.Vertices.IntersectRectArea(s.cfg.SA.Bounds())
-		servers++
+		out.servers++
 	}
 	if covered+coverEpsilon*expected >= expected || expected == 0 {
 		s.met.Counter("range_query_local").Inc()
-		return objs, servers, maxHops, nil
+		return out, nil
 	}
 
 	// Part of the area lies outside this server's responsibility: the
@@ -79,56 +127,77 @@ func (s *Server) collectRange(ctx context.Context, area core.Area, reqAcc, reqOv
 			if leaf == s.ID() {
 				continue
 			}
-			s.sendOrCount(leaf, msg.RangeQueryFwd{
+			if err := s.forward(leaf, msg.RangeQueryFwd{
 				Area: area, ReqAcc: reqAcc, ReqOverlap: reqOverlap,
 				Origin: origin, Hops: 1,
-			})
+			}); err != nil {
+				out.unreachable = mergeUnreachable(out.unreachable, leaf)
+				if a, known := s.caches.areaOf(leaf); known {
+					darkCover += area.Vertices.IntersectRectArea(a.Bounds())
+				}
+				continue
+			}
 			sent++
 		}
 		if sent == 0 {
-			return objs, servers, maxHops, nil
+			out.partial = len(out.unreachable) > 0
+			return out, nil
 		}
 	} else {
 		parent := s.parentForKey(opID)
 		if parent == "" {
 			// Single-server deployment: our own contribution is all
 			// there is.
-			return objs, servers, maxHops, nil
+			return out, nil
 		}
-		s.sendOrCount(parent, msg.RangeQueryFwd{
+		if err := s.forward(parent, msg.RangeQueryFwd{
 			Area: area, ReqAcc: reqAcc, ReqOverlap: reqOverlap,
 			Origin: origin, Hops: 1,
-		})
+		}); err != nil {
+			// The route into the rest of the hierarchy is down:
+			// everything beyond this leaf is dark right now.
+			out.partial = true
+			out.unreachable = mergeUnreachable(out.unreachable, parent)
+			return out, nil
+		}
 	}
 
-	// Collection loop (lines 10-13): receive partial results until the
-	// area is entirely covered.
+	// Collection loop (lines 10-13): receive partial results until live
+	// plus dark cover accounts for the whole area.
 	timeout := time.NewTimer(s.opts.QueryTimeout)
 	defer timeout.Stop()
-	for covered+coverEpsilon*expected < expected {
+	for covered+darkCover+coverEpsilon*expected < expected {
 		select {
 		case m := <-ch:
 			sub, ok := m.(msg.RangeQuerySubRes)
 			if !ok {
 				continue
 			}
-			objs = append(objs, sub.Objs...)
+			out.objs = append(out.objs, sub.Objs...)
 			covered += sub.CoveredSize
-			servers++
-			if sub.Hops > maxHops {
-				maxHops = sub.Hops
+			darkCover += sub.UnreachableSize
+			out.unreachable = mergeUnreachable(out.unreachable, sub.Unreachable...)
+			if len(sub.Unreachable) == 0 {
+				out.servers++
+			}
+			if sub.Hops > out.hops {
+				out.hops = sub.Hops
 			}
 		case <-timeout.C:
 			s.met.Counter("range_query_timeout").Inc()
 			// Return what we have: partial answers beat none under
-			// UDP loss; the shortfall is visible in metrics.
-			return objs, servers, maxHops, nil
+			// UDP loss; the shortfall is visible to the caller.
+			out.partial = true
+			return out, nil
 		case <-ctx.Done():
-			return nil, 0, 0, ctx.Err()
+			return rangeOutcome{}, ctx.Err()
 		}
 	}
+	if darkCover > 0 || len(out.unreachable) > 0 {
+		out.partial = true
+	}
 	s.met.Counter("range_query_remote").Inc()
-	return objs, servers, maxHops, nil
+	return out, nil
 }
 
 // localRangeResult evaluates the range predicate against this leaf's
@@ -196,20 +265,41 @@ func (s *Server) handleRangeQueryFwd(from msg.NodeID, req msg.RangeQueryFwd) {
 
 	// Non-leaf (lines 7-15): forward downwards to overlapping children
 	// (except the one the query came from) …
+	var failed []msg.NodeID
+	failedCover := 0.0
 	for _, child := range s.cfg.Children {
 		if msg.NodeID(child.ID) == from {
 			continue
 		}
 		if enlarged.Intersects(child.SA.Bounds()) {
-			s.sendOrCount(msg.NodeID(child.ID), req)
+			if err := s.forward(msg.NodeID(child.ID), req); err != nil {
+				// Unreachable child: its whole subtree's share of
+				// the query is dark. Tell the entry server so its
+				// cover tally closes instead of timing out.
+				failed = append(failed, msg.NodeID(child.ID))
+				failedCover += req.Area.Vertices.IntersectRectArea(child.SA.Bounds())
+			}
 		}
 	}
 	// … and upwards if part of the area lies outside our service area
 	// (and the query did not come from above).
 	outside := !s.cfg.SA.Bounds().ContainsRect(enlarged)
 	if outside && !s.isParent(from) {
-		if s.parent() != "" {
-			s.sendOrCount(s.parentForKey(req.Origin.OpID), req)
+		if parent := s.parentForKey(req.Origin.OpID); parent != "" {
+			if err := s.forward(parent, req); err != nil {
+				// Everything outside this subtree is dark.
+				failed = append(failed, parent)
+				failedCover += req.Area.Vertices.IntersectRectArea(s.rootArea.Bounds()) -
+					req.Area.Vertices.IntersectRectArea(s.cfg.SA.Bounds())
+			}
 		}
+	}
+	if len(failed) > 0 {
+		s.respondToOrigin(req.Origin, msg.RangeQuerySubRes{
+			OpID:            req.Origin.OpID,
+			Hops:            req.Hops,
+			Unreachable:     failed,
+			UnreachableSize: failedCover,
+		})
 	}
 }

@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"time"
 
 	"locsvc/internal/core"
 	"locsvc/internal/msg"
 	"locsvc/internal/store"
+	"locsvc/internal/transport"
 )
 
 // handleRegister implements Algorithm 6-1 (registration processing). The
@@ -45,21 +47,32 @@ func (s *Server) handleRegister(ctx context.Context, req msg.RegisterReq) {
 	}
 
 	// Leaf server responsible for the object's position (lines 2-15).
+	// A retried registration whose first application answered already —
+	// only the response was lost — re-sends the remembered outcome
+	// instead of re-applying (see the wire package's retry-idempotency
+	// rules).
+	if reply, ok := s.dedupe.lookup(req.Origin.Node, req.Seq); ok {
+		s.met.Counter("register_deduped").Inc()
+		s.respondToOrigin(req.Origin, reply)
+		return
+	}
 	offered, ok := req.RegInfo.OfferedAcc(s.opts.AchievableAcc)
 	if !ok {
 		// Registration not successful (lines 13-14).
 		s.met.Counter("register_failed").Inc()
-		s.respondToOrigin(req.Origin, msg.RegisterFailed{
+		failed := msg.RegisterFailed{
 			OpID:       req.Origin.OpID,
 			Server:     s.ID(),
 			Achievable: s.opts.AchievableAcc,
-		})
+		}
+		s.dedupe.remember(req.Origin.Node, req.Seq, failed)
+		s.respondToOrigin(req.Origin, failed)
 		return
 	}
 
 	// Line 5: create the forwarding path up to the root.
 	if s.parent() != "" {
-		s.sendOrCount(s.parentForOID(req.S.OID), msg.CreatePath{
+		s.forwardPath(s.parentForOID(req.S.OID), msg.CreatePath{
 			OID: req.S.OID, Leaf: s.leafInfo(), SightingT: req.S.T,
 		})
 	}
@@ -80,13 +93,15 @@ func (s *Server) handleRegister(ctx context.Context, req msg.RegisterReq) {
 	s.met.Counter("register_ok").Inc()
 
 	// Line 12: answer the registering instance.
-	s.respondToOrigin(req.Origin, msg.RegisterRes{
+	res := msg.RegisterRes{
 		OpID:       req.Origin.OpID,
 		Agent:      s.ID(),
 		AgentInfo:  s.leafInfo(),
 		OfferedAcc: offered,
 		Hops:       req.Hops,
-	})
+	}
+	s.dedupe.remember(req.Origin.Node, req.Seq, res)
+	s.respondToOrigin(req.Origin, res)
 }
 
 // handleCreatePath implements the createPath half of Algorithm 6-1: every
@@ -111,7 +126,7 @@ func (s *Server) handleCreatePath(from msg.NodeID, req msg.CreatePath) {
 	// message carries the only information that re-points them onto this
 	// subtree. Each ancestor applies or refuses independently by PathT.
 	if s.parent() != "" {
-		s.sendOrCount(s.parentForOID(req.OID), req)
+		s.forwardPath(s.parentForOID(req.OID), req)
 	}
 }
 
@@ -140,7 +155,7 @@ func (s *Server) handleRemovePath(from msg.NodeID, req msg.RemovePath) {
 		return
 	}
 	if s.parent() != "" {
-		s.sendOrCount(s.parentForOID(req.OID), req)
+		s.forwardPath(s.parentForOID(req.OID), req)
 	}
 }
 
@@ -159,6 +174,74 @@ func (s *Server) sendOrCount(to msg.NodeID, m msg.Message) {
 	if err := s.node.Send(to, m); err != nil {
 		s.met.Counter("send_errors").Inc()
 	}
+}
+
+// forwardPath propagates a forwarding-path change (CreatePath, RemovePath)
+// one hop with the PathRetry budget. Path messages are idempotent — every
+// application is guarded by the sighting timestamp — but they are also the
+// only copy of the information they carry: a lost CreatePath climb strands
+// an ancestor without a record and turns later queries for the object into
+// definitive not-founds. So unlike plain fan-out (where the query's own
+// deadline bounds the damage), each hop re-sends until the peer's ack or
+// the budget runs out. Runs asynchronously; path propagation is off the
+// request path by design (Algorithm 6-1 answers the client before the
+// climb completes).
+func (s *Server) forwardPath(to msg.NodeID, m msg.Message) {
+	pol := s.opts.PathRetry
+	if !pol.Enabled() {
+		s.sendOrCount(to, m)
+		return
+	}
+	s.bgMu.Lock()
+	if s.stopped {
+		s.bgMu.Unlock()
+		// Shutting down: one best-effort send instead of a retry loop
+		// Close would have to wait out.
+		s.sendOrCount(to, m)
+		return
+	}
+	s.wg.Add(1)
+	s.bgMu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		// Bound the whole budget so a goroutine never outlives its
+		// usefulness: all attempts plus all maximal backoff draws.
+		total := time.Duration(pol.MaxAttempts) * (pol.PerTryTimeout + pol.MaxBackoff)
+		ctx, cancel := context.WithTimeout(context.Background(), total)
+		defer cancel()
+		// Abort outstanding attempts on shutdown: Close waits for this
+		// goroutine before detaching from the network.
+		go func() {
+			select {
+			case <-s.stop:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		if _, err := transport.CallWithRetry(ctx, s.node, func() msg.NodeID { return to }, m, pol); err != nil {
+			s.met.Counter("path_propagation_failed").Inc()
+		}
+	}()
+}
+
+// forward sends m to a hierarchy neighbor as a tracked one-way: the message
+// goes out as a call so the peer's auto-acknowledgement (or an explicit
+// response) feeds this node's per-peer breaker, and a swept timeout counts
+// against the peer. The reply itself is deliberately not awaited — fan-out
+// handlers return their results out-of-band to the query origin, exactly
+// like sendOrCount — so forward costs one in-flight entry until the ack or
+// the sweep, nothing more. A non-nil error means the message was NOT handed
+// to the network (open breaker, unknown destination, failed write): the
+// destination is unreachable right now, which degraded queries translate
+// into dark-cover accounting instead of waiting out a timeout.
+func (s *Server) forward(to msg.NodeID, m msg.Message) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.CallTimeout)
+	defer cancel() // tracker keeps its own deadline; cancel only ends the slot wait
+	if _, err := s.node.CallAsync(ctx, to, m); err != nil {
+		s.met.Counter("send_errors").Inc()
+		return err
+	}
+	return nil
 }
 
 // handleDeregister processes a deregistration at the object's agent: the
@@ -180,7 +263,7 @@ func (s *Server) handleDeregister(_ context.Context, req msg.DeregisterReq) (msg
 		s.met.Counter("visitor_db_errors").Inc()
 	}
 	if s.parent() != "" {
-		s.sendOrCount(s.parentForOID(req.OID), msg.RemovePath{OID: req.OID, SightingT: lastT})
+		s.forwardPath(s.parentForOID(req.OID), msg.RemovePath{OID: req.OID, SightingT: lastT})
 	}
 	s.met.Counter("deregister_ok").Inc()
 	return msg.DeregisterRes{}, nil

@@ -84,6 +84,23 @@ type Options struct {
 	// NNInitialRadius seeds the nearest-neighbor expanding search;
 	// defaults to a quarter of the leaf service-area diagonal.
 	NNInitialRadius float64
+	// DedupeWindow bounds how long a leaf remembers replies to Seq-stamped
+	// requests (UpdateReq, RegisterReq) so a client retry is applied
+	// exactly once. Zero uses a 30s default; the window only needs to
+	// outlast the longest retry budget.
+	DedupeWindow time.Duration
+	// DedupeCap bounds the remembered-reply table's entry count (FIFO
+	// eviction). Zero uses a 4096-entry default.
+	DedupeCap int
+	// PathRetry is the retry budget for forwarding-path propagation
+	// (the CreatePath/RemovePath climbs). These one-way messages are
+	// idempotent — every application is guarded by the sighting
+	// timestamp (PutIfNewer / RemoveIf) — so each hop re-sends on a
+	// swept timeout instead of letting one lost datagram strand an
+	// ancestor without (or with a stale) forwarding record. The zero
+	// value enables a small default budget; MaxAttempts 1 restores
+	// fire-and-forget.
+	PathRetry transport.RetryPolicy
 }
 
 // withDefaults fills unset options.
@@ -116,6 +133,16 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
+	if o.PathRetry.MaxAttempts == 0 {
+		o.PathRetry = transport.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 25 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+		}
+	}
+	if o.PathRetry.PerTryTimeout <= 0 {
+		o.PathRetry.PerTryTimeout = o.CallTimeout
+	}
 	if o.Metrics == nil {
 		o.Metrics = metrics.NewRegistry()
 	}
@@ -144,6 +171,10 @@ type Server struct {
 	events *events
 	met    *metrics.Registry
 
+	// dedupe remembers a leaf's replies to Seq-stamped requests so a
+	// transport-level retry is applied exactly once; nil on non-leaves.
+	dedupe *dedupe
+
 	// autoShard, on leaves that enabled it, is the adaptive shard-count
 	// policy the janitor feeds; gaugedShards tracks how many per-shard
 	// gauges are registered so a shrink can drop the stale ones.
@@ -152,6 +183,12 @@ type Server struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// bgMu guards stopped, which refuses new background goroutines (path
+	// propagation retries) once Close has started waiting on wg — an Add
+	// racing the Wait at counter zero is a WaitGroup misuse.
+	bgMu    sync.Mutex
+	stopped bool
 
 	closeOnce sync.Once
 }
@@ -228,6 +265,7 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 			popts = append(popts, store.OnExpired(s.expireVisitors))
 		}
 		s.pipe = store.NewUpdatePipeline(s.sightings, popts...)
+		s.dedupe = newDedupe(opts.DedupeWindow, opts.DedupeCap, opts.Clock)
 	}
 	node, err := network.Attach(msg.NodeID(cfg.ID), s.handle)
 	if err != nil {
@@ -259,6 +297,11 @@ func (s *Server) Metrics() *metrics.Registry { return s.met }
 // diagnostics.
 func (s *Server) VisitorCount() int { return s.visitors.Len() }
 
+// PendingCalls returns the number of in-flight outbound calls this server's
+// transport node is still awaiting replies for. Chaos tests assert it drops
+// to zero at quiesce — no stuck in-flight entries after faults.
+func (s *Server) PendingCalls() int { return s.node.PendingCalls() }
+
 // SightingCount returns the number of sighting records on a leaf (zero on
 // non-leaf servers).
 func (s *Server) SightingCount() int {
@@ -282,6 +325,9 @@ func (s *Server) leafInfo() msg.LeafInfo {
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		s.bgMu.Lock()
+		s.stopped = true
+		s.bgMu.Unlock()
 		close(s.stop)
 		s.wg.Wait()
 		if nerr := s.node.Close(); nerr != nil {
@@ -463,7 +509,7 @@ func (s *Server) expireVisitor(id core.OID) bool {
 		s.met.Counter("visitor_db_errors").Inc()
 	}
 	if s.parent() != "" {
-		s.sendOrCount(s.parentForOID(id), msg.RemovePath{OID: id, SightingT: lastT})
+		s.forwardPath(s.parentForOID(id), msg.RemovePath{OID: id, SightingT: lastT})
 	}
 	return true
 }

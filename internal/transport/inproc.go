@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"locsvc/internal/metrics"
 	"locsvc/internal/msg"
 )
 
@@ -75,6 +76,17 @@ type InprocOptions struct {
 	// MaxInFlight caps outstanding calls per node for backpressure; zero
 	// is unbounded.
 	MaxInFlight int
+	// BreakerThreshold enables per-peer circuit breakers: after that many
+	// consecutive swept timeouts to one destination, calls to it fail
+	// fast with ErrBreakerOpen until BreakerCooldown elapses and a probe
+	// call succeeds. Zero disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open probe interval; zero uses
+	// defaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// Metrics, if non-nil, receives wire_retries, wire_breaker_open and
+	// peer_state series (shared by every node of this network).
+	Metrics *metrics.Registry
 }
 
 // pairKey identifies one directed (sender, receiver) link.
@@ -104,11 +116,22 @@ type Inproc struct {
 	wg     sync.WaitGroup
 	closed bool
 
-	// dropMu guards rng (all seeded fault draws) and held (the reorder
-	// hold-back slots).
+	// dropMu guards rng (all seeded fault draws), held (the reorder
+	// hold-back slots) and the node-level fault maps down/blocked.
 	dropMu sync.Mutex
 	rng    *rand.Rand
 	held   map[pairKey]*heldEnv
+	// down marks paused nodes: every delivery to or from a down node is
+	// silently dropped, modelling a crashed or partitioned process whose
+	// address still resolves (unlike Close, which unregisters the id).
+	down map[msg.NodeID]bool
+	// blocked drops deliveries on specific directed links, modelling
+	// asymmetric partitions.
+	blocked map[pairKey]bool
+
+	// retries counts CallWithRetry re-attempts by nodes of this network
+	// (nil without a metrics registry).
+	retries *metrics.Counter
 
 	// batchMu guards the per-link delivery batches.
 	batchMu sync.Mutex
@@ -123,13 +146,67 @@ func NewInproc(opts InprocOptions) *Inproc {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Inproc{
+	n := &Inproc{
 		nodes:   make(map[msg.NodeID]*inprocNode),
 		opts:    opts,
 		rng:     rand.New(rand.NewSource(seed)),
 		held:    make(map[pairKey]*heldEnv),
+		down:    make(map[msg.NodeID]bool),
+		blocked: make(map[pairKey]bool),
 		batches: make(map[pairKey]*inprocBatch),
 	}
+	if opts.Metrics != nil {
+		n.retries = opts.Metrics.Counter("wire_retries")
+	}
+	return n
+}
+
+// SetNodeDown pauses or resumes a node: while down, every delivery to or
+// from it is silently dropped, but the node stays attached — callers see
+// timeouts (and eventually open breakers), not ErrUnknownNode. It models a
+// crashed, wedged or fully partitioned process.
+func (n *Inproc) SetNodeDown(id msg.NodeID, down bool) {
+	n.dropMu.Lock()
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+	n.dropMu.Unlock()
+}
+
+// Block installs or removes an asymmetric partition: while blocked, every
+// delivery on the directed link from→to is silently dropped; the reverse
+// direction is unaffected.
+func (n *Inproc) Block(from, to msg.NodeID, blocked bool) {
+	n.dropMu.Lock()
+	if blocked {
+		n.blocked[pairKey{from, to}] = true
+	} else {
+		delete(n.blocked, pairKey{from, to})
+	}
+	n.dropMu.Unlock()
+}
+
+// nodeFaulted reports whether the directed link from→to is currently
+// severed by a node-level fault.
+func (n *Inproc) nodeFaulted(from, to msg.NodeID) bool {
+	n.dropMu.Lock()
+	defer n.dropMu.Unlock()
+	if len(n.down) == 0 && len(n.blocked) == 0 {
+		return false
+	}
+	return n.down[from] || n.down[to] || n.blocked[pairKey{from, to}]
+}
+
+// PeerState returns the breaker state of node "of" toward destination
+// "to"; PeerClosed when breakers are disabled or "of" is not attached.
+func (n *Inproc) PeerState(of, to msg.NodeID) PeerState {
+	nd, err := n.lookup(of)
+	if err != nil {
+		return PeerClosed
+	}
+	return nd.health.state(to)
 }
 
 type inprocNode struct {
@@ -137,6 +214,7 @@ type inprocNode struct {
 	net     *Inproc
 	handler Handler
 	calls   *calls
+	health  *health
 }
 
 var _ Node = (*inprocNode)(nil)
@@ -152,10 +230,20 @@ func (n *Inproc) Attach(id msg.NodeID, h Handler) (Node, error) {
 		return nil, ErrDuplicateID
 	}
 	node := &inprocNode{id: id, net: n, handler: h}
-	node.calls = newCalls(trackerConfig{
+	node.health = newHealth(breakerConfig{
+		threshold: n.opts.BreakerThreshold,
+		cooldown:  n.opts.BreakerCooldown,
+		owner:     id,
+		metrics:   n.opts.Metrics,
+	})
+	tc := trackerConfig{
 		maxInFlight: n.opts.MaxInFlight,
 		sweepEvery:  n.opts.SweepInterval,
-	})
+	}
+	if node.health != nil {
+		tc.onOutcome = node.health.outcome
+	}
+	node.calls = newCalls(tc)
 	n.nodes[id] = node
 	return node, nil
 }
@@ -184,6 +272,36 @@ func (n *Inproc) Close() error {
 	case <-time.After(5 * time.Second):
 	}
 	return nil
+}
+
+// addDelivery reserves a slot in the delivery WaitGroup, refusing once the
+// network is closed. Every asynchronous delivery path must acquire its slot
+// through this guard: Close flips closed under the same mutex before it
+// waits, so a successful Add always happens-before the Wait and a late
+// caller's delivery is dropped instead of racing the shutdown (the UDP
+// service model already makes loss-at-close legal).
+func (n *Inproc) addDelivery() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed {
+		return false
+	}
+	n.wg.Add(1)
+	return true
+}
+
+// addStage reserves a slot for the next asynchronous stage of a delivery
+// chain. A caller that already holds a slot may Add unconditionally — the
+// counter is provably nonzero, which the WaitGroup contract allows even
+// concurrently with Wait — so deliveries already in the pipeline at Close
+// (delayed or held envelopes) run to completion; only brand-new entry
+// points go through the closed guard.
+func (n *Inproc) addStage(slotHeld bool) bool {
+	if slotHeld {
+		n.wg.Add(1)
+		return true
+	}
+	return n.addDelivery()
 }
 
 // lookup returns the destination node.
@@ -243,6 +361,9 @@ func (n *Inproc) drawFault(from, to msg.NodeID, env msg.Envelope) Fault {
 // the sender's goroutine, so a sequential send schedule consumes the
 // seeded rng in a deterministic order regardless of timer interleaving.
 func (n *Inproc) deliver(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
+	if n.nodeFaulted(from, dst.id) {
+		return
+	}
 	f := n.drawFault(from, dst.id, env)
 	if f.Drop {
 		return
@@ -250,19 +371,23 @@ func (n *Inproc) deliver(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
 	reorder := n.drawP(n.opts.ReorderRate)
 	for i := 0; i <= f.Duplicate; i++ {
 		if f.Delay > 0 {
-			n.wg.Add(1)
+			if !n.addDelivery() {
+				continue
+			}
 			time.AfterFunc(f.Delay, func() {
 				defer n.wg.Done()
-				n.enqueue(from, dst, env, reorder)
+				n.enqueue(from, dst, env, reorder, true)
 			})
 			continue
 		}
-		n.enqueue(from, dst, env, reorder)
+		n.enqueue(from, dst, env, reorder, false)
 	}
 }
 
-// enqueue applies the reorder hold-back, then dispatches.
-func (n *Inproc) enqueue(from msg.NodeID, dst *inprocNode, env msg.Envelope, reorder bool) {
+// enqueue applies the reorder hold-back, then dispatches. slotHeld reports
+// whether the caller holds a delivery slot for the duration of this call
+// (true from tracked timer callbacks, false from a sender's goroutine).
+func (n *Inproc) enqueue(from msg.NodeID, dst *inprocNode, env msg.Envelope, reorder, slotHeld bool) {
 	if n.opts.ReorderRate > 0 {
 		key := pairKey{from, dst.id}
 		n.dropMu.Lock()
@@ -271,8 +396,8 @@ func (n *Inproc) enqueue(from msg.NodeID, dst *inprocNode, env msg.Envelope, reo
 			// is released behind it.
 			delete(n.held, key)
 			n.dropMu.Unlock()
-			n.dispatch(from, dst, env)
-			n.dispatch(from, dst, h.env)
+			n.dispatch(from, dst, env, slotHeld)
+			n.dispatch(from, dst, h.env, slotHeld)
 			return
 		}
 		if reorder {
@@ -281,7 +406,9 @@ func (n *Inproc) enqueue(from msg.NodeID, dst *inprocNode, env msg.Envelope, reo
 			n.dropMu.Unlock()
 			// Safety valve: release the held envelope even if no
 			// successor ever overtakes it.
-			n.wg.Add(1)
+			if !n.addStage(slotHeld) {
+				return
+			}
 			time.AfterFunc(5*time.Millisecond, func() {
 				defer n.wg.Done()
 				n.dropMu.Lock()
@@ -291,23 +418,25 @@ func (n *Inproc) enqueue(from msg.NodeID, dst *inprocNode, env msg.Envelope, reo
 				}
 				delete(n.held, key)
 				n.dropMu.Unlock()
-				n.dispatch(from, dst, h.env)
+				n.dispatch(from, dst, h.env, true)
 			})
 			return
 		}
 		n.dropMu.Unlock()
 	}
-	n.dispatch(from, dst, env)
+	n.dispatch(from, dst, env, slotHeld)
 }
 
 // dispatch delivers one envelope — directly on its own goroutine, or via
-// the per-link batch when batching is enabled.
-func (n *Inproc) dispatch(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
+// the per-link batch when batching is enabled. slotHeld as in enqueue.
+func (n *Inproc) dispatch(from msg.NodeID, dst *inprocNode, env msg.Envelope, slotHeld bool) {
 	if n.opts.BatchMax >= 2 {
 		n.batchAdd(from, dst, env)
 		return
 	}
-	n.wg.Add(1)
+	if !n.addStage(slotHeld) {
+		return
+	}
 	go func() {
 		defer n.wg.Done()
 		n.sleepLatency(from, dst.id)
@@ -360,7 +489,16 @@ func (n *Inproc) batchAdd(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
 // batch (it models one datagram), then each envelope handled on its own
 // goroutine, preserving the handlers-may-nest-calls contract.
 func (n *Inproc) deliverBatch(from msg.NodeID, b *inprocBatch) {
-	n.wg.Add(1)
+	if !n.addDelivery() {
+		return
+	}
+	n.deliverBatchSlot(from, b)
+}
+
+// deliverBatchSlot is deliverBatch with the delivery slot already reserved.
+// The inner per-envelope Adds are plain: they always run while the outer
+// slot is held, so the counter cannot be zero when Close is waiting.
+func (n *Inproc) deliverBatchSlot(from msg.NodeID, b *inprocBatch) {
 	go func() {
 		defer n.wg.Done()
 		n.sleepLatency(from, b.dst.id)
@@ -375,7 +513,9 @@ func (n *Inproc) deliverBatch(from msg.NodeID, b *inprocBatch) {
 	}()
 }
 
-// flushBatches delivers every open batch; called on network close.
+// flushBatches delivers every open batch; called on network close, after
+// the closed flag is up but before Close starts waiting, so it reserves
+// slots directly — the sequential Add still happens-before the Wait.
 func (n *Inproc) flushBatches() {
 	n.batchMu.Lock()
 	rest := make(map[pairKey]*inprocBatch, len(n.batches))
@@ -388,7 +528,8 @@ func (n *Inproc) flushBatches() {
 	}
 	n.batchMu.Unlock()
 	for k, b := range rest {
-		n.deliverBatch(k.from, b)
+		n.wg.Add(1)
+		n.deliverBatchSlot(k.from, b)
 	}
 }
 
@@ -434,8 +575,12 @@ func (n *Inproc) handle(from msg.NodeID, dst *inprocNode, env msg.Envelope) {
 // ID implements Node.
 func (nd *inprocNode) ID() msg.NodeID { return nd.id }
 
-// Send implements Node.
+// Send implements Node. An open breaker toward the destination fails
+// fast: one-way messages to a dark peer are pure loss anyway.
 func (nd *inprocNode) Send(to msg.NodeID, m msg.Message) error {
+	if nd.health.state(to) == PeerOpen {
+		return ErrBreakerOpen
+	}
 	dst, err := nd.net.lookup(to)
 	if err != nil {
 		return err
@@ -455,17 +600,29 @@ func (nd *inprocNode) Call(ctx context.Context, to msg.NodeID, m msg.Message) (m
 
 // CallAsync implements Node.
 func (nd *inprocNode) CallAsync(ctx context.Context, to msg.NodeID, m msg.Message) (*PendingCall, error) {
+	if err := nd.health.allow(to); err != nil {
+		return nil, err
+	}
 	dst, err := nd.net.lookup(to)
 	if err != nil {
+		nd.health.abortProbe(to)
 		return nil, err
 	}
 	deadline := callDeadline(ctx, nd.net.opts.CallTimeout)
-	id, ch, rerr := nd.calls.register(ctx, deadline)
+	id, ch, rerr := nd.calls.register(ctx, to, deadline)
 	if rerr != nil {
+		nd.health.abortProbe(to)
 		return nil, rerr
 	}
 	nd.net.deliver(nd.id, dst, msg.Envelope{From: nd.id, CorrID: id, Msg: m})
 	return &PendingCall{c: nd.calls, id: id, ch: ch}, nil
+}
+
+// countRetry feeds the network's wire_retries counter (retryCounter).
+func (nd *inprocNode) countRetry() {
+	if nd.net.retries != nil {
+		nd.net.retries.Inc()
+	}
 }
 
 // PendingCalls implements Node.

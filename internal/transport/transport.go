@@ -69,6 +69,12 @@ var (
 	ErrUnknownNode = errors.New("transport: unknown destination node")
 	ErrClosed      = errors.New("transport: network closed")
 	ErrDuplicateID = errors.New("transport: node id already attached")
+	// ErrBreakerOpen is returned by Send/Call/CallAsync when the
+	// destination's circuit breaker is open: the peer has failed enough
+	// consecutive calls that further attempts are refused immediately —
+	// no datagram is written and no in-flight slot is burned — until the
+	// cooldown elapses and a probe call half-opens the breaker.
+	ErrBreakerOpen = errors.New("transport: peer circuit breaker open")
 )
 
 // defaultSweepInterval is how often the timeout goroutine scans for
@@ -88,6 +94,12 @@ type trackerConfig struct {
 	// onLate observes every reply that found no waiter (late after a
 	// timeout, a duplicate, or a cancellation).
 	onLate func()
+	// onOutcome observes every call resolution attributable to the peer:
+	// ok=true when a reply arrived (even an error frame — the peer is
+	// alive), ok=false when the deadline sweeper expired the call. Caller
+	// cancellations say nothing about the peer and are not reported. It
+	// feeds per-peer breaker state.
+	onOutcome func(to msg.NodeID, ok bool)
 }
 
 // calls is the in-flight tracker shared by the transport implementations:
@@ -113,9 +125,11 @@ type calls struct {
 }
 
 // callWaiter is one in-flight call: its reply channel (buffered so no
-// resolver ever blocks) and its deadline (zero = none).
+// resolver ever blocks), its destination (for per-peer outcome
+// accounting) and its deadline (zero = none).
 type callWaiter struct {
 	ch       chan msg.Message
+	to       msg.NodeID
 	deadline time.Time
 }
 
@@ -137,7 +151,7 @@ func newCalls(cfg trackerConfig) *calls {
 // register allocates a correlation id and its reply channel, blocking for
 // an in-flight slot when the tracker is bounded. A non-zero deadline arms
 // the sweeper for this entry.
-func (c *calls) register(ctx context.Context, deadline time.Time) (uint64, chan msg.Message, error) {
+func (c *calls) register(ctx context.Context, to msg.NodeID, deadline time.Time) (uint64, chan msg.Message, error) {
 	if c.slots != nil {
 		select {
 		case c.slots <- struct{}{}:
@@ -150,7 +164,7 @@ func (c *calls) register(ctx context.Context, deadline time.Time) (uint64, chan 
 	id := c.next.Add(1)
 	ch := make(chan msg.Message, 1)
 	c.mu.Lock()
-	c.waiters[id] = &callWaiter{ch: ch, deadline: deadline}
+	c.waiters[id] = &callWaiter{ch: ch, to: to, deadline: deadline}
 	startSweeper := !deadline.IsZero() && !c.sweeping
 	if startSweeper {
 		c.sweeping = true
@@ -199,6 +213,9 @@ func (c *calls) deliver(id uint64, m msg.Message) bool {
 		return false
 	}
 	w.ch <- m
+	if c.cfg.onOutcome != nil {
+		c.cfg.onOutcome(w.to, true)
+	}
 	return true
 }
 
@@ -230,6 +247,9 @@ func (c *calls) sweepLoop() {
 				w.ch <- msg.ErrorRes{Code: msg.CodeTimeout, Text: "in-flight call expired before its reply arrived"}
 				if c.cfg.onTimeout != nil {
 					c.cfg.onTimeout()
+				}
+				if c.cfg.onOutcome != nil {
+					c.cfg.onOutcome(w.to, false)
 				}
 			}
 		}

@@ -48,6 +48,15 @@ type UDPOptions struct {
 	// MaxInFlight caps outstanding calls per node for backpressure; zero
 	// is unbounded.
 	MaxInFlight int
+	// BreakerThreshold enables per-peer circuit breakers: after that many
+	// consecutive swept timeouts toward one destination, calls to it fail
+	// fast with ErrBreakerOpen — no socket write, no in-flight slot —
+	// until BreakerCooldown elapses and a probe call succeeds. Zero
+	// disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open probe interval; zero uses
+	// defaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // UDP is a datagram Network. Node addresses are resolved through a static
@@ -98,6 +107,7 @@ type UDP struct {
 	callTimeouts *metrics.Counter
 	lateReplies  *metrics.Counter
 	lossInjected *metrics.Counter
+	retries      *metrics.Counter
 }
 
 var _ Network = (*UDP)(nil)
@@ -146,6 +156,7 @@ func NewUDPWithOptions(opts UDPOptions) *UDP {
 		callTimeouts: reg.Counter("wire_call_timeouts"),
 		lateReplies:  reg.Counter("wire_late_replies"),
 		lossInjected: reg.Counter("wire_loss_injected"),
+		retries:      reg.Counter("wire_retries"),
 	}
 	u.recvBufs.New = func() any {
 		b := make([]byte, maxDatagram)
@@ -205,12 +216,22 @@ func (u *UDP) Route(id msg.NodeID) (string, bool) {
 // newNode builds a node with its tracker and (if configured) batcher.
 func (u *UDP) newNode(id msg.NodeID, conn *net.UDPConn, h Handler) *udpNode {
 	nd := &udpNode{id: id, net: u, conn: conn, handler: h}
-	nd.calls = newCalls(trackerConfig{
+	nd.health = newHealth(breakerConfig{
+		threshold: u.opts.BreakerThreshold,
+		cooldown:  u.opts.BreakerCooldown,
+		owner:     id,
+		metrics:   u.met,
+	})
+	tc := trackerConfig{
 		maxInFlight: u.opts.MaxInFlight,
 		sweepEvery:  u.opts.SweepInterval,
 		onTimeout:   u.callTimeouts.Inc,
 		onLate:      u.lateReplies.Inc,
-	})
+	}
+	if nd.health != nil {
+		tc.onOutcome = nd.health.outcome
+	}
+	nd.calls = newCalls(tc)
 	if u.opts.BatchMax >= 2 {
 		nd.batch = newBatcher(nd, u.opts.BatchMax, u.opts.BatchLinger)
 	}
@@ -311,6 +332,7 @@ type udpNode struct {
 	conn    *net.UDPConn
 	handler Handler
 	calls   *calls
+	health  *health
 	batch   *batcher // nil when batching is off
 
 	handlerWG sync.WaitGroup
@@ -501,8 +523,12 @@ func (nd *udpNode) write(dst msg.NodeID, env msg.Envelope) error {
 	return nil
 }
 
-// Send implements Node.
+// Send implements Node. An open breaker toward the destination fails
+// fast: one-way messages to a dark peer are pure loss anyway.
 func (nd *udpNode) Send(to msg.NodeID, m msg.Message) error {
+	if nd.health.state(to) == PeerOpen {
+		return ErrBreakerOpen
+	}
 	return nd.write(to, msg.Envelope{From: nd.id, Msg: m})
 }
 
@@ -518,17 +544,29 @@ func (nd *udpNode) Call(ctx context.Context, to msg.NodeID, m msg.Message) (msg.
 
 // CallAsync implements Node.
 func (nd *udpNode) CallAsync(ctx context.Context, to msg.NodeID, m msg.Message) (*PendingCall, error) {
+	if err := nd.health.allow(to); err != nil {
+		return nil, err
+	}
 	deadline := callDeadline(ctx, nd.net.opts.CallTimeout)
-	id, ch, err := nd.calls.register(ctx, deadline)
+	id, ch, err := nd.calls.register(ctx, to, deadline)
 	if err != nil {
+		nd.health.abortProbe(to)
 		return nil, err
 	}
 	if err := nd.write(to, msg.Envelope{From: nd.id, CorrID: id, Msg: m}); err != nil {
 		nd.calls.cancel(id)
+		nd.health.abortProbe(to)
 		return nil, err
 	}
 	return &PendingCall{c: nd.calls, id: id, ch: ch}, nil
 }
+
+// countRetry feeds the network's wire_retries counter (retryCounter).
+func (nd *udpNode) countRetry() { nd.net.retries.Inc() }
+
+// PeerState returns this node's breaker state toward to (PeerClosed when
+// breakers are disabled).
+func (nd *udpNode) PeerState(to msg.NodeID) PeerState { return nd.health.state(to) }
 
 // PendingCalls implements Node.
 func (nd *udpNode) PendingCalls() int { return nd.calls.pending() }

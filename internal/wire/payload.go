@@ -21,6 +21,7 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		dst = appendRegInfo(dst, m.RegInfo)
 		dst = appendOrigin(dst, m.Origin)
 		dst = appendInt(dst, m.Hops)
+		dst = appendU64(dst, m.Seq)
 		return dst, msg.TagRegisterReq, true
 	case msg.RegisterRes:
 		dst = appendU64(dst, m.OpID)
@@ -47,6 +48,7 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		return dst, msg.TagRemovePath, true
 	case msg.UpdateReq:
 		dst = appendSighting(dst, m.S)
+		dst = appendU64(dst, m.Seq)
 		return dst, msg.TagUpdateReq, true
 	case msg.UpdateRes:
 		dst = appendBool(dst, m.Moved)
@@ -103,6 +105,7 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		dst = appendLeafInfo(dst, m.AgentInfo)
 		dst = appendF64(dst, m.MaxSpeed)
 		dst = appendInt(dst, m.Hops)
+		dst = appendBool(dst, m.Partial)
 		return dst, msg.TagPosQueryRes, true
 	case msg.PosQueryFwd:
 		dst = appendString(dst, string(m.OID))
@@ -127,11 +130,15 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		dst = appendF64(dst, m.CoveredSize)
 		dst = appendLeafInfo(dst, m.Leaf)
 		dst = appendInt(dst, m.Hops)
+		dst = appendNodeIDs(dst, m.Unreachable)
+		dst = appendF64(dst, m.UnreachableSize)
 		return dst, msg.TagRangeQuerySubRes, true
 	case msg.RangeQueryRes:
 		dst = appendEntries(dst, m.Objs)
 		dst = appendInt(dst, m.Servers)
 		dst = appendInt(dst, m.Hops)
+		dst = appendBool(dst, m.Partial)
+		dst = appendNodeIDs(dst, m.Unreachable)
 		return dst, msg.TagRangeQueryRes, true
 	case msg.NeighborQueryReq:
 		dst = appendPoint(dst, m.P)
@@ -143,6 +150,8 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		dst = appendEntry(dst, m.Nearest)
 		dst = appendEntries(dst, m.Near)
 		dst = appendF64(dst, m.GuaranteedMinDist)
+		dst = appendBool(dst, m.Partial)
+		dst = appendNodeIDs(dst, m.Unreachable)
 		return dst, msg.TagNeighborQueryRes, true
 	case msg.EventSubscribe:
 		dst = appendString(dst, m.SubID)
@@ -204,6 +213,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			RegInfo: r.regInfo(),
 			Origin:  r.origin(),
 			Hops:    r.integer(),
+			Seq:     r.u64(),
 		}, true
 	case msg.TagRegisterRes:
 		return msg.RegisterRes{
@@ -233,7 +243,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			NewPos:    r.point(),
 		}, true
 	case msg.TagUpdateReq:
-		return msg.UpdateReq{S: r.sighting()}, true
+		return msg.UpdateReq{S: r.sighting(), Seq: r.u64()}, true
 	case msg.TagUpdateRes:
 		return msg.UpdateRes{
 			Moved:      r.boolean(),
@@ -285,6 +295,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			AgentInfo: r.leafInfo(),
 			MaxSpeed:  r.f64(),
 			Hops:      r.integer(),
+			Partial:   r.boolean(),
 		}, true
 	case msg.TagPosQueryFwd:
 		return msg.PosQueryFwd{
@@ -308,17 +319,21 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 		}, true
 	case msg.TagRangeQuerySubRes:
 		return msg.RangeQuerySubRes{
-			OpID:        r.u64(),
-			Objs:        r.entries(),
-			CoveredSize: r.f64(),
-			Leaf:        r.leafInfo(),
-			Hops:        r.integer(),
+			OpID:            r.u64(),
+			Objs:            r.entries(),
+			CoveredSize:     r.f64(),
+			Leaf:            r.leafInfo(),
+			Hops:            r.integer(),
+			Unreachable:     r.nodeIDs(),
+			UnreachableSize: r.f64(),
 		}, true
 	case msg.TagRangeQueryRes:
 		return msg.RangeQueryRes{
-			Objs:    r.entries(),
-			Servers: r.integer(),
-			Hops:    r.integer(),
+			Objs:        r.entries(),
+			Servers:     r.integer(),
+			Hops:        r.integer(),
+			Partial:     r.boolean(),
+			Unreachable: r.nodeIDs(),
 		}, true
 	case msg.TagNeighborQueryReq:
 		return msg.NeighborQueryReq{
@@ -332,6 +347,8 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			Nearest:           r.entry(),
 			Near:              r.entries(),
 			GuaranteedMinDist: r.f64(),
+			Partial:           r.boolean(),
+			Unreachable:       r.nodeIDs(),
 		}, true
 	case msg.TagEventSubscribe:
 		return msg.EventSubscribe{
@@ -486,6 +503,26 @@ func (r *reader) oids() []core.OID {
 	ids := make([]core.OID, n)
 	for i := range ids {
 		ids[i] = r.oid()
+	}
+	return ids
+}
+
+func appendNodeIDs(dst []byte, ids []msg.NodeID) []byte {
+	dst = appendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = appendString(dst, string(id))
+	}
+	return dst
+}
+
+func (r *reader) nodeIDs() []msg.NodeID {
+	n := r.length(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	ids := make([]msg.NodeID, n)
+	for i := range ids {
+		ids[i] = r.nodeID()
 	}
 	return ids
 }

@@ -77,6 +77,17 @@ func randEntries(rng *rand.Rand) []core.Entry {
 	return es
 }
 
+func randNodeIDs(rng *rand.Rand) []msg.NodeID {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	ids := make([]msg.NodeID, 1+rng.Intn(4))
+	for i := range ids {
+		ids[i] = randNodeID(rng)
+	}
+	return ids
+}
+
 func randOIDs(rng *rand.Rand) []core.OID {
 	if rng.Intn(3) == 0 {
 		return nil
@@ -124,7 +135,7 @@ func randShardDiags(rng *rand.Rand) []msg.ShardDiag {
 func randomMessage(rng *rand.Rand, tag msg.Tag) (msg.Message, bool) {
 	switch tag {
 	case msg.TagRegisterReq:
-		return msg.RegisterReq{S: randSighting(rng), RegInfo: randRegInfo(rng), Origin: randOrigin(rng), Hops: randInt(rng)}, true
+		return msg.RegisterReq{S: randSighting(rng), RegInfo: randRegInfo(rng), Origin: randOrigin(rng), Hops: randInt(rng), Seq: rng.Uint64()}, true
 	case msg.TagRegisterRes:
 		return msg.RegisterRes{OpID: rng.Uint64(), Agent: randNodeID(rng), AgentInfo: randLeafInfo(rng), OfferedAcc: randF(rng), Hops: randInt(rng)}, true
 	case msg.TagRegisterFailed:
@@ -134,7 +145,7 @@ func randomMessage(rng *rand.Rand, tag msg.Tag) (msg.Message, bool) {
 	case msg.TagRemovePath:
 		return msg.RemovePath{OID: randOID(rng), SightingT: randTime(rng), HasNewPos: rng.Intn(2) == 0, NewPos: randPoint(rng)}, true
 	case msg.TagUpdateReq:
-		return msg.UpdateReq{S: randSighting(rng)}, true
+		return msg.UpdateReq{S: randSighting(rng), Seq: rng.Uint64()}, true
 	case msg.TagUpdateRes:
 		return msg.UpdateRes{Moved: rng.Intn(2) == 0, NewAgent: randNodeID(rng), AgentInfo: randLeafInfo(rng), OfferedAcc: randF(rng)}, true
 	case msg.TagHandoverReq:
@@ -158,7 +169,7 @@ func randomMessage(rng *rand.Rand, tag msg.Tag) (msg.Message, bool) {
 	case msg.TagPosQueryDirect:
 		return msg.PosQueryDirect{OID: randOID(rng)}, true
 	case msg.TagPosQueryRes:
-		return msg.PosQueryRes{OpID: rng.Uint64(), Found: rng.Intn(2) == 0, LD: randLD(rng), Agent: randNodeID(rng), AgentInfo: randLeafInfo(rng), MaxSpeed: randF(rng), Hops: randInt(rng)}, true
+		return msg.PosQueryRes{OpID: rng.Uint64(), Found: rng.Intn(2) == 0, LD: randLD(rng), Agent: randNodeID(rng), AgentInfo: randLeafInfo(rng), MaxSpeed: randF(rng), Hops: randInt(rng), Partial: rng.Intn(2) == 0}, true
 	case msg.TagPosQueryFwd:
 		return msg.PosQueryFwd{OID: randOID(rng), Origin: randOrigin(rng), Hops: randInt(rng)}, true
 	case msg.TagRangeQueryReq:
@@ -166,13 +177,13 @@ func randomMessage(rng *rand.Rand, tag msg.Tag) (msg.Message, bool) {
 	case msg.TagRangeQueryFwd:
 		return msg.RangeQueryFwd{Area: randArea(rng), ReqAcc: randF(rng), ReqOverlap: randF(rng), Origin: randOrigin(rng), Hops: randInt(rng)}, true
 	case msg.TagRangeQuerySubRes:
-		return msg.RangeQuerySubRes{OpID: rng.Uint64(), Objs: randEntries(rng), CoveredSize: randF(rng), Leaf: randLeafInfo(rng), Hops: randInt(rng)}, true
+		return msg.RangeQuerySubRes{OpID: rng.Uint64(), Objs: randEntries(rng), CoveredSize: randF(rng), Leaf: randLeafInfo(rng), Hops: randInt(rng), Unreachable: randNodeIDs(rng), UnreachableSize: randF(rng)}, true
 	case msg.TagRangeQueryRes:
-		return msg.RangeQueryRes{Objs: randEntries(rng), Servers: randInt(rng), Hops: randInt(rng)}, true
+		return msg.RangeQueryRes{Objs: randEntries(rng), Servers: randInt(rng), Hops: randInt(rng), Partial: rng.Intn(2) == 0, Unreachable: randNodeIDs(rng)}, true
 	case msg.TagNeighborQueryReq:
 		return msg.NeighborQueryReq{P: randPoint(rng), ReqAcc: randF(rng), NearQual: randF(rng)}, true
 	case msg.TagNeighborQueryRes:
-		return msg.NeighborQueryRes{Found: rng.Intn(2) == 0, Nearest: randEntry(rng), Near: randEntries(rng), GuaranteedMinDist: randF(rng)}, true
+		return msg.NeighborQueryRes{Found: rng.Intn(2) == 0, Nearest: randEntry(rng), Near: randEntries(rng), GuaranteedMinDist: randF(rng), Partial: rng.Intn(2) == 0, Unreachable: randNodeIDs(rng)}, true
 	case msg.TagEventSubscribe:
 		return msg.EventSubscribe{SubID: randString(rng), Kind: msg.EventKind(rng.Intn(3)), Area: randArea(rng), ReqAcc: randF(rng), Threshold: randInt(rng), Distance: randF(rng), Coordinator: randNodeID(rng), Subscriber: randNodeID(rng)}, true
 	case msg.TagEventUnsubscribe:

@@ -89,6 +89,40 @@
 //     future self-describing format must keep them addressable.
 //   - wireVersion must never be assigned batchMagic (0xB7): the first
 //     octet alone distinguishes legacy frames from batch frames.
+//
+// # Version history
+//
+//   - v1: initial binary format, replacing gob (tags 1–33).
+//   - v2: resilience fields. UpdateReq and RegisterReq gained a trailing
+//     Seq uint64 (per-sender retry sequence number); PosQueryRes gained a
+//     trailing Partial bool; RangeQuerySubRes gained trailing
+//     Unreachable []NodeID + UnreachableSize float64; RangeQueryRes and
+//     NeighborQueryRes gained trailing Partial bool + Unreachable
+//     []NodeID. New fields append after the v1 fields in struct
+//     declaration order, like any other field.
+//
+// # Retry idempotency
+//
+// The transports retry idempotent calls on timeout, so a receiver may see
+// the same logical request twice (the original reply was lost, not the
+// request). Two rules make that safe on this wire format:
+//
+//   - Requests with side effects carry a Seq drawn from one monotonic
+//     per-sender counter (UpdateReq.Seq, RegisterReq.Seq — the scheme
+//     EventCount.Seq introduced). Seq 0 means unstamped: the sender opted
+//     out of retries and the receiver applies the request unconditionally.
+//     Receivers keep a bounded, time-evicted dedupe window keyed
+//     (sender, Seq) and answer a duplicate by re-sending the remembered
+//     reply without re-applying.
+//   - A retried attempt re-sends the SAME Seq (and, for registrations,
+//     the same Origin.OpID). The sender must never reuse a Seq for a
+//     different request, so a fresh counter after sender restart is safe
+//     only because the receiver's window also evicts by time.
+//
+// Read-only queries (pos/range/neighbor/diag) carry no Seq; retrying them
+// needs no dedupe. Their responses instead carry the Partial/Unreachable
+// markers above so a degraded answer is distinguishable from a complete
+// one.
 package wire
 
 import (
@@ -99,8 +133,9 @@ import (
 )
 
 // wireVersion is the format generation of this codec. Bump it whenever an
-// existing message's field layout or a primitive encoding changes.
-const wireVersion = 1
+// existing message's field layout or a primitive encoding changes. See the
+// version history in the package doc.
+const wireVersion = 2
 
 // maxPooledBuf bounds the capacity of buffers returned to the pool, so a
 // rare huge envelope (an oversize range-query result rejected by the
