@@ -201,6 +201,10 @@ func main() {
 			fmt.Printf("pipeline: %d updates, %d handoffs (queued behind a lane leader)\n",
 				res.PipelineOps, res.PipelineHandoffs)
 		}
+		if res.EventSubs > 0 || res.EventCoordSubs > 0 {
+			fmt.Printf("event subscriptions: %d installed, %d coordinated\n",
+				res.EventSubs, res.EventCoordSubs)
+		}
 		if res.Metrics != "" {
 			fmt.Printf("metrics:\n")
 			for _, line := range strings.Split(strings.TrimRight(res.Metrics, "\n"), "\n") {

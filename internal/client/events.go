@@ -15,6 +15,27 @@ type EventHandler func(n msg.EventNotify)
 type eventSubs struct {
 	mu       sync.Mutex
 	handlers map[string]EventHandler
+	// seen remembers recently delivered notification sequences per
+	// subscription: the server retries notifications over the lossy
+	// transport, so duplicates are expected and dropped here.
+	seen map[string]*seqRing
+}
+
+// seqRing is a small ring of recently seen sequence numbers.
+type seqRing struct {
+	buf  [64]uint64
+	next int
+}
+
+func (r *seqRing) remember(seq uint64) bool {
+	for _, s := range r.buf {
+		if s == seq {
+			return false
+		}
+	}
+	r.buf[r.next] = seq
+	r.next = (r.next + 1) % len(r.buf)
+	return true
 }
 
 // SubscribeCountAbove registers the predicate "at least threshold objects
@@ -62,6 +83,7 @@ func (c *Client) SubscribeMeeting(subID string, area core.Area, distance float64
 func (c *Client) Unsubscribe(subID string, area core.Area) error {
 	c.events.mu.Lock()
 	delete(c.events.handlers, subID)
+	delete(c.events.seen, subID)
 	c.events.mu.Unlock()
 	return c.node.Send(c.Entry(), msg.EventUnsubscribe{SubID: subID, Area: area})
 }
@@ -75,10 +97,25 @@ func (c *Client) registerHandler(subID string, h EventHandler) {
 	c.events.handlers[subID] = h
 }
 
-// dispatchEvent routes an EventNotify to its handler.
+// dispatchEvent routes an EventNotify to its handler, dropping retry
+// duplicates by sequence number. Seq zero marks an unsequenced
+// notification and is always delivered.
 func (c *Client) dispatchEvent(n msg.EventNotify) {
 	c.events.mu.Lock()
 	h := c.events.handlers[n.SubID]
+	if h != nil && n.Seq != 0 {
+		if c.events.seen == nil {
+			c.events.seen = make(map[string]*seqRing)
+		}
+		r := c.events.seen[n.SubID]
+		if r == nil {
+			r = &seqRing{}
+			c.events.seen[n.SubID] = r
+		}
+		if !r.remember(n.Seq) {
+			h = nil
+		}
+	}
 	c.events.mu.Unlock()
 	if h != nil {
 		h(n)

@@ -415,6 +415,11 @@ type EventNotify struct {
 	Total int
 	// Objs names the objects involved for EventMeeting predicates.
 	Objs []core.OID
+	// Seq is the sender's per-subscription notification sequence number.
+	// Notifications are retried (a lost datagram must not lose a predicate
+	// transition), so the subscriber dedupes on it; zero means unsequenced
+	// and is always delivered.
+	Seq uint64
 }
 
 // ---------------------------------------------------------------------------
@@ -450,6 +455,11 @@ type DiagRes struct {
 	// group-commit lane leader.
 	PipelineOps      int64
 	PipelineHandoffs int64
+	// EventSubs is the number of event subscriptions installed on this
+	// server's leaf engine; EventCoordSubs the number it coordinates
+	// (aggregating per-leaf counts). Both zero on non-leaf servers.
+	EventSubs      int
+	EventCoordSubs int
 	// Metrics is the server's metrics registry snapshot, one metric per
 	// line.
 	Metrics string

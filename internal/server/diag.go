@@ -72,5 +72,9 @@ func (s *Server) handleDiag() (msg.Message, error) {
 	if s.pipe != nil {
 		res.PipelineOps, res.PipelineHandoffs = s.pipe.Stats()
 	}
+	s.events.mu.Lock()
+	res.EventSubs = len(s.events.local)
+	res.EventCoordSubs = len(s.events.coord)
+	s.events.mu.Unlock()
 	return res, nil
 }

@@ -2,9 +2,14 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"locsvc/internal/core"
+	"locsvc/internal/geo"
 	"locsvc/internal/msg"
+	"locsvc/internal/spatial"
+	"locsvc/internal/store"
 )
 
 // The event mechanism implements the predicate subscriptions sketched in
@@ -12,33 +17,86 @@ import (
 // area", "two users of the system meet") and named as future work in
 // Section 8. Subscriptions are routed through the hierarchy exactly like
 // range queries: every leaf whose service area overlaps the subscription
-// area installs it. Each involved leaf recounts its local qualifying
-// objects after every local mutation and reports changes to the
-// coordinator (the subscriber's entry server), which maintains the global
-// aggregate and sends EventNotify on predicate transitions.
+// area installs it; the subscriber's entry server is the coordinator that
+// aggregates per-leaf counts and notifies on predicate transitions.
+//
+// # The delta pipeline
+//
+// Evaluation is delta-driven. The store's commit path (UpdatePipeline
+// group commits, removals, soft-state expiry) emits store.Delta records —
+// op, object, old position, new position — which a single dispatcher
+// goroutine per leaf consumes from a bounded queue. Subscription regions
+// live in a spatial.RectIndex keyed by subscription id, so one delta is
+// matched against only the subscriptions whose regions contain its old or
+// new position (two point stabs, O(log S + matches)) instead of being
+// re-evaluated against every installed subscription:
+//
+//   - Counting subscriptions maintain a membership set incrementally: a
+//     delta flips one object in or out of the set (a boundary crossing),
+//     and only a changed local count is reported to the coordinator. The
+//     coordinator folds each seq-guarded report into a running total in
+//     O(1) — it never re-sums all leaves.
+//   - Meeting subscriptions track the currently-meeting pair set: a put
+//     delta searches partners within the meeting distance around the new
+//     position only; pairs that separate (or whose object left the area or
+//     the store) are dropped, and a dropped pair re-fires if it re-meets.
+//
+// # Overflow → resync, and the evaluate-all oracle
+//
+// The delta queue never blocks a commit: when it is full the deltas are
+// dropped, a flag is raised (plus the event_delta_overflow counter) and
+// the dispatcher rebuilds every subscription's state from a full store
+// scan — the resync — after finishing the item in hand. The same
+// full-scan evaluator doubles as three other things: the initial
+// evaluation at install, a periodic safety net (Options.EventResyncInterval)
+// that also force-re-reports counts so a permanently lost report cannot
+// leave the coordinator stale forever, and the evaluate-all oracle mode
+// (Options.EventOracle) that re-evaluates every subscription synchronously
+// after every mutation — the seed behavior, kept as the correctness oracle
+// the property tests compare against and the baseline lsbench -table E
+// measures.
+//
+// # Notification delivery
+//
+// Reports and notifications leave through the server's notifier: bounded
+// per-destination queues drained by on-demand goroutines that send with
+// the PathRetry budget, so a lost datagram does not lose a predicate
+// transition and a slow or dead subscriber stalls only its own queue,
+// never the update pipeline or other subscribers. Count reports and
+// transition notifications coalesce latest-wins per subscription (the
+// subscriber learns current state, not history); meeting notifications
+// queue FIFO with a drop-oldest bound. Retries mean duplicates:
+// coordinators drop stale EventCount seqs per leaf, and every EventNotify
+// carries a seq the subscribing client dedupes on.
 //
 // Meeting predicates are evaluated leaf-locally: two objects whose
 // positions come within the subscribed distance on the same leaf trigger a
 // notification. Meetings exactly straddling a leaf boundary are missed —
 // an accepted approximation, documented in DESIGN.md.
 
-// leafSub is one installed subscription on a leaf server.
+// leafSub is one installed subscription on a leaf server. The mutable
+// fields (members, firedPairs, lastCount, seq) are guarded by events.mu;
+// evalMu additionally serializes full re-evaluations so two concurrent
+// oracle-mode scans cannot report against each other's store snapshots out
+// of order.
 type leafSub struct {
 	sub msg.EventSubscribe
-	// evalMu serializes re-evaluations of this subscription. Counting
-	// qualifying objects reads the sighting store and cannot happen
-	// under events.mu; without this lock two concurrent re-evaluations
-	// could interleave so that a count computed against a stale store
-	// snapshot overwrites — and reports to the coordinator — over a
-	// newer one, leaving the aggregate stuck until the next mutation.
-	evalMu    sync.Mutex
+	// bounds is the region the subscription matches against: the area
+	// enlarged by ReqAcc (count) or by the meeting distance (meeting).
+	bounds geo.Rect
+	evalMu sync.Mutex
+	// members is the current set of locally qualifying objects of a count
+	// subscription, maintained incrementally from deltas (indexed mode
+	// only; oracle mode recounts from scratch).
+	members   map[core.OID]bool
 	lastCount int
-	// seq numbers this leaf's count reports (guarded by events.mu, like
-	// lastCount) so the coordinator can discard reordered deliveries.
-	// It is clock-seeded at install; see installSubscription.
+	// seq numbers this leaf's outgoing count reports and meeting
+	// notifications. The transport models UDP and deliveries are retried,
+	// so receivers dedupe on it. It is clock-seeded at install; see
+	// installSubscription.
 	seq uint64
-	// fired tracks the local meeting-pair state to avoid repeated
-	// notifications for the same pair.
+	// firedPairs is the set of currently-meeting pairs: a pair fires once
+	// when it forms and is dropped when it separates (re-meeting re-fires).
 	firedPairs map[pairKey]bool
 }
 
@@ -56,9 +114,16 @@ type coordSub struct {
 	sub     msg.EventSubscribe
 	perLeaf map[msg.NodeID]int
 	// perLeafSeq remembers the newest report sequence applied per leaf;
-	// older (reordered) reports are discarded.
+	// older (reordered or re-sent) reports are discarded.
 	perLeafSeq map[msg.NodeID]uint64
-	fired      bool
+	// total is the running aggregate, folded incrementally from per-leaf
+	// report deltas — O(1) per report. Reports carry absolute per-leaf
+	// counts, so the fold self-heals after any accepted report.
+	total int
+	fired bool
+	// notifySeq numbers transition notifications to the subscriber
+	// (clock-seeded at creation, like leafSub.seq).
+	notifySeq uint64
 }
 
 // events bundles the per-server event state.
@@ -66,12 +131,61 @@ type events struct {
 	mu    sync.Mutex
 	local map[string]*leafSub
 	coord map[string]*coordSub
+	// oracle selects synchronous evaluate-all after every mutation (the
+	// seed behavior) instead of the indexed delta pipeline.
+	oracle bool
+	// idx spatially indexes installed subscription regions by SubID; nil
+	// in oracle mode and on non-leaf servers.
+	idx *spatial.RectIndex
+	// work feeds the dispatcher goroutine; nil when idx is.
+	work chan eventWork
+	// resyncNeeded is raised when deltas were dropped (queue overflow);
+	// the dispatcher resyncs all subscriptions at the next opportunity.
+	resyncNeeded atomic.Bool
 }
 
-func newEvents() *events {
-	return &events{
-		local: make(map[string]*leafSub),
-		coord: make(map[string]*coordSub),
+// eventWork is one dispatcher queue item: a committed delta batch, or a
+// freshly installed subscription to evaluate.
+type eventWork struct {
+	deltas  []store.Delta
+	install *leafSub
+}
+
+func newEvents(oracle bool, indexWorld geo.Rect, queueDepth int) *events {
+	e := &events{
+		local:  make(map[string]*leafSub),
+		coord:  make(map[string]*coordSub),
+		oracle: oracle,
+	}
+	if !oracle && !indexWorld.Empty() {
+		e.idx = spatial.NewRectIndex(indexWorld)
+		e.work = make(chan eventWork, queueDepth)
+	}
+	return e
+}
+
+// countReport is a pending leaf→coordinator count report, collected under
+// events.mu and sent after it is released.
+type countReport struct {
+	sub   msg.EventSubscribe
+	count int
+	seq   uint64
+}
+
+// meetingFire is a pending meeting notification.
+type meetingFire struct {
+	sub  msg.EventSubscribe
+	pair pairKey
+	seq  uint64
+}
+
+// matchBounds returns the region a subscription matches sightings against.
+func matchBounds(sub msg.EventSubscribe) geo.Rect {
+	switch sub.Kind {
+	case msg.EventMeeting:
+		return sub.Area.Bounds().Enlarge(sub.Distance)
+	default:
+		return sub.Area.Bounds().Enlarge(sub.ReqAcc)
 	}
 }
 
@@ -82,11 +196,15 @@ func (s *Server) handleEventSubscribe(from msg.NodeID, sub msg.EventSubscribe) {
 	bounds := sub.Area.Bounds().Enlarge(sub.ReqAcc)
 
 	if s.cfg.IsLeaf() {
+		// The subscriber's entry leaf coordinates the subscription even
+		// when the area lies entirely on other leaves.
+		if sub.Coordinator == s.ID() && from == sub.Subscriber {
+			s.ensureCoordinator(sub)
+		}
 		if bounds.Intersects(s.cfg.SA.Bounds()) {
 			s.installSubscription(sub)
 		}
-		// The subscriber's entry leaf is also the coordinator; if the
-		// area extends beyond this leaf, keep routing from here.
+		// If the area extends beyond this leaf, keep routing from here.
 		if sub.Coordinator == s.ID() && from == sub.Subscriber {
 			if !s.cfg.SA.Bounds().ContainsRect(bounds) {
 				if s.parent() != "" {
@@ -111,14 +229,17 @@ func (s *Server) handleEventSubscribe(from msg.NodeID, sub msg.EventSubscribe) {
 	}
 }
 
-// installSubscription registers the subscription locally and reports the
-// initial count.
+// installSubscription registers the subscription locally and triggers its
+// initial evaluation (synchronously in oracle mode, through the dispatcher
+// otherwise).
 func (s *Server) installSubscription(sub msg.EventSubscribe) {
-	s.events.mu.Lock()
-	ls, exists := s.events.local[sub.SubID]
+	e := s.events
+	e.mu.Lock()
+	ls, exists := e.local[sub.SubID]
 	if !exists {
 		ls = &leafSub{
 			sub:       sub,
+			bounds:    matchBounds(sub),
 			lastCount: -1,
 			// Seed the report sequence from the clock: a re-installed
 			// subscription (unsubscribe + resubscribe under the same
@@ -126,34 +247,69 @@ func (s *Server) installSubscription(sub msg.EventSubscribe) {
 			// could have reached, so a stale in-flight report from the
 			// old epoch cannot outrank fresh ones at the coordinator.
 			seq:        uint64(s.opts.Clock().UnixNano()),
+			members:    make(map[core.OID]bool),
 			firedPairs: make(map[pairKey]bool),
 		}
-		s.events.local[sub.SubID] = ls
-	}
-	s.events.mu.Unlock()
-	if sub.Coordinator == s.ID() {
-		s.events.mu.Lock()
-		if _, ok := s.events.coord[sub.SubID]; !ok {
-			s.events.coord[sub.SubID] = &coordSub{
-				sub:        sub,
-				perLeaf:    make(map[msg.NodeID]int),
-				perLeafSeq: make(map[msg.NodeID]uint64),
-			}
+		e.local[sub.SubID] = ls
+		if e.idx != nil {
+			e.idx.Insert(sub.SubID, ls.bounds)
 		}
-		s.events.mu.Unlock()
+		s.met.Gauge("event_subscriptions").Add(1)
 	}
-	s.met.Counter("event_subscriptions").Inc()
-	s.reevaluateSub(ls)
+	if sub.Coordinator == s.ID() {
+		s.ensureCoordinatorLocked(sub)
+	}
+	e.mu.Unlock()
+	if e.work != nil {
+		select {
+		case e.work <- eventWork{install: ls}:
+		default:
+			// Queue full: the overflow resync will pick the new
+			// subscription up along with everything else.
+			e.resyncNeeded.Store(true)
+			s.met.Counter("event_delta_overflow").Inc()
+		}
+		return
+	}
+	s.resyncSub(ls, false)
+}
+
+// ensureCoordinator registers this server as the subscription's
+// coordinator (aggregating per-leaf reports), independently of whether
+// the area touches this leaf's own service area.
+func (s *Server) ensureCoordinator(sub msg.EventSubscribe) {
+	s.events.mu.Lock()
+	s.ensureCoordinatorLocked(sub)
+	s.events.mu.Unlock()
+}
+
+func (s *Server) ensureCoordinatorLocked(sub msg.EventSubscribe) {
+	if _, ok := s.events.coord[sub.SubID]; ok {
+		return
+	}
+	s.events.coord[sub.SubID] = &coordSub{
+		sub:        sub,
+		perLeaf:    make(map[msg.NodeID]int),
+		perLeafSeq: make(map[msg.NodeID]uint64),
+		notifySeq:  uint64(s.opts.Clock().UnixNano()),
+	}
 }
 
 // handleEventUnsubscribe removes the subscription, routed like subscribe.
 func (s *Server) handleEventUnsubscribe(from msg.NodeID, req msg.EventUnsubscribe) {
 	bounds := req.Area.Bounds()
 	if s.cfg.IsLeaf() {
-		s.events.mu.Lock()
-		delete(s.events.local, req.SubID)
-		delete(s.events.coord, req.SubID)
-		s.events.mu.Unlock()
+		e := s.events
+		e.mu.Lock()
+		if _, existed := e.local[req.SubID]; existed {
+			delete(e.local, req.SubID)
+			if e.idx != nil {
+				e.idx.Remove(req.SubID)
+			}
+			s.met.Gauge("event_subscriptions").Add(-1)
+		}
+		delete(e.coord, req.SubID)
+		e.mu.Unlock()
 		if !s.isParent(from) && !s.cfg.SA.Bounds().ContainsRect(bounds) {
 			if s.parent() != "" {
 				s.sendOrCount(s.parentForKey(hashString(req.SubID)), req)
@@ -176,8 +332,9 @@ func (s *Server) handleEventUnsubscribe(from msg.NodeID, req msg.EventUnsubscrib
 	}
 }
 
-// handleEventCount aggregates one leaf's count at the coordinator and
-// notifies the subscriber on predicate transitions.
+// handleEventCount folds one leaf's seq-guarded count report into the
+// coordinator's running total and notifies the subscriber on predicate
+// transitions. O(1) per report regardless of how many leaves participate.
 func (s *Server) handleEventCount(req msg.EventCount) {
 	s.events.mu.Lock()
 	cs, ok := s.events.coord[req.SubID]
@@ -187,125 +344,370 @@ func (s *Server) handleEventCount(req msg.EventCount) {
 	}
 	if req.Seq <= cs.perLeafSeq[req.Leaf] {
 		// A newer report from this leaf was already applied; this one
-		// was reordered in flight.
+		// was reordered in flight or is a retry duplicate.
 		s.events.mu.Unlock()
 		return
 	}
 	cs.perLeafSeq[req.Leaf] = req.Seq
+	cs.total += req.Count - cs.perLeaf[req.Leaf]
 	cs.perLeaf[req.Leaf] = req.Count
-	total := 0
-	for _, c := range cs.perLeaf {
-		total += c
-	}
-	nowFired := total >= cs.sub.Threshold
+	nowFired := cs.total >= cs.sub.Threshold
 	transition := nowFired != cs.fired
 	cs.fired = nowFired
-	subscriber := cs.sub.Subscriber
-	subID := cs.sub.SubID
+	total := cs.total
+	sub := cs.sub
+	var seq uint64
+	if transition {
+		cs.notifySeq++
+		seq = cs.notifySeq
+	}
 	s.events.mu.Unlock()
 
 	if transition {
 		s.met.Counter("event_notifications").Inc()
-		s.sendOrCount(subscriber, msg.EventNotify{SubID: subID, Fired: nowFired, Total: total})
+		s.notify.EnqueueKeyed(sub.Subscriber, "notify:"+sub.SubID,
+			msg.EventNotify{SubID: sub.SubID, Fired: nowFired, Total: total, Seq: seq})
 	}
 }
 
-// notifySightingsChanged is called after every local sighting mutation on a
-// leaf; it re-evaluates all installed subscriptions.
-func (s *Server) notifySightingsChanged() {
-	if s.events == nil {
+// ---------------------------------------------------------------------------
+// The delta path (indexed mode).
+
+// enqueueDeltas hands a committed delta batch to the dispatcher without
+// ever blocking the committing goroutine: a full queue drops the batch and
+// schedules a full resync instead.
+func (s *Server) enqueueDeltas(ds []store.Delta) {
+	if len(ds) == 0 {
 		return
 	}
-	s.events.mu.Lock()
-	subs := make([]*leafSub, 0, len(s.events.local))
-	for _, ls := range s.events.local {
-		subs = append(subs, ls)
-	}
-	s.events.mu.Unlock()
-	for _, ls := range subs {
-		s.reevaluateSub(ls)
+	select {
+	case s.events.work <- eventWork{deltas: ds}:
+	default:
+		s.events.resyncNeeded.Store(true)
+		s.met.Counter("event_delta_overflow").Inc()
 	}
 }
 
-// reevaluateSub recomputes one subscription's local state. Evaluations are
-// serialized per subscription (see leafSub.evalMu); a mutation arriving
-// mid-evaluation triggers its own evaluation afterwards, so the last
-// reported state always reflects the newest store contents.
-func (s *Server) reevaluateSub(ls *leafSub) {
-	ls.evalMu.Lock()
-	defer ls.evalMu.Unlock()
-	switch ls.sub.Kind {
-	case msg.EventCountAbove:
-		s.reevaluateCount(ls)
-	case msg.EventMeeting:
-		s.reevaluateMeeting(ls)
+// notePutCommitted runs after a pipeline Put on the mutation path. In
+// indexed mode it is a no-op — the pipeline's OnCommit hook already fed
+// the dispatcher; in oracle mode it re-evaluates every subscription, the
+// seed behavior the benchmark baseline measures.
+func (s *Server) notePutCommitted() {
+	if s.events != nil && s.events.oracle {
+		s.resyncAllSubs(false)
 	}
 }
 
-// reevaluateCount counts local qualifying objects and reports changes to
-// the coordinator.
-func (s *Server) reevaluateCount(ls *leafSub) {
-	sub := ls.sub
-	enlarged := sub.Area.Bounds().Enlarge(sub.ReqAcc)
-	count := 0
-	s.sightings.SearchArea(enlarged, func(sight core.Sighting) bool {
-		rec, ok := s.visitors.Get(sight.OID)
-		if !ok {
+// noteRemovals feeds removal deltas (deregistration, handover departure,
+// soft-state expiry) into the event engine.
+func (s *Server) noteRemovals(ds []store.Delta) {
+	if s.events == nil || len(ds) == 0 {
+		return
+	}
+	if s.events.work != nil {
+		s.enqueueDeltas(ds)
+		return
+	}
+	if s.events.oracle {
+		s.resyncAllSubs(false)
+	}
+}
+
+// eventDispatcher is the single consumer of the delta queue on a leaf in
+// indexed mode. Running evaluation on one goroutine keeps the incremental
+// state free of cross-evaluation races by construction; backpressure is
+// the bounded queue plus the overflow→resync policy, never a blocked
+// committer.
+func (s *Server) eventDispatcher() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.EventResyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case w := <-s.events.work:
+			if w.install != nil {
+				s.resyncSub(w.install, false)
+			} else {
+				s.applyDeltas(w.deltas)
+			}
+			if s.events.resyncNeeded.Swap(false) {
+				s.resyncAllSubs(true)
+			}
+		case <-tick.C:
+			// Periodic safety net: rebuild from the store and force
+			// re-reports, healing anything a lost report or dropped
+			// delta left stale.
+			s.resyncAllSubs(true)
+		}
+	}
+}
+
+// applyDeltas matches one committed batch against the subscription index
+// and applies each delta incrementally. Reports and notifications are
+// collected under events.mu and sent after it is released.
+func (s *Server) applyDeltas(ds []store.Delta) {
+	e := s.events
+	var reports []countReport
+	var fires []meetingFire
+	dirty := make(map[*leafSub]bool)
+	e.mu.Lock()
+	for i := range ds {
+		d := ds[i]
+		var seen map[*leafSub]bool
+		visit := func(id string, _ geo.Rect) bool {
+			ls := e.local[id]
+			if ls == nil || seen[ls] {
+				return true
+			}
+			if seen == nil {
+				seen = make(map[*leafSub]bool, 4)
+			}
+			seen[ls] = true
+			switch ls.sub.Kind {
+			case msg.EventCountAbove:
+				if s.applyCountDelta(ls, d) {
+					dirty[ls] = true
+				}
+			case msg.EventMeeting:
+				fires = s.applyMeetingDelta(ls, d, fires)
+			}
 			return true
 		}
-		ld := core.LocationDescriptor{Pos: sight.Pos, Acc: rec.OfferedAcc}
-		// Membership for events uses majority overlap, a pragmatic
-		// middle ground for "object is in the area".
-		if sub.Area.RangeQualifies(ld, sub.ReqAcc, 0.5) {
+		// A delta touches a subscription if its old or new position lies
+		// in the subscription's region — two point stabs.
+		if d.HasOld {
+			e.idx.Stab(d.Old, visit)
+		}
+		if d.Op == store.DeltaPut && (!d.HasOld || d.New != d.Old) {
+			e.idx.Stab(d.New, visit)
+		}
+	}
+	// One report per subscription per batch, however many deltas touched
+	// it.
+	for ls := range dirty {
+		count := len(ls.members)
+		if count != ls.lastCount {
+			ls.lastCount = count
+			ls.seq++
+			reports = append(reports, countReport{sub: ls.sub, count: count, seq: ls.seq})
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range reports {
+		s.reportCount(r)
+	}
+	for _, f := range fires {
+		s.fireMeeting(f)
+	}
+}
+
+// applyCountDelta flips one object's membership in a count subscription
+// and reports whether it changed. Caller holds events.mu.
+func (s *Server) applyCountDelta(ls *leafSub, d store.Delta) bool {
+	now := d.Op == store.DeltaPut && ls.bounds.ContainsClosed(d.New) &&
+		s.countQualifies(ls.sub, d.OID, d.New)
+	was := ls.members[d.OID]
+	if now == was {
+		return false
+	}
+	if now {
+		ls.members[d.OID] = true
+	} else {
+		delete(ls.members, d.OID)
+	}
+	return true
+}
+
+// applyMeetingDelta updates one meeting subscription's pair set for one
+// delta: partners are searched only within the meeting distance around the
+// new position, pairs that separated are dropped, newly formed pairs are
+// appended to fires. Caller holds events.mu.
+func (s *Server) applyMeetingDelta(ls *leafSub, d store.Delta, fires []meetingFire) []meetingFire {
+	sub := ls.sub
+	var cur map[core.OID]bool
+	if d.Op == store.DeltaPut && ls.bounds.ContainsClosed(d.New) {
+		r := geo.RectAround(d.New, sub.Distance).Intersect(ls.bounds)
+		s.sightings.SearchArea(r, func(sight core.Sighting) bool {
+			if sight.OID != d.OID && sight.Pos.Dist(d.New) <= sub.Distance {
+				if cur == nil {
+					cur = make(map[core.OID]bool, 4)
+				}
+				cur[sight.OID] = true
+			}
+			return true
+		})
+	}
+	// Pairs involving the object that are no longer meeting separate
+	// silently; re-meeting later re-fires.
+	for k := range ls.firedPairs {
+		if k.a != d.OID && k.b != d.OID {
+			continue
+		}
+		other := k.a
+		if other == d.OID {
+			other = k.b
+		}
+		if !cur[other] {
+			delete(ls.firedPairs, k)
+		}
+	}
+	for q := range cur {
+		k := orderedPair(d.OID, q)
+		if !ls.firedPairs[k] {
+			ls.firedPairs[k] = true
+			ls.seq++
+			fires = append(fires, meetingFire{sub: sub, pair: k, seq: ls.seq})
+		}
+	}
+	return fires
+}
+
+// ---------------------------------------------------------------------------
+// The full-scan evaluator: oracle mode, install evaluation, and resync.
+
+// resyncAllSubs re-evaluates every installed subscription from the store.
+// force re-reports counts even when unchanged (the periodic safety net);
+// oracle mode calls it unforced after every mutation.
+func (s *Server) resyncAllSubs(force bool) {
+	e := s.events
+	e.mu.Lock()
+	subs := make([]*leafSub, 0, len(e.local))
+	for _, ls := range e.local {
+		subs = append(subs, ls)
+	}
+	e.mu.Unlock()
+	for _, ls := range subs {
+		s.resyncSub(ls, force)
+	}
+}
+
+// resyncSub rebuilds one subscription's state from a full store scan.
+func (s *Server) resyncSub(ls *leafSub, force bool) {
+	switch ls.sub.Kind {
+	case msg.EventCountAbove:
+		s.resyncCount(ls, force)
+	case msg.EventMeeting:
+		s.resyncMeeting(ls)
+	}
+}
+
+// resyncCount recounts a subscription's qualifying objects from the store
+// and reports a changed (or, when force is set, any) count to the
+// coordinator. Scans run outside events.mu; evalMu keeps concurrent
+// oracle-mode evaluations from reporting stale counts over fresh ones.
+func (s *Server) resyncCount(ls *leafSub, force bool) {
+	ls.evalMu.Lock()
+	defer ls.evalMu.Unlock()
+	sub := ls.sub
+	indexed := s.events.idx != nil
+	var members map[core.OID]bool
+	if indexed {
+		members = make(map[core.OID]bool)
+	}
+	count := 0
+	s.sightings.SearchArea(ls.bounds, func(sight core.Sighting) bool {
+		if s.countQualifies(sub, sight.OID, sight.Pos) {
 			count++
+			if members != nil {
+				members[sight.OID] = true
+			}
 		}
 		return true
 	})
 
 	s.events.mu.Lock()
+	if s.events.local[sub.SubID] != ls {
+		// Unsubscribed while the scan ran.
+		s.events.mu.Unlock()
+		return
+	}
+	if indexed {
+		ls.members = members
+	}
 	changed := count != ls.lastCount
 	ls.lastCount = count
 	var seq uint64
-	if changed {
+	if changed || force {
 		ls.seq++
 		seq = ls.seq
 	}
 	s.events.mu.Unlock()
-	if changed {
-		s.sendOrCount(sub.Coordinator, msg.EventCount{SubID: sub.SubID, Leaf: s.ID(), Count: count, Seq: seq})
+	if changed || force {
+		s.reportCount(countReport{sub: sub, count: count, seq: seq})
 	}
 }
 
-// reevaluateMeeting checks all local object pairs inside the subscription
-// area for proximity below the subscribed distance.
-func (s *Server) reevaluateMeeting(ls *leafSub) {
+// resyncMeeting recomputes a subscription's currently-meeting pair set
+// from the store and fires the pairs that formed since the last known
+// state.
+func (s *Server) resyncMeeting(ls *leafSub) {
+	ls.evalMu.Lock()
+	defer ls.evalMu.Unlock()
 	sub := ls.sub
-	enlarged := sub.Area.Bounds().Enlarge(sub.Distance)
 	var inArea []core.Sighting
-	s.sightings.SearchArea(enlarged, func(sight core.Sighting) bool {
+	s.sightings.SearchArea(ls.bounds, func(sight core.Sighting) bool {
 		inArea = append(inArea, sight)
 		return true
 	})
+	meeting := make(map[pairKey]bool)
 	for i := 0; i < len(inArea); i++ {
 		for j := i + 1; j < len(inArea); j++ {
-			key := orderedPair(inArea[i].OID, inArea[j].OID)
-			meeting := inArea[i].Pos.Dist(inArea[j].Pos) <= sub.Distance
-			s.events.mu.Lock()
-			was := ls.firedPairs[key]
-			if meeting && !was {
-				ls.firedPairs[key] = true
-			} else if !meeting && was {
-				delete(ls.firedPairs, key)
-			}
-			s.events.mu.Unlock()
-			if meeting && !was {
-				s.met.Counter("event_notifications").Inc()
-				s.sendOrCount(sub.Subscriber, msg.EventNotify{
-					SubID: sub.SubID,
-					Fired: true,
-					Objs:  []core.OID{key.a, key.b},
-				})
+			if inArea[i].Pos.Dist(inArea[j].Pos) <= sub.Distance {
+				meeting[orderedPair(inArea[i].OID, inArea[j].OID)] = true
 			}
 		}
 	}
+
+	var fires []meetingFire
+	s.events.mu.Lock()
+	if s.events.local[sub.SubID] != ls {
+		s.events.mu.Unlock()
+		return
+	}
+	for k := range meeting {
+		if !ls.firedPairs[k] {
+			ls.seq++
+			fires = append(fires, meetingFire{sub: sub, pair: k, seq: ls.seq})
+		}
+	}
+	ls.firedPairs = meeting
+	s.events.mu.Unlock()
+	for _, f := range fires {
+		s.fireMeeting(f)
+	}
+}
+
+// countQualifies decides membership of one object in a count
+// subscription: position within the enlarged bounds is the caller's
+// precondition; the object must still be a registered visitor and its
+// location descriptor must majority-overlap the area.
+func (s *Server) countQualifies(sub msg.EventSubscribe, oid core.OID, pos geo.Point) bool {
+	rec, ok := s.visitors.Get(oid)
+	if !ok {
+		return false
+	}
+	ld := core.LocationDescriptor{Pos: pos, Acc: rec.OfferedAcc}
+	// Membership for events uses majority overlap, a pragmatic middle
+	// ground for "object is in the area".
+	return sub.Area.RangeQualifies(ld, sub.ReqAcc, 0.5)
+}
+
+// reportCount sends one count report to the coordinator, coalescing
+// latest-wins per subscription through the notifier.
+func (s *Server) reportCount(r countReport) {
+	s.notify.EnqueueKeyed(r.sub.Coordinator, "count:"+r.sub.SubID,
+		msg.EventCount{SubID: r.sub.SubID, Leaf: s.ID(), Count: r.count, Seq: r.seq})
+}
+
+// fireMeeting sends one meeting notification to the subscriber.
+func (s *Server) fireMeeting(f meetingFire) {
+	s.met.Counter("event_notifications").Inc()
+	s.notify.EnqueueFIFO(f.sub.Subscriber, msg.EventNotify{
+		SubID: f.sub.SubID,
+		Fired: true,
+		Objs:  []core.OID{f.pair.a, f.pair.b},
+		Seq:   f.seq,
+	})
 }

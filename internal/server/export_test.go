@@ -24,3 +24,43 @@ func (s *Server) EventSubCountForTest() int {
 	defer s.events.mu.Unlock()
 	return len(s.events.local)
 }
+
+// EventCoordTotalForTest exposes a coordinated subscription's aggregated
+// count and predicate state.
+func (s *Server) EventCoordTotalForTest(subID string) (total int, fired bool, ok bool) {
+	s.events.mu.Lock()
+	defer s.events.mu.Unlock()
+	cs, ok := s.events.coord[subID]
+	if !ok {
+		return 0, false, false
+	}
+	return cs.total, cs.fired, true
+}
+
+// EventLocalCountForTest exposes a leaf subscription's last reported
+// local count.
+func (s *Server) EventLocalCountForTest(subID string) (int, bool) {
+	s.events.mu.Lock()
+	defer s.events.mu.Unlock()
+	ls, ok := s.events.local[subID]
+	if !ok {
+		return 0, false
+	}
+	return ls.lastCount, true
+}
+
+// EventMeetingPairsForTest exposes a meeting subscription's
+// currently-meeting pair set on this leaf (each pair ordered a <= b).
+func (s *Server) EventMeetingPairsForTest(subID string) [][2]core.OID {
+	s.events.mu.Lock()
+	defer s.events.mu.Unlock()
+	ls, ok := s.events.local[subID]
+	if !ok {
+		return nil
+	}
+	out := make([][2]core.OID, 0, len(ls.firedPairs))
+	for k := range ls.firedPairs {
+		out = append(out, [2]core.OID{k.a, k.b})
+	}
+	return out
+}

@@ -37,7 +37,7 @@ func (s *Server) handleUpdate(ctx context.Context, from msg.NodeID, req msg.Upda
 		// Line 8: plain in-area update, batched per shard by the
 		// pipeline under concurrency.
 		s.pipe.Put(req.S)
-		s.notifySightingsChanged()
+		s.notePutCommitted()
 		s.met.Counter("updates_local").Inc()
 		res := msg.UpdateRes{Moved: false, OfferedAcc: rec.OfferedAcc}
 		s.dedupe.remember(from, req.Seq, res)
@@ -55,8 +55,9 @@ func (s *Server) handleUpdate(ctx context.Context, from msg.NodeID, req msg.Upda
 		return nil, err
 	}
 	// Remove the visitor and sighting records (lines 5-6).
-	s.sightings.Remove(req.S.OID)
-	s.notifySightingsChanged()
+	if d, ok := s.sightings.RemoveDelta(req.S.OID); ok {
+		s.noteRemovals([]store.Delta{d})
+	}
 	if _, derr := s.visitors.Remove(req.S.OID); derr != nil {
 		s.met.Counter("visitor_db_errors").Inc()
 	}
@@ -221,7 +222,7 @@ func (s *Server) becomeAgent(req msg.HandoverReq) (msg.HandoverRes, error) {
 		return msg.HandoverRes{}, err
 	}
 	s.pipe.Put(req.S)
-	s.notifySightingsChanged()
+	s.notePutCommitted()
 	s.met.Counter("handover_accepted").Inc()
 
 	// If the accuracy this leaf can offer differs from the registered

@@ -89,7 +89,7 @@ func (s *Server) handleRegister(ctx context.Context, req msg.RegisterReq) {
 		return
 	}
 	s.pipe.Put(req.S)
-	s.notifySightingsChanged()
+	s.notePutCommitted()
 	s.met.Counter("register_ok").Inc()
 
 	// Line 12: answer the registering instance.
@@ -257,8 +257,9 @@ func (s *Server) handleDeregister(_ context.Context, req msg.DeregisterReq) (msg
 	if sight, ok := s.sightings.Get(req.OID); ok && sight.T.After(lastT) {
 		lastT = sight.T
 	}
-	s.sightings.Remove(req.OID)
-	s.notifySightingsChanged()
+	if d, ok := s.sightings.RemoveDelta(req.OID); ok {
+		s.noteRemovals([]store.Delta{d})
+	}
 	if _, err := s.visitors.Remove(req.OID); err != nil {
 		s.met.Counter("visitor_db_errors").Inc()
 	}

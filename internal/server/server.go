@@ -101,6 +101,25 @@ type Options struct {
 	// value enables a small default budget; MaxAttempts 1 restores
 	// fire-and-forget.
 	PathRetry transport.RetryPolicy
+	// EventOracle selects the evaluate-all event engine: every installed
+	// subscription is re-evaluated synchronously after every mutation.
+	// This is the original (seed) behavior, kept as the correctness
+	// oracle for property tests and as the lsbench baseline; the default
+	// is the subscription-indexed delta pipeline (see event.go).
+	EventOracle bool
+	// EventQueueDepth bounds the delta queue feeding a leaf's event
+	// dispatcher. A full queue never blocks a commit: overflowing delta
+	// batches are dropped and replaced by a full resync. Default 256.
+	EventQueueDepth int
+	// EventNotifyQueueDepth bounds each destination's FIFO notification
+	// queue in the notifier (meeting notifications); overflow drops the
+	// oldest. Default 256.
+	EventNotifyQueueDepth int
+	// EventResyncInterval is the event pipeline's periodic safety net: a
+	// full re-evaluation of every subscription with forced count
+	// re-reports, healing state a lost report or dropped delta left
+	// stale. Default 30s.
+	EventResyncInterval time.Duration
 }
 
 // withDefaults fills unset options.
@@ -146,6 +165,15 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = metrics.NewRegistry()
 	}
+	if o.EventQueueDepth <= 0 {
+		o.EventQueueDepth = 256
+	}
+	if o.EventNotifyQueueDepth <= 0 {
+		o.EventNotifyQueueDepth = 256
+	}
+	if o.EventResyncInterval <= 0 {
+		o.EventResyncInterval = 30 * time.Second
+	}
 	return o
 }
 
@@ -169,6 +197,7 @@ type Server struct {
 	caches *leafCaches
 	pend   *pending
 	events *events
+	notify *notifier
 	met    *metrics.Registry
 
 	// dedupe remembers a leaf's replies to Seq-stamped requests so a
@@ -225,10 +254,18 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 		visitors: visitors,
 		caches:   newLeafCaches(opts),
 		pend:     newPending(),
-		events:   newEvents(),
 		met:      opts.Metrics,
 		stop:     make(chan struct{}),
 	}
+	// Only leaves evaluate subscriptions against sightings, so only they
+	// get the subscription index and delta dispatcher; everywhere else the
+	// events struct just routes and coordinates.
+	indexWorld := geo.Rect{}
+	if cfg.IsLeaf() && !opts.EventOracle {
+		indexWorld = cfg.SA.Bounds()
+	}
+	s.events = newEvents(opts.EventOracle, indexWorld, opts.EventQueueDepth)
+	s.notify = newNotifier(s)
 	if cfg.IsLeaf() {
 		shards, serr := store.NormalizeShards(opts.Shards)
 		if serr != nil {
@@ -264,6 +301,11 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 		if opts.SightingTTL > 0 {
 			popts = append(popts, store.OnExpired(s.expireVisitors))
 		}
+		if s.events.work != nil {
+			// Feed committed update deltas straight into the event
+			// dispatcher; the enqueue never blocks the committing lane.
+			popts = append(popts, store.OnCommit(s.enqueueDeltas))
+		}
 		s.pipe = store.NewUpdatePipeline(s.sightings, popts...)
 		s.dedupe = newDedupe(opts.DedupeWindow, opts.DedupeCap, opts.Clock)
 	}
@@ -277,6 +319,10 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 	if cfg.IsLeaf() && opts.JanitorInterval > 0 {
 		s.wg.Add(1)
 		go s.janitor()
+	}
+	if s.events.work != nil {
+		s.wg.Add(1)
+		go s.eventDispatcher()
 	}
 	return s, nil
 }
@@ -476,33 +522,33 @@ func (s *Server) janitor() {
 }
 
 // expireVisitors removes a batch of expired visitors, detected by the
-// janitor's scan or the update pipeline's amortized sweep. Event
-// subscriptions are re-evaluated once per batch, not once per id. It runs
+// janitor's scan or the update pipeline's amortized sweep. The removal
+// deltas feed the event engine once per batch, not once per id. It runs
 // with no store locks held.
 func (s *Server) expireVisitors(ids []core.OID) {
-	removed := false
+	var ds []store.Delta
 	for _, id := range ids {
-		if s.expireVisitor(id) {
-			removed = true
+		if d, ok := s.expireVisitor(id); ok {
+			ds = append(ds, d)
 		}
 	}
-	if removed {
-		s.notifySightingsChanged()
-	}
+	s.noteRemovals(ds)
 }
 
 // expireVisitor removes one expired visitor like a deregistration,
-// reporting whether it removed anything. The expiry observation that led
-// here is stale by the time this runs, so removal is conditional: a record
-// that a concurrent update refreshed in the meantime stays live and
-// nothing is torn down. The caller re-evaluates event subscriptions.
-func (s *Server) expireVisitor(id core.OID) bool {
+// reporting the removal delta if it removed anything. The expiry
+// observation that led here is stale by the time this runs, so removal is
+// conditional: a record that a concurrent update refreshed in the
+// meantime stays live and nothing is torn down. The caller feeds the
+// deltas to the event engine.
+func (s *Server) expireVisitor(id core.OID) (store.Delta, bool) {
 	lastT := s.opts.Clock()
 	if sight, ok := s.sightings.Get(id); ok && sight.T.After(lastT) {
 		lastT = sight.T
 	}
-	if !s.sightings.RemoveExpired(id) {
-		return false
+	d, ok := s.sightings.RemoveExpiredDelta(id)
+	if !ok {
+		return store.Delta{}, false
 	}
 	s.met.Counter("soft_state_expired").Inc()
 	if _, err := s.visitors.Remove(id); err != nil {
@@ -511,7 +557,7 @@ func (s *Server) expireVisitor(id core.OID) bool {
 	if s.parent() != "" {
 		s.forwardPath(s.parentForOID(id), msg.RemovePath{OID: id, SightingT: lastT})
 	}
-	return true
+	return d, true
 }
 
 // RestoreVisitors asks every visitor recorded in the (persistent) visitorDB

@@ -1,0 +1,132 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"locsvc/internal/geo"
+)
+
+// TestRectIndexOracle drives random insert/replace/remove/stab traffic
+// against a linear-scan oracle: every stab must return exactly the
+// rectangles containing the point, regardless of where they sit relative
+// to the world rectangle and its quadrant boundaries.
+func TestRectIndexOracle(t *testing.T) {
+	const side = 1000.0
+	world := geo.R(0, 0, side, side)
+	rng := rand.New(rand.NewSource(7))
+
+	ix := NewRectIndex(world)
+	oracle := make(map[string]geo.Rect)
+
+	randRect := func() geo.Rect {
+		// Mix generic rectangles with degenerate and boundary-hugging
+		// ones: points on quadrant split lines, rects crossing the world
+		// edge, zero-area rects.
+		switch rng.Intn(4) {
+		case 0: // generic
+			x, y := rng.Float64()*side, rng.Float64()*side
+			return geo.R(x, y, x+rng.Float64()*200, y+rng.Float64()*200)
+		case 1: // snapped to power-of-two split lines
+			x := float64(rng.Intn(8)) * side / 8
+			y := float64(rng.Intn(8)) * side / 8
+			return geo.R(x, y, x+side/8, y+side/8)
+		case 2: // sticking out of the world
+			x, y := rng.Float64()*side, rng.Float64()*side
+			return geo.R(x-300, y, x+300, y+100)
+		default: // degenerate
+			x, y := rng.Float64()*side, rng.Float64()*side
+			return geo.R(x, y, x, y)
+		}
+	}
+
+	stabAll := func(p geo.Point) []string {
+		var got []string
+		ix.Stab(p, func(id string, _ geo.Rect) bool {
+			got = append(got, id)
+			return true
+		})
+		sort.Strings(got)
+		return got
+	}
+
+	for step := 0; step < 20_000; step++ {
+		id := fmt.Sprintf("r%d", rng.Intn(400))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			r := randRect()
+			ix.Insert(id, r)
+			oracle[id] = r
+		case 4:
+			removed := ix.Remove(id)
+			if _, ok := oracle[id]; ok != removed {
+				t.Fatalf("step %d: Remove(%s) = %v, oracle has it: %v", step, id, removed, ok)
+			}
+			delete(oracle, id)
+		default:
+			p := geo.Pt(rng.Float64()*side*1.2-side*0.1, rng.Float64()*side*1.2-side*0.1)
+			if rng.Intn(3) == 0 {
+				// Points exactly on split lines exercise the
+				// multi-quadrant descent.
+				p = geo.Pt(float64(rng.Intn(9))*side/8, float64(rng.Intn(9))*side/8)
+			}
+			var want []string
+			for oid, r := range oracle {
+				if r.ContainsClosed(p) {
+					want = append(want, oid)
+				}
+			}
+			sort.Strings(want)
+			got := stabAll(p)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: Stab(%v) = %v, want %v", step, p, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: Stab(%v) = %v, want %v", step, p, got, want)
+				}
+			}
+		}
+		if ix.Len() != len(oracle) {
+			t.Fatalf("step %d: Len() = %d, oracle %d", step, ix.Len(), len(oracle))
+		}
+	}
+}
+
+// TestRectIndexStabStops verifies early termination from the visitor.
+func TestRectIndexStabStops(t *testing.T) {
+	ix := NewRectIndex(geo.R(0, 0, 100, 100))
+	for i := 0; i < 10; i++ {
+		ix.Insert(fmt.Sprintf("x%d", i), geo.R(0, 0, 100, 100))
+	}
+	n := 0
+	ix.Stab(geo.Pt(50, 50), func(string, geo.Rect) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d entries after stop at 3", n)
+	}
+}
+
+// TestRectIndexReplace pins replace semantics: re-inserting an id moves its
+// rectangle.
+func TestRectIndexReplace(t *testing.T) {
+	ix := NewRectIndex(geo.R(0, 0, 100, 100))
+	ix.Insert("a", geo.R(0, 0, 10, 10))
+	ix.Insert("a", geo.R(90, 90, 100, 100))
+	if ix.Len() != 1 {
+		t.Fatalf("Len() = %d after replace", ix.Len())
+	}
+	hit := false
+	ix.Stab(geo.Pt(5, 5), func(string, geo.Rect) bool { hit = true; return true })
+	if hit {
+		t.Fatal("old rectangle still matched after replace")
+	}
+	ix.Stab(geo.Pt(95, 95), func(string, geo.Rect) bool { hit = true; return true })
+	if !hit {
+		t.Fatal("new rectangle not matched after replace")
+	}
+}

@@ -35,6 +35,7 @@ import (
 type UpdatePipeline struct {
 	db        SightingStore
 	onExpired func([]core.OID)
+	onCommit  func([]Delta)
 
 	lanes  atomic.Pointer[laneSet]
 	swapMu sync.Mutex // serializes lane-set swaps
@@ -71,6 +72,16 @@ type PipelineOption func(*UpdatePipeline)
 // sweep is a point-in-time observation).
 func OnExpired(fn func([]core.OID)) PipelineOption {
 	return func(p *UpdatePipeline) { p.onExpired = fn }
+}
+
+// OnCommit installs a callback receiving the change deltas of every batch
+// the pipeline commits. The callback runs on the lane leader's goroutine
+// while it still holds lane leadership, so for any one object the callbacks
+// observe deltas in commit order; it owns the slice it is handed. A slow
+// callback stalls its lane — consumers that can fall behind must hand off
+// to their own queue (the server's event dispatcher does).
+func OnCommit(fn func([]Delta)) PipelineOption {
+	return func(p *UpdatePipeline) { p.onCommit = fn }
 }
 
 // NewUpdatePipeline builds a pipeline over db with one combining lane per
@@ -133,10 +144,19 @@ func (p *UpdatePipeline) Put(s core.Sighting) {
 	var dones []chan struct{}
 	applied := 0
 	for {
-		p.db.PutBatch(batch)
-		applied += len(batch)
-		for _, d := range dones {
-			close(d)
+		if p.onCommit != nil {
+			deltas := p.db.PutBatchDeltas(batch, make([]Delta, 0, len(batch)))
+			applied += len(batch)
+			for _, d := range dones {
+				close(d)
+			}
+			p.onCommit(deltas)
+		} else {
+			p.db.PutBatch(batch)
+			applied += len(batch)
+			for _, d := range dones {
+				close(d)
+			}
 		}
 		lane.mu.Lock()
 		if len(lane.pending) == 0 {

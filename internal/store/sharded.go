@@ -319,12 +319,21 @@ func (db *ShardedSightingDB) liveShards() []*sightingShard {
 
 // Put implements SightingStore.
 func (db *ShardedSightingDB) Put(s core.Sighting) {
+	db.putOne(s, nil)
+}
+
+// putOne commits one sighting, appending its delta to *out when out is
+// non-nil.
+func (db *ShardedSightingDB) putOne(s core.Sighting, out *[]Delta) {
 	sh, g, i := db.lockOwner(s.OID)
 	if db.wal != nil {
 		_ = db.wal.AppendPut(i, len(g.shards), s)
 	}
-	db.putLocked(sh, s)
+	d := db.putLocked(sh, s)
 	sh.mu.Unlock()
+	if out != nil {
+		*out = append(*out, d)
+	}
 }
 
 // PutBatch implements SightingStore: the batch is grouped by shard and each
@@ -334,11 +343,22 @@ func (db *ShardedSightingDB) Put(s core.Sighting) {
 // superseded update. While a resize migration is in flight the batch falls
 // back to per-object authority resolution.
 func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
+	db.putBatch(batch, nil)
+}
+
+// PutBatchDeltas implements SightingStore. Coalesced objects yield one delta
+// spanning the pre-batch position and the final one.
+func (db *ShardedSightingDB) PutBatchDeltas(batch []core.Sighting, out []Delta) []Delta {
+	db.putBatch(batch, &out)
+	return out
+}
+
+func (db *ShardedSightingDB) putBatch(batch []core.Sighting, out *[]Delta) {
 	switch len(batch) {
 	case 0:
 		return
 	case 1:
-		db.Put(batch[0])
+		db.putOne(batch[0], out)
 		return
 	}
 	g := db.gen.Load()
@@ -347,13 +367,13 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 		// per object, so group commit degrades to per-object puts for the
 		// duration of the handoff walk.
 		for _, s := range batch {
-			db.Put(s)
+			db.putOne(s, out)
 		}
 		return
 	}
 	n := len(g.shards)
 	if n == 1 {
-		db.putGroup(g, 0, batch)
+		db.putGroup(g, 0, batch, out)
 		return
 	}
 	// Fast path: batches assembled by a per-shard pipeline lane are
@@ -368,7 +388,7 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 		}
 	}
 	if same {
-		db.putGroup(g, first, batch)
+		db.putGroup(g, first, batch, out)
 		return
 	}
 	groups := make([][]core.Sighting, n)
@@ -378,7 +398,7 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 	}
 	for i, grp := range groups {
 		if len(grp) > 0 {
-			db.putGroup(g, i, grp)
+			db.putGroup(g, i, grp, out)
 		}
 	}
 }
@@ -389,20 +409,27 @@ func (db *ShardedSightingDB) PutBatch(batch []core.Sighting) {
 // durability unit, amortizing marshal and flush cost the same way the
 // pipeline's combining lane amortizes lock cost. If the shard was handed
 // off to a newer generation while this call waited for its lock, the group
-// re-routes per object.
-func (db *ShardedSightingDB) putGroup(g *shardGen, shard int, group []core.Sighting) {
+// re-routes per object. When out is non-nil every applied put appends its
+// delta — on the coalesced path only the surviving last-per-object puts
+// apply, so each emitted delta spans pre-batch old to batch-final new.
+func (db *ShardedSightingDB) putGroup(g *shardGen, shard int, group []core.Sighting, out *[]Delta) {
 	sh := g.shards[shard]
 	sh.lockWrite()
 	if sh.moved {
 		sh.mu.Unlock()
 		for _, s := range group {
-			db.Put(s)
+			db.putOne(s, out)
 		}
 		return
 	}
 	defer sh.mu.Unlock()
 	if db.wal != nil {
 		_ = db.wal.AppendBatch(shard, len(g.shards), group)
+	}
+	emit := func(d Delta) {
+		if out != nil {
+			*out = append(*out, d)
+		}
 	}
 	if len(group) > 1 {
 		// Keep only the last update per object; earlier ones are
@@ -414,19 +441,20 @@ func (db *ShardedSightingDB) putGroup(g *shardGen, shard int, group []core.Sight
 		if len(last) < len(group) {
 			for i, s := range group {
 				if last[s.OID] == i {
-					db.putLocked(sh, s)
+					emit(db.putLocked(sh, s))
 				}
 			}
 			return
 		}
 	}
 	for _, s := range group {
-		db.putLocked(sh, s)
+		emit(db.putLocked(sh, s))
 	}
 }
 
-func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) {
-	if old, ok := sh.byID[s.OID]; ok {
+func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) Delta {
+	old := sh.byID[s.OID]
+	if old != nil {
 		sh.idx.Remove(s.OID, old.s.Pos)
 		sh.noteRemove()
 	}
@@ -441,6 +469,7 @@ func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) {
 		sh.idx.Insert(s.OID, s.Pos)
 	}
 	sh.noteInsert(s.Pos)
+	return putDelta(s, old)
 }
 
 // Get implements SightingStore.
@@ -456,34 +485,46 @@ func (db *ShardedSightingDB) Get(id core.OID) (core.Sighting, bool) {
 
 // Remove implements SightingStore.
 func (db *ShardedSightingDB) Remove(id core.OID) bool {
+	_, ok := db.RemoveDelta(id)
+	return ok
+}
+
+// RemoveDelta implements SightingStore.
+func (db *ShardedSightingDB) RemoveDelta(id core.OID) (Delta, bool) {
 	sh, g, i := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok {
-		return false
+		return Delta{}, false
 	}
 	db.logRemove(i, len(g.shards), id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
 	sh.noteRemove()
-	return true
+	return removeDelta(id, e), true
 }
 
 // RemoveExpired implements SightingStore: the record is removed only if
 // its TTL has passed at the time the shard lock is held, so a record
 // refreshed since an expiry observation survives.
 func (db *ShardedSightingDB) RemoveExpired(id core.OID) bool {
+	_, ok := db.RemoveExpiredDelta(id)
+	return ok
+}
+
+// RemoveExpiredDelta implements SightingStore.
+func (db *ShardedSightingDB) RemoveExpiredDelta(id core.OID) (Delta, bool) {
 	sh, g, i := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok || db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
-		return false
+		return Delta{}, false
 	}
 	db.logRemove(i, len(g.shards), id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
 	sh.noteRemove()
-	return true
+	return removeDelta(id, e), true
 }
 
 // Touch implements SightingStore.

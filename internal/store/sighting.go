@@ -178,8 +178,24 @@ func (db *SightingDB) PutBatch(batch []core.Sighting) {
 	}
 }
 
-func (db *SightingDB) putLocked(s core.Sighting) {
-	if old, ok := db.byID[s.OID]; ok {
+// PutBatchDeltas implements SightingStore. The single-lock database does not
+// coalesce, so a batch with repeated objects yields one delta per entry, in
+// application order.
+func (db *SightingDB) PutBatchDeltas(batch []core.Sighting, out []Delta) []Delta {
+	if len(batch) == 0 {
+		return out
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range batch {
+		out = append(out, db.putLocked(s))
+	}
+	return out
+}
+
+func (db *SightingDB) putLocked(s core.Sighting) Delta {
+	old := db.byID[s.OID]
+	if old != nil {
 		db.idx.Remove(s.OID, old.s.Pos)
 	}
 	entry := &sightingEntry{s: s}
@@ -192,6 +208,7 @@ func (db *SightingDB) putLocked(s core.Sighting) {
 	} else {
 		db.idx.Insert(s.OID, s.Pos)
 	}
+	return putDelta(s, old)
 }
 
 // Get returns the sighting record for id via the hash index.
@@ -207,15 +224,21 @@ func (db *SightingDB) Get(id core.OID) (core.Sighting, bool) {
 
 // Remove deletes the record for id and reports whether it existed.
 func (db *SightingDB) Remove(id core.OID) bool {
+	_, ok := db.RemoveDelta(id)
+	return ok
+}
+
+// RemoveDelta implements SightingStore.
+func (db *SightingDB) RemoveDelta(id core.OID) (Delta, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	e, ok := db.byID[id]
 	if !ok {
-		return false
+		return Delta{}, false
 	}
 	db.idx.Remove(id, e.s.Pos)
 	delete(db.byID, id)
-	return true
+	return removeDelta(id, e), true
 }
 
 // RemoveExpired deletes the record for id only if its soft-state TTL has
@@ -224,15 +247,21 @@ func (db *SightingDB) Remove(id core.OID) bool {
 // amortized sweep) use it so a record refreshed since the observation
 // survives.
 func (db *SightingDB) RemoveExpired(id core.OID) bool {
+	_, ok := db.RemoveExpiredDelta(id)
+	return ok
+}
+
+// RemoveExpiredDelta implements SightingStore.
+func (db *SightingDB) RemoveExpiredDelta(id core.OID) (Delta, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	e, ok := db.byID[id]
 	if !ok || db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
-		return false
+		return Delta{}, false
 	}
 	db.idx.Remove(id, e.s.Pos)
 	delete(db.byID, id)
-	return true
+	return removeDelta(id, e), true
 }
 
 // Touch refreshes the expiration date of id without changing its sighting,

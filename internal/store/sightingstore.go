@@ -33,14 +33,25 @@ type SightingStore interface {
 	// PutBatch applies a batch of puts, acquiring each involved shard's
 	// lock once. Later entries for the same object override earlier ones.
 	PutBatch(batch []core.Sighting)
+	// PutBatchDeltas is PutBatch with change reporting: one Delta per
+	// committed change is appended to out and the extended slice returned.
+	// An implementation that coalesces superseded updates within the batch
+	// emits one delta per object, spanning the pre-batch position and the
+	// final one; deltas for the same object are always in commit order.
+	PutBatchDeltas(batch []core.Sighting, out []Delta) []Delta
 	// Get returns the record for id via the hash index.
 	Get(id core.OID) (core.Sighting, bool)
 	// Remove deletes the record for id and reports whether it existed.
 	Remove(id core.OID) bool
+	// RemoveDelta is Remove with change reporting: the returned delta
+	// carries the removed record's last position.
+	RemoveDelta(id core.OID) (Delta, bool)
 	// RemoveExpired deletes the record for id only if its TTL has
 	// passed, so callers acting on a stale expiry observation cannot
 	// tear down a concurrently refreshed record.
 	RemoveExpired(id core.OID) bool
+	// RemoveExpiredDelta is RemoveExpired with change reporting.
+	RemoveExpiredDelta(id core.OID) (Delta, bool)
 	// Touch refreshes the expiration date of id.
 	Touch(id core.OID) bool
 	// Expired returns the ids of all records whose soft-state TTL passed.

@@ -178,6 +178,7 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		dst = appendBool(dst, m.Fired)
 		dst = appendInt(dst, m.Total)
 		dst = appendOIDs(dst, m.Objs)
+		dst = appendU64(dst, m.Seq)
 		return dst, msg.TagEventNotify, true
 	case msg.DiagReq:
 		return dst, msg.TagDiagReq, true
@@ -190,6 +191,8 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		dst = appendU64(dst, m.Epoch)
 		dst = appendI64(dst, m.PipelineOps)
 		dst = appendI64(dst, m.PipelineHandoffs)
+		dst = appendInt(dst, m.EventSubs)
+		dst = appendInt(dst, m.EventCoordSubs)
 		dst = appendString(dst, m.Metrics)
 		return dst, msg.TagDiagRes, true
 	case msg.Ack:
@@ -376,6 +379,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			Fired: r.boolean(),
 			Total: r.integer(),
 			Objs:  r.oids(),
+			Seq:   r.u64(),
 		}, true
 	case msg.TagDiagReq:
 		return msg.DiagReq{}, true
@@ -389,6 +393,8 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			Epoch:            r.u64(),
 			PipelineOps:      r.i64(),
 			PipelineHandoffs: r.i64(),
+			EventSubs:        r.integer(),
+			EventCoordSubs:   r.integer(),
 			Metrics:          r.str(),
 		}, true
 	case msg.TagAck:

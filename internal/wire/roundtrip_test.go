@@ -191,11 +191,11 @@ func randomMessage(rng *rand.Rand, tag msg.Tag) (msg.Message, bool) {
 	case msg.TagEventCount:
 		return msg.EventCount{SubID: randString(rng), Leaf: randNodeID(rng), Count: randInt(rng), Seq: rng.Uint64()}, true
 	case msg.TagEventNotify:
-		return msg.EventNotify{SubID: randString(rng), Fired: rng.Intn(2) == 0, Total: randInt(rng), Objs: randOIDs(rng)}, true
+		return msg.EventNotify{SubID: randString(rng), Fired: rng.Intn(2) == 0, Total: randInt(rng), Objs: randOIDs(rng), Seq: rng.Uint64()}, true
 	case msg.TagDiagReq:
 		return msg.DiagReq{}, true
 	case msg.TagDiagRes:
-		return msg.DiagRes{Server: randNodeID(rng), IsLeaf: rng.Intn(2) == 0, Visitors: randInt(rng), Sightings: randInt(rng), Shards: randShardDiags(rng), Epoch: rng.Uint64(), PipelineOps: rng.Int63(), PipelineHandoffs: rng.Int63(), Metrics: randString(rng)}, true
+		return msg.DiagRes{Server: randNodeID(rng), IsLeaf: rng.Intn(2) == 0, Visitors: randInt(rng), Sightings: randInt(rng), Shards: randShardDiags(rng), Epoch: rng.Uint64(), PipelineOps: rng.Int63(), PipelineHandoffs: rng.Int63(), EventSubs: randInt(rng), EventCoordSubs: randInt(rng), Metrics: randString(rng)}, true
 	case msg.TagAck:
 		return msg.Ack{}, true
 	case msg.TagErrorRes:
