@@ -15,6 +15,7 @@
 //	lsbench -table B      # datagram batching + async client over real UDP
 //	lsbench -table R      # resilience: retry/breaker overhead, degraded queries, recovery time
 //	lsbench -table E      # event pipeline: indexed delta evaluation vs evaluate-all
+//	lsbench -table L      # tiered (LSM) sighting storage: bigger-than-RAM leaves, tail-only recovery
 //	lsbench -table all    # everything
 //	lsbench -quick        # smaller populations, faster runs
 //
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,9 +76,10 @@ func main() {
 	run("B", tableBatch)
 	run("R", tableResilience)
 	run("E", tableEvents)
+	run("L", tableLSM)
 
 	switch *table {
-	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W", "B", "R", "E", "all":
+	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W", "B", "R", "E", "L", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(1)
@@ -1464,6 +1467,253 @@ func tableEvents(quick bool) {
 			speedup = fmt.Sprintf("%.1fx", indexed/oracle)
 		}
 		fmt.Printf("%-8d %16.0f %16.0f %10s\n", subs, indexed, oracle, speedup)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table L: tiered (LSM) sighting storage. The memtable budget is set to a
+// quarter of the dataset's resident footprint, so ~3/4 of the working set
+// lives in sorted runs on disk — the bigger-than-RAM regime the tier
+// exists for. Three questions: (1) what does tiering cost on the update
+// path next to the all-RAM WAL store, (2) what do point lookups cost when
+// they hit the memtable (hot) vs when they fall through the bloom-gated
+// runs (cold), and (3) how much faster is recovery when it opens run
+// footers and replays only the WAL tail instead of folding the full log.
+// Recorded runs live in BENCH_lsm.json.
+
+func tableLSM(quick bool) {
+	const side = 10_000.0
+	const shards = 8
+	const workers = 8
+	objects := 200_000
+	opsPerWorker := 50_000
+	lookups := 100_000
+	recoverPop := 1_000_000
+	if quick {
+		objects, opsPerWorker, lookups, recoverPop = 20_000, 5_000, 10_000, 50_000
+	}
+	// A quarter of the estimated resident footprint (~180 B/entry): the
+	// dataset is 4x the memtable budget, per the design target.
+	budget := int64(objects) * 180 / 4
+
+	fmt.Printf("\nTable L: tiered (LSM) sighting storage\n")
+	fmt.Printf("(%d objects, %d shards, memtable budget %d KiB = dataset/4, %d workers)\n\n",
+		objects, shards, budget>>10, workers)
+
+	newSightings := func(n int) []core.Sighting {
+		rng := rand.New(rand.NewSource(1))
+		ss := make([]core.Sighting, n)
+		now := time.Now()
+		for i := range ss {
+			ss[i] = core.Sighting{
+				OID: core.OID(fmt.Sprintf("obj-%d", i)), T: now,
+				Pos:     geo.Pt(rng.Float64()*side, rng.Float64()*side),
+				SensAcc: 10,
+			}
+		}
+		return ss
+	}
+
+	// loadAndHammer populates db and runs the parallel pipeline update
+	// workload; maintain (non-nil on tiered stores) is called periodically
+	// the way the janitor would.
+	loadAndHammer := func(db store.SightingStore, ss []core.Sighting, maintain func()) float64 {
+		for _, s := range ss {
+			db.Put(s)
+		}
+		if maintain != nil {
+			maintain()
+		}
+		pipe := store.NewUpdatePipeline(db)
+		start := time.Now()
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		if maintain != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tick := time.NewTicker(20 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						maintain()
+					}
+				}
+			}()
+		}
+		var uwg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			uwg.Add(1)
+			go func(w int) {
+				defer uwg.Done()
+				wrng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < opsPerWorker; i++ {
+					s := ss[wrng.Intn(len(ss))]
+					s.Pos = geo.Pt(wrng.Float64()*side, wrng.Float64()*side)
+					pipe.Put(s)
+				}
+			}(w)
+		}
+		uwg.Wait()
+		rate := float64(workers*opsPerWorker) / time.Since(start).Seconds()
+		close(stop)
+		wg.Wait()
+		return rate
+	}
+
+	percentiles := func(lat []time.Duration) (p50, p99 time.Duration) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)/2], lat[len(lat)*99/100]
+	}
+
+	ss := newSightings(objects)
+
+	// Baseline: the all-RAM sharded store with durable per-shard logs —
+	// what a leaf runs today when the working set fits in memory.
+	baseDir, err := os.MkdirTemp("", "lsbench-lsm-base")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(baseDir)
+	baseWAL, err := store.OpenShardedWAL(baseDir, shards)
+	if err != nil {
+		fatal(err)
+	}
+	baseDB := store.NewShardedSightingDB(store.WithSightingWAL(baseWAL))
+	baseUpd := loadAndHammer(baseDB, ss, nil)
+
+	// Tiered store under the same workload.
+	tierDir, err := os.MkdirTemp("", "lsbench-lsm-tier")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tierDir)
+	tierWAL, err := store.OpenShardedWAL(tierDir, shards)
+	if err != nil {
+		fatal(err)
+	}
+	tierDB := store.NewShardedSightingDB(
+		store.WithSightingWAL(tierWAL),
+		store.WithTiering(store.TierConfig{MemtableBytes: budget}))
+	if err := tierDB.Recover(); err != nil {
+		fatal(err)
+	}
+	tierUpd := loadAndHammer(tierDB, ss, func() {
+		if merr := tierDB.MaintainTiers(); merr != nil {
+			fatal(merr)
+		}
+	})
+	if err := tierDB.MaintainTiers(); err != nil {
+		fatal(err)
+	}
+	st := tierDB.TierStats()
+
+	fmt.Printf("%-34s %14s\n", "updates (8 workers, pipeline)", "upd/s")
+	fmt.Printf("%-34s %14.0f\n", "all-RAM + WAL (baseline)", baseUpd)
+	fmt.Printf("%-34s %14.0f\n\n", "tiered (dataset 4x memtable)", tierUpd)
+	fmt.Printf("tier state after load: %d runs, %d KiB on disk, memtables %d KiB resident, run metadata %d KiB resident\n",
+		st.Runs, st.RunBytes>>10, st.MemtableBytes>>10, st.MetaBytes>>10)
+	fmt.Printf("flushes %d, compactions %d, disk records %d (%d live)\n\n",
+		st.Flushes, st.Compactions, st.DiskRecords, st.DiskLive)
+
+	// Point lookups. Hot: re-put a small subset so it resides in the
+	// memtables, then query it. Cold: uniform over the whole population —
+	// with a 4x dataset most probes fall through to the runs.
+	hotN := objects / 20
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < hotN; i++ {
+		s := ss[i]
+		s.Pos = geo.Pt(rng.Float64()*side, rng.Float64()*side)
+		tierDB.Put(s)
+	}
+	measureGets := func(db store.SightingStore, pick func(*rand.Rand) core.OID) (p50, p99 time.Duration, missed int) {
+		lrng := rand.New(rand.NewSource(9))
+		lat := make([]time.Duration, lookups)
+		for i := range lat {
+			id := pick(lrng)
+			t0 := time.Now()
+			if _, ok := db.Get(id); !ok {
+				missed++
+			}
+			lat[i] = time.Since(t0)
+		}
+		p50, p99 = percentiles(lat)
+		return p50, p99, missed
+	}
+	pre := tierDB.TierStats()
+	hot50, hot99, _ := measureGets(tierDB, func(r *rand.Rand) core.OID { return ss[r.Intn(hotN)].OID })
+	cold50, cold99, _ := measureGets(tierDB, func(r *rand.Rand) core.OID { return ss[r.Intn(objects)].OID })
+	post := tierDB.TierStats()
+	probes := float64(post.BloomHits-pre.BloomHits) / float64(2*lookups)
+	base50, base99, _ := measureGets(baseDB, func(r *rand.Rand) core.OID { return ss[r.Intn(objects)].OID })
+
+	fmt.Printf("%-34s %12s %12s\n", "point lookup", "p50", "p99")
+	fmt.Printf("%-34s %12v %12v\n", "all-RAM + WAL (baseline)", base50, base99)
+	fmt.Printf("%-34s %12v %12v\n", "tiered, hot (memtable)", hot50, hot99)
+	fmt.Printf("%-34s %12v %12v\n", "tiered, cold (uniform)", cold50, cold99)
+	fmt.Printf("bloom-admitted run probes per lookup: %.2f (target <= 1)\n\n", probes)
+
+	// Recovery: a populated leaf restarts. The baseline folds its full
+	// WAL; the tiered store opens run footers and replays only the tail
+	// covering the current memtables.
+	recoverRun := func(tiered bool) (time.Duration, int) {
+		dir, derr := os.MkdirTemp("", "lsbench-lsm-rec")
+		if derr != nil {
+			fatal(derr)
+		}
+		defer os.RemoveAll(dir)
+		wal, werr := store.OpenShardedWAL(dir, shards)
+		if werr != nil {
+			fatal(werr)
+		}
+		sopts := []store.SightingDBOption{store.WithSightingWAL(wal)}
+		if tiered {
+			sopts = append(sopts, store.WithTiering(store.TierConfig{MemtableBytes: budget}))
+		}
+		db := store.NewShardedSightingDB(sopts...)
+		if rerr := db.Recover(); rerr != nil {
+			fatal(rerr)
+		}
+		pop := newSightings(recoverPop)
+		for _, s := range pop {
+			db.Put(s)
+		}
+		if tiered {
+			if merr := db.MaintainTiers(); merr != nil {
+				fatal(merr)
+			}
+		}
+		if ferr := wal.Flush(); ferr != nil {
+			fatal(ferr)
+		}
+		wal.Close()
+
+		wal2, werr := store.OpenShardedWAL(dir, shards)
+		if werr != nil {
+			fatal(werr)
+		}
+		defer wal2.Close()
+		sopts2 := []store.SightingDBOption{store.WithSightingWAL(wal2)}
+		if tiered {
+			sopts2 = append(sopts2, store.WithTiering(store.TierConfig{MemtableBytes: budget}))
+		}
+		db2 := store.NewShardedSightingDB(sopts2...)
+		start := time.Now()
+		if rerr := db2.Recover(); rerr != nil {
+			fatal(rerr)
+		}
+		return time.Since(start), db2.Len()
+	}
+	fullDur, fullLen := recoverRun(false)
+	tailDur, tailLen := recoverRun(true)
+	fmt.Printf("%-44s %12s %12s\n", fmt.Sprintf("recovery (%d sightings)", recoverPop), "time", "recovered")
+	fmt.Printf("%-44s %12v %12d\n", "full-WAL replay (all-RAM baseline)", fullDur, fullLen)
+	fmt.Printf("%-44s %12v %12d\n", "manifest open + WAL-tail replay (tiered)", tailDur, tailLen)
+	if tailDur > 0 {
+		fmt.Printf("speedup: %.1fx\n", fullDur.Seconds()/tailDur.Seconds())
 	}
 }
 

@@ -201,6 +201,20 @@ func main() {
 			fmt.Printf("pipeline: %d updates, %d handoffs (queued behind a lane leader)\n",
 				res.PipelineOps, res.PipelineHandoffs)
 		}
+		if t := res.Tier; t != nil {
+			state := "warming (WAL tail replaying)"
+			if t.Warm {
+				state = "warm"
+			}
+			fmt.Printf("tiered storage: %s\n", state)
+			fmt.Printf("  memtables: %d bytes resident\n", t.MemtableBytes)
+			fmt.Printf("  runs: %d files, %d bytes on disk, %d bytes run metadata resident\n",
+				t.Runs, t.RunBytes, t.MetaBytes)
+			fmt.Printf("  disk records: %d (%d live)\n", t.DiskRecords, t.DiskLive)
+			fmt.Printf("  flushes: %d, compactions: %d (backlog %d shard(s))\n",
+				t.Flushes, t.Compactions, t.Backlog)
+			fmt.Printf("  bloom probes: %d admitted, %d skipped\n", t.BloomHits, t.BloomMisses)
+		}
 		if res.EventSubs > 0 || res.EventCoordSubs > 0 {
 			fmt.Printf("event subscriptions: %d installed, %d coordinated\n",
 				res.EventSubs, res.EventCoordSubs)

@@ -20,7 +20,12 @@
 // and -autoshard-max), -swal gives the store durable per-shard logs that
 // are replayed in parallel at startup (and re-cut under the new mapping
 // when a resize moves the layout to its next epoch), and -fsync upgrades
-// both WALs to machine-crash durability.
+// both WALs to machine-crash durability. -tier layers tiered (LSM)
+// storage over -swal: the in-memory shards keep only the recent tail
+// (bounded by -tier-memtable-bytes) while older versions live in
+// immutable sorted runs beside the WAL segments, so a leaf can track far
+// more objects than fit in RAM and a restart replays only the short WAL
+// tail instead of the full history.
 //
 // -batch-max ≥ 2 turns on outbound datagram batching: up to that many
 // envelopes headed for the same peer ride one UDP datagram, flushed when
@@ -84,6 +89,10 @@ func main() {
 		autoshard    = flag.Bool("autoshard", false, "adapt the leaf's shard count to observed lock contention at runtime (live resize; with -swal the log follows through epoch switches)")
 		autoshardMin = flag.Int("autoshard-min", 1, "lower shard-count bound for -autoshard")
 		autoshardMax = flag.Int("autoshard-max", 64, "upper shard-count bound for -autoshard")
+		tier         = flag.Bool("tier", false, "tiered (LSM) sighting storage: shards become memtables, older versions live in sorted runs beside the -swal segments, recovery replays only the WAL tail (leaves with -swal only; incompatible with -autoshard)")
+		tierMemBytes = flag.Int64("tier-memtable-bytes", 64<<20, "total memtable budget across shards before runs are flushed to disk (with -tier)")
+		tierMaxRuns  = flag.Int("tier-max-runs", 4, "per-shard run-file count beyond which the janitor compacts (with -tier)")
+		tierBloom    = flag.Int("tier-bloom-bits", 10, "bloom-filter bits per key in each run file (with -tier)")
 		fsync        = flag.Bool("fsync", false, "fsync every WAL append (machine-crash durability)")
 		acc          = flag.Float64("acc", 10, "achievable accuracy of this leaf in meters")
 		ttl          = flag.Duration("ttl", 5*time.Minute, "soft-state TTL for sighting records (0 disables)")
@@ -189,6 +198,16 @@ func main() {
 			fatal(werr)
 		}
 		opts.SightingWAL = swal
+	}
+	if *tier && cfg.IsLeaf() {
+		if opts.SightingWAL == nil {
+			fatal(fmt.Errorf("-tier requires -swal (the run files live in the WAL directory)"))
+		}
+		opts.Tiering = &store.TierConfig{
+			MemtableBytes:   *tierMemBytes,
+			MaxRuns:         *tierMaxRuns,
+			BloomBitsPerKey: *tierBloom,
+		}
 	}
 
 	// Attach on the configured address: server.New attaches via

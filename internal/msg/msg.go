@@ -438,6 +438,34 @@ type ShardDiag struct {
 	Contended int64
 }
 
+// TierDiag is a leaf's tiered-sighting-storage snapshot, mirroring
+// store.TierStats. Present (non-nil) in a DiagRes only when tiering is
+// enabled.
+type TierDiag struct {
+	// Warm reports that recovery has replayed every shard's WAL tail;
+	// tier maintenance (flush/compaction) is gated until then.
+	Warm bool
+	// MemtableBytes is the estimated resident size of all shard
+	// memtables; RunBytes the run files' on-disk size; MetaBytes the
+	// resident run metadata (bloom filters and sparse indexes).
+	MemtableBytes int64
+	RunBytes      int64
+	MetaBytes     int64
+	// Runs counts run files across all shards; DiskRecords their records
+	// (tombstones included); DiskLive the live subset.
+	Runs        int
+	DiskRecords int64
+	DiskLive    int64
+	// Flushes and Compactions are cumulative; BloomHits counts run
+	// probes a bloom filter admitted, BloomMisses those it skipped.
+	Flushes     int64
+	Compactions int64
+	BloomHits   int64
+	BloomMisses int64
+	// Backlog counts shards over the compaction threshold.
+	Backlog int
+}
+
 // DiagRes answers a DiagReq.
 type DiagRes struct {
 	Server    NodeID
@@ -450,6 +478,8 @@ type DiagRes struct {
 	Shards []ShardDiag
 	// Epoch counts the sighting store's completed live resizes.
 	Epoch uint64
+	// Tier is the tiered-storage snapshot; nil when tiering is disabled.
+	Tier *TierDiag
 	// PipelineOps and PipelineHandoffs are the update pipeline's
 	// cumulative update count and how many of those queued behind a
 	// group-commit lane leader.

@@ -30,6 +30,21 @@ func (s *Server) shardMaintenance(sdb *store.ShardedSightingDB) {
 	s.met.Gauge("sighting_shards").Set(int64(len(stats)))
 	s.met.Gauge("sighting_epoch").Set(int64(sdb.Epoch()))
 
+	// Tiering observability: memtable pressure, run inventory and the
+	// flush/compaction cadence, refreshed once per tick like the shard
+	// gauges above.
+	if ts := sdb.TierStats(); ts.Enabled {
+		s.met.Gauge("sighting_memtable_bytes").Set(ts.MemtableBytes)
+		s.met.Gauge("sighting_runs").Set(int64(ts.Runs))
+		s.met.Gauge("sighting_run_bytes").Set(ts.RunBytes)
+		s.met.Gauge("sighting_disk_live").Set(ts.DiskLive)
+		s.met.Gauge("sighting_compaction_backlog").Set(int64(ts.Backlog))
+		s.met.Gauge("sighting_flushes").Set(ts.Flushes)
+		s.met.Gauge("sighting_compactions").Set(ts.Compactions)
+		s.met.Gauge("sighting_bloom_hits").Set(ts.BloomHits)
+		s.met.Gauge("sighting_bloom_misses").Set(ts.BloomMisses)
+	}
+
 	if s.autoShard == nil {
 		return
 	}
@@ -67,6 +82,22 @@ func (s *Server) handleDiag() (msg.Message, error) {
 		res.Epoch = sdb.Epoch()
 		for _, st := range sdb.ShardStats() {
 			res.Shards = append(res.Shards, msg.ShardDiag{Len: st.Len, Ops: st.Ops, Contended: st.Contended})
+		}
+		if ts := sdb.TierStats(); ts.Enabled {
+			res.Tier = &msg.TierDiag{
+				Warm:          ts.Warm,
+				MemtableBytes: ts.MemtableBytes,
+				Runs:          ts.Runs,
+				RunBytes:      ts.RunBytes,
+				MetaBytes:     ts.MetaBytes,
+				DiskRecords:   ts.DiskRecords,
+				DiskLive:      ts.DiskLive,
+				Flushes:       ts.Flushes,
+				Compactions:   ts.Compactions,
+				BloomHits:     ts.BloomHits,
+				BloomMisses:   ts.BloomMisses,
+				Backlog:       ts.Backlog,
+			}
 		}
 	}
 	if s.pipe != nil {

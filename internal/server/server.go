@@ -55,6 +55,16 @@ type Options struct {
 	// Shards <= 1. Zero fields in the config take the documented
 	// defaults.
 	AutoShard *store.AutoShardConfig
+	// Tiering turns a leaf's sighting store into a two-tier LSM: the
+	// in-memory shards become memtables and older versions migrate to
+	// immutable sorted runs on disk (store.TierConfig documents the
+	// knobs). Requires SightingWAL unless TierConfig.Dir is set
+	// explicitly. The shard count is pinned while tiering is enabled, so
+	// Tiering and AutoShard are mutually exclusive. With a sighting WAL
+	// the leaf recovers in the background: reads are served from the run
+	// files as soon as the manifests are open while the WAL tail replays
+	// shard by shard behind the shard locks.
+	Tiering *store.TierConfig
 	// WAL persists the visitorDB; nil keeps it in memory only.
 	WAL store.WAL
 	// SightingWAL persists a leaf's sightingDB through one durable log
@@ -145,7 +155,9 @@ func (o Options) withDefaults() Options {
 			// drives the grow-triggered compaction of the WAL segments.
 			o.JanitorInterval = time.Minute
 		}
-		if o.AutoShard != nil && (o.JanitorInterval <= 0 || o.JanitorInterval > 5*time.Second) {
+		if (o.AutoShard != nil || o.Tiering != nil) && (o.JanitorInterval <= 0 || o.JanitorInterval > 5*time.Second) {
+			// Both the AutoShard policy and tier maintenance (flush /
+			// compaction scheduling) want a responsive tick.
 			o.JanitorInterval = 5 * time.Second
 		}
 	}
@@ -273,24 +285,57 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 			closeWALs()
 			return nil, fmt.Errorf("server %s: %w", cfg.ID, serr)
 		}
+		if opts.Tiering != nil && opts.AutoShard != nil {
+			visitors.Close()
+			closeWALs()
+			return nil, fmt.Errorf("server %s: Tiering and AutoShard are mutually exclusive (run files pin the shard count)", cfg.ID)
+		}
+		if opts.Tiering != nil && opts.SightingWAL == nil && opts.Tiering.Dir == "" {
+			visitors.Close()
+			closeWALs()
+			return nil, fmt.Errorf("server %s: Tiering requires a SightingWAL or an explicit TierConfig.Dir", cfg.ID)
+		}
 		sopts := []store.SightingDBOption{
 			store.WithIndex(opts.Index),
 			store.WithTTL(opts.SightingTTL),
 			store.WithClock(opts.Clock),
+		}
+		if opts.Tiering != nil {
+			sopts = append(sopts, store.WithTiering(*opts.Tiering))
 		}
 		switch {
 		case opts.SightingWAL != nil:
 			sdb := store.NewShardedSightingDB(append(sopts,
 				store.WithShards(shards),
 				store.WithSightingWAL(opts.SightingWAL))...)
-			if err := sdb.Recover(); err != nil {
+			// Tiered stores recover in the background (satellite of the
+			// bigger-than-RAM design): RecoverBackground opens the run
+			// manifests synchronously — reads are served from disk
+			// immediately — and replays each shard's short WAL tail behind
+			// that shard's write lock. Close waits for the warm-up.
+			if opts.Tiering != nil {
+				err = sdb.RecoverBackground()
+			} else {
+				err = sdb.Recover()
+			}
+			if err != nil {
 				visitors.Close()
 				closeWALs()
 				return nil, fmt.Errorf("server %s: recovering sightingDB: %w", cfg.ID, err)
 			}
 			s.sightings = sdb
-		case shards > 1 || opts.AutoShard != nil:
-			s.sightings = store.NewShardedSightingDB(append(sopts, store.WithShards(shards))...)
+		case shards > 1 || opts.AutoShard != nil || opts.Tiering != nil:
+			sdb := store.NewShardedSightingDB(append(sopts, store.WithShards(shards))...)
+			if opts.Tiering != nil {
+				// No WAL to replay: Recover just opens the tier manifests
+				// (and sweeps crash leftovers) from TierConfig.Dir.
+				if err := sdb.Recover(); err != nil {
+					visitors.Close()
+					closeWALs()
+					return nil, fmt.Errorf("server %s: opening tiered sightingDB: %w", cfg.ID, err)
+				}
+			}
+			s.sightings = sdb
 		default:
 			s.sightings = store.NewSightingDB(sopts...)
 		}
@@ -381,6 +426,14 @@ func (s *Server) Close() error {
 		}
 		if verr := s.visitors.Close(); verr != nil && err == nil {
 			err = verr
+		}
+		if sdb, ok := s.sightings.(*store.ShardedSightingDB); ok {
+			// A tiered leaf may still be replaying its WAL tail in the
+			// background; closing the WAL underneath that replay would turn
+			// an orderly shutdown into a spurious recovery failure.
+			if werr := sdb.WaitRecovered(); werr != nil && err == nil {
+				err = werr
+			}
 		}
 		if s.opts.SightingWAL != nil {
 			if werr := s.opts.SightingWAL.Close(); werr != nil && err == nil {

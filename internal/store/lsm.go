@@ -1,0 +1,704 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/spatial"
+)
+
+// This file implements the tiered (LSM) mode of ShardedSightingDB: each
+// shard's in-memory state is the memtable of a small per-shard LSM tree
+// whose immutable sorted runs live on disk (run.go) under a per-shard
+// manifest (manifest.go). See the package comment for the full spec.
+
+// TierConfig enables and tunes tiered sighting storage. Zero-valued
+// fields take the defaults noted below. The shard count is fixed while
+// tiering is enabled (Resize returns an error): run files and manifests
+// are per-shard and do not migrate.
+type TierConfig struct {
+	// Dir holds the run files and manifests. With an attached sighting
+	// WAL it defaults to the WAL's directory (run/manifest names cannot
+	// collide with segment names); without one it must be set.
+	Dir string
+	// MemtableBytes is the total memtable budget across all shards
+	// (estimated resident bytes of live entries and tombstones). A shard
+	// exceeding its share is flushed by MaintainTiers; at twice its share
+	// the update path flushes inline (backpressure). Default 64 MiB.
+	MemtableBytes int64
+	// MaxRuns is the per-shard run count beyond which MaintainTiers
+	// compacts the shard's runs into one. Default 4.
+	MaxRuns int
+	// BloomBitsPerKey sizes each run's bloom filter. Default 10
+	// (≈1% false positives).
+	BloomBitsPerKey int
+}
+
+func (c TierConfig) withDefaults() TierConfig {
+	if c.MemtableBytes <= 0 {
+		c.MemtableBytes = 64 << 20
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 4
+	}
+	if c.BloomBitsPerKey <= 0 {
+		c.BloomBitsPerKey = 10
+	}
+	return c
+}
+
+// tierState is the store-level tiering state: configuration, counters,
+// and the background-recovery gate.
+type tierState struct {
+	cfg    TierConfig
+	budget int64 // per-shard soft memtable budget
+
+	flushes     atomic.Int64
+	compactions atomic.Int64
+	bloomHits   atomic.Int64
+	bloomMisses atomic.Int64
+	errs        atomic.Int64
+
+	// warmed flips once recovery (synchronous or background) has replayed
+	// every shard's WAL tail; MaintainTiers is a no-op before that.
+	warmed  atomic.Bool
+	warming atomic.Bool
+	warmWG  sync.WaitGroup
+	warmMu  sync.Mutex
+	warmErr error
+}
+
+// shardTier is one shard's run list. runs (newest first) is replaced
+// copy-on-write under the shard's write lock and read under either lock;
+// nextSeq is reserved atomically so an inline flush and a concurrent
+// compaction never allocate the same run name.
+type shardTier struct {
+	dir     string
+	shard   int
+	nextSeq atomic.Uint64
+	runs    []*tierRun
+}
+
+// TierStats is a point-in-time snapshot of the tiering machinery,
+// surfaced through server diagnostics (DiagRes) and lsctl stats.
+type TierStats struct {
+	Enabled       bool
+	Warm          bool  // recovery finished; maintenance active
+	MemtableBytes int64 // estimated resident memtable bytes, all shards
+	Runs          int   // run files across all shards
+	RunBytes      int64 // run file bytes on disk
+	MetaBytes     int64 // resident run metadata (blooms + sparse indexes)
+	DiskRecords   int64 // records in runs, tombstones included
+	DiskLive      int64 // live (non-tombstone) records in runs
+	Flushes       int64
+	Compactions   int64
+	BloomHits     int64 // run probes admitted by a bloom filter
+	BloomMisses   int64 // run probes skipped by a bloom filter
+	Backlog       int   // shards over the MaxRuns compaction threshold
+}
+
+// Tiered reports whether tiered storage is configured.
+func (db *ShardedSightingDB) Tiered() bool { return db.tier != nil }
+
+// memCost estimates the resident cost of one live memtable entry (hash
+// bucket, entry struct, index node); tombCost of one tombstone. Rough by
+// design — the budget bounds order of magnitude, not bytes.
+func memCost(id core.OID) int64  { return int64(len(id))*2 + 160 }
+func tombCost(id core.OID) int64 { return int64(len(id)) + 48 }
+
+// tierManifestFor builds the manifest describing runs (newest first).
+func tierManifestFor(shard int, nextSeq uint64, runs []*tierRun) tierManifest {
+	names := make([]string, len(runs))
+	for i, r := range runs {
+		names[i] = filepath.Base(r.path)
+	}
+	return tierManifest{Shard: shard, NextSeq: nextSeq, Runs: names}
+}
+
+// openTiers loads every shard's manifest, sweeps crash leftovers
+// (temporaries and unreferenced runs), opens the referenced runs'
+// metadata and attaches the tiers to the shards. Called by the Recover
+// paths before any WAL replay; cost is O(run metadata), not O(data).
+func (db *ShardedSightingDB) openTiers() error {
+	ts := db.tier
+	if ts == nil {
+		return nil
+	}
+	dir := ts.cfg.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating tier dir %s: %w", dir, err)
+	}
+	g := db.gen.Load()
+	n := len(g.shards)
+	referenced := make(map[string]bool)
+	manifests := make([]tierManifest, n)
+	for i := 0; i < n; i++ {
+		m, _, err := loadManifest(dir, i)
+		if err != nil {
+			return err
+		}
+		manifests[i] = m
+		for _, name := range m.Runs {
+			referenced[name] = true
+		}
+	}
+	if err := sweepTierLeftovers(dir, n, referenced); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		t := &shardTier{dir: dir, shard: i}
+		t.nextSeq.Store(manifests[i].NextSeq)
+		for _, name := range manifests[i].Runs {
+			r, err := openRun(filepath.Join(dir, name))
+			if err != nil {
+				for _, prev := range t.runs {
+					prev.retire(false)
+				}
+				return fmt.Errorf("store: opening tier shard %d: %w", i, err)
+			}
+			t.runs = append(t.runs, r)
+		}
+		sh := g.shards[i]
+		sh.mu.Lock()
+		sh.tier = t
+		if sh.dead == nil {
+			sh.dead = make(map[core.OID]struct{})
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// flushShardLocked freezes the shard's memtable into a new sorted run:
+// write the run file (atomic rename + dir fsync), install it at the head
+// of the manifest (atomic rename + dir fsync — the commit point), clear
+// the memtable, and reset the shard's WAL segment to empty. The caller
+// holds the shard's write lock for the whole call, so the run is a
+// consistent snapshot and no append can slip between the segment drain
+// and the rewrite.
+//
+// Crash ordering: a crash before the manifest rename leaves an orphan
+// run (swept at the next open) and an intact WAL — recovery replays the
+// full memtable. A crash after the manifest rename but before the WAL
+// reset replays a tail duplicating the newest run's content — idempotent,
+// since the memtable it rebuilds shadows those exact records. Flushes
+// emit no deltas: the store's logical content is unchanged.
+func (db *ShardedSightingDB) flushShardLocked(sh *sightingShard, shard int) error {
+	t := sh.tier
+	if t == nil || (len(sh.byID) == 0 && len(sh.dead) == 0) {
+		return nil
+	}
+	recs := make([]runRecord, 0, len(sh.byID)+len(sh.dead))
+	for _, e := range sh.byID {
+		recs = append(recs, runRecord{s: e.s, expires: e.expires})
+	}
+	for id := range sh.dead {
+		recs = append(recs, runRecord{s: core.Sighting{OID: id}, tombstone: true})
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].s.OID < recs[b].s.OID })
+
+	seq := t.nextSeq.Add(1) - 1
+	name := runFileName(shard, seq)
+	w, err := newRunWriter(t.dir, name, db.tier.cfg.BloomBitsPerKey)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := w.add(rec); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	if err := w.finish(); err != nil {
+		return err
+	}
+	run, err := openRun(filepath.Join(t.dir, name))
+	if err != nil {
+		os.Remove(filepath.Join(t.dir, name))
+		return err
+	}
+	newRuns := make([]*tierRun, 0, len(t.runs)+1)
+	newRuns = append(newRuns, run)
+	newRuns = append(newRuns, t.runs...)
+	if err := saveManifest(t.dir, tierManifestFor(shard, t.nextSeq.Load(), newRuns)); err != nil {
+		run.retire(true)
+		return err
+	}
+	t.runs = newRuns
+	db.tier.flushes.Add(1)
+
+	// The manifest rename committed: reset the memtable.
+	sh.byID = make(map[core.OID]*sightingEntry)
+	sh.dead = make(map[core.OID]struct{})
+	sh.idx = db.newIndex()
+	sh.items, _ = sh.idx.(spatial.ItemIndex)
+	sh.nonempty = false
+	sh.stale = 0
+	sh.memBytes = 0
+	sh.sweepKeys = nil
+	sh.sweepPos = 0
+
+	// Empty the WAL segment — the tail now covers only the (empty)
+	// memtable. Best-effort: on failure the segment still replays to
+	// content the new run shadows record-for-record.
+	if db.wal != nil && db.wal.Err() == nil {
+		if err := db.wal.CompactShard(shard, nil); err != nil {
+			db.tier.errs.Add(1)
+			return fmt.Errorf("store: resetting WAL segment after flush of shard %d: %w", shard, err)
+		}
+	}
+	return nil
+}
+
+// compactShardTier merges the shard's current runs (snapshotted under the
+// read lock) into one, dropping superseded versions, tombstones and
+// long-expired records, then atomically swaps the manifest. Readers never
+// block: the merge reads immutable pinned runs off-lock, and only the
+// final list swap takes the shard's write lock. Flushes racing the merge
+// only prepend runs, so the snapshot stays the exact suffix of the list.
+// The caller holds resizeMu, serializing compactions against each other
+// and against WAL-layout changes.
+func (db *ShardedSightingDB) compactShardTier(sh *sightingShard, shard int) error {
+	sh.mu.RLock()
+	t := sh.tier
+	if sh.moved || t == nil || len(t.runs) < 2 {
+		sh.mu.RUnlock()
+		return nil
+	}
+	snap := make([]*tierRun, len(t.runs))
+	copy(snap, t.runs)
+	for _, r := range snap {
+		r.acquire() // cannot fail: the manifest reference is alive under the lock
+	}
+	seq := t.nextSeq.Add(1) - 1
+	sh.mu.RUnlock()
+
+	releaseSnap := func() {
+		for _, r := range snap {
+			r.release()
+		}
+	}
+	merged, err := db.mergeRuns(t, seq, snap, db.clock())
+	if err != nil {
+		releaseSnap()
+		return err
+	}
+
+	sh.mu.Lock()
+	if sh.moved || len(t.runs) < len(snap) {
+		sh.mu.Unlock()
+		if merged != nil {
+			merged.retire(true)
+		}
+		releaseSnap()
+		return nil
+	}
+	keep := t.runs[:len(t.runs)-len(snap)] // runs flushed since the snapshot
+	newRuns := make([]*tierRun, 0, len(keep)+1)
+	newRuns = append(newRuns, keep...)
+	if merged != nil {
+		newRuns = append(newRuns, merged)
+	}
+	if err := saveManifest(t.dir, tierManifestFor(shard, t.nextSeq.Load(), newRuns)); err != nil {
+		sh.mu.Unlock()
+		if merged != nil {
+			merged.retire(true)
+		}
+		releaseSnap()
+		return err
+	}
+	t.runs = newRuns
+	sh.mu.Unlock()
+	for _, r := range snap {
+		r.retire(true) // off the manifest: delete once in-flight readers finish
+	}
+	releaseSnap()
+	db.tier.compactions.Add(1)
+	return nil
+}
+
+// mergeRuns k-way-merges snap (newest first) into one run named seq.
+// Per object only the newest version survives; tombstones are dropped
+// outright (the merge covers the shard's whole run set, so there is
+// nothing older left to shadow); records expired for more than one full
+// TTL are dropped too — the extra TTL of slack guarantees the janitor's
+// Expired scan observed them (and tore down dependent server state)
+// before they vanish. Returns nil when every record was dropped.
+func (db *ShardedSightingDB) mergeRuns(t *shardTier, seq uint64, snap []*tierRun, now time.Time) (*tierRun, error) {
+	iters := make([]*runIterator, len(snap))
+	heads := make([]runRecord, len(snap))
+	valid := make([]bool, len(snap))
+	for i, r := range snap {
+		iters[i] = r.iter()
+		heads[i], valid[i] = iters[i].next()
+	}
+	var expireCutoff time.Time
+	if db.ttl > 0 {
+		expireCutoff = now.Add(-db.ttl)
+	}
+	name := runFileName(t.shard, seq)
+	w, err := newRunWriter(t.dir, name, db.tier.cfg.BloomBitsPerKey)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		best := -1
+		for i := range snap {
+			if valid[i] && (best == -1 || heads[i].s.OID < heads[best].s.OID) {
+				best = i // ties keep the lower index: the newer run wins
+			}
+		}
+		if best == -1 {
+			break
+		}
+		rec := heads[best]
+		oid := rec.s.OID
+		for i := range snap {
+			for valid[i] && heads[i].s.OID == oid {
+				heads[i], valid[i] = iters[i].next()
+			}
+		}
+		if rec.tombstone {
+			continue
+		}
+		if db.ttl > 0 && !rec.expires.IsZero() && rec.expires.Before(expireCutoff) {
+			continue
+		}
+		if err := w.add(rec); err != nil {
+			w.abort()
+			return nil, err
+		}
+	}
+	for i := range snap {
+		if err := iters[i].error(); err != nil {
+			w.abort()
+			return nil, err
+		}
+	}
+	if w.count == 0 {
+		w.abort()
+		return nil, nil
+	}
+	if err := w.finish(); err != nil {
+		return nil, err
+	}
+	return openRun(filepath.Join(t.dir, name))
+}
+
+// tierLookup walks the shard's runs newest to oldest for id, gated by
+// key range and bloom filter, and returns the newest on-disk version
+// (possibly a tombstone — the caller interprets). The caller holds the
+// shard lock (either mode) and has already consulted the memtable.
+func (sh *sightingShard) tierLookup(ts *tierState, id core.OID) (runRecord, bool) {
+	t := sh.tier
+	if t == nil {
+		return runRecord{}, false
+	}
+	key := string(id)
+	for _, r := range t.runs {
+		if r.count == 0 || id < r.minOID || id > r.maxOID {
+			continue
+		}
+		if !r.bloom.mayContain(key) {
+			ts.bloomMisses.Add(1)
+			continue
+		}
+		ts.bloomHits.Add(1)
+		rec, ok, err := r.get(id)
+		if err != nil {
+			ts.errs.Add(1)
+			continue
+		}
+		if ok {
+			return rec, true
+		}
+	}
+	return runRecord{}, false
+}
+
+// runsNewerHave reports whether any run newer than index k contains id
+// (live or tombstone) — the shadow check of pruned run scans.
+func (sh *sightingShard) runsNewerHave(ts *tierState, id core.OID, k int) bool {
+	t := sh.tier
+	key := string(id)
+	for _, r := range t.runs[:k] {
+		if r.count == 0 || id < r.minOID || id > r.maxOID {
+			continue
+		}
+		if !r.bloom.mayContain(key) {
+			ts.bloomMisses.Add(1)
+			continue
+		}
+		ts.bloomHits.Add(1)
+		if _, ok, err := r.get(id); err != nil {
+			ts.errs.Add(1)
+		} else if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// tierScanAll streams every authoritative on-disk record of the shard —
+// newest-first run order with a seen-set, skipping tombstones and ids
+// the memtable owns (live or tombstoned) — through visit. Full
+// enumeration only (ForEach, Expired): the seen-set makes first
+// occurrence authoritative, which requires scanning every run. Caller
+// holds the shard lock; reports false if visit stopped the scan.
+func (sh *sightingShard) tierScanAll(ts *tierState, visit func(rec runRecord) bool) bool {
+	t := sh.tier
+	if t == nil || len(t.runs) == 0 {
+		return true
+	}
+	var seen map[core.OID]struct{}
+	if len(t.runs) > 1 {
+		seen = make(map[core.OID]struct{})
+	}
+	for _, r := range t.runs {
+		if r.count == 0 {
+			continue
+		}
+		stopped := false
+		err := r.scan(func(rec runRecord) bool {
+			id := rec.s.OID
+			if seen != nil {
+				if _, ok := seen[id]; ok {
+					return true
+				}
+				seen[id] = struct{}{}
+			}
+			if rec.tombstone {
+				return true
+			}
+			if _, ok := sh.byID[id]; ok {
+				return true
+			}
+			if _, ok := sh.dead[id]; ok {
+				return true
+			}
+			if !visit(rec) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			ts.errs.Add(1)
+		}
+		if stopped {
+			return false
+		}
+	}
+	return true
+}
+
+// tierScanPruned streams authoritative on-disk records from only the
+// runs prune admits (e.g. by MBR against a query rectangle). Because
+// pruned runs may hide an object's newer version, authority is checked
+// per candidate with a bloom-gated probe of the newer runs instead of a
+// seen-set. Caller holds the shard lock; reports false if visit stopped.
+func (sh *sightingShard) tierScanPruned(ts *tierState, prune func(*tierRun) bool, visit func(rec runRecord) bool) bool {
+	t := sh.tier
+	if t == nil || len(t.runs) == 0 {
+		return true
+	}
+	for k, r := range t.runs {
+		if r.count == 0 || r.live == 0 || (prune != nil && !prune(r)) {
+			continue
+		}
+		stopped := false
+		err := r.scan(func(rec runRecord) bool {
+			if rec.tombstone {
+				return true
+			}
+			id := rec.s.OID
+			if _, ok := sh.byID[id]; ok {
+				return true
+			}
+			if _, ok := sh.dead[id]; ok {
+				return true
+			}
+			if k > 0 && sh.runsNewerHave(ts, id, k) {
+				return true
+			}
+			if !visit(rec) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			ts.errs.Add(1)
+		}
+		if stopped {
+			return false
+		}
+	}
+	return true
+}
+
+// tierNearestSource builds the nearest-neighbor merge source covering
+// the shard's disk runs: MinDist is the closest distance any run's MBR
+// permits, so the lazy merge never opens (or reads) the runs of a shard
+// whose disk content lies beyond the consumer's stopping distance. When
+// opened, the cursor materializes the shard's authoritative run records
+// and sorts them by distance — runs are id-ordered, not space-ordered,
+// so a distance-ordered stream over them costs one pass over the run
+// bytes; acceptable because NN queries are rare next to updates and the
+// MinDist gate skips the cost entirely for hot-area queries.
+func (db *ShardedSightingDB) tierNearestSource(sh *sightingShard, p geo.Point) (spatial.CursorSource, bool) {
+	sh.mu.RLock()
+	t := sh.tier
+	minDist := math.Inf(1)
+	if t != nil {
+		for _, r := range t.runs {
+			if r.live == 0 {
+				continue
+			}
+			if d := r.mbr.DistToPoint(p); d < minDist {
+				minDist = d
+			}
+		}
+	}
+	sh.mu.RUnlock()
+	if math.IsInf(minDist, 1) {
+		return spatial.CursorSource{}, false
+	}
+	return spatial.CursorSource{MinDist: minDist, Open: func() spatial.Cursor {
+		var ns []spatial.Neighbor
+		sh.mu.RLock()
+		sh.tierScanAll(db.tier, func(rec runRecord) bool {
+			ns = append(ns, spatial.Neighbor{ID: rec.s.OID, Pos: rec.s.Pos, Dist: p.Dist(rec.s.Pos)})
+			return true
+		})
+		sh.mu.RUnlock()
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Dist < ns[j].Dist })
+		return &sliceCursor{ns: ns}
+	}}, true
+}
+
+// sliceCursor streams a pre-sorted neighbor slice.
+type sliceCursor struct {
+	ns  []spatial.Neighbor
+	pos int
+}
+
+func (c *sliceCursor) Next() (spatial.Neighbor, bool) {
+	if c.pos >= len(c.ns) {
+		return spatial.Neighbor{}, false
+	}
+	n := c.ns[c.pos]
+	c.pos++
+	return n, true
+}
+
+func (c *sliceCursor) Close() {}
+
+// MaintainTiers runs one maintenance pass: flush every shard whose
+// memtable exceeds its budget share, then compact every shard whose run
+// count exceeds MaxRuns. It replaces CompactWALIfGrown on tiered stores
+// and is likewise cheap when nothing grew and safe on every janitor
+// tick. A pass is skipped while recovery is still warming the memtables
+// or while another maintenance/compaction pass holds the resize lock.
+func (db *ShardedSightingDB) MaintainTiers() error {
+	ts := db.tier
+	if ts == nil || !ts.warmed.Load() {
+		return nil
+	}
+	if !db.resizeMu.TryLock() {
+		return nil
+	}
+	defer db.resizeMu.Unlock()
+	g := db.gen.Load()
+	var errs []error
+	for i := range g.shards {
+		sh := g.shards[i]
+		sh.mu.RLock()
+		hasTier := sh.tier != nil
+		over := hasTier && sh.memBytes > ts.budget
+		sh.mu.RUnlock()
+		if !hasTier {
+			continue
+		}
+		if over {
+			sh.lockWrite()
+			var err error
+			if !sh.moved {
+				err = db.flushShardLocked(sh, i)
+			}
+			sh.mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+		}
+		sh.mu.RLock()
+		needCompact := len(sh.tier.runs) > ts.cfg.MaxRuns
+		sh.mu.RUnlock()
+		if needCompact {
+			if err := db.compactShardTier(sh, i); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// maybeFlushBackpressure flushes the shard inline when its memtable has
+// run past twice its budget share — the hard bound that keeps resident
+// memory within the configured budget even if the janitor falls behind
+// the update rate. Called on the put path with the shard's write lock
+// held; best-effort (the put itself already committed).
+func (db *ShardedSightingDB) maybeFlushBackpressure(sh *sightingShard, shard int) {
+	ts := db.tier
+	if ts == nil || sh.tier == nil || sh.memBytes <= 2*ts.budget {
+		return
+	}
+	if err := db.flushShardLocked(sh, shard); err != nil {
+		ts.errs.Add(1)
+	}
+}
+
+// TierStats snapshots the tiering machinery. Zero-valued (Enabled false)
+// on untiiered stores.
+func (db *ShardedSightingDB) TierStats() TierStats {
+	ts := db.tier
+	if ts == nil {
+		return TierStats{}
+	}
+	out := TierStats{
+		Enabled:     true,
+		Warm:        ts.warmed.Load(),
+		Flushes:     ts.flushes.Load(),
+		Compactions: ts.compactions.Load(),
+		BloomHits:   ts.bloomHits.Load(),
+		BloomMisses: ts.bloomMisses.Load(),
+	}
+	for _, sh := range db.gen.Load().shards {
+		sh.mu.RLock()
+		out.MemtableBytes += sh.memBytes
+		if sh.tier != nil {
+			out.Runs += len(sh.tier.runs)
+			if len(sh.tier.runs) > ts.cfg.MaxRuns {
+				out.Backlog++
+			}
+			for _, r := range sh.tier.runs {
+				out.DiskRecords += r.count
+				out.DiskLive += r.live
+				out.RunBytes += r.size
+				out.MetaBytes += r.metaBytes()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,865 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// ---------------------------------------------------------------------------
+// Bloom filter.
+
+func TestBloomFilterNoFalseNegatives(t *testing.T) {
+	b := newBloomFilter(1000, 10)
+	for i := 0; i < 1000; i++ {
+		b.add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	// False-positive rate should be in the ballpark of the 10-bits-per-key
+	// design point (~1%); 10% is far outside any plausible regression.
+	fp := 0
+	for i := 0; i < 10_000; i++ {
+		if b.mayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	if fp > 1000 {
+		t.Fatalf("false-positive rate %d/10000 way above the 10-bit design point", fp)
+	}
+}
+
+func TestBloomFilterMarshalRoundtrip(t *testing.T) {
+	b := newBloomFilter(100, 10)
+	for i := 0; i < 100; i++ {
+		b.add(fmt.Sprintf("k%d", i))
+	}
+	got, err := unmarshalBloom(b.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.nbits != b.nbits || got.k != b.k {
+		t.Fatalf("roundtrip shape: got (%d,%d) want (%d,%d)", got.nbits, got.k, b.nbits, b.k)
+	}
+	for i := 0; i < 100; i++ {
+		if !got.mayContain(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("roundtrip lost k%d", i)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Run files.
+
+func testRunRecords(n int) []runRecord {
+	base := time.Unix(5000, 0)
+	recs := make([]runRecord, 0, n)
+	for i := 0; i < n; i++ {
+		id := core.OID(fmt.Sprintf("obj-%05d", i))
+		if i%7 == 3 {
+			recs = append(recs, runRecord{s: core.Sighting{OID: id}, tombstone: true})
+			continue
+		}
+		recs = append(recs, runRecord{
+			s: core.Sighting{
+				OID: id, T: base.Add(time.Duration(i) * time.Second),
+				Pos: geo.Pt(float64(i%100), float64(i/100)), SensAcc: 5,
+			},
+			expires: base.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	return recs
+}
+
+func writeTestRun(t *testing.T, dir string, shard int, seq uint64, recs []runRecord) *tierRun {
+	t.Helper()
+	name := runFileName(shard, seq)
+	w, err := newRunWriter(dir, name, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := openRun(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRunRecords(500)
+	r := writeTestRun(t, dir, 0, 1, recs)
+	defer r.retire(false)
+
+	if r.count != int64(len(recs)) {
+		t.Fatalf("count = %d, want %d", r.count, len(recs))
+	}
+	wantLive := 0
+	for _, rec := range recs {
+		if !rec.tombstone {
+			wantLive++
+		}
+	}
+	if r.live != int64(wantLive) {
+		t.Fatalf("live = %d, want %d", r.live, wantLive)
+	}
+	if r.minOID != recs[0].s.OID || r.maxOID != recs[len(recs)-1].s.OID {
+		t.Fatalf("key range [%s, %s]", r.minOID, r.maxOID)
+	}
+
+	// Point gets: every record, plus misses inside and outside the range.
+	for _, want := range recs {
+		got, ok, err := r.get(want.s.OID)
+		if err != nil || !ok {
+			t.Fatalf("get(%s): %v, %v", want.s.OID, ok, err)
+		}
+		if got.tombstone != want.tombstone {
+			t.Fatalf("get(%s) tombstone = %v", want.s.OID, got.tombstone)
+		}
+		if !want.tombstone && (got.s != want.s || !got.expires.Equal(want.expires)) {
+			t.Fatalf("get(%s) = %+v, want %+v", want.s.OID, got, want)
+		}
+	}
+	if _, ok, _ := r.get("obj-00000x"); ok {
+		t.Fatal("get of absent key reported present")
+	}
+
+	// Full scan preserves order and content.
+	i := 0
+	err := r.scan(func(rec runRecord) bool {
+		if rec.s.OID != recs[i].s.OID {
+			t.Fatalf("scan[%d] = %s, want %s", i, rec.s.OID, recs[i].s.OID)
+		}
+		i++
+		return true
+	})
+	if err != nil || i != len(recs) {
+		t.Fatalf("scan: %v after %d records", err, i)
+	}
+
+	// The MBR covers every live position.
+	for _, rec := range recs {
+		if !rec.tombstone && !r.mbr.ContainsClosed(rec.s.Pos) {
+			t.Fatalf("MBR %v misses %v", r.mbr, rec.s.Pos)
+		}
+	}
+}
+
+func TestRunWriterRejectsUnsortedKeys(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newRunWriter(dir, runFileName(0, 1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.add(runRecord{s: core.Sighting{OID: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.add(runRecord{s: core.Sighting{OID: "a"}}); err == nil {
+		t.Fatal("out-of-order add accepted")
+	}
+	w.abort()
+	left, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(left) != 0 {
+		t.Fatalf("abort left %v", left)
+	}
+}
+
+func TestOpenRunDetectsMetaCorruption(t *testing.T) {
+	dir := t.TempDir()
+	r := writeTestRun(t, dir, 0, 1, testRunRecords(50))
+	path := r.path
+	r.retire(false)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the bloom/index metadata (after the records,
+	// before the footer) — open must fail on the metadata checksum.
+	data[len(data)-runFooterSize-3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openRun(path); err == nil {
+		t.Fatal("openRun accepted corrupted metadata")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tiered store behavior against the all-RAM oracle.
+
+// tieredPair builds a tiered sharded store (tiny memtable budget so
+// flushes happen readily) and the single-lock all-RAM oracle, both on the
+// same clock.
+func tieredPair(t *testing.T, shards int, ttl time.Duration, clock func() time.Time) (*ShardedSightingDB, *SightingDB) {
+	t.Helper()
+	dir := t.TempDir()
+	opts := []SightingDBOption{WithTTL(ttl), WithClock(clock)}
+	tiered := NewShardedSightingDB(append(opts,
+		WithShards(shards),
+		WithTiering(TierConfig{Dir: dir, MemtableBytes: 1, MaxRuns: 3}))...)
+	if err := tiered.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return tiered, NewSightingDB(opts...)
+}
+
+// storeState snapshots a SightingStore's full logical content.
+func storeState(db SightingStore) map[core.OID]core.Sighting {
+	out := make(map[core.OID]core.Sighting)
+	db.ForEach(func(s core.Sighting) bool {
+		out[s.OID] = s
+		return true
+	})
+	return out
+}
+
+func diffStates(t *testing.T, label string, tiered, oracle map[core.OID]core.Sighting) {
+	t.Helper()
+	for id, want := range oracle {
+		got, ok := tiered[id]
+		if !ok {
+			t.Fatalf("%s: tiered store lost %s", label, id)
+		}
+		if got.Pos != want.Pos || !got.T.Equal(want.T) || got.SensAcc != want.SensAcc {
+			t.Fatalf("%s: %s diverged: tiered %+v oracle %+v", label, id, got, want)
+		}
+	}
+	for id := range tiered {
+		if _, ok := oracle[id]; !ok {
+			t.Fatalf("%s: tiered store resurrected %s", label, id)
+		}
+	}
+}
+
+func TestTieredFlushAndLookup(t *testing.T) {
+	base := time.Unix(1000, 0)
+	tiered, oracle := tieredPair(t, 4, 0, func() time.Time { return base })
+
+	n := 400
+	for i := 0; i < n; i++ {
+		s := core.Sighting{
+			OID: core.OID(fmt.Sprintf("o-%03d", i)), T: base,
+			Pos: geo.Pt(float64(i%20)*10, float64(i/20)*10), SensAcc: 5,
+		}
+		tiered.Put(s)
+		oracle.Put(s)
+	}
+	if err := tiered.MaintainTiers(); err != nil {
+		t.Fatal(err)
+	}
+	st := tiered.TierStats()
+	if st.Runs == 0 || st.Flushes == 0 {
+		t.Fatalf("no flush happened: %+v", st)
+	}
+
+	// Cold gets hit the runs.
+	for i := 0; i < n; i++ {
+		id := core.OID(fmt.Sprintf("o-%03d", i))
+		got, ok := tiered.Get(id)
+		want, _ := oracle.Get(id)
+		if !ok || got.Pos != want.Pos {
+			t.Fatalf("Get(%s) = %+v, %v", id, got, ok)
+		}
+	}
+	// Cold remove plants a tombstone over the run-resident version.
+	if !tiered.Remove("o-007") {
+		t.Fatal("cold Remove failed")
+	}
+	oracle.Remove("o-007")
+	if _, ok := tiered.Get("o-007"); ok {
+		t.Fatal("removed record still visible")
+	}
+	if tiered.Remove("o-007") {
+		t.Fatal("double Remove succeeded")
+	}
+
+	// Range queries see disk-resident records.
+	countIn := func(db SightingStore, r geo.Rect) int {
+		n := 0
+		db.SearchArea(r, func(core.Sighting) bool { n++; return true })
+		return n
+	}
+	for _, r := range []geo.Rect{geo.R(0, 0, 55, 55), geo.R(100, 100, 200, 200), geo.R(-5, -5, 500, 500)} {
+		if got, want := countIn(tiered, r), countIn(oracle, r); got != want {
+			t.Fatalf("SearchArea(%v) = %d, oracle %d", r, got, want)
+		}
+	}
+
+	// Nearest-neighbor parity (distances must agree; ids may tie).
+	for _, p := range []geo.Point{geo.Pt(0, 0), geo.Pt(95, 95), geo.Pt(50, 120)} {
+		var gotD, wantD []float64
+		tiered.NearestFunc(p, func(_ core.Sighting, d float64) bool {
+			gotD = append(gotD, d)
+			return len(gotD) < 5
+		})
+		oracle.NearestFunc(p, func(_ core.Sighting, d float64) bool {
+			wantD = append(wantD, d)
+			return len(wantD) < 5
+		})
+		if len(gotD) != len(wantD) {
+			t.Fatalf("NearestFunc(%v) yielded %d, oracle %d", p, len(gotD), len(wantD))
+		}
+		for i := range gotD {
+			if math.Abs(gotD[i]-wantD[i]) > 1e-9 {
+				t.Fatalf("NearestFunc(%v)[%d] = %g, oracle %g", p, i, gotD[i], wantD[i])
+			}
+		}
+	}
+
+	diffStates(t, "after flush", storeState(tiered), storeState(oracle))
+}
+
+func TestTieredCompactionDropsShadowedVersions(t *testing.T) {
+	base := time.Unix(1000, 0)
+	tiered, oracle := tieredPair(t, 1, 0, func() time.Time { return base })
+
+	// Several generations of the same ids: each round flushes a run, so
+	// compaction has overlapping runs full of superseded versions.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 80; i++ {
+			s := core.Sighting{
+				OID: core.OID(fmt.Sprintf("o-%02d", i)), T: base.Add(time.Duration(round) * time.Second),
+				Pos: geo.Pt(float64(round*100+i), 0), SensAcc: 5,
+			}
+			tiered.Put(s)
+			oracle.Put(s)
+		}
+		if err := tiered.MaintainTiers(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove a few, flush the tombstones, then compact everything.
+	for i := 0; i < 10; i++ {
+		id := core.OID(fmt.Sprintf("o-%02d", i))
+		if !tiered.Remove(id) {
+			t.Fatalf("Remove(%s)", id)
+		}
+		oracle.Remove(id)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tiered.MaintainTiers(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tiered.TierStats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran: %+v", st)
+	}
+	if st.Runs > 3 {
+		t.Fatalf("compaction left %d runs (MaxRuns 3)", st.Runs)
+	}
+	// After a full merge the survivors hold exactly one version per live id.
+	if st.Runs == 1 && st.DiskLive != 70 {
+		t.Fatalf("compacted run holds %d live records, want 70", st.DiskLive)
+	}
+	diffStates(t, "after compaction", storeState(tiered), storeState(oracle))
+}
+
+func TestTieredExpiry(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var mu sync.Mutex
+	now := base
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	tiered, oracle := tieredPair(t, 2, 10*time.Second, clock)
+
+	for i := 0; i < 100; i++ {
+		s := core.Sighting{OID: core.OID(fmt.Sprintf("o-%02d", i)), T: base, Pos: geo.Pt(float64(i), 0), SensAcc: 5}
+		tiered.Put(s)
+		oracle.Put(s)
+	}
+	if err := tiered.MaintainTiers(); err != nil {
+		t.Fatal(err)
+	}
+	// Touch half so their lease outlives the jump past the original TTL.
+	mu.Lock()
+	now = base.Add(8 * time.Second)
+	mu.Unlock()
+	for i := 0; i < 50; i++ {
+		id := core.OID(fmt.Sprintf("o-%02d", i))
+		if !tiered.Touch(id) {
+			t.Fatalf("Touch(%s) — run-resident record not promotable", id)
+		}
+		oracle.Touch(id)
+	}
+	mu.Lock()
+	now = base.Add(15 * time.Second)
+	mu.Unlock()
+
+	// The untouched half is expired — including the run-resident copies.
+	exp := tiered.Expired()
+	expSet := make(map[core.OID]bool, len(exp))
+	for _, id := range exp {
+		expSet[id] = true
+	}
+	for i := 50; i < 100; i++ {
+		if !expSet[core.OID(fmt.Sprintf("o-%02d", i))] {
+			t.Fatalf("Expired missed run-resident o-%02d", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if expSet[core.OID(fmt.Sprintf("o-%02d", i))] {
+			t.Fatalf("Expired reported touched o-%02d", i)
+		}
+	}
+	// Tear them down the way the janitor does.
+	for _, id := range exp {
+		if _, ok := tiered.RemoveExpiredDelta(id); !ok {
+			t.Fatalf("RemoveExpiredDelta(%s)", id)
+		}
+	}
+	for _, id := range oracle.Expired() {
+		oracle.RemoveExpiredDelta(id)
+	}
+	diffStates(t, "after expiry sweep", storeState(tiered), storeState(oracle))
+}
+
+// TestTieredOracleParity is the randomized differential test: a tiered
+// store and the all-RAM single-lock oracle receive the same stream of
+// puts, removes, touches, expiry sweeps and (rejected) resizes, with tier
+// maintenance interleaved, and must agree on the full logical state at
+// every checkpoint.
+func TestTieredOracleParity(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 12
+	}
+	base := time.Unix(1000, 0)
+	var mu sync.Mutex
+	now := base
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	tiered, oracle := tieredPair(t, 3, time.Minute, clock)
+
+	const population = 300
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < rounds; round++ {
+		mu.Lock()
+		now = now.Add(3 * time.Second)
+		stamp := now
+		mu.Unlock()
+		for op := 0; op < 150; op++ {
+			id := core.OID(fmt.Sprintf("obj-%03d", rng.Intn(population)))
+			switch k := rng.Intn(10); {
+			case k < 6: // put / move
+				s := core.Sighting{OID: id, T: stamp, Pos: geo.Pt(rng.Float64()*1000, rng.Float64()*1000), SensAcc: 5}
+				tiered.Put(s)
+				oracle.Put(s)
+			case k < 8: // remove (possibly cold, possibly absent)
+				got := tiered.Remove(id)
+				want := oracle.Remove(id)
+				if got != want {
+					t.Fatalf("round %d: Remove(%s) = %v, oracle %v", round, id, got, want)
+				}
+			default: // touch
+				got := tiered.Touch(id)
+				want := oracle.Touch(id)
+				if got != want {
+					t.Fatalf("round %d: Touch(%s) = %v, oracle %v", round, id, got, want)
+				}
+			}
+		}
+		switch round % 4 {
+		case 0:
+			if err := tiered.MaintainTiers(); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // expiry sweep through the janitor's teardown path
+			for _, id := range tiered.Expired() {
+				tiered.RemoveExpiredDelta(id)
+			}
+			for _, id := range oracle.Expired() {
+				oracle.RemoveExpiredDelta(id)
+			}
+		case 2: // resize is pinned while tiered
+			if err := tiered.Resize(8); err == nil {
+				t.Fatal("Resize(8) succeeded on a tiered store")
+			}
+			if err := tiered.Resize(3); err != nil {
+				t.Fatalf("same-count Resize errored: %v", err)
+			}
+		}
+
+		// Checkpoint: full-state parity plus point parity on a sample.
+		diffStates(t, fmt.Sprintf("round %d", round), storeState(tiered), storeState(oracle))
+		for i := 0; i < 40; i++ {
+			id := core.OID(fmt.Sprintf("obj-%03d", rng.Intn(population)))
+			got, gok := tiered.Get(id)
+			want, wok := oracle.Get(id)
+			if gok != wok || (gok && (got.Pos != want.Pos || !got.T.Equal(want.T))) {
+				t.Fatalf("round %d: Get(%s) = %+v,%v oracle %+v,%v", round, id, got, gok, want, wok)
+			}
+		}
+	}
+	st := tiered.TierStats()
+	if st.Flushes == 0 || st.Runs == 0 {
+		t.Fatalf("parity test never exercised the disk tier: %+v", st)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+// populateTiered opens a tiered store over a sharded WAL in dir, loads n
+// records (flushing runs along the way) plus a post-flush WAL tail, and
+// closes the WAL. Returns the expected final state.
+func populateTiered(t *testing.T, dir string, shards, n int) map[core.OID]core.Sighting {
+	t.Helper()
+	wal, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(
+		WithSightingWAL(wal),
+		WithTiering(TierConfig{MemtableBytes: 1, MaxRuns: 3}))
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(2000, 0)
+	for i := 0; i < n; i++ {
+		db.Put(core.Sighting{OID: core.OID(fmt.Sprintf("r-%04d", i)), T: base, Pos: geo.Pt(float64(i), 1), SensAcc: 5})
+	}
+	if err := db.MaintainTiers(); err != nil {
+		t.Fatal(err)
+	}
+	// A WAL tail past the last flush: updates and a cold remove.
+	for i := 0; i < n/10; i++ {
+		db.Put(core.Sighting{OID: core.OID(fmt.Sprintf("r-%04d", i)), T: base.Add(time.Second), Pos: geo.Pt(float64(i), 2), SensAcc: 5})
+	}
+	if !db.Remove(core.OID(fmt.Sprintf("r-%04d", n-1))) {
+		t.Fatal("tail Remove failed")
+	}
+	want := storeState(db)
+	if err := wal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func reopenTiered(t *testing.T, dir string, shards int) (*ShardedSightingDB, *ShardedWAL) {
+	t.Helper()
+	wal, err := OpenShardedWAL(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewShardedSightingDB(
+		WithSightingWAL(wal),
+		WithTiering(TierConfig{MemtableBytes: 1, MaxRuns: 3}))
+	return db, wal
+}
+
+func TestTieredRecoverTailOnly(t *testing.T) {
+	dir := t.TempDir()
+	want := populateTiered(t, dir, 2, 200)
+
+	db, wal := reopenTiered(t, dir, 2)
+	defer wal.Close()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	diffStates(t, "recovered", storeState(db), want)
+
+	// The tombstone must survive recovery: the removed id's versions
+	// still live in runs and must stay dead.
+	if _, ok := db.Get("r-0199"); ok {
+		t.Fatal("crash resurrected a removed record")
+	}
+	st := db.TierStats()
+	if !st.Enabled || st.Runs == 0 {
+		t.Fatalf("tiers not restored: %+v", st)
+	}
+}
+
+func TestTieredRecoverSweepsCrashLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	want := populateTiered(t, dir, 2, 200)
+
+	// Crash mid-flush: an orphaned run temp and a finished-but-uncommitted
+	// run (written, renamed, manifest never updated).
+	if err := os.WriteFile(filepath.Join(dir, ".tier-tmp-crash1"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, runFileName(0, 9000))
+	w, err := newRunWriter(dir, runFileName(0, 9000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.add(runRecord{s: core.Sighting{OID: "zzz-not-in-store", Pos: geo.Pt(1, 1), T: time.Unix(2000, 0), SensAcc: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-compaction looks the same from the manifest's point of
+	// view: a merged run exists on disk but the manifest still lists the
+	// inputs. Simulate with a second uncommitted run on the other shard.
+	w2, err := newRunWriter(dir, runFileName(1, 9001), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.add(runRecord{s: core.Sighting{OID: "zzz-merged", Pos: geo.Pt(2, 2), T: time.Unix(2000, 0), SensAcc: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.finish(); err != nil {
+		t.Fatal(err)
+	}
+	// And a half-written manifest temp (saveManifest crashed pre-rename).
+	if err := os.WriteFile(filepath.Join(dir, ".tier-tmp-manifest"), []byte("{\"shard\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, wal := reopenTiered(t, dir, 2)
+	defer wal.Close()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// The committed prefix — manifest-referenced runs plus the WAL tail —
+	// is intact; the uncommitted leftovers are gone, on disk and logically.
+	diffStates(t, "recovered after crash", storeState(db), want)
+	if _, ok := db.Get("zzz-not-in-store"); ok {
+		t.Fatal("uncommitted run leaked into the store")
+	}
+	for _, leftover := range []string{orphan, filepath.Join(dir, runFileName(1, 9001)), filepath.Join(dir, ".tier-tmp-crash1"), filepath.Join(dir, ".tier-tmp-manifest")} {
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Fatalf("crash leftover %s survived recovery", leftover)
+		}
+	}
+}
+
+func TestTieredRecoverRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	populateTiered(t, dir, 2, 100)
+	if err := os.WriteFile(filepath.Join(dir, manifestFileName(0)), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, wal := reopenTiered(t, dir, 2)
+	defer wal.Close()
+	if err := db.Recover(); err == nil {
+		t.Fatal("Recover accepted a corrupt manifest")
+	}
+}
+
+func TestTieredRecoverBackground(t *testing.T) {
+	dir := t.TempDir()
+	want := populateTiered(t, dir, 4, 400)
+
+	db, wal := reopenTiered(t, dir, 4)
+	defer wal.Close()
+	if err := db.RecoverBackground(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads are admitted immediately; each blocks at most on its own
+	// shard's tail replay (the shard lock is the readiness gate).
+	for i := 0; i < 100; i++ {
+		id := core.OID(fmt.Sprintf("r-%04d", i))
+		got, ok := db.Get(id)
+		if w, exists := want[id]; exists {
+			if !ok || got.Pos != w.Pos {
+				t.Fatalf("Get(%s) during warm-up = %+v, %v", id, got, ok)
+			}
+		} else if ok {
+			t.Fatalf("Get(%s) during warm-up resurrected a removed record", id)
+		}
+	}
+	if err := db.RecoverBackground(); err == nil {
+		t.Fatal("second RecoverBackground accepted")
+	}
+	if err := db.WaitRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.TierStats().Warm {
+		t.Fatal("store not warm after WaitRecovered")
+	}
+	diffStates(t, "background-recovered", storeState(db), want)
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency soak: updates and queries racing flushes and compactions.
+
+func TestTieredSoak(t *testing.T) {
+	const (
+		shards  = 4
+		workers = 4
+		perID   = 500
+	)
+	ops := 8000
+	if testing.Short() {
+		ops = 2500
+	}
+	dir := t.TempDir()
+	db := NewShardedSightingDB(
+		WithShards(shards),
+		WithTiering(TierConfig{Dir: dir, MemtableBytes: 1, MaxRuns: 3}))
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var maint sync.WaitGroup
+	maint.Add(1)
+	go func() {
+		defer maint.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := db.MaintainTiers(); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Writers own disjoint id slices; readers run range and point queries
+	// throughout. Every read must observe internally consistent state (no
+	// panics, no duplicate ids in one scan).
+	var wg sync.WaitGroup
+	final := make([]map[core.OID]geo.Point, workers)
+	base := time.Unix(3000, 0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			mine := make(map[core.OID]geo.Point)
+			for i := 0; i < ops; i++ {
+				id := core.OID(fmt.Sprintf("w%d-%03d", w, rng.Intn(perID)))
+				if rng.Intn(10) == 0 {
+					db.Remove(id)
+					delete(mine, id)
+					continue
+				}
+				p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+				db.Put(core.Sighting{OID: id, T: base.Add(time.Duration(i) * time.Millisecond), Pos: p, SensAcc: 5})
+				mine[id] = p
+			}
+			final[w] = mine
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < ops/2; i++ {
+				switch i % 3 {
+				case 0:
+					x, y := rng.Float64()*900, rng.Float64()*900
+					seen := make(map[core.OID]bool)
+					db.SearchArea(geo.R(x, y, x+100, y+100), func(s core.Sighting) bool {
+						if seen[s.OID] {
+							t.Errorf("SearchArea yielded %s twice in one scan", s.OID)
+							return false
+						}
+						seen[s.OID] = true
+						return true
+					})
+				case 1:
+					db.Get(core.OID(fmt.Sprintf("w%d-%03d", rng.Intn(workers), rng.Intn(perID))))
+				default:
+					n := 0
+					db.NearestFunc(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), func(core.Sighting, float64) bool {
+						n++
+						return n < 3
+					})
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	maint.Wait()
+	if err := db.MaintainTiers(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := db.TierStats()
+	if st.Flushes < 2 || st.Compactions < 1 {
+		t.Fatalf("soak too tame: %d flushes, %d compactions (want >=2, >=1)", st.Flushes, st.Compactions)
+	}
+	// Final state: every writer's last write wins.
+	for w := 0; w < workers; w++ {
+		for id, p := range final[w] {
+			got, ok := db.Get(id)
+			if !ok || got.Pos != p {
+				t.Fatalf("final Get(%s) = %+v, %v, want %v", id, got, ok, p)
+			}
+		}
+	}
+	// And nothing beyond the writers' final sets survives.
+	want := make(map[core.OID]geo.Point)
+	for w := 0; w < workers; w++ {
+		for id, p := range final[w] {
+			want[id] = p
+		}
+	}
+	got := storeState(db)
+	if len(got) != len(want) {
+		var extra []string
+		for id := range got {
+			if _, ok := want[id]; !ok {
+				extra = append(extra, string(id))
+			}
+		}
+		sort.Strings(extra)
+		t.Fatalf("final store holds %d records, want %d (extra: %v)", len(got), len(want), extra)
+	}
+}
+
+// TestTieredMemoryBounded drives a dataset several times the memtable
+// budget through the store and checks the resident estimate stays within
+// the backpressure bound (2x budget per shard) even without a janitor.
+func TestTieredMemoryBounded(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	budget := int64(16 << 10) // per store; per shard max(budget/shards, 4096)
+	db := NewShardedSightingDB(
+		WithShards(shards),
+		WithTiering(TierConfig{Dir: dir, MemtableBytes: budget}))
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(4000, 0)
+	for i := 0; i < 4000; i++ { // ~4000*180 B resident if nothing flushed: ~44x the per-shard budget
+		db.Put(core.Sighting{OID: core.OID(fmt.Sprintf("m-%05d", i)), T: base, Pos: geo.Pt(float64(i%100), float64(i/100)), SensAcc: 5})
+	}
+	st := db.TierStats()
+	perShard := budget / shards
+	if perShard < 4096 {
+		perShard = 4096
+	}
+	if st.MemtableBytes > 2*perShard*shards+4096 {
+		t.Fatalf("memtables at %d bytes despite %d-byte backpressure bound (%+v)", st.MemtableBytes, 2*perShard*shards, st)
+	}
+	if st.Flushes == 0 {
+		t.Fatal("backpressure never flushed")
+	}
+	if db.Len() < 4000 {
+		t.Fatalf("Len = %d, want >= 4000", db.Len())
+	}
+}

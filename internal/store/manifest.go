@@ -1,0 +1,135 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// tierManifest is one shard's durable run list: which run files carry
+// authority and in what order (newest first). It is the commit point of
+// every flush and compaction — a run file exists authoritatively exactly
+// when its shard's manifest lists it, so installing a new run set is one
+// atomic manifest rename. Runs on disk that no manifest references are
+// crash leftovers (a flush or compaction that died between run rename
+// and manifest rename) and are swept when the store opens its tiers.
+type tierManifest struct {
+	Shard int `json:"shard"`
+	// NextSeq is the next run sequence number to allocate, persisted so a
+	// restart can never reuse the name of a listed run.
+	NextSeq uint64 `json:"next_seq"`
+	// Runs lists the shard's run file names, newest first.
+	Runs []string `json:"runs"`
+}
+
+// manifestFileName names shard's manifest.
+func manifestFileName(shard int) string {
+	return fmt.Sprintf("shard-%04d.manifest", shard)
+}
+
+// parseManifestName inverts manifestFileName for directory sweeps.
+func parseManifestName(name string) (shard int, ok bool) {
+	var i int
+	if n, err := fmt.Sscanf(name, "shard-%d.manifest", &i); n == 1 && err == nil && name == manifestFileName(i) {
+		return i, true
+	}
+	return 0, false
+}
+
+// loadManifest reads shard's manifest from dir. A missing file is a fresh
+// tier (empty manifest, found=false), never an error; any other failure —
+// including unparseable content, which only a bug or disk corruption can
+// produce, since manifests are installed by atomic rename — fails the
+// open loudly rather than silently dropping runs.
+func loadManifest(dir string, shard int) (m tierManifest, found bool, err error) {
+	path := filepath.Join(dir, manifestFileName(shard))
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return tierManifest{Shard: shard}, false, nil
+		}
+		return tierManifest{}, false, fmt.Errorf("store: reading tier manifest %s: %w", path, rerr)
+	}
+	if jerr := json.Unmarshal(data, &m); jerr != nil {
+		return tierManifest{}, false, fmt.Errorf("store: tier manifest %s corrupt: %w", path, jerr)
+	}
+	if m.Shard != shard {
+		return tierManifest{}, false, fmt.Errorf("store: tier manifest %s claims shard %d", path, m.Shard)
+	}
+	return m, true, nil
+}
+
+// saveManifest atomically installs m: write-temp, fsync, rename over the
+// manifest path, fsync the directory. The rename is the commit point of
+// the flush or compaction that built m; the directory fsync makes the
+// commit durable against machine crash (see the crash-ordering note in
+// the WAL spec).
+func saveManifest(dir string, m tierManifest) error {
+	tmp, err := os.CreateTemp(dir, tierTempPattern)
+	if err != nil {
+		return fmt.Errorf("store: creating tier manifest temp: %w", err)
+	}
+	abort := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return abort(fmt.Errorf("store: marshaling tier manifest: %w", err))
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		return abort(fmt.Errorf("store: writing tier manifest: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return abort(fmt.Errorf("store: syncing tier manifest: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: closing tier manifest temp: %w", err)
+	}
+	path := filepath.Join(dir, manifestFileName(m.Shard))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: renaming tier manifest: %w", err)
+	}
+	return syncDir(path)
+}
+
+// sweepTierLeftovers removes, from a tier directory holding n shards'
+// state, everything a crash can have left without authority: temporaries
+// never renamed into place, and run files no manifest references.
+// referenced maps run file name → true for every run listed by a loaded
+// manifest. Manifests or runs naming a shard ≥ n mean the directory was
+// written under a different shard count — tiering pins the count, so
+// that is a configuration error surfaced to the caller.
+func sweepTierLeftovers(dir string, n int, referenced map[string]bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: scanning tier dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if matched, _ := filepath.Match(tierTempGlob, name); matched {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if shard, _, ok := parseRunName(name); ok {
+			if shard >= n {
+				return fmt.Errorf("store: tier dir %s holds run %s for shard ≥ configured count %d (shard count is fixed while tiering is enabled)", dir, name, n)
+			}
+			if !referenced[name] {
+				os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		if shard, ok := parseManifestName(name); ok && shard >= n {
+			return fmt.Errorf("store: tier dir %s holds manifest %s for shard ≥ configured count %d (shard count is fixed while tiering is enabled)", dir, name, n)
+		}
+	}
+	return nil
+}

@@ -82,6 +82,11 @@ func (db *ShardedSightingDB) Resize(n int) error {
 	if err != nil {
 		return err
 	}
+	if db.tier != nil && len(db.gen.Load().shards) != n {
+		// Run files and manifests are per-shard and do not migrate; the
+		// shard count is pinned for the lifetime of a tiered store.
+		return fmt.Errorf("store: Resize is unsupported while tiered storage is enabled (per-shard run files pin the shard count)")
+	}
 	db.resizeMu.Lock()
 	defer db.resizeMu.Unlock()
 	old := db.gen.Load()

@@ -1,0 +1,655 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+)
+
+// This file implements the immutable sorted-run files of the tiered
+// sighting store. See the package comment for the full tiered-storage
+// spec; the layout in brief:
+//
+//	[records region][bloom block][index block][fixed 92-byte footer]
+//
+// Records are sorted strictly by object id. Each record is
+//
+//	flags(1) | uvarint oidLen | oid |                       (tombstone)
+//	flags(1) | uvarint oidLen | oid | T i64 | X f64 | Y f64 |
+//	          SensAcc f64 | expires i64                      (live)
+//
+// with flags bit0 = tombstone, bit1 = T valid, bit2 = expires valid.
+// Timestamps are UnixNano; a cleared validity bit means the zero
+// time.Time. The bloom block is bloomFilter.marshal over every record's
+// id (tombstones included). The index block holds the run's key range
+// and a sparse index — one (oid, offset) entry per runSparseEvery
+// records — which is the only per-record state a reader keeps in RAM.
+// The footer pins region lengths, record counts, the spatial MBR of the
+// live records, and two CRC32s: crcData over the records region,
+// crcMeta over bloom+index. Opening a run reads footer + meta and
+// verifies crcMeta only — recovery cost is O(metadata); crcData is
+// verified by every complete scan (compaction, enumeration), so data
+// corruption surfaces before it can propagate into a merged run.
+const (
+	runMagic      uint64 = 0x4c5352554e303031 // "LSRUN001"
+	runVersion    uint32 = 1
+	runFooterSize        = 92
+
+	// runSparseEvery is the sparse-index granularity: a point lookup reads
+	// and scans at most this many records after the bloom filter and the
+	// binary search admit the run.
+	runSparseEvery = 16
+
+	runFlagTombstone = 1 << 0
+	runFlagHasT      = 1 << 1
+	runFlagHasExp    = 1 << 2
+)
+
+// tierTempPattern names the temporaries of every atomic run or manifest
+// write. Crash leftovers match tierTempGlob and are swept when the store
+// opens its tiers; they were never renamed into place, so they carry no
+// authority.
+const (
+	tierTempPattern = ".tier-tmp-*"
+	tierTempGlob    = ".tier-*"
+)
+
+// runFileName names shard's run with sequence seq. Runs sort oldest-first
+// by name, but authority order is the manifest's, not the directory's.
+func runFileName(shard int, seq uint64) string {
+	return fmt.Sprintf("run-%04d-%08d.run", shard, seq)
+}
+
+// parseRunName inverts runFileName for directory sweeps.
+func parseRunName(name string) (shard int, seq uint64, ok bool) {
+	var i int
+	var s uint64
+	if n, err := fmt.Sscanf(name, "run-%d-%d.run", &i, &s); n == 2 && err == nil && name == runFileName(i, s) {
+		return i, s, true
+	}
+	return 0, 0, false
+}
+
+// runRecord is one entry of a sorted run: a live sighting with its
+// soft-state lease, or a tombstone marking the id removed (shadowing any
+// version of the id in older runs until compaction drops both).
+type runRecord struct {
+	s         core.Sighting // s.OID is the key; other fields zero on tombstones
+	expires   time.Time
+	tombstone bool
+}
+
+// appendRunRecord encodes rec onto buf.
+func appendRunRecord(buf []byte, rec runRecord) []byte {
+	var flags byte
+	if rec.tombstone {
+		flags |= runFlagTombstone
+	}
+	if !rec.s.T.IsZero() {
+		flags |= runFlagHasT
+	}
+	if !rec.expires.IsZero() {
+		flags |= runFlagHasExp
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.s.OID)))
+	buf = append(buf, rec.s.OID...)
+	if rec.tombstone {
+		return buf
+	}
+	var t, exp int64
+	if flags&runFlagHasT != 0 {
+		t = rec.s.T.UnixNano()
+	}
+	if flags&runFlagHasExp != 0 {
+		exp = rec.expires.UnixNano()
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.s.Pos.X))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.s.Pos.Y))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.s.SensAcc))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(exp))
+	return buf
+}
+
+// decodeRunRecord decodes one record starting at buf[pos], returning the
+// record and the offset just past it.
+func decodeRunRecord(buf []byte, pos int) (runRecord, int, error) {
+	if pos >= len(buf) {
+		return runRecord{}, 0, fmt.Errorf("store: run record truncated at offset %d", pos)
+	}
+	flags := buf[pos]
+	pos++
+	n, w := binary.Uvarint(buf[pos:])
+	if w <= 0 || pos+w+int(n) > len(buf) {
+		return runRecord{}, 0, fmt.Errorf("store: run record id truncated at offset %d", pos)
+	}
+	pos += w
+	rec := runRecord{tombstone: flags&runFlagTombstone != 0}
+	rec.s.OID = core.OID(buf[pos : pos+int(n)])
+	pos += int(n)
+	if rec.tombstone {
+		return rec, pos, nil
+	}
+	if pos+40 > len(buf) {
+		return runRecord{}, 0, fmt.Errorf("store: run record payload truncated at offset %d", pos)
+	}
+	if flags&runFlagHasT != 0 {
+		rec.s.T = time.Unix(0, int64(binary.LittleEndian.Uint64(buf[pos:])))
+	}
+	rec.s.Pos.X = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos+8:]))
+	rec.s.Pos.Y = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos+16:]))
+	rec.s.SensAcc = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos+24:]))
+	if flags&runFlagHasExp != 0 {
+		rec.expires = time.Unix(0, int64(binary.LittleEndian.Uint64(buf[pos+32:])))
+	}
+	return rec, pos + 40, nil
+}
+
+// sparseEntry is one in-RAM sparse-index entry: the id of every
+// runSparseEvery-th record and its byte offset in the records region.
+type sparseEntry struct {
+	oid core.OID
+	off int64
+}
+
+// runWriter streams records (strictly ascending by id) into a run file
+// using the write-temp/fsync/rename/dir-fsync protocol: the run either
+// exists complete under its final name or not at all. Per-record state
+// kept until finish is one 8-byte hash (for the bloom filter, whose size
+// needs the final count) plus the sparse index — the same metadata a
+// reader of the finished run holds.
+type runWriter struct {
+	dir, name string
+	tmp       *os.File
+	crc       hash.Hash32
+	bufw      writeCounter
+
+	count, live int64
+	hashes      []uint64
+	sparse      []sparseEntry
+	last        core.OID
+	minOID      core.OID
+	maxOID      core.OID
+	mbr         geo.Rect
+	hasMBR      bool
+	bitsPerKey  int
+	scratch     []byte
+}
+
+// writeCounter tracks bytes written through a buffered writer.
+type writeCounter struct {
+	w *os.File
+	b []byte
+	n int64
+}
+
+func (wc *writeCounter) write(p []byte) error {
+	if len(wc.b)+len(p) > cap(wc.b) {
+		if err := wc.flush(); err != nil {
+			return err
+		}
+	}
+	if len(p) > cap(wc.b) {
+		m, err := wc.w.Write(p)
+		wc.n += int64(m)
+		return err
+	}
+	wc.b = append(wc.b, p...)
+	wc.n += int64(len(p))
+	return nil
+}
+
+func (wc *writeCounter) flush() error {
+	if len(wc.b) == 0 {
+		return nil
+	}
+	_, err := wc.w.Write(wc.b)
+	wc.b = wc.b[:0]
+	return err
+}
+
+// newRunWriter creates the temporary for dir/name.
+func newRunWriter(dir, name string, bitsPerKey int) (*runWriter, error) {
+	tmp, err := os.CreateTemp(dir, tierTempPattern)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating run temp in %s: %w", dir, err)
+	}
+	return &runWriter{
+		dir:        dir,
+		name:       name,
+		tmp:        tmp,
+		crc:        crc32.NewIEEE(),
+		bufw:       writeCounter{w: tmp, b: make([]byte, 0, 64*1024)},
+		bitsPerKey: bitsPerKey,
+	}, nil
+}
+
+// add appends one record. Records must arrive in strictly ascending id
+// order — the invariant every lookup and merge relies on.
+func (w *runWriter) add(rec runRecord) error {
+	id := rec.s.OID
+	if w.count > 0 && id <= w.last {
+		return fmt.Errorf("store: run records out of order (%q after %q)", id, w.last)
+	}
+	if w.count%runSparseEvery == 0 {
+		w.sparse = append(w.sparse, sparseEntry{oid: id, off: w.bufw.n})
+	}
+	w.scratch = appendRunRecord(w.scratch[:0], rec)
+	if err := w.bufw.write(w.scratch); err != nil {
+		return fmt.Errorf("store: writing run record: %w", err)
+	}
+	w.crc.Write(w.scratch)
+	w.hashes = append(w.hashes, bloomHash(string(id)))
+	if w.count == 0 {
+		w.minOID = id
+	}
+	w.maxOID = id
+	w.last = id
+	w.count++
+	if !rec.tombstone {
+		w.live++
+		if !w.hasMBR {
+			w.mbr = geo.Rect{Min: rec.s.Pos, Max: rec.s.Pos}
+			w.hasMBR = true
+		} else {
+			w.mbr.GrowToInclude(rec.s.Pos)
+		}
+	}
+	return nil
+}
+
+// abort discards the temporary.
+func (w *runWriter) abort() {
+	w.tmp.Close()
+	os.Remove(w.tmp.Name())
+}
+
+// finish writes the meta regions and footer, makes the file and its
+// directory entry durable, and renames it into place.
+func (w *runWriter) finish() error {
+	recordsLen := w.bufw.n
+	crcData := w.crc.Sum32()
+
+	bloom := newBloomFilter(int(w.count), w.bitsPerKey)
+	for _, h := range w.hashes {
+		bloom.addHash(h)
+	}
+	bloomBlock := bloom.marshal()
+
+	idx := make([]byte, 0, 64+len(w.sparse)*24)
+	idx = binary.AppendUvarint(idx, uint64(len(w.minOID)))
+	idx = append(idx, w.minOID...)
+	idx = binary.AppendUvarint(idx, uint64(len(w.maxOID)))
+	idx = append(idx, w.maxOID...)
+	idx = binary.AppendUvarint(idx, uint64(len(w.sparse)))
+	for _, e := range w.sparse {
+		idx = binary.AppendUvarint(idx, uint64(len(e.oid)))
+		idx = append(idx, e.oid...)
+		idx = binary.AppendUvarint(idx, uint64(e.off))
+	}
+
+	crcMeta := crc32.NewIEEE()
+	crcMeta.Write(bloomBlock)
+	crcMeta.Write(idx)
+
+	footer := make([]byte, runFooterSize)
+	binary.LittleEndian.PutUint64(footer[0:], uint64(recordsLen))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(w.count))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(w.live))
+	binary.LittleEndian.PutUint64(footer[24:], uint64(len(bloomBlock)))
+	binary.LittleEndian.PutUint64(footer[32:], uint64(len(idx)))
+	binary.LittleEndian.PutUint64(footer[40:], math.Float64bits(w.mbr.Min.X))
+	binary.LittleEndian.PutUint64(footer[48:], math.Float64bits(w.mbr.Min.Y))
+	binary.LittleEndian.PutUint64(footer[56:], math.Float64bits(w.mbr.Max.X))
+	binary.LittleEndian.PutUint64(footer[64:], math.Float64bits(w.mbr.Max.Y))
+	binary.LittleEndian.PutUint32(footer[72:], crcData)
+	binary.LittleEndian.PutUint32(footer[76:], crcMeta.Sum32())
+	binary.LittleEndian.PutUint32(footer[80:], runVersion)
+	binary.LittleEndian.PutUint64(footer[84:], runMagic)
+
+	fail := func(err error) error {
+		w.abort()
+		return err
+	}
+	for _, block := range [][]byte{bloomBlock, idx, footer} {
+		if err := w.bufw.write(block); err != nil {
+			return fail(fmt.Errorf("store: writing run meta: %w", err))
+		}
+	}
+	if err := w.bufw.flush(); err != nil {
+		return fail(fmt.Errorf("store: flushing run: %w", err))
+	}
+	if err := w.tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing run: %w", err))
+	}
+	if err := w.tmp.Close(); err != nil {
+		os.Remove(w.tmp.Name())
+		return fmt.Errorf("store: closing run temp: %w", err)
+	}
+	final := filepath.Join(w.dir, w.name)
+	if err := os.Rename(w.tmp.Name(), final); err != nil {
+		os.Remove(w.tmp.Name())
+		return fmt.Errorf("store: renaming run into place: %w", err)
+	}
+	// The rename must itself be durable: without the directory fsync a
+	// machine crash can forget the entry while the (fsynced) manifest
+	// written next already references it — an unopenable tier.
+	return syncDir(final)
+}
+
+// tierRun is one opened immutable run: a read-only file handle plus the
+// in-RAM metadata (bloom filter, sparse index, key range, MBR, counts)
+// every probe is gated through. Runs are reference-counted: the manifest
+// holds one reference, enumerations that read the file outside the shard
+// lock hold one more for their duration, and the file is closed (and, for
+// compacted-away runs, deleted) when the last reference drops.
+type tierRun struct {
+	path       string
+	f          *os.File
+	size       int64
+	recordsLen int64
+	count      int64
+	live       int64
+	mbr        geo.Rect
+	crcData    uint32
+	bloom      *bloomFilter
+	sparse     []sparseEntry
+	minOID     core.OID
+	maxOID     core.OID
+
+	refs            atomic.Int32
+	removeOnRelease atomic.Bool
+}
+
+// openRun opens path, reading footer and meta blocks and verifying the
+// meta checksum. The records region is not read — that is what keeps
+// tiered recovery O(metadata).
+func openRun(path string) (*tierRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening run %s: %w", path, err)
+	}
+	fail := func(err error) (*tierRun, error) {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(fmt.Errorf("store: statting run %s: %w", path, err))
+	}
+	if st.Size() < runFooterSize {
+		return fail(fmt.Errorf("store: run %s too short (%d bytes)", path, st.Size()))
+	}
+	footer := make([]byte, runFooterSize)
+	if _, err := f.ReadAt(footer, st.Size()-runFooterSize); err != nil {
+		return fail(fmt.Errorf("store: reading run footer %s: %w", path, err))
+	}
+	if got := binary.LittleEndian.Uint64(footer[84:]); got != runMagic {
+		return fail(fmt.Errorf("store: run %s bad magic %#x", path, got))
+	}
+	if v := binary.LittleEndian.Uint32(footer[80:]); v != runVersion {
+		return fail(fmt.Errorf("store: run %s unsupported version %d", path, v))
+	}
+	r := &tierRun{
+		path:       path,
+		f:          f,
+		size:       st.Size(),
+		recordsLen: int64(binary.LittleEndian.Uint64(footer[0:])),
+		count:      int64(binary.LittleEndian.Uint64(footer[8:])),
+		live:       int64(binary.LittleEndian.Uint64(footer[16:])),
+		crcData:    binary.LittleEndian.Uint32(footer[72:]),
+	}
+	r.mbr.Min.X = math.Float64frombits(binary.LittleEndian.Uint64(footer[40:]))
+	r.mbr.Min.Y = math.Float64frombits(binary.LittleEndian.Uint64(footer[48:]))
+	r.mbr.Max.X = math.Float64frombits(binary.LittleEndian.Uint64(footer[56:]))
+	r.mbr.Max.Y = math.Float64frombits(binary.LittleEndian.Uint64(footer[64:]))
+	bloomLen := int64(binary.LittleEndian.Uint64(footer[24:]))
+	idxLen := int64(binary.LittleEndian.Uint64(footer[32:]))
+	if r.recordsLen < 0 || bloomLen < 0 || idxLen < 0 ||
+		r.recordsLen+bloomLen+idxLen+runFooterSize != st.Size() {
+		return fail(fmt.Errorf("store: run %s region lengths inconsistent with size %d", path, st.Size()))
+	}
+	meta := make([]byte, bloomLen+idxLen)
+	if _, err := f.ReadAt(meta, r.recordsLen); err != nil {
+		return fail(fmt.Errorf("store: reading run meta %s: %w", path, err))
+	}
+	if got := crc32.ChecksumIEEE(meta); got != binary.LittleEndian.Uint32(footer[76:]) {
+		return fail(fmt.Errorf("store: run %s meta checksum mismatch", path))
+	}
+	if r.bloom, err = unmarshalBloom(meta[:bloomLen]); err != nil {
+		return fail(fmt.Errorf("store: run %s: %w", path, err))
+	}
+	if err := r.parseIndex(meta[bloomLen:]); err != nil {
+		return fail(fmt.Errorf("store: run %s index: %w", path, err))
+	}
+	r.refs.Store(1)
+	return r, nil
+}
+
+// parseIndex decodes the index block into the key range and sparse index.
+func (r *tierRun) parseIndex(b []byte) error {
+	readOID := func(pos int) (core.OID, int, error) {
+		n, w := binary.Uvarint(b[pos:])
+		if w <= 0 || pos+w+int(n) > len(b) {
+			return "", 0, fmt.Errorf("truncated at offset %d", pos)
+		}
+		return core.OID(b[pos+w : pos+w+int(n)]), pos + w + int(n), nil
+	}
+	var err error
+	pos := 0
+	if r.minOID, pos, err = readOID(pos); err != nil {
+		return err
+	}
+	if r.maxOID, pos, err = readOID(pos); err != nil {
+		return err
+	}
+	n, w := binary.Uvarint(b[pos:])
+	if w <= 0 {
+		return fmt.Errorf("truncated sparse count at offset %d", pos)
+	}
+	pos += w
+	r.sparse = make([]sparseEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var oid core.OID
+		if oid, pos, err = readOID(pos); err != nil {
+			return err
+		}
+		off, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return fmt.Errorf("truncated sparse offset at offset %d", pos)
+		}
+		pos += w
+		r.sparse = append(r.sparse, sparseEntry{oid: oid, off: int64(off)})
+	}
+	return nil
+}
+
+// acquire takes a reference, failing if the run has already fully
+// released (its file is closed).
+func (r *tierRun) acquire() bool {
+	for {
+		n := r.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if r.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference; the last one out closes the file and, if
+// the run was retired by a compaction, deletes it.
+func (r *tierRun) release() {
+	if r.refs.Add(-1) > 0 {
+		return
+	}
+	r.f.Close()
+	if r.removeOnRelease.Load() {
+		os.Remove(r.path)
+	}
+}
+
+// retire drops the manifest's reference after the run left the manifest;
+// remove additionally deletes the file once every in-flight reader is
+// done.
+func (r *tierRun) retire(remove bool) {
+	if remove {
+		r.removeOnRelease.Store(true)
+	}
+	r.release()
+}
+
+// metaBytes estimates the run's resident metadata footprint.
+func (r *tierRun) metaBytes() int64 {
+	n := int64(len(r.bloom.bits)) + 128
+	for _, e := range r.sparse {
+		n += int64(len(e.oid)) + 24
+	}
+	return n
+}
+
+// get point-looks id up in the run: binary search over the sparse index,
+// then a bounded scan of at most runSparseEvery records. The caller has
+// already consulted the bloom filter.
+func (r *tierRun) get(id core.OID) (runRecord, bool, error) {
+	if r.count == 0 || id < r.minOID || id > r.maxOID {
+		return runRecord{}, false, nil
+	}
+	// First sparse entry strictly greater than id bounds the block.
+	i := sort.Search(len(r.sparse), func(i int) bool { return r.sparse[i].oid > id })
+	if i == 0 {
+		return runRecord{}, false, nil
+	}
+	start := r.sparse[i-1].off
+	end := r.recordsLen
+	if i < len(r.sparse) {
+		end = r.sparse[i].off
+	}
+	block := make([]byte, end-start)
+	if _, err := r.f.ReadAt(block, start); err != nil {
+		return runRecord{}, false, fmt.Errorf("store: reading run block %s: %w", r.path, err)
+	}
+	for pos := 0; pos < len(block); {
+		rec, next, err := decodeRunRecord(block, pos)
+		if err != nil {
+			return runRecord{}, false, fmt.Errorf("store: run %s: %w", r.path, err)
+		}
+		if rec.s.OID == id {
+			return rec, true, nil
+		}
+		if rec.s.OID > id {
+			return runRecord{}, false, nil
+		}
+		pos = next
+	}
+	return runRecord{}, false, nil
+}
+
+// runIterator streams a run's records in id order, verifying the data
+// checksum when the region is fully consumed.
+type runIterator struct {
+	run       *tierRun
+	crc       hash.Hash32
+	buf       []byte
+	pos       int64 // file offset of buf[0]
+	off       int   // decode offset within buf
+	delivered int64
+	err       error
+}
+
+// iter opens a streaming pass over the records region.
+func (r *tierRun) iter() *runIterator {
+	return &runIterator{run: r, crc: crc32.NewIEEE()}
+}
+
+// next returns the next record. After false, error() distinguishes a
+// clean end (with checksum verified) from an I/O or decode failure.
+func (it *runIterator) next() (runRecord, bool) {
+	if it.err != nil || it.delivered >= it.run.count {
+		return runRecord{}, false
+	}
+	for {
+		rec, nextOff, derr := decodeRunRecord(it.buf, it.off)
+		if derr == nil {
+			it.off = nextOff
+			it.delivered++
+			if it.delivered == it.run.count {
+				// A checksum failure surfaces through error() after the
+				// final record is delivered.
+				it.finishCRC()
+			}
+			return rec, true
+		}
+		// Not enough buffered: slide and refill.
+		remainingFile := it.run.recordsLen - (it.pos + int64(len(it.buf)))
+		if remainingFile <= 0 {
+			it.err = fmt.Errorf("store: run %s truncated records region", it.run.path)
+			return runRecord{}, false
+		}
+		it.pos += int64(it.off)
+		tail := len(it.buf) - it.off
+		chunk := int64(256 * 1024)
+		if chunk > remainingFile {
+			chunk = remainingFile
+		}
+		nbuf := make([]byte, tail+int(chunk))
+		copy(nbuf, it.buf[it.off:])
+		if _, err := it.run.f.ReadAt(nbuf[tail:], it.pos+int64(tail)); err != nil {
+			it.err = fmt.Errorf("store: reading run %s: %w", it.run.path, err)
+			return runRecord{}, false
+		}
+		it.crc.Write(nbuf[tail:])
+		it.buf = nbuf
+		it.off = 0
+	}
+}
+
+// finishCRC verifies the data checksum once every record was delivered.
+// Any bytes past the final record within the region are a format error.
+func (it *runIterator) finishCRC() {
+	consumed := it.pos + int64(len(it.buf))
+	if consumed < it.run.recordsLen {
+		// Records ended early; read the remainder so the CRC covers the
+		// whole region (trailing garbage fails the check).
+		rest := make([]byte, it.run.recordsLen-consumed)
+		if _, err := it.run.f.ReadAt(rest, consumed); err != nil {
+			it.err = fmt.Errorf("store: reading run %s: %w", it.run.path, err)
+			return
+		}
+		it.crc.Write(rest)
+	}
+	if it.crc.Sum32() != it.run.crcData {
+		it.err = fmt.Errorf("store: run %s data checksum mismatch", it.run.path)
+	}
+}
+
+// scan streams every record through visit (stopping early when visit
+// returns false). A complete scan verifies the data checksum; an early
+// stop skips the verification.
+func (r *tierRun) scan(visit func(runRecord) bool) error {
+	it := r.iter()
+	for {
+		rec, ok := it.next()
+		if !ok {
+			return it.err
+		}
+		if !visit(rec) {
+			return nil
+		}
+	}
+}
+
+// error reports the first I/O, decode or checksum failure of the pass.
+func (it *runIterator) error() error { return it.err }

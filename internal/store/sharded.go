@@ -75,6 +75,14 @@ type ShardedSightingDB struct {
 	// available without the log — the sightingDB is soft state, as in the
 	// paper's baseline.
 	wal *ShardedWAL
+
+	// tier, when non-nil, turns each shard into the memtable of a small
+	// per-shard LSM tree (see lsm.go and the package comment): the shard's
+	// in-memory state covers only the recent tail, older versions live in
+	// immutable sorted runs on disk, and every read path consults the runs
+	// behind the memtable. Nil on all-RAM stores — the default, and the
+	// differential-testing oracle for the tiered mode.
+	tier *tierState
 }
 
 // shardGen is one generation of the id→shard mapping: an epoch number, the
@@ -129,6 +137,15 @@ type sightingShard struct {
 	// sweep cursor for the amortized expiry scan.
 	sweepKeys []core.OID
 	sweepPos  int
+
+	// Tiered mode only (tier non-nil, attached when the store opens its
+	// tiers). dead holds the memtable's tombstones: ids removed since the
+	// last flush whose older versions may still live in a run — a flush
+	// persists them as tombstone records and clears the map. memBytes is
+	// the approximate resident cost of byID + dead, the flush trigger.
+	tier     *shardTier
+	dead     map[core.OID]struct{}
+	memBytes int64
 }
 
 // lockWrite acquires the shard's write lock, sampling contention: a failed
@@ -201,6 +218,17 @@ func NewShardedSightingDB(opts ...SightingDBOption) *ShardedSightingDB {
 		clock:    cfg.clock,
 		newIndex: cfg.newIndex,
 		wal:      cfg.wal,
+	}
+	if cfg.tier != nil {
+		tc := cfg.tier.withDefaults()
+		if tc.Dir == "" && cfg.wal != nil {
+			tc.Dir = cfg.wal.Dir()
+		}
+		budget := tc.MemtableBytes / int64(cfg.shards)
+		if budget < 4096 {
+			budget = 4096
+		}
+		db.tier = &tierState{cfg: tc, budget: budget}
 	}
 	g := &shardGen{shards: make([]*sightingShard, cfg.shards)}
 	for i := range g.shards {
@@ -290,14 +318,29 @@ func (db *ShardedSightingDB) rlockOwner(id core.OID) *sightingShard {
 // a best-effort snapshot (a record mid-handoff can be counted in both
 // generations), exact whenever the store is quiescent — the same contract
 // every cross-shard read has.
+// On a tiered store the count additionally includes the runs' live
+// records and is an upper-bound estimate: a record present in the
+// memtable and a run, or in several overlapping runs, is counted once
+// per copy until compaction merges them (Σ live − tombstones); exact
+// again whenever the shard's runs are compacted and the memtable holds
+// only new ids.
 func (db *ShardedSightingDB) Len() int {
 	n := 0
 	for _, sh := range db.liveShards() {
 		sh.mu.RLock()
 		if !sh.moved {
 			n += len(sh.byID)
+			if sh.tier != nil {
+				for _, r := range sh.tier.runs {
+					n += int(r.live)
+				}
+				n -= len(sh.dead)
+			}
 		}
 		sh.mu.RUnlock()
+	}
+	if n < 0 {
+		n = 0
 	}
 	return n
 }
@@ -330,6 +373,7 @@ func (db *ShardedSightingDB) putOne(s core.Sighting, out *[]Delta) {
 		_ = db.wal.AppendPut(i, len(g.shards), s)
 	}
 	d := db.putLocked(sh, s)
+	db.maybeFlushBackpressure(sh, i)
 	sh.mu.Unlock()
 	if out != nil {
 		*out = append(*out, d)
@@ -423,6 +467,7 @@ func (db *ShardedSightingDB) putGroup(g *shardGen, shard int, group []core.Sight
 		return
 	}
 	defer sh.mu.Unlock()
+	defer db.maybeFlushBackpressure(sh, shard) // runs before the unlock
 	if db.wal != nil {
 		_ = db.wal.AppendBatch(shard, len(g.shards), group)
 	}
@@ -457,6 +502,12 @@ func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) Delta
 	if old != nil {
 		sh.idx.Remove(s.OID, old.s.Pos)
 		sh.noteRemove()
+	} else if db.tier != nil {
+		sh.memBytes += memCost(s.OID)
+		if _, wasDead := sh.dead[s.OID]; wasDead {
+			delete(sh.dead, s.OID)
+			sh.memBytes -= tombCost(s.OID)
+		}
 	}
 	entry := &sightingEntry{s: s}
 	if db.ttl > 0 {
@@ -472,15 +523,26 @@ func (db *ShardedSightingDB) putLocked(sh *sightingShard, s core.Sighting) Delta
 	return putDelta(s, old)
 }
 
-// Get implements SightingStore.
+// Get implements SightingStore. On a tiered store a memtable miss falls
+// through to the disk runs, newest to oldest, gated by each run's key
+// range and bloom filter; a memtable tombstone answers "gone" without
+// touching disk. Like the all-RAM store, Get does not filter records
+// whose TTL has passed but whose expiry has not been swept yet.
 func (db *ShardedSightingDB) Get(id core.OID) (core.Sighting, bool) {
 	sh := db.rlockOwner(id)
 	defer sh.mu.RUnlock()
 	e, ok := sh.byID[id]
-	if !ok {
-		return core.Sighting{}, false
+	if ok {
+		return e.s, true
 	}
-	return e.s, true
+	if sh.tier != nil {
+		if _, gone := sh.dead[id]; !gone {
+			if rec, found := sh.tierLookup(db.tier, id); found && !rec.tombstone {
+				return rec.s, true
+			}
+		}
+	}
+	return core.Sighting{}, false
 }
 
 // Remove implements SightingStore.
@@ -489,19 +551,61 @@ func (db *ShardedSightingDB) Remove(id core.OID) bool {
 	return ok
 }
 
-// RemoveDelta implements SightingStore.
+// RemoveDelta implements SightingStore. On a tiered store removing a
+// record that lives only in a run leaves a memtable tombstone (persisted
+// by the next flush, dropped with the shadowed versions at compaction)
+// so the run-resident version stops being visible immediately.
 func (db *ShardedSightingDB) RemoveDelta(id core.OID) (Delta, bool) {
 	sh, g, i := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok {
-		return Delta{}, false
+		return db.removeColdLocked(sh, g, i, id, false)
 	}
 	db.logRemove(i, len(g.shards), id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
+	if db.tier != nil {
+		sh.memBytes -= memCost(id)
+		db.tombstoneLocked(sh, id)
+	}
 	sh.noteRemove()
 	return removeDelta(id, e), true
+}
+
+// tombstoneLocked records a memtable tombstone for id. Caller holds the
+// shard's write lock on a tiered store.
+func (db *ShardedSightingDB) tombstoneLocked(sh *sightingShard, id core.OID) {
+	if sh.dead == nil {
+		sh.dead = make(map[core.OID]struct{})
+	}
+	if _, ok := sh.dead[id]; !ok {
+		sh.dead[id] = struct{}{}
+		sh.memBytes += tombCost(id)
+	}
+}
+
+// removeColdLocked removes a record that is absent from the memtable but
+// may live in a disk run: it resolves the newest on-disk version and, if
+// live (and, for expiredOnly, past its TTL), logs the removal and plants
+// a tombstone. Caller holds the shard's write lock.
+func (db *ShardedSightingDB) removeColdLocked(sh *sightingShard, g *shardGen, i int, id core.OID, expiredOnly bool) (Delta, bool) {
+	if sh.tier == nil {
+		return Delta{}, false
+	}
+	if _, gone := sh.dead[id]; gone {
+		return Delta{}, false
+	}
+	rec, found := sh.tierLookup(db.tier, id)
+	if !found || rec.tombstone {
+		return Delta{}, false
+	}
+	if expiredOnly && (db.ttl <= 0 || rec.expires.IsZero() || !db.clock().After(rec.expires)) {
+		return Delta{}, false
+	}
+	db.logRemove(i, len(g.shards), id)
+	db.tombstoneLocked(sh, id)
+	return removeDelta(id, &sightingEntry{s: rec.s, expires: rec.expires}), true
 }
 
 // RemoveExpired implements SightingStore: the record is removed only if
@@ -517,23 +621,47 @@ func (db *ShardedSightingDB) RemoveExpiredDelta(id core.OID) (Delta, bool) {
 	sh, g, i := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
-	if !ok || db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
+	if !ok {
+		return db.removeColdLocked(sh, g, i, id, true)
+	}
+	if db.ttl <= 0 || e.expires.IsZero() || !db.clock().After(e.expires) {
 		return Delta{}, false
 	}
 	db.logRemove(i, len(g.shards), id)
 	sh.idx.Remove(id, e.s.Pos)
 	delete(sh.byID, id)
+	if db.tier != nil {
+		sh.memBytes -= memCost(id)
+		db.tombstoneLocked(sh, id)
+	}
 	sh.noteRemove()
 	return removeDelta(id, e), true
 }
 
-// Touch implements SightingStore.
+// Touch implements SightingStore. On a tiered store touching a record
+// that lives only in a run promotes it into the memtable with a fresh
+// lease (write-ahead-logged like a put, so the refresh survives a crash
+// even though the run keeps the stale expiry).
 func (db *ShardedSightingDB) Touch(id core.OID) bool {
-	sh, _, _ := db.lockOwner(id)
+	sh, g, i := db.lockOwner(id)
 	defer sh.mu.Unlock()
 	e, ok := sh.byID[id]
 	if !ok {
-		return false
+		if sh.tier == nil {
+			return false
+		}
+		if _, gone := sh.dead[id]; gone {
+			return false
+		}
+		rec, found := sh.tierLookup(db.tier, id)
+		if !found || rec.tombstone {
+			return false
+		}
+		if db.wal != nil {
+			_ = db.wal.AppendPut(i, len(g.shards), rec.s)
+		}
+		db.putLocked(sh, rec.s)
+		return true
 	}
 	if db.ttl > 0 {
 		e.expires = db.clock().Add(db.ttl)
@@ -558,6 +686,19 @@ func (db *ShardedSightingDB) Expired() []core.OID {
 				if !e.expires.IsZero() && now.After(e.expires) {
 					out = append(out, id)
 				}
+			}
+			if sh.tier != nil {
+				// Run-resident records expire too: report them so the
+				// caller tears them down through the normal removal path
+				// (which plants the tombstone) before compaction drops
+				// them. Full run scans — the janitor's backstop cadence,
+				// not a hot path.
+				sh.tierScanAll(db.tier, func(rec runRecord) bool {
+					if !rec.expires.IsZero() && now.After(rec.expires) {
+						out = append(out, rec.s.OID)
+					}
+					return true
+				})
 			}
 		}
 		sh.mu.RUnlock()
@@ -752,6 +893,24 @@ func (db *ShardedSightingDB) searchShards(shards []*sightingShard, r geo.Rect, v
 				sh.idx.Search(r, inner)
 			}
 		}
+		if !stopped && sh.tier != nil {
+			// Disk-resident candidates: scan only the runs whose MBR
+			// intersects the query, re-validating each candidate against
+			// the memtable and the newer runs (a pruned newer run may
+			// hide the object's move out of the rectangle).
+			sh.tierScanPruned(db.tier,
+				func(run *tierRun) bool { return run.mbr.IntersectsClosed(r) },
+				func(rec runRecord) bool {
+					if !r.ContainsClosed(rec.s.Pos) {
+						return true
+					}
+					if !visit(rec.s) {
+						stopped = true
+						return false
+					}
+					return true
+				})
+		}
 		sh.mu.RUnlock()
 		if stopped {
 			return false
@@ -771,7 +930,7 @@ func (db *ShardedSightingDB) searchShards(shards []*sightingShard, r geo.Rect, v
 // once).
 func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting, dist float64) bool) {
 	g := db.gen.Load()
-	if g.prev == nil && len(g.shards) == 1 {
+	if g.prev == nil && len(g.shards) == 1 && db.tier == nil {
 		// Nothing to merge: stream straight off the sub-index. A moved
 		// shard streams its immutable pre-handoff snapshot, like any
 		// query holding a generation a resize has since drained; the
@@ -790,6 +949,11 @@ func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting
 		shards = db.liveShards()
 		seen = make(map[core.OID]bool)
 	}
+	if db.tier != nil && seen == nil {
+		// A record can surface from both a shard's memtable cursor and
+		// its run cursor (it moved while the query ran); dedupe by id.
+		seen = make(map[core.OID]bool)
+	}
 	srcs := make([]spatial.CursorSource, 0, len(shards))
 	for _, sh := range shards {
 		sh := sh
@@ -806,6 +970,11 @@ func (db *ShardedSightingDB) NearestFunc(p geo.Point, visit func(s core.Sighting
 			minDist = sh.bound.DistToPoint(p)
 		}
 		sh.mu.RUnlock()
+		if db.tier != nil {
+			if src, ok := db.tierNearestSource(sh, p); ok {
+				srcs = append(srcs, src)
+			}
+		}
 		if !usable {
 			continue
 		}
@@ -882,6 +1051,11 @@ func (db *ShardedSightingDB) forEachShards(shards []*sightingShard, visit func(s
 				break
 			}
 		}
+		if !stopped && sh.tier != nil {
+			stopped = !sh.tierScanAll(db.tier, func(rec runRecord) bool {
+				return visit(rec.s)
+			})
+		}
 		sh.mu.RUnlock()
 		if stopped {
 			return false
@@ -930,8 +1104,19 @@ func (db *ShardedSightingDB) WALErr() error {
 // attached WAL, Recover is a no-op. A log left mid-resize by a crash was
 // already folded across the epoch boundary by OpenShardedWAL, so the store
 // recovers at the epoch the resize was moving to.
+// On a tiered store Recover first opens the tiers — sweeping crash
+// leftovers, loading each shard's manifest and run metadata (O(metadata),
+// no record reads) — and then replays only the short WAL tail covering
+// the current memtable: everything older was flushed into a run before
+// its segment was reset. That is the recovery-time payoff of tiering —
+// restart cost proportional to the hot set, not the history. See
+// RecoverBackground for serving reads before the replay finishes.
 func (db *ShardedSightingDB) Recover() error {
+	if err := db.openTiers(); err != nil {
+		return err
+	}
 	if db.wal == nil {
+		db.markWarm()
 		return nil
 	}
 	g := db.gen.Load()
@@ -945,7 +1130,84 @@ func (db *ShardedSightingDB) Recover() error {
 		}(i)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	if err == nil {
+		db.markWarm()
+	}
+	return err
+}
+
+// markWarm opens tier maintenance once recovery completed cleanly.
+func (db *ShardedSightingDB) markWarm() {
+	if db.tier != nil {
+		db.tier.warmed.Store(true)
+	}
+}
+
+// RecoverBackground is Recover with a per-shard readiness gate instead
+// of a barrier: it opens the tiers synchronously (run metadata is all a
+// disk-resident read needs), takes every shard's write lock, returns,
+// and replays the WAL tails on background goroutines that release each
+// shard's lock as soon as that shard's memtable is warm. An operation
+// arriving before then simply blocks on the owning shard's lock for at
+// most that shard's tail replay — bounded by the memtable budget — so a
+// leaf restarting over a large tier serves disk-resident reads almost
+// immediately instead of stalling for a full-store replay. WaitRecovered
+// joins the background replay; tier maintenance stays gated until every
+// shard is warm. On an untiered store it falls back to the synchronous
+// Recover (there is no disk tier to serve from in the meantime).
+func (db *ShardedSightingDB) RecoverBackground() error {
+	ts := db.tier
+	if ts == nil || db.wal == nil {
+		return db.Recover()
+	}
+	if err := db.openTiers(); err != nil {
+		return err
+	}
+	if !ts.warming.CompareAndSwap(false, true) {
+		return errors.New("store: RecoverBackground called twice")
+	}
+	g := db.gen.Load()
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+	}
+	ts.warmWG.Add(len(g.shards))
+	for i := range g.shards {
+		go func(i int) {
+			defer ts.warmWG.Done()
+			err := db.recoverShardLocked(g, i)
+			g.shards[i].mu.Unlock()
+			if err != nil {
+				ts.warmMu.Lock()
+				ts.warmErr = errors.Join(ts.warmErr, err)
+				ts.warmMu.Unlock()
+			}
+		}(i)
+	}
+	go func() {
+		ts.warmWG.Wait()
+		ts.warmMu.Lock()
+		failed := ts.warmErr != nil
+		ts.warmMu.Unlock()
+		if !failed {
+			ts.warmed.Store(true)
+		}
+	}()
+	return nil
+}
+
+// WaitRecovered blocks until a RecoverBackground replay has warmed every
+// shard and returns its joined error. Immediate on stores recovered
+// synchronously (or not at all).
+func (db *ShardedSightingDB) WaitRecovered() error {
+	ts := db.tier
+	if ts == nil {
+		return nil
+	}
+	ts.warmWG.Wait()
+	ts.warmMu.Lock()
+	defer ts.warmMu.Unlock()
+	return ts.warmErr
 }
 
 // recoverShard replays one shard's segment and bulk-loads the shard.
@@ -953,20 +1215,40 @@ func (db *ShardedSightingDB) recoverShard(g *shardGen, shard int) error {
 	sh := g.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return db.recoverShardLocked(g, shard)
+}
+
+// recoverShardLocked is recoverShard with the shard's write lock already
+// held by the caller.
+func (db *ShardedSightingDB) recoverShardLocked(g *shardGen, shard int) error {
+	sh := g.shards[shard]
 	if len(sh.byID) != 0 {
 		return fmt.Errorf("store: recovering shard %d over %d live records (Recover must run on an empty store)", shard, len(sh.byID))
 	}
+	tiered := sh.tier != nil
 	live := make(map[core.OID]core.Sighting)
+	var dead map[core.OID]struct{}
+	if tiered {
+		dead = make(map[core.OID]struct{})
+	}
 	replayed := int64(0)
 	err := db.wal.ReplayShard(shard, func(rec WALRecord) error {
 		switch rec.Op {
 		case WALSightingBatch:
 			for _, s := range rec.Sightings {
 				live[s.OID] = s
+				if tiered {
+					delete(dead, s.OID)
+				}
 			}
 			replayed += int64(len(rec.Sightings))
 		case WALSightingRemove:
 			delete(live, rec.OID)
+			if tiered {
+				// The removed id's older versions may live in a run:
+				// rebuild the memtable tombstone that shadowed them.
+				dead[rec.OID] = struct{}{}
+			}
 			replayed++
 		default:
 			return fmt.Errorf("store: unexpected WAL op %q in sighting shard %d", rec.Op, shard)
@@ -976,7 +1258,20 @@ func (db *ShardedSightingDB) recoverShard(g *shardGen, shard int) error {
 	if err != nil {
 		return fmt.Errorf("store: replaying sighting shard %d: %w", shard, err)
 	}
-	if replayed > int64(len(live))+walCompactSlack {
+	if tiered {
+		sh.dead = dead
+		sh.memBytes = 0
+		for id := range dead {
+			sh.memBytes += tombCost(id)
+		}
+		for id := range live {
+			sh.memBytes += memCost(id)
+		}
+	}
+	// Tiered shards never rewrite the segment from the live set here: that
+	// would drop the tail's tombstones and resurrect run-resident versions
+	// on the next crash. Their segment is reset by the next flush instead.
+	if !tiered && replayed > int64(len(live))+walCompactSlack {
 		// The history dwarfs the live set: rewrite the segment now so the
 		// next restart replays the snapshot, not the churn. Best-effort —
 		// a failure (full disk, say) keeps the original correct log, so
@@ -1023,6 +1318,12 @@ func (db *ShardedSightingDB) CompactWAL() error {
 	if db.wal == nil {
 		return nil
 	}
+	if db.tier != nil {
+		// A live-set rewrite would drop the segment's tombstones while
+		// their shadowed versions still live in runs; tiered stores reset
+		// segments at flush time instead (MaintainTiers).
+		return db.MaintainTiers()
+	}
 	if err := db.wal.Err(); err != nil {
 		// A down WAL has stopped logging — and after a resize whose epoch
 		// switch failed, its segment layout no longer matches the store's
@@ -1050,6 +1351,12 @@ func (db *ShardedSightingDB) CompactWAL() error {
 // While a Resize is in flight the pass is skipped (the resize itself
 // rewrites every segment under the new mapping).
 func (db *ShardedSightingDB) CompactWALIfGrown() error {
+	if db.tier != nil {
+		// Tiered stores flush and compact through MaintainTiers; a
+		// live-set segment rewrite here would lose tombstones (see
+		// CompactWAL).
+		return db.MaintainTiers()
+	}
 	if db.wal == nil || db.wal.Err() != nil {
 		// A down WAL has stopped logging; there is nothing worth
 		// rewriting and the sticky error is surfaced through WALErr.

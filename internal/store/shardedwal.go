@@ -534,14 +534,9 @@ func createEpochSegment(dir string, shard int, epoch int64, count int, live []co
 	if err != nil {
 		return nil, err
 	}
-	seg := &FileWAL{path: path, f: f, w: bufio.NewWriter(f), sync: durable}
-	if durable {
-		if err := syncDir(path); err != nil {
-			seg.Close()
-			return nil, err
-		}
-	}
-	return seg, nil
+	// The directory entry was made durable by writeRecordsAtomic's
+	// unconditional dir fsync, in every durability mode.
+	return &FileWAL{path: path, f: f, w: bufio.NewWriter(f), sync: durable}, nil
 }
 
 // NumShards returns the number of log segments of the current epoch.

@@ -24,6 +24,69 @@
 //     durability modes (WithSync) and recovery guarantees.
 //   - ConfigRecord — the persistent configuration record describing a
 //     server's service area, parent and children.
+//
+// # Tiered sighting storage
+//
+// With WithTiering, each shard of a ShardedSightingDB becomes the
+// memtable of a small per-shard LSM tree, letting a leaf hold sighting
+// populations larger than RAM and recover without replaying history.
+//
+// Run file format (run-SSSS-NNNNNNNN.run, immutable once renamed into
+// place):
+//
+//	[records][bloom block][index block][92-byte footer]
+//
+// Records sort strictly ascending by object id; each is a flags byte
+// (bit0 tombstone, bit1 T valid, bit2 expires valid), a uvarint-prefixed
+// id, and — for live records — a fixed 40-byte payload (T, X, Y, SensAcc,
+// expires). The bloom block is a double-hashed FNV-1a filter over every
+// record id (BloomBitsPerKey bits per key, default 10, ≈1% false
+// positives). The index block holds the key range plus a sparse index
+// (one entry per 16 records) — the only per-record state a reader keeps
+// resident. The footer pins region lengths, record/live counts, the
+// spatial MBR of the live records, a CRC over the records region
+// (verified by every complete scan) and a CRC over bloom+index (verified
+// at open, keeping recovery O(metadata)).
+//
+// Manifest format (shard-SSSS.manifest, JSON): the shard's run list,
+// newest first, plus the next run sequence number. The manifest rename is
+// the commit point of every flush and compaction; run files no manifest
+// references are crash leftovers, swept at open.
+//
+// Write path: updates commit to the memtable (WAL-logged as before).
+// When a shard's estimated memtable bytes exceed its share of
+// MemtableBytes, MaintainTiers — driven by the server's janitor — freezes
+// the memtable into a new run (live records and tombstones, id-sorted),
+// prepends it to the manifest, clears the memtable and resets the WAL
+// segment; at twice the share the update path flushes inline
+// (backpressure). Flushes move data between tiers without changing the
+// store's logical content, so they emit no deltas and the event pipeline
+// is unaffected. Removing or expiring a record whose versions live only
+// in runs plants a memtable tombstone that shadows them until compaction.
+//
+// Read path: Get consults memtable, then tombstones, then runs newest to
+// oldest — each run gated by its key range and bloom filter, then one
+// sparse-index probe reading at most 16 records. Range queries scan only
+// runs whose MBR intersects the rectangle, re-validating candidates
+// against the memtable and newer runs; nearest-neighbor queries merge a
+// distance-sorted stream over each shard's runs behind the quadtree
+// cursors, gated by run-MBR distance.
+//
+// Compaction triggers: a shard exceeding MaxRuns runs (default 4) has its
+// whole run set k-way merged into one run off-lock — newest version per
+// id wins; tombstones and records expired for more than one full TTL are
+// dropped (the one-TTL slack guarantees the janitor's Expired scan
+// observed them first) — and the result installs under one manifest
+// swap; readers pin runs by reference count, so nothing blocks and files
+// unlink only after their last reader.
+//
+// Recovery order: load manifests → sweep unreferenced runs and
+// temporaries → open run footers/metadata (no record reads) → replay the
+// short WAL tail covering the current memtable. Recover does all of that
+// before returning; RecoverBackground returns once the tiers are open
+// and warms the memtables behind per-shard locks, so reads are served
+// almost immediately after restart. The all-RAM mode (no WithTiering)
+// remains the default and the differential-testing oracle.
 package store
 
 import (
@@ -44,6 +107,7 @@ type sightingConfig struct {
 	clock    func() time.Time
 	shards   int
 	wal      *ShardedWAL
+	tier     *TierConfig
 }
 
 func defaultSightingConfig() sightingConfig {
@@ -96,6 +160,20 @@ func WithShards(n int) SightingDBOption {
 // ShardedSightingDB for a durable single-lock store.
 func WithSightingWAL(w *ShardedWAL) SightingDBOption {
 	return func(c *sightingConfig) { c.wal = w }
+}
+
+// WithTiering enables tiered (LSM) sighting storage on a
+// ShardedSightingDB: each shard becomes the memtable of a per-shard LSM
+// tree whose sorted runs live under cfg.Dir (defaulting to the attached
+// WAL's directory). See the package comment for the full spec. The tier
+// activates when Recover or RecoverBackground opens it; the shard count
+// is fixed while tiering is enabled (Resize errors, AutoShard must be
+// off). NewSightingDB ignores the option.
+func WithTiering(cfg TierConfig) SightingDBOption {
+	return func(c *sightingConfig) {
+		tc := cfg
+		c.tier = &tc
+	}
 }
 
 // SightingDB is the volatile sighting-record store of a leaf server. It is

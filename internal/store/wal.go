@@ -49,6 +49,22 @@
 // the rename leaves the original log untouched and the WAL usable; leftover
 // ".wal-rewrite-*" temporaries are never read back, and OpenShardedWAL
 // sweeps them from sharded-log directories.
+//
+// # Crash ordering
+//
+// Every atomic file swap in this package — segment compaction and
+// epoch-segment creation here, run and manifest installation in the
+// tiered store — follows the same four-step protocol, in this order:
+// write the temporary, fsync the temporary, rename it over the final
+// name, fsync the parent directory. The file fsync before the rename
+// guarantees the named file can never be observed with partial content;
+// the directory fsync after the rename is what makes the swap itself
+// durable — POSIX does not order a rename's directory update against the
+// renamed file's data, so rename-without-dir-fsync can lose the entry
+// (or resurrect the old inode) on power failure even though the file's
+// own fsync succeeded. Readers therefore trust any file they find under
+// a final name, and every recovery invariant (a manifest's runs exist; a
+// segment is a clean prefix) reduces to this ordering.
 package store
 
 import (
@@ -340,13 +356,16 @@ const (
 )
 
 // writeRecordsAtomic marshals recs as JSON lines into a temporary file
-// beside path, flushes and fsyncs it, and renames it over path — the one
-// shared implementation of the write-temp/fsync/rename protocol behind
-// compaction and epoch-segment creation. It returns the temporary's
-// handle, which after the rename refers to path and is positioned at the
-// end, ready for the caller to adopt for appends. Every failure path
-// removes the temporary and leaves path untouched. Making the rename
-// itself durable (directory fsync) is the caller's policy.
+// beside path, flushes and fsyncs it, renames it over path, and fsyncs
+// the parent directory — the one shared implementation of the
+// write-temp/fsync/rename/dir-fsync protocol behind compaction and
+// epoch-segment creation (see the crash-ordering note in the package
+// comment). It returns the temporary's handle, which after the rename
+// refers to path and is positioned at the end, ready for the caller to
+// adopt for appends. Every failure path before the rename removes the
+// temporary and leaves path untouched; a directory-fsync failure after
+// the rename is reported, since the swap may not survive a machine
+// crash.
 func writeRecordsAtomic(path string, recs []WALRecord) (*os.File, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), walTempPattern)
 	if err != nil {
@@ -376,6 +395,12 @@ func writeRecordsAtomic(path string, recs []WALRecord) (*os.File, error) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return abort(fmt.Errorf("store: renaming rewritten segment: %w", err))
 	}
+	if err := syncDir(path); err != nil {
+		// The rename committed in the live filesystem; only its durability
+		// against machine crash is in doubt. Report rather than unwind.
+		tmp.Close()
+		return nil, err
+	}
 	return tmp, nil
 }
 
@@ -397,14 +422,12 @@ func (w *FileWAL) CompactRecords(recs []WALRecord) error {
 	old := w.f
 	w.f = tmp
 	w.w = bufio.NewWriter(tmp)
+	// The rename's own durability (directory fsync) was handled inside
+	// writeRecordsAtomic, unconditionally: without it a machine crash could
+	// revert the directory entry to the old inode and orphan every later
+	// fsynced append.
 	var firstErr error
-	if w.sync {
-		// In fsync mode the rename itself must be durable, or a machine
-		// crash could revert the directory entry to the old inode and
-		// orphan every later fsynced append.
-		firstErr = syncDir(w.path)
-	}
-	if err := old.Close(); err != nil && firstErr == nil {
+	if err := old.Close(); err != nil {
 		firstErr = fmt.Errorf("store: closing pre-compaction WAL handle: %w", err)
 	}
 	return firstErr

@@ -189,6 +189,7 @@ func appendPayload(dst []byte, m msg.Message) (_ []byte, tag msg.Tag, ok bool) {
 		dst = appendInt(dst, m.Sightings)
 		dst = appendShardDiags(dst, m.Shards)
 		dst = appendU64(dst, m.Epoch)
+		dst = appendTierDiag(dst, m.Tier)
 		dst = appendI64(dst, m.PipelineOps)
 		dst = appendI64(dst, m.PipelineHandoffs)
 		dst = appendInt(dst, m.EventSubs)
@@ -391,6 +392,7 @@ func decodePayload(r *reader, tag msg.Tag) (m msg.Message, known bool) {
 			Sightings:        r.integer(),
 			Shards:           r.shardDiags(),
 			Epoch:            r.u64(),
+			Tier:             r.tierDiag(),
 			PipelineOps:      r.i64(),
 			PipelineHandoffs: r.i64(),
 			EventSubs:        r.integer(),
@@ -594,4 +596,43 @@ func (r *reader) shardDiags() []msg.ShardDiag {
 		sd[i] = msg.ShardDiag{Len: r.integer(), Ops: r.i64(), Contended: r.i64()}
 	}
 	return sd
+}
+
+func appendTierDiag(dst []byte, t *msg.TierDiag) []byte {
+	dst = appendBool(dst, t != nil)
+	if t == nil {
+		return dst
+	}
+	dst = appendBool(dst, t.Warm)
+	dst = appendI64(dst, t.MemtableBytes)
+	dst = appendI64(dst, t.RunBytes)
+	dst = appendI64(dst, t.MetaBytes)
+	dst = appendInt(dst, t.Runs)
+	dst = appendI64(dst, t.DiskRecords)
+	dst = appendI64(dst, t.DiskLive)
+	dst = appendI64(dst, t.Flushes)
+	dst = appendI64(dst, t.Compactions)
+	dst = appendI64(dst, t.BloomHits)
+	dst = appendI64(dst, t.BloomMisses)
+	return appendInt(dst, t.Backlog)
+}
+
+func (r *reader) tierDiag() *msg.TierDiag {
+	if !r.boolean() || r.err != nil {
+		return nil
+	}
+	return &msg.TierDiag{
+		Warm:          r.boolean(),
+		MemtableBytes: r.i64(),
+		RunBytes:      r.i64(),
+		MetaBytes:     r.i64(),
+		Runs:          r.integer(),
+		DiskRecords:   r.i64(),
+		DiskLive:      r.i64(),
+		Flushes:       r.i64(),
+		Compactions:   r.i64(),
+		BloomHits:     r.i64(),
+		BloomMisses:   r.i64(),
+		Backlog:       r.integer(),
+	}
 }

@@ -129,6 +129,26 @@ func randShardDiags(rng *rand.Rand) []msg.ShardDiag {
 	return sd
 }
 
+func randTierDiag(rng *rand.Rand) *msg.TierDiag {
+	if rng.Intn(2) == 0 {
+		return nil
+	}
+	return &msg.TierDiag{
+		Warm:          rng.Intn(2) == 0,
+		MemtableBytes: rng.Int63(),
+		RunBytes:      rng.Int63(),
+		MetaBytes:     rng.Int63(),
+		Runs:          randInt(rng),
+		DiskRecords:   rng.Int63(),
+		DiskLive:      rng.Int63(),
+		Flushes:       rng.Int63(),
+		Compactions:   rng.Int63(),
+		BloomHits:     rng.Int63(),
+		BloomMisses:   rng.Int63(),
+		Backlog:       randInt(rng),
+	}
+}
+
 // randomMessage builds a random instance of the message type identified by
 // tag. It must cover every entry of the registry: the round-trip test
 // fails on any tag it cannot instantiate.
@@ -195,7 +215,7 @@ func randomMessage(rng *rand.Rand, tag msg.Tag) (msg.Message, bool) {
 	case msg.TagDiagReq:
 		return msg.DiagReq{}, true
 	case msg.TagDiagRes:
-		return msg.DiagRes{Server: randNodeID(rng), IsLeaf: rng.Intn(2) == 0, Visitors: randInt(rng), Sightings: randInt(rng), Shards: randShardDiags(rng), Epoch: rng.Uint64(), PipelineOps: rng.Int63(), PipelineHandoffs: rng.Int63(), EventSubs: randInt(rng), EventCoordSubs: randInt(rng), Metrics: randString(rng)}, true
+		return msg.DiagRes{Server: randNodeID(rng), IsLeaf: rng.Intn(2) == 0, Visitors: randInt(rng), Sightings: randInt(rng), Shards: randShardDiags(rng), Epoch: rng.Uint64(), Tier: randTierDiag(rng), PipelineOps: rng.Int63(), PipelineHandoffs: rng.Int63(), EventSubs: randInt(rng), EventCoordSubs: randInt(rng), Metrics: randString(rng)}, true
 	case msg.TagAck:
 		return msg.Ack{}, true
 	case msg.TagErrorRes:

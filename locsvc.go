@@ -116,6 +116,11 @@ type IndexKind = spatial.Kind
 // rule and field defaults.
 type AutoShardConfig = store.AutoShardConfig
 
+// TierConfig enables and tunes tiered (LSM) sighting storage
+// (LocalConfig.Tiering); see store.TierConfig for the knobs and their
+// defaults.
+type TierConfig = store.TierConfig
+
 // Spatial index kinds for LocalConfig.Index.
 const (
 	IndexQuadtree = spatial.KindQuadtree
@@ -158,6 +163,15 @@ type LocalConfig struct {
 	// updates served throughout the migration. Zero fields take the
 	// documented defaults.
 	AutoShard *AutoShardConfig
+	// Tiering turns each leaf's sighting store into a two-tier LSM:
+	// the in-memory shards hold only the recent tail (the memtable
+	// budget) and older versions live in immutable sorted runs under
+	// the leaf's WAL directory, so a leaf can track far more objects
+	// than fit in RAM and recovery replays only the short WAL tail.
+	// Requires WALDir (unless TierConfig.Dir is set per deployment);
+	// mutually exclusive with AutoShard. Zero fields take the
+	// documented defaults.
+	Tiering *TierConfig
 	// WALDir enables durable server state. Every server persists its
 	// visitorDB (the forwarding paths of paper Section 5) to
 	// <dir>/<id>-visitors.wal, and every leaf additionally keeps one
@@ -197,6 +211,14 @@ func NewLocal(cfg LocalConfig) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
 	}
+	if cfg.Tiering != nil {
+		if cfg.WALDir == "" && cfg.Tiering.Dir == "" {
+			return nil, fmt.Errorf("%w: Tiering requires WALDir (or an explicit TierConfig.Dir)", core.ErrBadRequest)
+		}
+		if cfg.AutoShard != nil {
+			return nil, fmt.Errorf("%w: Tiering and AutoShard are mutually exclusive", core.ErrBadRequest)
+		}
+	}
 	net := transport.NewInproc(opts)
 	spec := hierarchy.Spec{RootArea: cfg.Area, Levels: cfg.Levels, RootPartitions: cfg.RootPartitions}
 	base := server.Options{
@@ -209,6 +231,21 @@ func NewLocal(cfg LocalConfig) (*Service, error) {
 		EnableAreaCache:  cfg.EnableCaches,
 		EnableAgentCache: cfg.EnableCaches,
 		EnablePosCache:   cfg.EnableCaches,
+	}
+	// Tiering is per-leaf state: each leaf gets its own TierConfig whose
+	// Dir is distinct — by default the run files live next to the leaf's
+	// WAL segments (store.TierConfig defaults Dir to the WAL directory);
+	// an explicit Dir is subdivided per leaf so deployments never share
+	// run files.
+	tierFor := func(rec store.ConfigRecord) *store.TierConfig {
+		if cfg.Tiering == nil || !rec.IsLeaf() {
+			return nil
+		}
+		tc := *cfg.Tiering
+		if tc.Dir != "" {
+			tc.Dir = filepath.Join(tc.Dir, rec.ID)
+		}
+		return &tc
 	}
 	var customize func(store.ConfigRecord, server.Options) (server.Options, error)
 	if cfg.WALDir != "" {
@@ -229,7 +266,13 @@ func NewLocal(cfg LocalConfig) (*Service, error) {
 					return o, err
 				}
 				o.SightingWAL = sw
+				o.Tiering = tierFor(rec)
 			}
+			return o, nil
+		}
+	} else if cfg.Tiering != nil {
+		customize = func(rec store.ConfigRecord, o server.Options) (server.Options, error) {
+			o.Tiering = tierFor(rec)
 			return o, nil
 		}
 	}
