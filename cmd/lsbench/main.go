@@ -16,6 +16,7 @@
 //	lsbench -table R      # resilience: retry/breaker overhead, degraded queries, recovery time
 //	lsbench -table E      # event pipeline: indexed delta evaluation vs evaluate-all
 //	lsbench -table L      # tiered (LSM) sighting storage: bigger-than-RAM leaves, tail-only recovery
+//	lsbench -table F      # hot-standby replication: steady-state overhead, failover-to-first-query latency
 //	lsbench -table all    # everything
 //	lsbench -quick        # smaller populations, faster runs
 //
@@ -77,9 +78,10 @@ func main() {
 	run("R", tableResilience)
 	run("E", tableEvents)
 	run("L", tableLSM)
+	run("F", tableRepl)
 
 	switch *table {
-	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W", "B", "R", "E", "L", "all":
+	case "1", "2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W", "B", "R", "E", "L", "F", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(1)
@@ -1715,6 +1717,248 @@ func tableLSM(quick bool) {
 	if tailDur > 0 {
 		fmt.Printf("speedup: %.1fx\n", fullDur.Seconds()/tailDur.Seconds())
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Table F: hot-standby leaf replication. Phase 1 measures what mirroring
+// costs a fault-free deployment: the same tiered 2x2 hierarchy with and
+// without standbys attached, synchronous updates only — the WAL tee rides
+// the update path's WAL writer, so this is the honest steady-state
+// overhead of streaming every committed batch to a peer (acceptance:
+// <= 15% against the unreplicated run). Phase 2 measures the outage a
+// client sees: kill a leaf, let the parent's health monitor promote the
+// standby and rebind the child slot, and time from the kill to the first
+// successful position query for an object homed on the dead leaf.
+// Recorded runs live in BENCH_replication.json.
+
+func tableRepl(quick bool) {
+	fleet, rounds := 96, 25
+	if quick {
+		fleet, rounds = 24, 6
+	}
+	fmt.Printf("\nTable F: hot-standby leaf replication (%d objects x %d update rounds)\n\n", fleet, rounds)
+
+	const (
+		replShards  = 4
+		healthEvery = 100 * time.Millisecond // parent probe cadence in phase 2
+	)
+	spec := hierarchy.Spec{
+		RootArea: geo.R(0, 0, 1500, 1500),
+		Levels:   []hierarchy.Level{{Rows: 2, Cols: 2}},
+	}
+	rootArea := core.AreaFromRect(spec.RootArea)
+	quadrant := func(i int) geo.Point {
+		qx, qy := float64(i%2), float64((i/2)%2)
+		return geo.Pt(100+qx*750+float64(i%30), 100+qy*750+float64((i/30)%30))
+	}
+	// The memtable budget is small enough that the update rounds flush
+	// runs mid-measurement: steady state includes run shipping, not just
+	// the WAL-tail stream.
+	tierCfg := func() *store.TierConfig {
+		return &store.TierConfig{MemtableBytes: 64 << 10, MaxRuns: 4}
+	}
+	leafStore := func(walDir, id string, o server.Options) (server.Options, error) {
+		vw, err := store.OpenFileWAL(walDir + "/" + id + "-visitors.wal")
+		if err != nil {
+			return o, err
+		}
+		o.WAL = vw
+		sw, err := store.OpenShardedWAL(walDir+"/"+id+"-sightings", replShards)
+		if err != nil {
+			vw.Close()
+			return o, err
+		}
+		o.SightingWAL = sw
+		o.Tiering = tierCfg()
+		return o, nil
+	}
+
+	// deploy builds the tiered hierarchy, with hot standbys attached when
+	// replicated, and returns a teardown closure.
+	deploy := func(net *transport.Inproc, srvOpts server.Options, replicated, monitored bool) (*hierarchy.Deployment, map[msg.NodeID]*server.Server, func()) {
+		walDir, err := os.MkdirTemp("", "lsbench-repl")
+		if err != nil {
+			fatal(err)
+		}
+		dep, err := hierarchy.DeployWith(net, spec, srvOpts, func(cfg store.ConfigRecord, o server.Options) (server.Options, error) {
+			if cfg.IsLeaf() {
+				if replicated {
+					o.ReplPeer = cfg.ID + "~s"
+				}
+				return leafStore(walDir, cfg.ID, o)
+			}
+			if replicated && monitored {
+				o.Replicas = make(map[string]string, len(cfg.Children))
+				for _, ch := range cfg.Children {
+					o.Replicas[ch.ID] = ch.ID + "~s"
+				}
+				o.ReplHealthInterval = healthEvery
+			}
+			return o, nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		standbys := make(map[msg.NodeID]*server.Server)
+		if replicated {
+			for _, rec := range dep.Configs {
+				if !rec.IsLeaf() {
+					continue
+				}
+				sb := rec
+				sb.ID = rec.ID + "~s"
+				o := srvOpts
+				o.ReplPeer = rec.ID
+				o.ReplStandby = true
+				o, err = leafStore(walDir, sb.ID, o)
+				if err != nil {
+					fatal(err)
+				}
+				s, serr := server.New(sb, rootArea, net, o)
+				if serr != nil {
+					fatal(serr)
+				}
+				standbys[msg.NodeID(rec.ID)] = s
+			}
+		}
+		return dep, standbys, func() {
+			for _, s := range standbys {
+				s.Close()
+			}
+			dep.Close()
+			os.RemoveAll(walDir)
+		}
+	}
+
+	// Phase 1: fault-free steady-state overhead on the LAN model.
+	runCfg := func(replicated bool) time.Duration {
+		net := transport.NewInproc(transport.InprocOptions{
+			Latency: func(_, _ msg.NodeID) time.Duration { return 200 * time.Microsecond },
+		})
+		defer net.Close()
+		dep, _, teardown := deploy(net, server.Options{JanitorInterval: 50 * time.Millisecond}, replicated, false)
+		defer teardown()
+
+		ctx := context.Background()
+		entry, _ := dep.LeafFor(geo.Pt(100, 100))
+		cl, err := client.New(net, "bench-client", entry, client.Options{Timeout: 10 * time.Second})
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		objs := make([]*client.TrackedObject, fleet)
+		for i := range objs {
+			obj, rerr := cl.Register(ctx, core.Sighting{
+				OID: core.OID(fmt.Sprintf("f-%d", i)), T: time.Now(),
+				Pos: quadrant(i), SensAcc: 10,
+			}, 10, 100, 3)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			objs[i] = obj
+		}
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for i, obj := range objs {
+				p := quadrant(i)
+				p.X += float64(r%5) * 2
+				if uerr := obj.Update(ctx, core.Sighting{
+					OID: core.OID(fmt.Sprintf("f-%d", i)), T: time.Now(), Pos: p, SensAcc: 10,
+				}); uerr != nil {
+					fatal(uerr)
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	minDur := func(a, b time.Duration) time.Duration {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	base, repl := runCfg(false), runCfg(true)
+	base, repl = minDur(base, runCfg(false)), minDur(repl, runCfg(true))
+	fmt.Printf("%-30s %12s %14s\n", "config", "updates/s", "elapsed ms")
+	report := func(label string, d time.Duration) {
+		fmt.Printf("%-30s %12.0f %14.1f\n", label, float64(fleet*rounds)/d.Seconds(), d.Seconds()*1000)
+	}
+	report("unreplicated (tiered)", base)
+	report("replicated (WAL tee + runs)", repl)
+	overhead := (repl.Seconds() - base.Seconds()) / base.Seconds() * 100
+	fmt.Printf("\nsteady-state overhead: %+.1f%% (acceptance: <= 15%%)\n", overhead)
+
+	// Phase 2: failover. The root monitors every leaf pair; killing r.0
+	// must promote r.0~s and rebind the child slot without operator
+	// action. The clock runs from the kill to the first successful
+	// position query for an object the dead leaf was agent of, issued
+	// through a live entry leaf — it covers detection (3 failed probes),
+	// promotion, rebinding and the query retry that finally lands.
+	reg := metrics.NewRegistry()
+	net := transport.NewInproc(transport.InprocOptions{
+		Metrics:          reg,
+		SweepInterval:    10 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
+	})
+	defer net.Close()
+	dep, standbys, teardown := deploy(net,
+		server.Options{
+			Metrics:         reg,
+			JanitorInterval: 50 * time.Millisecond,
+			CallTimeout:     150 * time.Millisecond,
+			QueryTimeout:    400 * time.Millisecond,
+		},
+		true, true)
+	defer teardown()
+
+	ctx := context.Background()
+	cl, err := client.New(net, "failover-client", "r.1", client.Options{
+		Timeout: 10 * time.Second,
+		Retry:   transport.DefaultRetryPolicy(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < fleet; i++ {
+		if _, rerr := cl.Register(ctx, core.Sighting{
+			OID: core.OID(fmt.Sprintf("f-%d", i)), T: time.Now(),
+			Pos: quadrant(i), SensAcc: 10,
+		}, 10, 100, 3); rerr != nil {
+			fatal(rerr)
+		}
+	}
+	// Wait for the standby mirror of the victim's quarter to be complete,
+	// so the failover serves every object, then pull the plug.
+	victim := msg.NodeID("r.0")
+	heir := standbys[victim]
+	syncFrom := time.Now()
+	for heir.SightingCount() < dep.Servers[victim].SightingCount() ||
+		heir.VisitorCount() < dep.Servers[victim].VisitorCount() {
+		if time.Since(syncFrom) > 30*time.Second {
+			fatal(fmt.Errorf("standby of %s never caught up", victim))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	net.SetNodeDown(victim, true)
+	killedAt := time.Now()
+	for {
+		qctx, cancel := context.WithTimeout(ctx, time.Second)
+		ld, qerr := cl.PosQuery(qctx, "f-0")
+		cancel()
+		if qerr == nil && ld.Pos == quadrant(0) {
+			break
+		}
+		if time.Since(killedAt) > 30*time.Second {
+			fatal(fmt.Errorf("no successful query %v after killing %s", time.Since(killedAt), victim))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	toFirstQuery := time.Since(killedAt)
+	fmt.Printf("\nfailover: %.0f ms from leaf kill to first successful position query\n", toFirstQuery.Seconds()*1000)
+	fmt.Printf("(probe cadence %v, 3-failure threshold, %d failover(s), %d probe failure(s))\n",
+		healthEvery, reg.Counter("repl_failovers").Value(), reg.Counter("repl_probe_failures").Value())
 }
 
 func fatal(err error) {

@@ -46,9 +46,15 @@ const (
 	TagDiagRes          Tag = 31
 	TagAck              Tag = 32
 	TagErrorRes         Tag = 33
+	TagReplAppend       Tag = 34
+	TagReplAck          Tag = 35
+	TagRunFetch         Tag = 36
+	TagRunFetchRes      Tag = 37
+	TagPromote          Tag = 38
+	TagPromoteRes       Tag = 39
 
 	// tagEnd is one past the highest assigned tag.
-	tagEnd Tag = 34
+	tagEnd Tag = 40
 )
 
 // tagNames indexes message type names by tag, for diagnostics (oversize
@@ -87,6 +93,12 @@ var tagNames = [tagEnd]string{
 	TagDiagRes:          "DiagRes",
 	TagAck:              "Ack",
 	TagErrorRes:         "ErrorRes",
+	TagReplAppend:       "ReplAppend",
+	TagReplAck:          "ReplAck",
+	TagRunFetch:         "RunFetch",
+	TagRunFetchRes:      "RunFetchRes",
+	TagPromote:          "Promote",
+	TagPromoteRes:       "PromoteRes",
 }
 
 // String returns the message type name the tag identifies.
@@ -183,6 +195,18 @@ func TagOf(m Message) (Tag, bool) {
 		return TagAck, true
 	case ErrorRes:
 		return TagErrorRes, true
+	case ReplAppend:
+		return TagReplAppend, true
+	case ReplAck:
+		return TagReplAck, true
+	case RunFetch:
+		return TagRunFetch, true
+	case RunFetchRes:
+		return TagRunFetchRes, true
+	case Promote:
+		return TagPromote, true
+	case PromoteRes:
+		return TagPromoteRes, true
 	}
 	return TagInvalid, false
 }

@@ -267,7 +267,7 @@ func (s *Server) handleRangeQueryFwd(from msg.NodeID, req msg.RangeQueryFwd) {
 	// (except the one the query came from) …
 	var failed []msg.NodeID
 	failedCover := 0.0
-	for _, child := range s.cfg.Children {
+	for _, child := range s.childRecords() {
 		if msg.NodeID(child.ID) == from {
 			continue
 		}

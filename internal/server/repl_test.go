@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"locsvc/internal/core"
+	"locsvc/internal/geo"
+	"locsvc/internal/msg"
+	"locsvc/internal/store"
+	"locsvc/internal/transport"
+)
+
+// Pair-level replication tests: two leaves wired as primary/standby on an
+// in-process network, driven through the internal store surfaces so the
+// protocol (WAL-tail streaming, snapshots, run shipping, fencing) is
+// exercised without a hierarchy around it. The hierarchy-level failover
+// soak lives in internal/hierarchy.
+
+const replTestShards = 4
+
+func replTestArea() core.Area { return core.AreaFromRect(geo.R(0, 0, 1000, 1000)) }
+
+// newReplLeaf builds one half of a pair. tier == nil runs the plain
+// WAL-backed store; otherwise the tiered one (runs land in the WAL dir).
+func newReplLeaf(t *testing.T, net *transport.Inproc, id, peer string, standby bool, tier *store.TierConfig) *Server {
+	t.Helper()
+	wal, err := store.OpenShardedWAL(t.TempDir(), replTestShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		SightingWAL:     wal,
+		ReplPeer:        peer,
+		ReplStandby:     standby,
+		JanitorInterval: 20 * time.Millisecond,
+	}
+	if tier != nil {
+		opts.Tiering = tier
+	}
+	cfg := store.ConfigRecord{ID: id, SA: replTestArea()}
+	s, err := New(cfg, replTestArea(), net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func replSighting(i int) core.Sighting {
+	return core.Sighting{
+		OID:     core.OID(fmt.Sprintf("o%03d", i)),
+		T:       time.Now(),
+		Pos:     geo.Pt(float64(1+i%999), float64(1+(i*7)%999)),
+		SensAcc: 5,
+	}
+}
+
+// mirrored reports whether standby holds exactly the primary's n objects
+// at the primary's positions.
+func mirrored(primary, standby *Server, n int) bool {
+	if standby.sightings.Len() != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		id := core.OID(fmt.Sprintf("o%03d", i))
+		want, ok := primary.sightings.Get(id)
+		if !ok {
+			return false
+		}
+		got, ok := standby.sightings.Get(id)
+		if !ok || got.Pos != want.Pos || !got.T.Equal(want.T) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReplPairMirrorsWrites(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	a := newReplLeaf(t, net, "leafA", "leafB", false, nil)
+	b := newReplLeaf(t, net, "leafB", "leafA", true, nil)
+
+	const n = 120
+	for i := 0; i < n; i++ {
+		s := replSighting(i)
+		a.pipe.Put(s)
+		if err := a.visitors.Put(store.VisitorRecord{OID: s.OID, OfferedAcc: 10, PathT: s.T}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "standby mirror of puts", func() bool {
+		return mirrored(a, b, n) && b.visitors.Len() == n
+	})
+
+	// Removals stream too.
+	a.sightings.Remove("o000")
+	if _, err := a.visitors.Remove("o000"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "standby mirror of removes", func() bool {
+		_, ok := b.sightings.Get("o000")
+		_, vok := b.visitors.Get("o000")
+		return !ok && !vok && b.sightings.Len() == n-1
+	})
+
+	if got := a.repl.role(); got != replRolePrimary {
+		t.Errorf("a role = %s, want primary", got)
+	}
+	if got := b.repl.role(); got != replRoleStandby {
+		t.Errorf("b role = %s, want standby", got)
+	}
+}
+
+func TestReplStandbyBootstrapsFromSnapshot(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	a := newReplLeaf(t, net, "leafA", "leafB", false, nil)
+
+	// The standby does not exist yet: the primary's senders retry into
+	// the void while state accumulates.
+	const n = 80
+	for i := 0; i < n; i++ {
+		a.pipe.Put(replSighting(i))
+	}
+	if err := a.visitors.Put(store.VisitorRecord{OID: "o000", OfferedAcc: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newReplLeaf(t, net, "leafB", "leafA", true, nil)
+	waitUntil(t, "late-started standby to catch up", func() bool {
+		return mirrored(a, b, n) && b.visitors.Len() == 1
+	})
+	if got := b.repl.resyncs.Load(); got == 0 {
+		t.Error("standby caught up without a snapshot resync")
+	}
+}
+
+func TestReplPromoteFencesZombiePrimary(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	a := newReplLeaf(t, net, "leafA", "leafB", false, nil)
+	b := newReplLeaf(t, net, "leafB", "leafA", true, nil)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		a.pipe.Put(replSighting(i))
+	}
+	waitUntil(t, "standby in sync before promotion", func() bool { return mirrored(a, b, n) })
+
+	// The parent's decision, minus the parent: promote the standby.
+	res, err := b.handlePromote(msg.Promote{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := res.(msg.PromoteRes).Epoch
+	if epoch < 2 {
+		t.Fatalf("promotion epoch = %d, want >= 2", epoch)
+	}
+	if b.repl.role() != replRolePrimary {
+		t.Fatalf("standby did not take the primary role")
+	}
+
+	// A zombie's late append carries the old epoch: the new primary must
+	// reject it without applying anything.
+	stale := replSighting(n)
+	ack, err := b.handleReplAppend(msg.ReplAppend{
+		Epoch:    1,
+		Stream:   b.sightings.ShardFor(stale.OID),
+		FirstSeq: uint64(n + 1),
+		Recs:     []msg.ReplRecord{{Op: msg.ReplSightingPut, Sightings: []core.Sighting{stale}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack := ack.(msg.ReplAck); !rack.Fenced || rack.Epoch != epoch {
+		t.Fatalf("stale append ack = %+v, want fenced at epoch %d", rack, epoch)
+	}
+	if _, ok := b.sightings.Get(stale.OID); ok {
+		t.Error("fenced write leaked to the new primary")
+	}
+	if got := b.repl.fenced.Load(); got == 0 {
+		t.Error("new primary counted no fenced appends")
+	}
+
+	// The zombie keeps writing; between its own fenced stream and the new
+	// primary's reverse stream (higher epoch) it must end up a standby.
+	a.pipe.Put(replSighting(n))
+	waitUntil(t, "zombie to be fenced into standby", func() bool {
+		return a.repl.role() == replRoleStandby && a.sightings.(*store.ShardedSightingDB).ReplStandby()
+	})
+	fresh := core.Sighting{OID: "fresh", T: time.Now(), Pos: geo.Pt(500, 500), SensAcc: 5}
+	b.pipe.Put(fresh)
+	waitUntil(t, "reversed stream to heal the old primary", func() bool {
+		got, ok := a.sightings.Get("fresh")
+		return ok && got.Pos == fresh.Pos
+	})
+
+	// A demoted leaf redirects update traffic to its peer.
+	probe, err := net.Attach("probe", func(ctx context.Context, from msg.NodeID, m msg.Message) (msg.Message, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ures, err := probe.Call(ctx, "leafA", msg.UpdateReq{S: replSighting(1), Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := ures.(msg.UpdateRes); !moved.Moved || moved.NewAgent != "leafB" {
+		t.Errorf("standby update reply = %+v, want redirect to leafB", moved)
+	}
+}
+
+func TestReplRunShippingMirrorsTier(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	tier := func() *store.TierConfig {
+		return &store.TierConfig{MemtableBytes: 8 << 10, MaxRuns: 3}
+	}
+	a := newReplLeaf(t, net, "leafA", "leafB", false, tier())
+	b := newReplLeaf(t, net, "leafB", "leafA", true, tier())
+
+	sdbA := a.sightings.(*store.ShardedSightingDB)
+	sdbB := b.sightings.(*store.ShardedSightingDB)
+
+	// Enough volume that the janitor's MaintainTiers flushes several
+	// memtables into runs (and likely compacts).
+	const n = 600
+	for i := 0; i < n; i++ {
+		a.pipe.Put(replSighting(i))
+	}
+	waitUntil(t, "primary to flush runs", func() bool {
+		return sdbA.TierStats().Runs > 0
+	})
+	waitUntil(t, "standby to install the primary's runs", func() bool {
+		sa, sb := sdbA.TierStats(), sdbB.TierStats()
+		return sb.Runs == sa.Runs && mirrored(a, b, n)
+	})
+	if got := b.repl.runsInstalled.Load(); got == 0 {
+		t.Error("standby installed runs without fetching any")
+	}
+
+	// The mirror must hold through a primary-side compaction as well.
+	if err := sdbA.MaintainTiers(); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "standby to track post-compaction run list", func() bool {
+		sa, sb := sdbA.TierStats(), sdbB.TierStats()
+		return sb.Runs == sa.Runs && sb.DiskLive == sa.DiskLive && mirrored(a, b, n)
+	})
+}
+
+// TestReplCloseUnderLoad is the shutdown-ordering regression test: both
+// halves of a churning tiered pair close while writers hammer the primary
+// and replication applies, run fetches and flushes are in flight. Close
+// must drain every goroutine before the WAL and tier manifests go away —
+// a mis-ordered teardown shows up here as a deadlock (test timeout), a
+// race-detector report, or a panic on a closed WAL.
+func TestReplCloseUnderLoad(t *testing.T) {
+	net := transport.NewInproc(transport.InprocOptions{})
+	defer net.Close()
+	tier := func() *store.TierConfig {
+		return &store.TierConfig{MemtableBytes: 8 << 10, MaxRuns: 2}
+	}
+	a := newReplLeaf(t, net, "leafA", "leafB", false, tier())
+	b := newReplLeaf(t, net, "leafB", "leafA", true, tier())
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.pipe.Put(replSighting(w*10000 + i%500))
+			}
+		}(w)
+	}
+	// Let flushes, run shipping and the streams churn before pulling the
+	// plug with the writers still running.
+	waitUntil(t, "replication churn before close", func() bool {
+		return b.sightings.Len() > 0
+	})
+	time.Sleep(100 * time.Millisecond)
+
+	closed := make(chan struct{})
+	go func() {
+		b.Close() // standby first: applies and fetches are mid-flight
+		a.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close deadlocked under load")
+	}
+	close(stop)
+	writers.Wait()
+}

@@ -9,12 +9,46 @@
 // their service area; non-leaf servers hold forwarding references only.
 // Servers communicate exclusively through their transport.Node, so the same
 // implementation runs on the in-process simulation network and over UDP.
+//
+// # Replication and failover
+//
+// A leaf can run as half of a hot-standby pair (Options.ReplPeer). The
+// primary tees every committed WAL batch — sighting puts/removes per
+// shard, visitor records on a separate stream — to per-stream senders that
+// ship it to the standby in seq-numbered, ack-windowed batches; flushed
+// and compacted run files are not re-streamed but fetched by name (run
+// shipping) and installed under the standby's manifest after footer-CRC
+// verification. A standby answers position and range queries from its
+// mirror but redirects updates to the primary; a gap or a late start is
+// healed by a full-shard snapshot resync.
+//
+// Failover is driven by the pair's parent (Options.Replicas): it probes
+// each primary every ReplHealthInterval and, after ReplFailThreshold
+// consecutive failures, promotes the standby and rebinds the child slot
+// and its visitors' forwarding records. Every promotion raises the pair's
+// fencing epoch, and every replication message carries one: a zombie
+// primary that kept writing through a partition has its appends rejected
+// ("fenced") by the higher epoch, and on seeing the higher epoch in an ack
+// or reverse stream it demotes itself to standby and catches up.
+//
+// What failover loses is the unacked WAL tail: updates the old primary
+// acknowledged but whose tee batches had not yet been applied by the
+// standby when the primary died. Durability of those records is not lost —
+// they are in the old primary's WAL and return on its recovery as a
+// standby — but until then queries served by the new primary may be that
+// many records stale. The sequence-numbered streams make replay after
+// reconnect idempotent. One post-promotion subtlety: the dedupe window
+// (Options.DedupeWindow) is not replicated, so a client retry that
+// straddles a failover can be applied a second time by the new primary.
+// Both applications carry the same sighting timestamp and the stores apply
+// via PutIfNewer, so the double-apply is harmless to query answers.
 package server
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locsvc/internal/core"
@@ -130,6 +164,28 @@ type Options struct {
 	// re-reports, healing state a lost report or dropped delta left
 	// stale. Default 30s.
 	EventResyncInterval time.Duration
+	// ReplPeer names this leaf's hot-standby replication peer (see
+	// repl.go). Requires SightingWAL (the WAL tail is the replication
+	// stream) and excludes AutoShard (streams are per-shard, so the
+	// count is pinned). With ReplStandby false the server starts as the
+	// pair's primary, streaming its committed writes to the peer.
+	ReplPeer string
+	// ReplStandby starts the server in the standby role: it mirrors the
+	// peer's state, redirects update traffic to it and never
+	// restructures its tier on its own, until a Promote makes it
+	// primary.
+	ReplStandby bool
+	// Replicas, on a non-leaf, maps primary child ids to their standby
+	// ids. The server health-checks each primary and, after
+	// ReplFailThreshold consecutive probe failures, promotes the standby
+	// and rebinds the child record to it.
+	Replicas map[string]string
+	// ReplHealthInterval is the probe cadence (and per-probe timeout) of
+	// the failover monitor. Default 500ms.
+	ReplHealthInterval time.Duration
+	// ReplFailThreshold is how many consecutive probe failures trigger a
+	// failover. Default 3.
+	ReplFailThreshold int
 }
 
 // withDefaults fills unset options.
@@ -186,6 +242,12 @@ func (o Options) withDefaults() Options {
 	if o.EventResyncInterval <= 0 {
 		o.EventResyncInterval = 30 * time.Second
 	}
+	if o.ReplHealthInterval <= 0 {
+		o.ReplHealthInterval = 500 * time.Millisecond
+	}
+	if o.ReplFailThreshold <= 0 {
+		o.ReplFailThreshold = 3
+	}
 	return o
 }
 
@@ -215,6 +277,14 @@ type Server struct {
 	// dedupe remembers a leaf's replies to Seq-stamped requests so a
 	// transport-level retry is applied exactly once; nil on non-leaves.
 	dedupe *dedupe
+
+	// repl, on a leaf with a replication peer, is its half of the
+	// primary/standby pair (repl.go); nil otherwise.
+	repl *replState
+	// children, once a failover rebound a child, holds the current child
+	// list; nil means cfg.Children is authoritative. Read through
+	// childRecords/childFor.
+	children atomic.Pointer[[]store.ChildRecord]
 
 	// autoShard, on leaves that enabled it, is the adaptive shard-count
 	// policy the janitor feeds; gaugedShards tracks how many per-shard
@@ -295,6 +365,18 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 			closeWALs()
 			return nil, fmt.Errorf("server %s: Tiering requires a SightingWAL or an explicit TierConfig.Dir", cfg.ID)
 		}
+		if opts.ReplPeer != "" {
+			if opts.SightingWAL == nil {
+				visitors.Close()
+				closeWALs()
+				return nil, fmt.Errorf("server %s: ReplPeer requires a SightingWAL (the WAL tail is the replication stream)", cfg.ID)
+			}
+			if opts.AutoShard != nil {
+				visitors.Close()
+				closeWALs()
+				return nil, fmt.Errorf("server %s: ReplPeer and AutoShard are mutually exclusive (streams are per-shard)", cfg.ID)
+			}
+		}
 		sopts := []store.SightingDBOption{
 			store.WithIndex(opts.Index),
 			store.WithTTL(opts.SightingTTL),
@@ -353,6 +435,18 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 		}
 		s.pipe = store.NewUpdatePipeline(s.sightings, popts...)
 		s.dedupe = newDedupe(opts.DedupeWindow, opts.DedupeCap, opts.Clock)
+		if opts.ReplPeer != "" {
+			// The SightingWAL branch above guarantees the sharded store.
+			sdb := s.sightings.(*store.ShardedSightingDB)
+			r := newReplState(s, msg.NodeID(opts.ReplPeer), sdb, opts.ReplStandby)
+			s.repl = r
+			if opts.ReplStandby {
+				sdb.SetReplStandby(true)
+			}
+			opts.SightingWAL.SetReplTee(r)
+			sdb.SetReplNotify(r.notifyRuns)
+			visitors.SetReplTee(r)
+		}
 	}
 	node, err := network.Attach(msg.NodeID(cfg.ID), s.handle)
 	if err != nil {
@@ -368,6 +462,16 @@ func New(cfg store.ConfigRecord, rootArea core.Area, network transport.Network, 
 	if s.events.work != nil {
 		s.wg.Add(1)
 		go s.eventDispatcher()
+	}
+	if s.repl != nil {
+		for _, st := range s.repl.streams {
+			s.wg.Add(1)
+			go s.repl.sender(st)
+		}
+	}
+	if !cfg.IsLeaf() && len(opts.Replicas) > 0 {
+		s.wg.Add(1)
+		go s.replMonitor()
 	}
 	return s, nil
 }
@@ -411,8 +515,14 @@ func (s *Server) leafInfo() msg.LeafInfo {
 	return msg.LeafInfo{ID: s.ID(), Area: s.cfg.SA}
 }
 
-// Close detaches the server from the network and stops its janitor. The
-// visitorDB (and thus the WAL) is closed as well.
+// Close detaches the server from the network, stops its background
+// goroutines and closes the stores. The order is load-bearing: stopped
+// flips first (no new background work or replication applies start),
+// then the node detaches (in-flight outbound calls resolve instead of
+// waiting out their timeouts), and only after every tracked goroutine —
+// janitor, event dispatcher, notifier drains, path retries, replication
+// senders and in-flight replication applies — has drained do the WALs
+// and tier manifests close underneath them.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -420,10 +530,13 @@ func (s *Server) Close() error {
 		s.stopped = true
 		s.bgMu.Unlock()
 		close(s.stop)
-		s.wg.Wait()
+		if s.repl != nil {
+			s.repl.wake()
+		}
 		if nerr := s.node.Close(); nerr != nil {
 			err = nerr
 		}
+		s.wg.Wait()
 		if verr := s.visitors.Close(); verr != nil && err == nil {
 			err = verr
 		}
@@ -508,6 +621,14 @@ func (s *Server) handle(ctx context.Context, from msg.NodeID, m msg.Message) (ms
 		s.handleEventCount(req)
 		return nil, nil
 
+	// Replication (primary/standby leaf pairs, repl.go).
+	case msg.ReplAppend:
+		return s.handleReplAppend(req)
+	case msg.RunFetch:
+		return s.handleRunFetch(req)
+	case msg.Promote:
+		return s.handlePromote(req)
+
 	// Diagnostics.
 	case msg.DiagReq:
 		return s.handleDiag()
@@ -551,7 +672,16 @@ func (s *Server) janitor() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
-			s.expireVisitors(s.sightings.Expired())
+			// A standby never expires soft state on its own: removals
+			// (including expiry) replicate from the primary, and expiring
+			// locally would diverge the mirror and tear down forwarding
+			// paths the primary still serves.
+			if s.repl == nil || s.repl.primary.Load() {
+				s.expireVisitors(s.sightings.Expired())
+			}
+			if s.repl != nil {
+				s.repl.updateGauges()
+			}
 			if sdb, ok := s.sightings.(*store.ShardedSightingDB); ok {
 				// Surface a dead sighting WAL once: the store keeps
 				// serving (soft state), but the operator must learn

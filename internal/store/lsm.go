@@ -256,6 +256,10 @@ func (db *ShardedSightingDB) flushShardLocked(sh *sightingShard, shard int) erro
 			return fmt.Errorf("store: resetting WAL segment after flush of shard %d: %w", shard, err)
 		}
 	}
+	// Notify replication after the segment drain: every put the new run
+	// covers has been teed to the standby by the time the drain's barrier
+	// released, so a ClearMem record enqueued now is ordered after them.
+	db.notifyRepl(shard, newRuns, t.nextSeq.Load(), true)
 	return nil
 }
 
@@ -317,6 +321,7 @@ func (db *ShardedSightingDB) compactShardTier(sh *sightingShard, shard int) erro
 		return err
 	}
 	t.runs = newRuns
+	db.notifyRepl(shard, newRuns, t.nextSeq.Load(), false)
 	sh.mu.Unlock()
 	for _, r := range snap {
 		r.retire(true) // off the manifest: delete once in-flight readers finish
@@ -611,7 +616,10 @@ func (c *sliceCursor) Close() {}
 // or while another maintenance/compaction pass holds the resize lock.
 func (db *ShardedSightingDB) MaintainTiers() error {
 	ts := db.tier
-	if ts == nil || !ts.warmed.Load() {
+	if ts == nil || !ts.warmed.Load() || db.replStandby.Load() {
+		// A standby never restructures its tier on its own: its run list
+		// mirrors the primary's and changes only through ReplInstallRuns /
+		// ReplInstallSnapshot.
 		return nil
 	}
 	if !db.resizeMu.TryLock() {
@@ -660,7 +668,7 @@ func (db *ShardedSightingDB) MaintainTiers() error {
 // held; best-effort (the put itself already committed).
 func (db *ShardedSightingDB) maybeFlushBackpressure(sh *sightingShard, shard int) {
 	ts := db.tier
-	if ts == nil || sh.tier == nil || sh.memBytes <= 2*ts.budget {
+	if ts == nil || sh.tier == nil || sh.memBytes <= 2*ts.budget || db.replStandby.Load() {
 		return
 	}
 	if err := db.flushShardLocked(sh, shard); err != nil {

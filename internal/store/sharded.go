@@ -83,6 +83,13 @@ type ShardedSightingDB struct {
 	// behind the memtable. Nil on all-RAM stores — the default, and the
 	// differential-testing oracle for the tiered mode.
 	tier *tierState
+
+	// replNotify, when set, observes every tier-structure change (flush,
+	// compaction) for run shipping to a standby; replStandby suppresses
+	// local tier maintenance while this store mirrors a primary. See
+	// repl.go.
+	replNotify  atomic.Pointer[replNotifyBox]
+	replStandby atomic.Bool
 }
 
 // shardGen is one generation of the id→shard mapping: an epoch number, the

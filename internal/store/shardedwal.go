@@ -96,8 +96,83 @@ type ShardedWAL struct {
 	errMu sync.Mutex
 	err   error // first append failure, sticky
 
+	// tee, when set, observes every committed sighting record in per-shard
+	// commit order (see SetReplTee).
+	tee atomic.Pointer[replTeeBox]
+
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// ReplTee observes committed sighting-WAL records. The asynchronous mode
+// calls it from each shard's writer goroutine immediately after the
+// records reach the OS, so a teed record is always also durable locally;
+// the synchronous mode calls it inline under the store's shard lock.
+// Either way calls for one shard arrive in that shard's commit order.
+//
+// Implementations must not block (the writer goroutine, and in WithSync
+// mode the update path, stalls behind them) and must copy the TeePut
+// batch before returning — the slice is recycled.
+type ReplTee interface {
+	// TeePut observes one committed put batch.
+	TeePut(shard int, batch []core.Sighting)
+	// TeeRemove observes one committed removal.
+	TeeRemove(shard int, id core.OID)
+	// TeeMark observes a marker enqueued by Mark, at its exact position
+	// in the shard's commit order. Markers carry no state and are never
+	// written to disk; replication snapshots use them to pin where in the
+	// stream a snapshot was taken.
+	TeeMark(shard int, token uint64)
+}
+
+// replTeeBox wraps the tee for atomic.Pointer storage.
+type replTeeBox struct{ t ReplTee }
+
+// SetReplTee installs (or, with nil, removes) the replication tee.
+func (w *ShardedWAL) SetReplTee(t ReplTee) {
+	if t == nil {
+		w.tee.Store(nil)
+		return
+	}
+	w.tee.Store(&replTeeBox{t: t})
+}
+
+// replTee returns the installed tee, or nil.
+func (w *ShardedWAL) replTee() ReplTee {
+	if b := w.tee.Load(); b != nil {
+		return b.t
+	}
+	return nil
+}
+
+// walReplMark is the in-memory-only record op of a replication marker. It
+// flows through the shard's append buffer for ordering but is never
+// encoded to the segment file, so replay never sees it.
+const walReplMark WALOp = "replmark"
+
+// Mark enqueues a replication marker on shard's stream. The caller must
+// hold the store lock of the shard (like any append), which is what makes
+// the marker's position in the commit order meaningful: every record
+// appended before it under that lock is teed before it.
+func (w *ShardedWAL) Mark(shard int, token uint64) error {
+	if w.down.Load() {
+		return w.Err()
+	}
+	w.genMu.RLock()
+	g := w.cur
+	w.genMu.RUnlock()
+	if g.bufs == nil {
+		if tee := w.replTee(); tee != nil {
+			tee.TeeMark(shard, token)
+		}
+		return nil
+	}
+	sb := &g.bufs[shard]
+	sb.mu.Lock()
+	sb.waitSpace()
+	sb.push(WALRecord{Op: walReplMark, Epoch: int64(token)})
+	sb.mu.Unlock()
+	return nil
 }
 
 // walGen is one epoch of the segment layout.
@@ -660,6 +735,9 @@ func (w *ShardedWAL) appendPutRecord(g *walGen, idx int, batch []core.Sighting, 
 			return err
 		}
 		g.appended[idx].Add(n)
+		if tee := w.replTee(); tee != nil {
+			tee.TeePut(idx, rec.Sightings)
+		}
 		return nil
 	}
 	sb := &g.bufs[idx]
@@ -692,6 +770,9 @@ func (w *ShardedWAL) AppendRemove(shard, count int, id core.OID) error {
 			return err
 		}
 		g.appended[idx].Add(1)
+		if tee := w.replTee(); tee != nil {
+			tee.TeeRemove(idx, id)
+		}
 		return nil
 	}
 	sb := &g.bufs[idx]
@@ -743,14 +824,32 @@ func (w *ShardedWAL) writer(g *walGen, shard int) {
 			out = out[:0]
 			var err error
 			for _, rec := range local {
+				if rec.Op == walReplMark {
+					continue // in-memory only: teed below, never encoded
+				}
 				if out, err = appendWALRecordJSON(out, rec, &memo); err != nil {
 					w.fail(err)
 					break
 				}
 			}
 			if err == nil && len(out) > 0 {
-				if err := seg.AppendRaw(out); err != nil {
+				if err = seg.AppendRaw(out); err != nil {
 					w.fail(err)
+				}
+			}
+			// Tee the drain in commit order now that it is durable. The tee
+			// must copy TeePut batches: local's Sightings slices are recycled
+			// into sb.free at the top of the next iteration.
+			if tee := w.replTee(); err == nil && tee != nil {
+				for _, rec := range local {
+					switch rec.Op {
+					case WALSightingBatch:
+						tee.TeePut(shard, rec.Sightings)
+					case WALSightingRemove:
+						tee.TeeRemove(shard, rec.OID)
+					case walReplMark:
+						tee.TeeMark(shard, uint64(rec.Epoch))
+					}
 				}
 			}
 		}
@@ -1106,6 +1205,13 @@ func (w *ShardedWAL) FinishCompact(shard int, live []core.Sighting) error {
 // (outside epoch 0, where no header exists) plus one live-set batch record,
 // and resets the growth counter.
 func (w *ShardedWAL) rewriteSegment(shard int, live []core.Sighting) error {
+	return w.rewriteSegmentState(shard, live, nil)
+}
+
+// rewriteSegmentState is rewriteSegment plus trailing tombstone records —
+// the rewrite a replicated snapshot install needs, where dropping the dead
+// set would resurrect run-resident versions on the next crash.
+func (w *ShardedWAL) rewriteSegmentState(shard int, live []core.Sighting, dead []core.OID) error {
 	w.genMu.RLock()
 	g := w.cur
 	w.genMu.RUnlock()
@@ -1116,11 +1222,24 @@ func (w *ShardedWAL) rewriteSegment(shard int, live []core.Sighting) error {
 	if len(live) > 0 {
 		recs = append(recs, WALRecord{Op: WALSightingBatch, Sightings: live})
 	}
+	for _, id := range dead {
+		recs = append(recs, WALRecord{Op: WALSightingRemove, OID: id})
+	}
 	if err := g.segs[shard].CompactRecords(recs); err != nil {
 		return err
 	}
 	g.appended[shard].Store(0)
 	return nil
+}
+
+// CompactShardState is CompactShard extended with a tombstone set: the
+// rewritten segment replays to exactly (live, dead). The same concurrency
+// contract as CompactShard applies.
+func (w *ShardedWAL) CompactShardState(shard int, live []core.Sighting, dead []core.OID) error {
+	if err := w.flushShard(shard); err != nil {
+		return err
+	}
+	return w.rewriteSegmentState(shard, live, dead)
 }
 
 // Close drains the append buffers, stops the writers and closes every

@@ -37,6 +37,25 @@ type VisitorDB struct {
 	mu   sync.RWMutex
 	recs map[core.OID]VisitorRecord
 	wal  WAL
+	// tee, when non-nil, observes every committed mutation inline under
+	// mu — its call order is exactly the apply order. See VisitorTee.
+	tee VisitorTee
+}
+
+// VisitorTee observes committed visitor-record mutations, in commit
+// order, for replication to a standby. Calls happen under the database
+// lock: implementations must only enqueue, never block, and must not call
+// back into the VisitorDB.
+type VisitorTee interface {
+	TeeVisitorPut(rec VisitorRecord)
+	TeeVisitorRemove(id core.OID)
+}
+
+// SetReplTee installs (or, with nil, removes) the replication tee.
+func (db *VisitorDB) SetReplTee(t VisitorTee) {
+	db.mu.Lock()
+	db.tee = t
+	db.mu.Unlock()
 }
 
 // NewVisitorDB returns a visitor database backed by wal. Pass NullWAL{} for
@@ -90,6 +109,9 @@ func (db *VisitorDB) Put(rec VisitorRecord) error {
 		return fmt.Errorf("store: appending visitor put: %w", err)
 	}
 	db.recs[rec.OID] = rec
+	if db.tee != nil {
+		db.tee.TeeVisitorPut(rec)
+	}
 	return nil
 }
 
@@ -108,6 +130,9 @@ func (db *VisitorDB) PutIfNewer(rec VisitorRecord) (bool, error) {
 		return false, fmt.Errorf("store: appending visitor put: %w", err)
 	}
 	db.recs[rec.OID] = rec
+	if db.tee != nil {
+		db.tee.TeeVisitorPut(rec)
+	}
 	return true, nil
 }
 
@@ -124,6 +149,9 @@ func (db *VisitorDB) RemoveIf(id core.OID, pred func(VisitorRecord) bool) (bool,
 		return false, fmt.Errorf("store: appending visitor remove: %w", err)
 	}
 	delete(db.recs, id)
+	if db.tee != nil {
+		db.tee.TeeVisitorRemove(id)
+	}
 	return true, nil
 }
 
@@ -139,6 +167,9 @@ func (db *VisitorDB) Remove(id core.OID) (bool, error) {
 		return false, fmt.Errorf("store: appending visitor remove: %w", err)
 	}
 	delete(db.recs, id)
+	if db.tee != nil {
+		db.tee.TeeVisitorRemove(id)
+	}
 	return true, nil
 }
 
@@ -151,6 +182,61 @@ func (db *VisitorDB) ForEach(visit func(rec VisitorRecord) bool) {
 			return
 		}
 	}
+}
+
+// ReplSnapshot passes the full live record set to fn while holding the
+// database lock, so fn's position in the tee order is exact: every
+// mutation teed before fn ran is contained in the snapshot, every one
+// teed after it was applied after. fn must only enqueue, never block.
+func (db *VisitorDB) ReplSnapshot(fn func(live []VisitorRecord)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	live := make([]VisitorRecord, 0, len(db.recs))
+	for _, rec := range db.recs {
+		live = append(live, rec)
+	}
+	fn(live)
+}
+
+// ReplReplaceAll swaps the whole record set for recs and rewrites the WAL
+// to match — the standby's snapshot-install path.
+func (db *VisitorDB) ReplReplaceAll(recs []VisitorRecord) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fresh := make(map[core.OID]VisitorRecord, len(recs))
+	for _, rec := range recs {
+		fresh[rec.OID] = rec
+	}
+	if err := db.wal.Compact(recs); err != nil {
+		return fmt.Errorf("store: rewriting visitor WAL for snapshot install: %w", err)
+	}
+	db.recs = fresh
+	return nil
+}
+
+// RewriteForward repoints every record whose ForwardRef is old to new —
+// the parent-side rebind after a child failover — logging each rewrite.
+// It returns how many records changed; on a WAL failure the already
+// rewritten records stay rewritten and the error is reported.
+func (db *VisitorDB) RewriteForward(old, new string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for id, rec := range db.recs {
+		if rec.ForwardRef != old {
+			continue
+		}
+		rec.ForwardRef = new
+		if err := db.wal.Append(WALRecord{Op: WALPut, Visitor: &rec}); err != nil {
+			return n, fmt.Errorf("store: appending forward rewrite: %w", err)
+		}
+		db.recs[id] = rec
+		if db.tee != nil {
+			db.tee.TeeVisitorPut(rec)
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Compact rewrites the WAL to contain exactly the live records.

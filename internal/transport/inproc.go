@@ -120,7 +120,10 @@ type Inproc struct {
 	// hold-back slots) and the node-level fault maps down/blocked.
 	dropMu sync.Mutex
 	rng    *rand.Rand
-	held   map[pairKey]*heldEnv
+	// dropRate is the live loss probability, seeded from opts.DropRate
+	// and adjustable via SetDropRate.
+	dropRate float64
+	held     map[pairKey]*heldEnv
 	// down marks paused nodes: every delivery to or from a down node is
 	// silently dropped, modelling a crashed or partitioned process whose
 	// address still resolves (unlike Close, which unregisters the id).
@@ -147,13 +150,14 @@ func NewInproc(opts InprocOptions) *Inproc {
 		seed = 1
 	}
 	n := &Inproc{
-		nodes:   make(map[msg.NodeID]*inprocNode),
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(seed)),
-		held:    make(map[pairKey]*heldEnv),
-		down:    make(map[msg.NodeID]bool),
-		blocked: make(map[pairKey]bool),
-		batches: make(map[pairKey]*inprocBatch),
+		nodes:    make(map[msg.NodeID]*inprocNode),
+		opts:     opts,
+		dropRate: opts.DropRate,
+		rng:      rand.New(rand.NewSource(seed)),
+		held:     make(map[pairKey]*heldEnv),
+		down:     make(map[msg.NodeID]bool),
+		blocked:  make(map[pairKey]bool),
+		batches:  make(map[pairKey]*inprocBatch),
 	}
 	if opts.Metrics != nil {
 		n.retries = opts.Metrics.Counter("wire_retries")
@@ -328,6 +332,22 @@ func (n *Inproc) drawP(p float64) bool {
 	return n.rng.Float64() < p
 }
 
+// SetDropRate changes the network-wide datagram loss probability at
+// runtime. Soak tests use it to stage lossless setup and verification
+// phases around a lossy fault window.
+func (n *Inproc) SetDropRate(p float64) {
+	n.dropMu.Lock()
+	n.dropRate = p
+	n.dropMu.Unlock()
+}
+
+// dropP returns the current loss probability.
+func (n *Inproc) dropP() float64 {
+	n.dropMu.Lock()
+	defer n.dropMu.Unlock()
+	return n.dropRate
+}
+
 // drawJitter draws one seeded jitter delay.
 func (n *Inproc) drawJitter() time.Duration {
 	if n.opts.DelayJitter <= 0 {
@@ -345,7 +365,7 @@ func (n *Inproc) drawFault(from, to msg.NodeID, env msg.Envelope) Fault {
 	if plan := n.opts.FaultPlan; plan != nil {
 		f = plan(from, to, env)
 	}
-	if n.drawP(n.opts.DropRate) {
+	if n.drawP(n.dropP()) {
 		f.Drop = true
 	}
 	if n.drawP(n.opts.DupRate) {

@@ -32,6 +32,16 @@ func FuzzDecode(f *testing.F) {
 		{From: "x", Msg: msg.EventNotify{SubID: "s", Fired: true, Total: 3, Objs: []core.OID{"a", "b"}}},
 		{From: "r", Msg: msg.DiagRes{Server: "r", Shards: []msg.ShardDiag{{Len: 1, Ops: 2, Contended: 3}}, Metrics: "m = 1\n"}},
 		{From: "y", CorrID: 1, Reply: true, Msg: msg.Ack{}},
+		{From: "r.0", CorrID: 3, Msg: msg.ReplAppend{Epoch: 2, Stream: 1, FirstSeq: 17, Recs: []msg.ReplRecord{
+			{Op: msg.ReplSightingPut, Sightings: []core.Sighting{{OID: "a", T: time.Unix(1_700_000_000, 0).UTC(), Pos: geo.Pt(1, 2), SensAcc: 3}}},
+			{Op: msg.ReplRuns, Runs: []string{"run-0001-00000002.run"}, NextSeq: 3, ClearMem: true},
+			{Op: msg.ReplSnapshot, Dead: []core.OID{"b"}, Runs: []string{"run-0001-00000001.run"}, NextSeq: 2},
+		}}},
+		{From: "r.0~s", CorrID: 3, Reply: true, Msg: msg.ReplAck{Epoch: 2, Stream: 1, NextSeq: 20}},
+		{From: "r.0~s", CorrID: 4, Msg: msg.RunFetch{Shard: 1, Name: "run-0001-00000002.run", Off: 4096, MaxBytes: 65536}},
+		{From: "r.0", CorrID: 4, Reply: true, Msg: msg.RunFetchRes{Size: 8192, Data: []byte{1, 2, 3}, EOF: false}},
+		{From: "r", CorrID: 5, Msg: msg.Promote{}},
+		{From: "r.0~s", CorrID: 5, Reply: true, Msg: msg.PromoteRes{Epoch: 3}},
 	}
 	for _, env := range seeds {
 		data, err := Encode(env)

@@ -55,6 +55,12 @@ func registerTypes() {
 	gob.Register(msg.DiagRes{})
 	gob.Register(msg.Ack{})
 	gob.Register(msg.ErrorRes{})
+	gob.Register(msg.ReplAppend{})
+	gob.Register(msg.ReplAck{})
+	gob.Register(msg.RunFetch{})
+	gob.Register(msg.RunFetchRes{})
+	gob.Register(msg.Promote{})
+	gob.Register(msg.PromoteRes{})
 }
 
 // EncodeGob serializes an envelope in the retired gob format.

@@ -149,6 +149,95 @@ func randTierDiag(rng *rand.Rand) *msg.TierDiag {
 	}
 }
 
+func randStrings(rng *rand.Rand) []string {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	ss := make([]string, 1+rng.Intn(4))
+	for i := range ss {
+		ss[i] = randString(rng)
+	}
+	return ss
+}
+
+func randBytes(rng *rand.Rand) []byte {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	b := make([]byte, 1+rng.Intn(64))
+	rng.Read(b)
+	return b
+}
+
+func randSightings(rng *rand.Rand) []core.Sighting {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	ss := make([]core.Sighting, 1+rng.Intn(4))
+	for i := range ss {
+		ss[i] = randSighting(rng)
+	}
+	return ss
+}
+
+func randVisitorState(rng *rand.Rand) msg.VisitorState {
+	return msg.VisitorState{
+		OID:        randOID(rng),
+		ForwardRef: randString(rng),
+		OfferedAcc: randF(rng),
+		RegInfo:    randRegInfo(rng),
+		PathT:      randTime(rng),
+	}
+}
+
+func randVisitorStates(rng *rand.Rand) []msg.VisitorState {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	vs := make([]msg.VisitorState, 1+rng.Intn(3))
+	for i := range vs {
+		vs[i] = randVisitorState(rng)
+	}
+	return vs
+}
+
+func randReplRecords(rng *rand.Rand) []msg.ReplRecord {
+	if rng.Intn(4) == 0 {
+		return nil
+	}
+	recs := make([]msg.ReplRecord, 1+rng.Intn(4))
+	for i := range recs {
+		recs[i] = msg.ReplRecord{
+			Op:        msg.ReplOp(1 + rng.Intn(6)),
+			Sightings: randSightings(rng),
+			OID:       randOID(rng),
+			Visitor:   randVisitorState(rng),
+			Visitors:  randVisitorStates(rng),
+			Dead:      randOIDs(rng),
+			Runs:      randStrings(rng),
+			NextSeq:   rng.Uint64(),
+			ClearMem:  rng.Intn(2) == 0,
+		}
+	}
+	return recs
+}
+
+func randReplDiag(rng *rand.Rand) *msg.ReplDiag {
+	if rng.Intn(2) == 0 {
+		return nil
+	}
+	return &msg.ReplDiag{
+		Role:          randString(rng),
+		Peer:          randNodeID(rng),
+		Epoch:         rng.Uint64(),
+		Pending:       rng.Int63(),
+		Acked:         rng.Int63(),
+		Fenced:        rng.Int63(),
+		RunsInstalled: rng.Int63(),
+		Resyncs:       rng.Int63(),
+	}
+}
+
 // randomMessage builds a random instance of the message type identified by
 // tag. It must cover every entry of the registry: the round-trip test
 // fails on any tag it cannot instantiate.
@@ -215,11 +304,23 @@ func randomMessage(rng *rand.Rand, tag msg.Tag) (msg.Message, bool) {
 	case msg.TagDiagReq:
 		return msg.DiagReq{}, true
 	case msg.TagDiagRes:
-		return msg.DiagRes{Server: randNodeID(rng), IsLeaf: rng.Intn(2) == 0, Visitors: randInt(rng), Sightings: randInt(rng), Shards: randShardDiags(rng), Epoch: rng.Uint64(), Tier: randTierDiag(rng), PipelineOps: rng.Int63(), PipelineHandoffs: rng.Int63(), EventSubs: randInt(rng), EventCoordSubs: randInt(rng), Metrics: randString(rng)}, true
+		return msg.DiagRes{Server: randNodeID(rng), IsLeaf: rng.Intn(2) == 0, Visitors: randInt(rng), Sightings: randInt(rng), Shards: randShardDiags(rng), Epoch: rng.Uint64(), Tier: randTierDiag(rng), Repl: randReplDiag(rng), PipelineOps: rng.Int63(), PipelineHandoffs: rng.Int63(), EventSubs: randInt(rng), EventCoordSubs: randInt(rng), Metrics: randString(rng)}, true
 	case msg.TagAck:
 		return msg.Ack{}, true
 	case msg.TagErrorRes:
 		return msg.ErrorRes{Code: randString(rng), Text: randString(rng)}, true
+	case msg.TagReplAppend:
+		return msg.ReplAppend{Epoch: rng.Uint64(), Stream: randInt(rng), FirstSeq: rng.Uint64(), Recs: randReplRecords(rng)}, true
+	case msg.TagReplAck:
+		return msg.ReplAck{Epoch: rng.Uint64(), Stream: randInt(rng), NextSeq: rng.Uint64(), Fenced: rng.Intn(2) == 0, NeedSync: rng.Intn(2) == 0}, true
+	case msg.TagRunFetch:
+		return msg.RunFetch{Shard: randInt(rng), Name: randString(rng), Off: rng.Int63(), MaxBytes: randInt(rng)}, true
+	case msg.TagRunFetchRes:
+		return msg.RunFetchRes{Size: rng.Int63(), Data: randBytes(rng), EOF: rng.Intn(2) == 0}, true
+	case msg.TagPromote:
+		return msg.Promote{Epoch: rng.Uint64()}, true
+	case msg.TagPromoteRes:
+		return msg.PromoteRes{Epoch: rng.Uint64()}, true
 	}
 	return nil, false
 }
@@ -281,8 +382,8 @@ func TestRoundTripEveryRegisteredType(t *testing.T) {
 // registry is caught here or by the coverage loop above.
 func TestRegistryDense(t *testing.T) {
 	tags := msg.AllTags()
-	if len(tags) != 33 {
-		t.Fatalf("registry has %d tags, want 33 (update this test when adding messages)", len(tags))
+	if len(tags) != 39 {
+		t.Fatalf("registry has %d tags, want 39 (update this test when adding messages)", len(tags))
 	}
 	seen := map[string]bool{}
 	for i, tag := range tags {

@@ -100,6 +100,22 @@
 //     NeighborQueryRes gained trailing Partial bool + Unreachable
 //     []NodeID. New fields append after the v1 fields in struct
 //     declaration order, like any other field.
+//   - v3: leaf replication. DiagRes gained Repl *ReplDiag (presence-bool
+//     prefixed, like Tier) between Tier and PipelineOps; new messages
+//     ReplAppend/ReplAck (tags 34/35, the seq-numbered WAL-tail stream
+//     and its ack), RunFetch/RunFetchRes (36/37, chunked immutable-run
+//     transfer), Promote/PromoteRes (38/39, failover). Replication
+//     epochs ride inside ReplAppend/ReplAck, not the version byte: a
+//     zombie primary speaks the same wire version and is fenced by the
+//     epoch check in the receiver, so mixed-role confusion is an
+//     application-level rejection (ReplAck.Fenced), never a parse error.
+//     ReplAppend is idempotent by stream sequence number rather than the
+//     dedupe window: a retried batch re-sends the same FirstSeq and the
+//     receiver skips the already-applied prefix, so CallWithRetry is
+//     safe on it. A promoted standby keeps its own dedupe window, which
+//     starts empty: a client retry that straddles the failover may be
+//     re-applied once by the new primary (last-wins sighting semantics
+//     make this harmless; see the internal/server doc).
 //
 // # Retry idempotency
 //
@@ -135,7 +151,7 @@ import (
 // wireVersion is the format generation of this codec. Bump it whenever an
 // existing message's field layout or a primitive encoding changes. See the
 // version history in the package doc.
-const wireVersion = 2
+const wireVersion = 3
 
 // maxPooledBuf bounds the capacity of buffers returned to the pool, so a
 // rare huge envelope (an oversize range-query result rejected by the
